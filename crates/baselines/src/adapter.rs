@@ -1,0 +1,176 @@
+//! Adapter exposing the real cxlalloc behind the benchmark interface.
+
+use crate::{AllocProps, BenchError, MemoryUsage, PodAlloc, PodAllocThread, RecoveryStrategy};
+use cxl_core::{AllocError, AttachOptions, Cxlalloc, OffsetPtr, ThreadHandle};
+use cxl_pod::Pod;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Wraps [`Cxlalloc`] as a [`PodAlloc`] so the same harness drives it
+/// and every baseline.
+///
+/// The adapter spreads registered threads round-robin over the pod's
+/// simulated processes, matching the paper's cross-process benchmark
+/// setup ("10 processes ... 1 to 8 threads per process").
+#[derive(Debug, Clone)]
+pub struct CxlallocAdapter {
+    pod: Pod,
+    heaps: Arc<Vec<Cxlalloc>>,
+    next: Arc<Mutex<usize>>,
+    recoverable: bool,
+}
+
+impl CxlallocAdapter {
+    /// Attaches cxlalloc to `processes` simulated processes of a fresh
+    /// or existing pod.
+    ///
+    /// # Panics
+    ///
+    /// Panics if attach fails (layout mismatch — impossible for pods
+    /// built by this crate's versions).
+    pub fn new(pod: Pod, processes: usize, options: AttachOptions) -> Self {
+        let recoverable = options.recoverable;
+        let heaps: Vec<Cxlalloc> = (0..processes.max(1))
+            .map(|_| {
+                Cxlalloc::attach(pod.spawn_process(), options.clone()).expect("attach")
+            })
+            .collect();
+        CxlallocAdapter {
+            pod,
+            heaps: Arc::new(heaps),
+            next: Arc::new(Mutex::new(0)),
+            recoverable,
+        }
+    }
+
+    /// The underlying pod.
+    pub fn pod(&self) -> &Pod {
+        &self.pod
+    }
+
+    /// The per-process heap handles.
+    pub fn heaps(&self) -> &[Cxlalloc] {
+        &self.heaps
+    }
+}
+
+fn map_err(e: AllocError) -> BenchError {
+    match e {
+        AllocError::OutOfMemory { .. }
+        | AllocError::DescriptorPoolExhausted { .. }
+        | AllocError::HazardSlotsExhausted { .. } => BenchError::OutOfMemory,
+        AllocError::InvalidSize { size } => BenchError::Unsupported { size },
+        _ => BenchError::BadPointer,
+    }
+}
+
+impl PodAlloc for CxlallocAdapter {
+    fn props(&self) -> AllocProps {
+        AllocProps {
+            name: if self.recoverable {
+                "cxlalloc"
+            } else {
+                "cxlalloc-nonrecoverable"
+            },
+            mem: "XP, CXL",
+            cross_process: true,
+            mmap: true,
+            fail_nonblocking: true,
+            recovery_nonblocking: Some(true),
+            strategy: RecoveryStrategy::App,
+        }
+    }
+
+    fn thread(&self) -> Result<Box<dyn PodAllocThread>, String> {
+        let mut next = self.next.lock();
+        let heap = &self.heaps[*next % self.heaps.len()];
+        *next += 1;
+        drop(next);
+        let handle = heap.register_thread().map_err(|e| e.to_string())?;
+        Ok(Box::new(CxlallocThread {
+            handle,
+        }))
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        let stats = self.heaps[0].stats();
+        MemoryUsage {
+            data_bytes: stats.small_bytes + stats.large_bytes,
+            metadata_bytes: stats.hwcc_bytes,
+        }
+    }
+}
+
+struct CxlallocThread {
+    handle: ThreadHandle,
+}
+
+impl PodAllocThread for CxlallocThread {
+    fn alloc(&mut self, size: usize) -> Result<OffsetPtr, BenchError> {
+        self.handle.alloc(size).map_err(map_err)
+    }
+
+    fn alloc_detectable(&mut self, size: usize, dst: OffsetPtr) -> Result<OffsetPtr, BenchError> {
+        self.handle.alloc_detectable(size, dst).map_err(map_err)
+    }
+
+    fn dealloc(&mut self, ptr: OffsetPtr) -> Result<(), BenchError> {
+        self.handle.dealloc(ptr).map_err(map_err)
+    }
+
+    fn resolve(&mut self, ptr: OffsetPtr, len: u64) -> *mut u8 {
+        self.handle
+            .resolve(ptr, len)
+            .expect("benchmark pointers are heap pointers")
+    }
+
+    fn thread_id(&self) -> Option<u16> {
+        Some(self.handle.tid().raw())
+    }
+
+    fn maintain(&mut self) {
+        self.handle.cleanup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_pod::PodConfig;
+
+    fn adapter() -> CxlallocAdapter {
+        let pod = Pod::new(PodConfig {
+            small_max_slabs: 512,
+            ..PodConfig::small_for_tests()
+        })
+        .unwrap();
+        CxlallocAdapter::new(pod, 2, AttachOptions::default())
+    }
+
+    #[test]
+    fn conformance() {
+        let alloc = adapter();
+        crate::conformance(&alloc, 1 << 20);
+    }
+
+    #[test]
+    fn threads_spread_over_processes() {
+        let alloc = adapter();
+        assert_eq!(alloc.heaps().len(), 2);
+        let _t1 = alloc.thread().unwrap();
+        let _t2 = alloc.thread().unwrap();
+        assert_eq!(alloc.pod().process_count(), 2);
+    }
+
+    #[test]
+    fn cross_process_pointers_resolve() {
+        let alloc = adapter();
+        let mut a = alloc.thread().unwrap(); // process 0
+        let mut b = alloc.thread().unwrap(); // process 1
+        let p = a.alloc(100).unwrap();
+        unsafe { a.resolve(p, 100).write_bytes(7, 100) };
+        let raw = b.resolve(p, 100);
+        assert_eq!(unsafe { *raw }, 7);
+        b.dealloc(p).unwrap();
+    }
+}

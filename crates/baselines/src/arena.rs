@@ -1,0 +1,128 @@
+//! A shared bump arena over a [`Segment`], used as the backing store of
+//! the baseline allocators (their moral equivalent of a big shared
+//! memory file — paper §5: "each memory allocator is backed by a 64 GiB
+//! shared memory file").
+
+use cxl_pod::Segment;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A lock-free bump arena.
+#[derive(Debug)]
+pub struct Arena {
+    segment: Arc<Segment>,
+    cursor: AtomicU64,
+}
+
+impl Arena {
+    /// Creates an arena of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host cannot back the (lazily committed) segment.
+    pub fn new(capacity: u64) -> Self {
+        Arena {
+            segment: Arc::new(Segment::zeroed(capacity).expect("arena segment")),
+            // Offset 0 is reserved so OffsetPtr(0) stays null.
+            cursor: AtomicU64::new(64),
+        }
+    }
+
+    /// The underlying segment.
+    pub fn segment(&self) -> &Arc<Segment> {
+        &self.segment
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.segment.len()
+    }
+
+    /// Bytes carved so far (the data high-water mark).
+    pub fn used(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed).min(self.capacity())
+    }
+
+    /// Carves `len` bytes aligned to `align`; `None` when exhausted.
+    pub fn bump(&self, len: u64, align: u64) -> Option<u64> {
+        debug_assert!(align.is_power_of_two());
+        let mut cur = self.cursor.load(Ordering::Relaxed);
+        loop {
+            let start = (cur + align - 1) & !(align - 1);
+            let end = start.checked_add(len)?;
+            if end > self.capacity() {
+                return None;
+            }
+            match self
+                .cursor
+                .compare_exchange_weak(cur, end, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some(start),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Raw pointer to `offset` (bounds-checked).
+    pub fn ptr(&self, offset: u64, len: u64) -> *mut u8 {
+        self.segment.data_ptr(offset, len)
+    }
+
+    /// The `AtomicU64` cell at `offset` (for in-heap headers / links).
+    pub fn cell(&self, offset: u64) -> &AtomicU64 {
+        self.segment.atomic_u64(offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_is_aligned_and_disjoint() {
+        let arena = Arena::new(1 << 20);
+        let a = arena.bump(100, 8).unwrap();
+        let b = arena.bump(100, 64).unwrap();
+        assert_eq!(a % 8, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 100);
+        assert!(arena.used() >= 264);
+    }
+
+    #[test]
+    fn bump_exhausts() {
+        let arena = Arena::new(4096);
+        assert!(arena.bump(8192, 8).is_none());
+        let mut total = 0;
+        while arena.bump(512, 8).is_some() {
+            total += 1;
+        }
+        assert!(total >= 6);
+    }
+
+    #[test]
+    fn concurrent_bumps_are_disjoint() {
+        let arena = Arc::new(Arena::new(1 << 20));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let arena = arena.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..100).map(|_| arena.bump(128, 8).unwrap()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        for w in all.windows(2) {
+            assert!(w[1] >= w[0] + 128, "overlap at {w:?}");
+        }
+    }
+
+    #[test]
+    fn offset_zero_is_never_handed_out() {
+        let arena = Arena::new(4096);
+        assert!(arena.bump(8, 8).unwrap() >= 64);
+    }
+}

@@ -1,0 +1,192 @@
+//! `BoostLike`: a Boost.Interprocess-style allocator.
+//!
+//! Boost's shared-memory allocators (e.g. `simple_seq_fit`,
+//! `rbtree_best_fit`) guard one process-shared free list with one global
+//! mutex. That is why the paper's Figure 8 shows boost "fundamentally
+//! unscalable": every allocation and free from every thread serializes
+//! on the same lock. The heap is fixed-size (no `mmap` growth), and
+//! there is no failure tolerance — a thread crashing inside the critical
+//! section would deadlock everyone (Table 1: `Fail = B`).
+
+use crate::arena::Arena;
+use crate::{AllocProps, BenchError, MemoryUsage, PodAlloc, PodAllocThread, RecoveryStrategy};
+use cxl_core::OffsetPtr;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-allocation header size (stores block length, like boost's
+/// `block_header`).
+const HEADER: u64 = 16;
+
+#[derive(Debug, Default)]
+struct FreeList {
+    /// start -> len of free chunks, coalesced eagerly.
+    chunks: BTreeMap<u64, u64>,
+    live: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    arena: Arena,
+    state: Mutex<FreeList>,
+}
+
+/// The boost-like global-mutex allocator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct BoostLike {
+    shared: Arc<Shared>,
+}
+
+impl BoostLike {
+    /// Creates an instance with a fixed heap of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        let arena = Arena::new(capacity);
+        let start = arena.bump(capacity - 4096, 64).expect("initial carve");
+        let mut chunks = BTreeMap::new();
+        chunks.insert(start, capacity - 4096 - start);
+        BoostLike {
+            shared: Arc::new(Shared {
+                arena,
+                state: Mutex::new(FreeList {
+                    chunks,
+                    live: 0,
+                }),
+            }),
+        }
+    }
+}
+
+impl PodAlloc for BoostLike {
+    fn props(&self) -> AllocProps {
+        AllocProps {
+            name: "boost",
+            mem: "XP",
+            cross_process: true,
+            mmap: false,
+            fail_nonblocking: false,
+            recovery_nonblocking: None,
+            strategy: RecoveryStrategy::None,
+        }
+    }
+
+    fn thread(&self) -> Result<Box<dyn PodAllocThread>, String> {
+        Ok(Box::new(BoostThread {
+            alloc: self.clone(),
+        }))
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        let state = self.shared.state.lock();
+        MemoryUsage {
+            data_bytes: state.live,
+            metadata_bytes: state.chunks.len() as u64 * 32,
+        }
+    }
+}
+
+struct BoostThread {
+    alloc: BoostLike,
+}
+
+impl PodAllocThread for BoostThread {
+    fn alloc(&mut self, size: usize) -> Result<OffsetPtr, BenchError> {
+        if size == 0 {
+            return Err(BenchError::Unsupported { size });
+        }
+        let need = (size as u64 + HEADER + 7) & !7;
+        let shared = &self.alloc.shared;
+        let mut state = shared.state.lock();
+        // First fit over the ordered free list (boost's simple_seq_fit).
+        let found = state
+            .chunks
+            .iter()
+            .find(|&(_, &len)| len >= need)
+            .map(|(&s, &l)| (s, l));
+        let (start, len) = found.ok_or(BenchError::OutOfMemory)?;
+        state.chunks.remove(&start);
+        if len > need {
+            state.chunks.insert(start + need, len - need);
+        }
+        state.live += need;
+        drop(state);
+        // Header: block length (for free) in the first word.
+        shared.arena.cell(start).store(need, std::sync::atomic::Ordering::Relaxed);
+        Ok(OffsetPtr::new(start + HEADER).expect("nonzero"))
+    }
+
+    fn dealloc(&mut self, ptr: OffsetPtr) -> Result<(), BenchError> {
+        let shared = &self.alloc.shared;
+        let start = ptr.offset().checked_sub(HEADER).ok_or(BenchError::BadPointer)?;
+        let len = shared.arena.cell(start).load(std::sync::atomic::Ordering::Relaxed);
+        if len == 0 || len % 8 != 0 {
+            return Err(BenchError::BadPointer);
+        }
+        let mut state = shared.state.lock();
+        // Coalesce with predecessor and successor chunks.
+        let mut new_start = start;
+        let mut new_len = len;
+        if let Some((&ps, &pl)) = state.chunks.range(..start).next_back() {
+            if ps + pl == start {
+                state.chunks.remove(&ps);
+                new_start = ps;
+                new_len += pl;
+            }
+        }
+        if let Some((&ns, &nl)) = state.chunks.range(start..).next() {
+            if start + len == ns {
+                state.chunks.remove(&ns);
+                new_len += nl;
+            }
+        }
+        state.chunks.insert(new_start, new_len);
+        state.live = state.live.saturating_sub(len);
+        Ok(())
+    }
+
+    fn resolve(&mut self, ptr: OffsetPtr, len: u64) -> *mut u8 {
+        self.alloc.shared.arena.ptr(ptr.offset(), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance() {
+        let alloc = BoostLike::new(64 << 20);
+        crate::conformance(&alloc, 1 << 20);
+    }
+
+    #[test]
+    fn coalescing_avoids_fragmentation() {
+        let alloc = BoostLike::new(1 << 20);
+        let mut t = alloc.thread().unwrap();
+        // Allocate nearly everything in small chunks; free all; then one
+        // big allocation must succeed (full coalescing).
+        let ptrs: Vec<_> = (0..1000).map(|_| t.alloc(512).unwrap()).collect();
+        assert!(t.alloc(600 << 10).is_err());
+        for p in ptrs {
+            t.dealloc(p).unwrap();
+        }
+        let big = t.alloc(900 << 10).unwrap();
+        t.dealloc(big).unwrap();
+    }
+
+    #[test]
+    fn oom_on_fixed_heap() {
+        let alloc = BoostLike::new(1 << 20);
+        let mut t = alloc.thread().unwrap();
+        assert!(matches!(t.alloc(2 << 20), Err(BenchError::OutOfMemory)));
+    }
+
+    #[test]
+    fn bad_free_detected() {
+        let alloc = BoostLike::new(1 << 20);
+        let mut t = alloc.thread().unwrap();
+        let p = t.alloc(64).unwrap();
+        assert!(t.dealloc(OffsetPtr::new(p.offset() + 24).unwrap()).is_err());
+        t.dealloc(p).unwrap();
+    }
+}

@@ -1,0 +1,254 @@
+//! `CxlShmLike`: cxl-shm (Zhang et al., SOSP '23), the prior
+//! partial-failure-tolerant CXL memory manager.
+//!
+//! The paper (§6) identifies the design choices that cxlalloc rejects,
+//! all reproduced here:
+//!
+//! * a **24-byte inline header** on every allocation, 8 bytes of which
+//!   is a reference count that must live in HWcc memory — scattered
+//!   through the heap, this inflates HWcc usage and makes small-object
+//!   workloads (MC-15, MC-31) pay noticeable per-object overhead;
+//! * **reference counting** for recovery: every retain/release is an
+//!   atomic RMW on the object's header cacheline, which creates
+//!   contention on hot objects even for read-mostly workloads (YCSB-A/D
+//!   in Figure 8) — exposed through
+//!   [`PodAllocThread::read_barrier`](crate::PodAllocThread::read_barrier);
+//! * a **fixed-size heap** with **no allocation larger than 1 KiB** and
+//!   no memory-mapping updates (only trivial pointer consistency) — the
+//!   paper notes it simply crashes on MC-12 and MC-37.
+
+use crate::arena::Arena;
+use crate::{AllocProps, BenchError, MemoryUsage, PodAlloc, PodAllocThread, RecoveryStrategy};
+use cxl_core::OffsetPtr;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Inline header size (the paper: "it embeds a 24B header into each
+/// allocation to support reference counting, 8B of which requires
+/// HWcc").
+pub const HEADER: u64 = 24;
+/// Maximum supported allocation (cxl-shm "does not support allocations
+/// larger than 1KiB").
+pub const MAX_ALLOC: usize = 1024;
+
+const NUM_CLASSES: usize = 8; // 8, 16, ..., 1024
+
+fn class_of(size: usize) -> usize {
+    (size.max(8).next_power_of_two().trailing_zeros() - 3) as usize
+}
+
+fn class_size(class: usize) -> u64 {
+    8u64 << class
+}
+
+#[derive(Debug)]
+struct Shared {
+    arena: Arena,
+    /// Global free stacks per class (threads refill caches in batches).
+    global_free: [Mutex<Vec<u64>>; NUM_CLASSES],
+    live_bytes: AtomicU64,
+    header_bytes: AtomicU64,
+}
+
+/// The cxl-shm-like allocator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct CxlShmLike {
+    shared: Arc<Shared>,
+}
+
+impl CxlShmLike {
+    /// Creates an instance with a fixed heap of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        CxlShmLike {
+            shared: Arc::new(Shared {
+                arena: Arena::new(capacity),
+                global_free: std::array::from_fn(|_| Mutex::new(Vec::new())),
+                live_bytes: AtomicU64::new(0),
+                header_bytes: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl PodAlloc for CxlShmLike {
+    fn props(&self) -> AllocProps {
+        AllocProps {
+            name: "cxl-shm",
+            mem: "CXL",
+            cross_process: true,
+            mmap: false,
+            fail_nonblocking: true,
+            recovery_nonblocking: Some(true),
+            strategy: RecoveryStrategy::Gc,
+        }
+    }
+
+    fn thread(&self) -> Result<Box<dyn PodAllocThread>, String> {
+        Ok(Box::new(CxlShmThread {
+            alloc: self.clone(),
+            cache: std::array::from_fn(|_| Vec::new()),
+        }))
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        MemoryUsage {
+            data_bytes: self.shared.live_bytes.load(Ordering::Relaxed),
+            metadata_bytes: self.shared.header_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct CxlShmThread {
+    alloc: CxlShmLike,
+    cache: [Vec<u64>; NUM_CLASSES],
+}
+
+impl CxlShmThread {
+    fn refcount_cell(&self, block: u64) -> &AtomicU64 {
+        self.alloc.shared.arena.cell(block)
+    }
+}
+
+impl PodAllocThread for CxlShmThread {
+    fn alloc(&mut self, size: usize) -> Result<OffsetPtr, BenchError> {
+        if size == 0 || size > MAX_ALLOC {
+            // The real system crashes; the harness treats Unsupported as
+            // that crash.
+            return Err(BenchError::Unsupported { size });
+        }
+        let class = class_of(size);
+        let shared = &self.alloc.shared;
+        let block = match self.cache[class].pop() {
+            Some(block) => block,
+            None => {
+                // Batch refill from the global stack, else carve.
+                let mut global = shared.global_free[class].lock();
+                if global.is_empty() {
+                    drop(global);
+                    shared
+                        .arena
+                        .bump(HEADER + class_size(class), 8)
+                        .ok_or(BenchError::OutOfMemory)?
+                } else {
+                    let take = (global.len() / 2).clamp(1, 8);
+                    let at = global.len() - take;
+                    self.cache[class].extend(global.drain(at..));
+                    drop(global);
+                    self.cache[class].pop().expect("just refilled")
+                }
+            }
+        };
+        // 24-byte header: refcount (HWcc), class, reserved.
+        let arena = &shared.arena;
+        arena.cell(block).store(1, Ordering::Release); // refcount
+        arena.cell(block + 8).store(class as u64, Ordering::Relaxed);
+        arena.cell(block + 16).store(0, Ordering::Relaxed);
+        shared
+            .live_bytes
+            .fetch_add(class_size(class), Ordering::Relaxed);
+        shared.header_bytes.fetch_add(HEADER, Ordering::Relaxed);
+        Ok(OffsetPtr::new(block + HEADER).expect("nonzero"))
+    }
+
+    fn dealloc(&mut self, ptr: OffsetPtr) -> Result<(), BenchError> {
+        let block = ptr.offset().checked_sub(HEADER).ok_or(BenchError::BadPointer)?;
+        let shared = &self.alloc.shared;
+        let class = shared.arena.cell(block + 8).load(Ordering::Relaxed) as usize;
+        if class >= NUM_CLASSES {
+            return Err(BenchError::BadPointer);
+        }
+        // Release the object's reference; the allocation dies at zero.
+        let prev = self.refcount_cell(block).fetch_sub(1, Ordering::AcqRel);
+        if prev == 0 {
+            return Err(BenchError::BadPointer); // double free
+        }
+        if prev == 1 {
+            self.cache[class].push(block);
+            if self.cache[class].len() > 16 {
+                let at = self.cache[class].len() - 8;
+                let spill: Vec<u64> = self.cache[class].drain(at..).collect();
+                shared.global_free[class].lock().extend(spill);
+            }
+            shared
+                .live_bytes
+                .fetch_sub(class_size(class as usize), Ordering::Relaxed);
+            shared.header_bytes.fetch_sub(HEADER, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn resolve(&mut self, ptr: OffsetPtr, len: u64) -> *mut u8 {
+        self.alloc.shared.arena.ptr(ptr.offset(), len)
+    }
+
+    fn read_barrier(&mut self, ptr: OffsetPtr) {
+        // Reference-counted reads: retain + release, two atomic RMWs on
+        // the object's header line. On skewed workloads every reader
+        // hammers the same hot cacheline — the Figure 8 YCSB-A/D effect.
+        if let Some(block) = ptr.offset().checked_sub(HEADER) {
+            let cell = self.refcount_cell(block);
+            cell.fetch_add(1, Ordering::AcqRel);
+            cell.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance() {
+        let alloc = CxlShmLike::new(64 << 20);
+        crate::conformance(&alloc, MAX_ALLOC);
+    }
+
+    #[test]
+    fn rejects_large_allocations() {
+        let alloc = CxlShmLike::new(16 << 20);
+        let mut t = alloc.thread().unwrap();
+        assert!(matches!(
+            t.alloc(1025),
+            Err(BenchError::Unsupported { size: 1025 })
+        ));
+        assert!(t.alloc(1024).is_ok());
+    }
+
+    #[test]
+    fn header_overhead_is_visible() {
+        // MC-15/MC-31 effect: tiny values pay 24 B of header each.
+        let alloc = CxlShmLike::new(16 << 20);
+        let mut t = alloc.thread().unwrap();
+        let ptrs: Vec<_> = (0..1000).map(|_| t.alloc(8).unwrap()).collect();
+        let usage = alloc.memory_usage();
+        assert_eq!(usage.metadata_bytes, 24_000);
+        assert_eq!(usage.data_bytes, 8_000);
+        for p in ptrs {
+            t.dealloc(p).unwrap();
+        }
+        assert_eq!(alloc.memory_usage().total(), 0);
+    }
+
+    #[test]
+    fn double_free_detected_by_refcount() {
+        let alloc = CxlShmLike::new(16 << 20);
+        let mut t = alloc.thread().unwrap();
+        let p = t.alloc(64).unwrap();
+        t.dealloc(p).unwrap();
+        assert!(matches!(t.dealloc(p), Err(BenchError::BadPointer)));
+    }
+
+    #[test]
+    fn read_barrier_leaves_refcount_intact() {
+        let alloc = CxlShmLike::new(16 << 20);
+        let mut t = alloc.thread().unwrap();
+        let p = t.alloc(64).unwrap();
+        for _ in 0..100 {
+            t.read_barrier(p);
+        }
+        t.dealloc(p).unwrap();
+        // Refcount balanced: reallocation works.
+        assert!(t.alloc(64).is_ok());
+    }
+}

@@ -1,0 +1,230 @@
+//! Baseline allocators for the cxlalloc evaluation (paper Table 1).
+//!
+//! Each baseline reproduces the *architecturally relevant* design of a
+//! system the paper compares against:
+//!
+//! | Baseline | Models | Key property |
+//! |---|---|---|
+//! | [`MiLike`] | mimalloc | per-thread pages with intrusive free lists — the wall-clock upper bound |
+//! | [`BoostLike`] | Boost.Interprocess | one global mutex around a best-fit free list |
+//! | [`LightningLike`] | Lightning's internal allocator | global lock plus a per-allocation tracking table (order-of-magnitude memory overhead) |
+//! | [`CxlShmLike`] | cxl-shm | 24 B inline headers with an 8 B reference count, fixed heap, 1 KiB max allocation |
+//! | [`RallocLike`] | ralloc | lock-free shared partial slabs, separated metadata, blocking GC recovery |
+//!
+//! All implement [`PodAlloc`], the uniform interface the benchmark
+//! harness and the key-value store drive; [`CxlallocAdapter`] wraps the
+//! real cxlalloc behind the same interface.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod adapter;
+mod arena;
+mod boostlike;
+mod cxlshm;
+mod lightning;
+mod mi;
+mod ralloc;
+
+pub use adapter::CxlallocAdapter;
+pub use arena::Arena;
+pub use boostlike::BoostLike;
+pub use cxlshm::CxlShmLike;
+pub use lightning::LightningLike;
+pub use mi::MiLike;
+pub use ralloc::RallocLike;
+
+use cxl_core::OffsetPtr;
+use std::fmt;
+
+/// Errors from baseline allocator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// The heap is out of memory.
+    OutOfMemory,
+    /// The allocator does not support this size (cxl-shm's 1 KiB cap —
+    /// the paper reports it *crashes* on MC-12/MC-37; the harness
+    /// records this as a crash).
+    Unsupported {
+        /// Requested size.
+        size: usize,
+    },
+    /// An invalid pointer was passed to `dealloc`.
+    BadPointer,
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::OutOfMemory => write!(f, "out of memory"),
+            BenchError::Unsupported { size } => {
+                write!(f, "allocation of {size} bytes unsupported")
+            }
+            BenchError::BadPointer => write!(f, "bad pointer"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+/// Recovery strategy (Table 1 `Str.` column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStrategy {
+    /// Garbage-collect allocations from dead threads.
+    Gc,
+    /// Application-driven recovery.
+    App,
+    /// Not recoverable.
+    None,
+}
+
+/// Static allocator properties — the rows of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocProps {
+    /// Allocator name.
+    pub name: &'static str,
+    /// Memory kinds targeted (`M`, `XP`, `CXL`, `PM`).
+    pub mem: &'static str,
+    /// Supports cross-process allocation (pointer alternatives).
+    pub cross_process: bool,
+    /// Can use `mmap` for large allocations / heap extension.
+    pub mmap: bool,
+    /// Live threads do not block when another thread fails.
+    pub fail_nonblocking: bool,
+    /// Recovery behavior: `Some(true)` = non-blocking, `Some(false)` =
+    /// blocking, `None` = not recoverable.
+    pub recovery_nonblocking: Option<bool>,
+    /// Recovery strategy.
+    pub strategy: RecoveryStrategy,
+}
+
+/// Memory consumption snapshot — the PSS proxy reported by the figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryUsage {
+    /// Heap data bytes in use (high-water mark of carved memory).
+    pub data_bytes: u64,
+    /// Allocator metadata bytes (headers, tables, descriptors).
+    pub metadata_bytes: u64,
+}
+
+impl MemoryUsage {
+    /// Total bytes (the "PSS" reported in Figures 8–10).
+    pub fn total(&self) -> u64 {
+        self.data_bytes + self.metadata_bytes
+    }
+}
+
+/// A pod allocator instance, shared by all benchmark threads.
+pub trait PodAlloc: Send + Sync + 'static {
+    /// Table 1 properties.
+    fn props(&self) -> AllocProps;
+    /// Registers a worker thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when no more threads can register.
+    fn thread(&self) -> Result<Box<dyn PodAllocThread>, String>;
+    /// Current memory consumption.
+    fn memory_usage(&self) -> MemoryUsage;
+}
+
+/// A per-thread allocation handle.
+pub trait PodAllocThread: Send {
+    /// Allocates `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::OutOfMemory`] / [`BenchError::Unsupported`].
+    fn alloc(&mut self, size: usize) -> Result<OffsetPtr, BenchError>;
+    /// Detectable allocation: `dst` names the 8-byte shared cell the
+    /// caller will store the resulting pointer into, letting a
+    /// recoverable allocator decide on crash recovery whether the
+    /// pointer escaped. Allocators without detectable allocation fall
+    /// back to a plain allocation (and hence leak or need GC after a
+    /// crash — the Figure 7 distinction).
+    ///
+    /// # Errors
+    ///
+    /// As [`PodAllocThread::alloc`].
+    fn alloc_detectable(
+        &mut self,
+        size: usize,
+        _dst: OffsetPtr,
+    ) -> Result<OffsetPtr, BenchError> {
+        self.alloc(size)
+    }
+    /// Frees an allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::BadPointer`] for invalid frees.
+    fn dealloc(&mut self, ptr: OffsetPtr) -> Result<(), BenchError>;
+    /// Resolves a pointer for `len` bytes of access.
+    fn resolve(&mut self, ptr: OffsetPtr, len: u64) -> *mut u8;
+    /// The allocator-level thread identity, if the allocator has one
+    /// (cxlalloc's 16-bit thread id — used by crash harnesses to drive
+    /// allocator-level recovery).
+    fn thread_id(&self) -> Option<u16> {
+        None
+    }
+    /// Read barrier executed by data structures before reading through
+    /// `ptr` — models per-object synchronization some allocators impose
+    /// (cxl-shm's reference counts). Default: none.
+    fn read_barrier(&mut self, _ptr: OffsetPtr) {}
+    /// Maintenance hook (huge-heap cleanup, cache trims).
+    fn maintain(&mut self) {}
+}
+
+/// Uniform conformance suite run against every baseline by each
+/// module's tests.
+#[cfg(test)]
+pub(crate) fn conformance(alloc: &dyn PodAlloc, max_size: usize) {
+    let mut t = alloc.thread().unwrap();
+    // Basic roundtrip and write-through.
+    let sizes: Vec<usize> = [8usize, 24, 100, 512, 1000, 4000, 64 << 10]
+        .into_iter()
+        .filter(|&s| s <= max_size)
+        .collect();
+    let mut ptrs = Vec::new();
+    for &size in &sizes {
+        let p = t.alloc(size).unwrap();
+        unsafe { t.resolve(p, size as u64).write_bytes(0xA5, size) };
+        ptrs.push((p, size));
+    }
+    // No overlap.
+    for (i, &(p, s)) in ptrs.iter().enumerate() {
+        for &(q, r) in &ptrs[i + 1..] {
+            assert!(
+                p.offset() + s as u64 <= q.offset() || q.offset() + r as u64 <= p.offset(),
+                "{p} (+{s}) overlaps {q} (+{r})"
+            );
+        }
+    }
+    for (p, _) in ptrs {
+        t.dealloc(p).unwrap();
+    }
+    // Reuse after free.
+    let a = t.alloc(64).unwrap();
+    t.dealloc(a).unwrap();
+    let _b = t.alloc(64).unwrap();
+    // Multi-thread churn with remote frees.
+    std::thread::scope(|s| {
+        let (tx, rx) = std::sync::mpsc::channel::<OffsetPtr>();
+        s.spawn(|| {
+            let mut t = alloc.thread().unwrap();
+            for i in 0..500 {
+                let p = t.alloc(8 + i % 256).unwrap();
+                tx.send(p).unwrap();
+            }
+            drop(tx);
+        });
+        s.spawn(move || {
+            let mut t = alloc.thread().unwrap();
+            while let Ok(p) = rx.recv() {
+                t.dealloc(p).unwrap();
+            }
+        });
+    });
+    assert!(alloc.memory_usage().total() > 0);
+}

@@ -1,0 +1,202 @@
+//! `LightningLike`: the internal allocator of Lightning (Zhuo et al.,
+//! VLDB '21), an in-memory object store.
+//!
+//! Lightning guards its shared heap with a global lock and — because its
+//! crash recovery garbage-collects by scanning — keeps "a large array to
+//! track each individual allocation", which the paper notes costs an
+//! order of magnitude more memory (its PSS is omitted from Figure 8 for
+//! scale). We reproduce both properties: segregated free lists behind a
+//! global mutex plus a preallocated per-allocation tracking table.
+
+use crate::arena::Arena;
+use crate::{AllocProps, BenchError, MemoryUsage, PodAlloc, PodAllocThread, RecoveryStrategy};
+use cxl_core::OffsetPtr;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Tracking-table entry: (offset, size, owner token) — 24 bytes, one per
+/// allocation ever made, preallocated like Lightning's object table.
+#[derive(Debug, Clone, Copy, Default)]
+struct TrackEntry {
+    offset: u64,
+    size: u64,
+    live: bool,
+}
+
+#[derive(Debug)]
+struct State {
+    /// Power-of-two segregated free lists: class -> block offsets.
+    free: HashMap<u32, Vec<u64>>,
+    /// The per-allocation tracking table.
+    table: Vec<TrackEntry>,
+    /// offset -> table index for live allocations.
+    index: HashMap<u64, usize>,
+    /// Recycled table slots.
+    free_slots: Vec<usize>,
+    live_bytes: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    arena: Arena,
+    state: Mutex<State>,
+    table_capacity: usize,
+}
+
+/// The lightning-like allocator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct LightningLike {
+    shared: Arc<Shared>,
+}
+
+impl LightningLike {
+    /// Creates an instance with `capacity` heap bytes and a tracking
+    /// table of `table_capacity` entries (preallocated).
+    pub fn new(capacity: u64, table_capacity: usize) -> Self {
+        LightningLike {
+            shared: Arc::new(Shared {
+                arena: Arena::new(capacity),
+                state: Mutex::new(State {
+                    free: HashMap::new(),
+                    table: vec![TrackEntry::default(); table_capacity],
+                    index: HashMap::new(),
+                    free_slots: (0..table_capacity).rev().collect(),
+                    live_bytes: 0,
+                }),
+                table_capacity,
+            }),
+        }
+    }
+}
+
+impl PodAlloc for LightningLike {
+    fn props(&self) -> AllocProps {
+        AllocProps {
+            name: "lightning",
+            mem: "XP",
+            cross_process: true,
+            mmap: false,
+            fail_nonblocking: false,
+            recovery_nonblocking: Some(false),
+            strategy: RecoveryStrategy::Gc,
+        }
+    }
+
+    fn thread(&self) -> Result<Box<dyn PodAllocThread>, String> {
+        Ok(Box::new(LightningThread {
+            alloc: self.clone(),
+        }))
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        let state = self.shared.state.lock();
+        MemoryUsage {
+            data_bytes: state.live_bytes,
+            // The tracking table is the dominant overhead: preallocated
+            // for every potential allocation (24 B/entry) plus the index.
+            metadata_bytes: self.shared.table_capacity as u64 * 24
+                + state.index.len() as u64 * 16,
+        }
+    }
+}
+
+struct LightningThread {
+    alloc: LightningLike,
+}
+
+impl PodAllocThread for LightningThread {
+    fn alloc(&mut self, size: usize) -> Result<OffsetPtr, BenchError> {
+        if size == 0 {
+            return Err(BenchError::Unsupported { size });
+        }
+        let rounded = (size.max(8) as u64).next_power_of_two();
+        let class = rounded.trailing_zeros();
+        let shared = &self.alloc.shared;
+        let mut state = shared.state.lock();
+        let offset = match state.free.get_mut(&class).and_then(Vec::pop) {
+            Some(offset) => offset,
+            None => shared
+                .arena
+                .bump(rounded, rounded.min(4096))
+                .ok_or(BenchError::OutOfMemory)?,
+        };
+        let slot = state.free_slots.pop().ok_or(BenchError::OutOfMemory)?;
+        state.table[slot] = TrackEntry {
+            offset,
+            size: rounded,
+            live: true,
+        };
+        state.index.insert(offset, slot);
+        state.live_bytes += rounded;
+        Ok(OffsetPtr::new(offset).expect("nonzero"))
+    }
+
+    fn dealloc(&mut self, ptr: OffsetPtr) -> Result<(), BenchError> {
+        let shared = &self.alloc.shared;
+        let mut state = shared.state.lock();
+        let slot = *state.index.get(&ptr.offset()).ok_or(BenchError::BadPointer)?;
+        let entry = state.table[slot];
+        debug_assert!(entry.live);
+        state.index.remove(&ptr.offset());
+        state.table[slot].live = false;
+        state.free_slots.push(slot);
+        state
+            .free
+            .entry(entry.size.trailing_zeros())
+            .or_default()
+            .push(entry.offset);
+        state.live_bytes = state.live_bytes.saturating_sub(entry.size);
+        Ok(())
+    }
+
+    fn resolve(&mut self, ptr: OffsetPtr, len: u64) -> *mut u8 {
+        self.alloc.shared.arena.ptr(ptr.offset(), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance() {
+        let alloc = LightningLike::new(64 << 20, 1 << 16);
+        crate::conformance(&alloc, 1 << 20);
+    }
+
+    #[test]
+    fn tracking_table_dominates_memory() {
+        // The §5.2.1 observation: Lightning "requires an order of
+        // magnitude more memory" because of the tracking array.
+        let alloc = LightningLike::new(64 << 20, 1 << 20);
+        let mut t = alloc.thread().unwrap();
+        let ptrs: Vec<_> = (0..100).map(|_| t.alloc(64).unwrap()).collect();
+        let usage = alloc.memory_usage();
+        assert!(usage.metadata_bytes > usage.data_bytes * 10);
+        for p in ptrs {
+            t.dealloc(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn table_exhaustion_is_oom() {
+        let alloc = LightningLike::new(64 << 20, 4);
+        let mut t = alloc.thread().unwrap();
+        let ptrs: Vec<_> = (0..4).map(|_| t.alloc(64).unwrap()).collect();
+        assert!(matches!(t.alloc(64), Err(BenchError::OutOfMemory)));
+        for p in ptrs {
+            t.dealloc(p).unwrap();
+        }
+        assert!(t.alloc(64).is_ok());
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let alloc = LightningLike::new(16 << 20, 64);
+        let mut t = alloc.thread().unwrap();
+        let p = t.alloc(64).unwrap();
+        t.dealloc(p).unwrap();
+        assert!(matches!(t.dealloc(p), Err(BenchError::BadPointer)));
+    }
+}

@@ -1,0 +1,383 @@
+//! `MiLike`: a mimalloc-style allocator (Leijen et al., "free list
+//! sharding in action").
+//!
+//! The paper uses mimalloc as "an indicator of maximum allocator
+//! performance" — it is single-process only, with no pointer
+//! consistency, no failure tolerance, and no HWcc awareness, but its
+//! fast path is extremely short. This reimplementation keeps the parts
+//! that make it fast:
+//!
+//! * per-thread pages per size class;
+//! * an **intrusive** local free list (the pointer to the next free
+//!   block is stored in the free block itself): allocation is one load
+//!   and one store;
+//! * a separate *xthread* (remote) free list per page, updated with CAS,
+//!   collected in batch by the owner — remote frees never touch the
+//!   local fast path.
+
+use crate::arena::Arena;
+use crate::{AllocProps, BenchError, MemoryUsage, PodAlloc, PodAllocThread, RecoveryStrategy};
+use cxl_core::OffsetPtr;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const PAGE_SIZE: u64 = 64 * 1024;
+/// Sizes above this get a dedicated allocation instead of a shared page.
+const MAX_PAGED: usize = 8 * 1024;
+const NUM_CLASSES: usize = 11; // 8, 16, ..., 8192 (powers of two)
+
+fn class_of(size: usize) -> usize {
+    let size = size.max(8);
+    (size.next_power_of_two().trailing_zeros() - 3) as usize
+}
+
+fn class_size(class: usize) -> usize {
+    8 << class
+}
+
+/// Shared per-page metadata (off-heap, like mimalloc's page descriptor).
+#[derive(Debug)]
+struct Page {
+    start: u64,
+    /// Size class (kept for diagnostics / Debug output).
+    #[allow(dead_code)]
+    class: usize,
+    /// Owning thread token (never changes — mimalloc pages go back
+    /// through the owner).
+    owner: u32,
+    /// Intrusive local free list head (block offset, 0 = empty).
+    /// Owner-only access.
+    local_free: AtomicU64,
+    /// Intrusive remote free list head, CAS-updated by any thread.
+    xthread_free: AtomicU64,
+    /// Live blocks.
+    used: AtomicU32,
+}
+
+#[derive(Debug)]
+struct Shared {
+    arena: Arena,
+    /// Page registry indexed by `offset / PAGE_SIZE`.
+    pages: RwLock<Vec<Option<Arc<Page>>>>,
+    next_token: AtomicU32,
+    /// Reuse pool for dedicated (large) allocations, by size class of
+    /// their rounded size.
+    big_pool: parking_lot::Mutex<std::collections::HashMap<u64, Vec<u64>>>,
+    metadata_bytes: AtomicU64,
+}
+
+/// The mimalloc-like allocator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct MiLike {
+    shared: Arc<Shared>,
+}
+
+impl MiLike {
+    /// Creates an instance backed by `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        let slots = (capacity / PAGE_SIZE + 1) as usize;
+        MiLike {
+            shared: Arc::new(Shared {
+                arena: Arena::new(capacity),
+                pages: RwLock::new(vec![None; slots]),
+                next_token: AtomicU32::new(1),
+                big_pool: parking_lot::Mutex::new(std::collections::HashMap::new()),
+                metadata_bytes: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn page_of(&self, offset: u64) -> Option<Arc<Page>> {
+        self.shared.pages.read()[(offset / PAGE_SIZE) as usize].clone()
+    }
+}
+
+impl PodAlloc for MiLike {
+    fn props(&self) -> AllocProps {
+        AllocProps {
+            name: "mimalloc",
+            mem: "M",
+            cross_process: false,
+            mmap: true,
+            fail_nonblocking: true,
+            recovery_nonblocking: None,
+            strategy: RecoveryStrategy::None,
+        }
+    }
+
+    fn thread(&self) -> Result<Box<dyn PodAllocThread>, String> {
+        let token = self.shared.next_token.fetch_add(1, Ordering::Relaxed);
+        Ok(Box::new(MiThread {
+            alloc: self.clone(),
+            token,
+            current: std::array::from_fn(|_| None),
+            retired: std::array::from_fn(|_| Vec::new()),
+        }))
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        MemoryUsage {
+            data_bytes: self.shared.arena.used(),
+            metadata_bytes: self.shared.metadata_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct CurrentPage {
+    page: Arc<Page>,
+    bump_next: u64,
+    bump_end: u64,
+}
+
+struct MiThread {
+    alloc: MiLike,
+    token: u32,
+    current: [Option<CurrentPage>; NUM_CLASSES],
+    retired: [Vec<Arc<Page>>; NUM_CLASSES],
+}
+
+impl MiThread {
+    /// Pops from the page's intrusive local free list (owner only).
+    fn pop_local(arena: &Arena, page: &Page) -> Option<u64> {
+        let head = page.local_free.load(Ordering::Relaxed);
+        if head == 0 {
+            return None;
+        }
+        let next = arena.cell(head).load(Ordering::Relaxed);
+        page.local_free.store(next, Ordering::Relaxed);
+        Some(head)
+    }
+
+    /// Takes the whole xthread list (one atomic swap) and makes it the
+    /// local list.
+    fn collect_xthread(&self, page: &Page) -> bool {
+        let head = page.xthread_free.swap(0, Ordering::AcqRel);
+        if head == 0 {
+            return false;
+        }
+        debug_assert_eq!(page.local_free.load(Ordering::Relaxed), 0);
+        page.local_free.store(head, Ordering::Relaxed);
+        true
+    }
+
+    fn fresh_page(&mut self, class: usize) -> Result<CurrentPage, BenchError> {
+        let shared = &self.alloc.shared;
+        let start = shared
+            .arena
+            .bump(PAGE_SIZE, PAGE_SIZE)
+            .ok_or(BenchError::OutOfMemory)?;
+        let page = Arc::new(Page {
+            start,
+            class,
+            owner: self.token,
+            local_free: AtomicU64::new(0),
+            xthread_free: AtomicU64::new(0),
+            used: AtomicU32::new(0),
+        });
+        shared.pages.write()[(start / PAGE_SIZE) as usize] = Some(page.clone());
+        shared
+            .metadata_bytes
+            .fetch_add(std::mem::size_of::<Page>() as u64, Ordering::Relaxed);
+        Ok(CurrentPage {
+            page,
+            bump_next: start,
+            bump_end: start + PAGE_SIZE,
+        })
+    }
+
+    fn alloc_small(&mut self, class: usize) -> Result<u64, BenchError> {
+        let block = class_size(class) as u64;
+        loop {
+            if let Some(cur) = &mut self.current[class] {
+                let arena = &self.alloc.shared.arena;
+                // Fast path 1: intrusive local free list.
+                if let Some(offset) = Self::pop_local(arena, &cur.page) {
+                    cur.page.used.fetch_add(1, Ordering::Relaxed);
+                    return Ok(offset);
+                }
+                // Fast path 2: bump within the page.
+                if cur.bump_next + block <= cur.bump_end {
+                    let offset = cur.bump_next;
+                    cur.bump_next += block;
+                    cur.page.used.fetch_add(1, Ordering::Relaxed);
+                    return Ok(offset);
+                }
+                // Collect remote frees.
+                if self.collect_xthread(&self.current[class].as_ref().unwrap().page) {
+                    continue;
+                }
+                // Page exhausted: retire it.
+                let cur = self.current[class].take().unwrap();
+                self.retired[class].push(cur.page);
+            }
+            // Try to revive a retired page that accumulated frees.
+            let mut revived = None;
+            for (i, page) in self.retired[class].iter().enumerate() {
+                if page.local_free.load(Ordering::Relaxed) != 0
+                    || page.xthread_free.load(Ordering::Relaxed) != 0
+                {
+                    revived = Some(i);
+                    break;
+                }
+            }
+            if let Some(i) = revived {
+                let page = self.retired[class].swap_remove(i);
+                self.collect_xthread(&page);
+                let end = page.start + PAGE_SIZE;
+                self.current[class] = Some(CurrentPage {
+                    page,
+                    bump_next: end, // bump space already consumed
+                    bump_end: end,
+                });
+                continue;
+            }
+            self.current[class] = Some(self.fresh_page(class)?);
+        }
+    }
+}
+
+impl PodAllocThread for MiThread {
+    fn alloc(&mut self, size: usize) -> Result<OffsetPtr, BenchError> {
+        if size == 0 {
+            return Err(BenchError::Unsupported { size });
+        }
+        let offset = if size <= MAX_PAGED {
+            self.alloc_small(class_of(size))?
+        } else {
+            // Dedicated allocation with pooled reuse.
+            let rounded = (size as u64).next_power_of_two();
+            let pooled = self.alloc.shared.big_pool.lock().get_mut(&rounded).and_then(Vec::pop);
+            match pooled {
+                Some(offset) => offset,
+                None => self
+                    .alloc
+                    .shared
+                    .arena
+                    .bump(rounded + 64, 64)
+                    .map(|raw| {
+                        // Header stores the rounded size for dealloc.
+                        self.alloc.shared.arena.cell(raw).store(rounded, Ordering::Relaxed);
+                        raw + 64
+                    })
+                    .ok_or(BenchError::OutOfMemory)?,
+            }
+        };
+        Ok(OffsetPtr::new(offset).expect("nonzero"))
+    }
+
+    fn dealloc(&mut self, ptr: OffsetPtr) -> Result<(), BenchError> {
+        let offset = ptr.offset();
+        if let Some(page) = self.alloc.page_of(offset) {
+            let arena = &self.alloc.shared.arena;
+            if page.owner == self.token {
+                // Local free: intrusive push, no synchronization.
+                let head = page.local_free.load(Ordering::Relaxed);
+                arena.cell(offset).store(head, Ordering::Relaxed);
+                page.local_free.store(offset, Ordering::Relaxed);
+            } else {
+                // Remote free: CAS push onto the xthread list.
+                let cell = arena.cell(offset);
+                let mut head = page.xthread_free.load(Ordering::Relaxed);
+                loop {
+                    cell.store(head, Ordering::Relaxed);
+                    match page.xthread_free.compare_exchange_weak(
+                        head,
+                        offset,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => break,
+                        Err(actual) => head = actual,
+                    }
+                }
+            }
+            page.used.fetch_sub(1, Ordering::Relaxed);
+            Ok(())
+        } else {
+            // Dedicated allocation: header precedes the block.
+            let rounded = self.alloc.shared.arena.cell(offset - 64).load(Ordering::Relaxed);
+            if rounded == 0 || !rounded.is_power_of_two() {
+                return Err(BenchError::BadPointer);
+            }
+            self.alloc
+                .shared
+                .big_pool
+                .lock()
+                .entry(rounded)
+                .or_default()
+                .push(offset);
+            Ok(())
+        }
+    }
+
+    fn resolve(&mut self, ptr: OffsetPtr, len: u64) -> *mut u8 {
+        self.alloc.shared.arena.ptr(ptr.offset(), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_mapping() {
+        assert_eq!(class_of(1), 0);
+        assert_eq!(class_of(8), 0);
+        assert_eq!(class_of(9), 1);
+        assert_eq!(class_size(class_of(100)), 128);
+        assert_eq!(class_size(class_of(8192)), 8192);
+    }
+
+    #[test]
+    fn conformance() {
+        let alloc = MiLike::new(64 << 20);
+        crate::conformance(&alloc, 1 << 20);
+    }
+
+    #[test]
+    fn local_free_list_is_lifo() {
+        let alloc = MiLike::new(16 << 20);
+        let mut t = alloc.thread().unwrap();
+        let a = t.alloc(64).unwrap();
+        let b = t.alloc(64).unwrap();
+        t.dealloc(a).unwrap();
+        t.dealloc(b).unwrap();
+        // LIFO: b comes back first (intrusive stack).
+        assert_eq!(t.alloc(64).unwrap(), b);
+        assert_eq!(t.alloc(64).unwrap(), a);
+    }
+
+    #[test]
+    fn remote_frees_are_collected() {
+        let alloc = MiLike::new(16 << 20);
+        let mut producer = alloc.thread().unwrap();
+        let mut consumer = alloc.thread().unwrap();
+        // Fill a whole page so the producer must collect remote frees.
+        let ptrs: Vec<_> = (0..1024).map(|_| producer.alloc(64).unwrap()).collect();
+        for p in &ptrs {
+            consumer.dealloc(*p).unwrap();
+        }
+        let used_before = alloc.memory_usage().data_bytes;
+        let again: Vec<_> = (0..1024).map(|_| producer.alloc(64).unwrap()).collect();
+        assert_eq!(
+            alloc.memory_usage().data_bytes,
+            used_before,
+            "remote-freed blocks must be reused, not new pages"
+        );
+        for p in again {
+            producer.dealloc(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn big_allocations_roundtrip() {
+        let alloc = MiLike::new(64 << 20);
+        let mut t = alloc.thread().unwrap();
+        let p = t.alloc(1 << 20).unwrap();
+        unsafe { t.resolve(p, 1 << 20).write_bytes(1, 1 << 20) };
+        t.dealloc(p).unwrap();
+        let q = t.alloc(1 << 20).unwrap();
+        assert_eq!(p, q, "big pool must recycle");
+    }
+}

@@ -1,0 +1,471 @@
+//! `RallocLike`: ralloc (Cai et al., ISMM '20), the lock-free
+//! recoverable persistent-memory allocator.
+//!
+//! Ralloc is the paper's strongest baseline: its heap metadata is
+//! *separated* from data (making it the reference point for the HWcc
+//! comparison) and its data paths are lock-free. The properties that
+//! matter for the figures, reproduced here:
+//!
+//! * **Shared partial superblocks**: instead of per-thread ownership,
+//!   partially-full superblocks are returned to a per-class global list
+//!   any thread allocates from. Remote frees can therefore go straight
+//!   back into circulation — which helps xmalloc at low thread counts —
+//!   but the global list contends as threads grow (Figure 9: "ralloc
+//!   falls off at higher thread counts").
+//! * **Atomic-bitmap block claims**: allocation CAS-claims a bit in the
+//!   superblock's bitmap; frees set it back. Every free must read the
+//!   superblock's size class from (separated) metadata — on a pod
+//!   without HWcc that read is uncachable, the Figure 12 effect.
+//! * **Blocking GC recovery**: after a crash, ralloc must either run a
+//!   stop-the-world garbage collection over the whole heap
+//!   ([`RallocLike::recover_gc`]) or leak the dead thread's allocations
+//!   (Figure 7's `ralloc-gc` vs `ralloc-leak`).
+
+use crate::arena::Arena;
+use crate::{AllocProps, BenchError, MemoryUsage, PodAlloc, PodAllocThread, RecoveryStrategy};
+use cxl_core::OffsetPtr;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const SB_SIZE: u64 = 64 * 1024;
+const MAX_PAGED: usize = 8 * 1024;
+const NUM_CLASSES: usize = 11; // 8..8192 powers of two
+
+fn class_of(size: usize) -> usize {
+    (size.max(8).next_power_of_two().trailing_zeros() - 3) as usize
+}
+
+fn class_size(class: usize) -> u64 {
+    8u64 << class
+}
+
+/// Superblock metadata — kept *separate* from the data region, like
+/// ralloc's metadata segment.
+#[derive(Debug)]
+struct Superblock {
+    start: u64,
+    class: usize,
+    capacity: u32,
+    /// Free-block bitmap (set = free), CAS-claimed.
+    bitmap: Vec<AtomicU64>,
+    free_count: AtomicU64,
+    /// Whether the superblock is currently on the partial list
+    /// (0 = no, 1 = yes) — prevents duplicate publication.
+    listed: AtomicU64,
+}
+
+impl Superblock {
+    fn new(start: u64, class: usize) -> Self {
+        let capacity = (SB_SIZE / class_size(class)) as u32;
+        let words = capacity.div_ceil(64) as usize;
+        let bitmap: Vec<AtomicU64> = (0..words)
+            .map(|w| {
+                let bits_here = (capacity as usize - w * 64).min(64);
+                AtomicU64::new(if bits_here == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits_here) - 1
+                })
+            })
+            .collect();
+        Superblock {
+            start,
+            class,
+            capacity,
+            bitmap,
+            free_count: AtomicU64::new(capacity as u64),
+            listed: AtomicU64::new(0),
+        }
+    }
+
+    /// CAS-claims any free block; returns its offset.
+    fn claim(&self, arena_start_hint: usize) -> Option<u64> {
+        let words = self.bitmap.len();
+        for i in 0..words {
+            let w = (i + arena_start_hint) % words;
+            loop {
+                let word = self.bitmap[w].load(Ordering::Acquire);
+                if word == 0 {
+                    break;
+                }
+                let bit = word.trailing_zeros();
+                if self.bitmap[w]
+                    .compare_exchange_weak(
+                        word,
+                        word & !(1 << bit),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    self.free_count.fetch_sub(1, Ordering::Relaxed);
+                    return Some(
+                        self.start + (w as u64 * 64 + bit as u64) * class_size(self.class),
+                    );
+                }
+            }
+        }
+        None
+    }
+
+    /// Marks a block free; returns the previous free count.
+    fn release(&self, offset: u64) -> u64 {
+        let index = (offset - self.start) / class_size(self.class);
+        let (w, bit) = ((index / 64) as usize, index % 64);
+        let prev = self.bitmap[w].fetch_or(1 << bit, Ordering::AcqRel);
+        debug_assert_eq!(prev & (1 << bit), 0, "double free");
+        self.free_count.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    arena: Arena,
+    /// Registry: superblock lookup by `offset / SB_SIZE`.
+    registry: RwLock<Vec<Option<Arc<Superblock>>>>,
+    /// Per-class global lists of partially-free superblocks — the
+    /// contended structure.
+    partial: [Mutex<Vec<Arc<Superblock>>>; NUM_CLASSES],
+    /// Stop-the-world gate: operations take it shared; GC recovery takes
+    /// it exclusively (blocking recovery, Table 1).
+    gc_gate: RwLock<()>,
+    big_pool: Mutex<std::collections::HashMap<u64, Vec<u64>>>,
+    metadata_bytes: AtomicU64,
+}
+
+/// The ralloc-like allocator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct RallocLike {
+    shared: Arc<Shared>,
+}
+
+impl RallocLike {
+    /// Creates an instance backed by `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        let slots = (capacity / SB_SIZE + 1) as usize;
+        RallocLike {
+            shared: Arc::new(Shared {
+                arena: Arena::new(capacity),
+                registry: RwLock::new(vec![None; slots]),
+                partial: std::array::from_fn(|_| Mutex::new(Vec::new())),
+                gc_gate: RwLock::new(()),
+                big_pool: Mutex::new(std::collections::HashMap::new()),
+                metadata_bytes: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Stop-the-world GC recovery (`ralloc-gc` in Figure 7): blocks
+    /// every allocator operation while it rebuilds all superblock
+    /// bitmaps from the application's set of live pointers. Returns the
+    /// number of bytes reclaimed (blocks that were allocated but not in
+    /// `live`).
+    pub fn recover_gc(&self, live: &[OffsetPtr]) -> u64 {
+        let shared = &self.shared;
+        let _world_stopped = shared.gc_gate.write();
+        // Index live pointers per superblock.
+        let mut live_bits: std::collections::HashMap<u64, Vec<u64>> =
+            std::collections::HashMap::new();
+        for p in live {
+            live_bits
+                .entry(p.offset() / SB_SIZE)
+                .or_default()
+                .push(p.offset());
+        }
+        let mut reclaimed = 0;
+        let registry = shared.registry.read();
+        for (sb_index, slot) in registry.iter().enumerate() {
+            let Some(sb) = slot else {
+                continue;
+            };
+            let block = class_size(sb.class);
+            let before_free = sb.free_count.load(Ordering::Relaxed);
+            // Mark everything free, then punch out the live blocks.
+            for (w, word) in sb.bitmap.iter().enumerate() {
+                let bits_here = (sb.capacity as usize - w * 64).min(64);
+                word.store(
+                    if bits_here == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << bits_here) - 1
+                    },
+                    Ordering::Relaxed,
+                );
+            }
+            let mut live_here = 0;
+            if let Some(offsets) = live_bits.get(&(sb_index as u64)) {
+                for &offset in offsets {
+                    let index = (offset - sb.start) / block;
+                    sb.bitmap[(index / 64) as usize]
+                        .fetch_and(!(1 << (index % 64)), Ordering::Relaxed);
+                    live_here += 1;
+                }
+            }
+            let after_free = sb.capacity as u64 - live_here;
+            sb.free_count.store(after_free, Ordering::Relaxed);
+            reclaimed += (after_free.saturating_sub(before_free)) * block;
+        }
+        reclaimed
+    }
+
+    /// Total bytes currently claimed in superblocks (live + leaked).
+    pub fn allocated_bytes(&self) -> u64 {
+        let registry = self.shared.registry.read();
+        registry
+            .iter()
+            .flatten()
+            .map(|sb| {
+                (sb.capacity as u64 - sb.free_count.load(Ordering::Relaxed))
+                    * class_size(sb.class)
+            })
+            .sum()
+    }
+
+    /// Bytes currently leaked if recovery is skipped (`ralloc-leak`):
+    /// allocated blocks minus the application's live set.
+    pub fn leaked_bytes(&self, live: &[OffsetPtr]) -> u64 {
+        let live_count = live.len() as u64;
+        let registry = self.shared.registry.read();
+        let mut allocated = 0u64;
+        let mut live_sizes = 0u64;
+        for slot in registry.iter().flatten() {
+            let used = slot.capacity as u64 - slot.free_count.load(Ordering::Relaxed);
+            allocated += used * class_size(slot.class);
+        }
+        for p in live {
+            if let Some(sb) = registry
+                .get((p.offset() / SB_SIZE) as usize)
+                .and_then(|s| s.as_ref())
+            {
+                live_sizes += class_size(sb.class);
+            }
+        }
+        let _ = live_count;
+        allocated.saturating_sub(live_sizes)
+    }
+}
+
+impl PodAlloc for RallocLike {
+    fn props(&self) -> AllocProps {
+        AllocProps {
+            name: "ralloc",
+            mem: "PM",
+            cross_process: false,
+            mmap: false,
+            fail_nonblocking: true,
+            recovery_nonblocking: Some(false),
+            strategy: RecoveryStrategy::App,
+        }
+    }
+
+    fn thread(&self) -> Result<Box<dyn PodAllocThread>, String> {
+        Ok(Box::new(RallocThread {
+            alloc: self.clone(),
+            current: std::array::from_fn(|_| None),
+            hint: 0,
+        }))
+    }
+
+    fn memory_usage(&self) -> MemoryUsage {
+        MemoryUsage {
+            data_bytes: self.shared.arena.used(),
+            metadata_bytes: self.shared.metadata_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct RallocThread {
+    alloc: RallocLike,
+    current: [Option<Arc<Superblock>>; NUM_CLASSES],
+    hint: usize,
+}
+
+impl PodAllocThread for RallocThread {
+    fn alloc(&mut self, size: usize) -> Result<OffsetPtr, BenchError> {
+        if size == 0 {
+            return Err(BenchError::Unsupported { size });
+        }
+        let shared = &self.alloc.shared;
+        let _gate = shared.gc_gate.read();
+        cxl_core::crash::point("ralloc::alloc");
+        if size > MAX_PAGED {
+            let rounded = (size as u64).next_power_of_two();
+            let pooled = shared.big_pool.lock().get_mut(&rounded).and_then(Vec::pop);
+            let offset = match pooled {
+                Some(offset) => offset,
+                None => {
+                    let raw = shared
+                        .arena
+                        .bump(rounded + 64, 64)
+                        .ok_or(BenchError::OutOfMemory)?;
+                    shared.arena.cell(raw).store(rounded, Ordering::Relaxed);
+                    raw + 64
+                }
+            };
+            return Ok(OffsetPtr::new(offset).expect("nonzero"));
+        }
+        let class = class_of(size);
+        loop {
+            if let Some(sb) = &self.current[class] {
+                if let Some(offset) = sb.claim(self.hint) {
+                    self.hint = self.hint.wrapping_add(1);
+                    // A crash here loses the claimed block: without GC it
+                    // leaks (the Figure 7 ralloc-leak case).
+                    cxl_core::crash::point("ralloc::alloc::after_claim");
+                    return Ok(OffsetPtr::new(offset).expect("nonzero"));
+                }
+                // Exhausted: drop it (it returns via the partial list
+                // when a free arrives).
+                self.current[class] = None;
+            }
+            // Pop a shared partial superblock (the contended lock).
+            let popped = shared.partial[class].lock().pop();
+            match popped {
+                Some(sb) => {
+                    sb.listed.store(0, Ordering::Release);
+                    self.current[class] = Some(sb);
+                }
+                None => {
+                    let start = shared
+                        .arena
+                        .bump(SB_SIZE, SB_SIZE)
+                        .ok_or(BenchError::OutOfMemory)?;
+                    let sb = Arc::new(Superblock::new(start, class));
+                    shared.metadata_bytes.fetch_add(
+                        (std::mem::size_of::<Superblock>() + sb.bitmap.len() * 8) as u64,
+                        Ordering::Relaxed,
+                    );
+                    shared.registry.write()[(start / SB_SIZE) as usize] = Some(sb.clone());
+                    self.current[class] = Some(sb);
+                }
+            }
+        }
+    }
+
+    fn dealloc(&mut self, ptr: OffsetPtr) -> Result<(), BenchError> {
+        let shared = &self.alloc.shared;
+        let _gate = shared.gc_gate.read();
+        let offset = ptr.offset();
+        let sb = shared.registry.read()[(offset / SB_SIZE) as usize].clone();
+        match sb {
+            Some(sb) => {
+                // Reading the size class from separated metadata — the
+                // access that must go to uncachable memory in -mcas mode.
+                let prev_free = sb.release(offset);
+                // A superblock gaining its first free block goes (back)
+                // on the shared partial list.
+                if prev_free == 0
+                    && sb
+                        .listed
+                        .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    shared.partial[sb.class].lock().push(sb.clone());
+                }
+                Ok(())
+            }
+            None => {
+                let rounded = shared.arena.cell(offset - 64).load(Ordering::Relaxed);
+                if rounded == 0 || !rounded.is_power_of_two() {
+                    return Err(BenchError::BadPointer);
+                }
+                shared.big_pool.lock().entry(rounded).or_default().push(offset);
+                Ok(())
+            }
+        }
+    }
+
+    fn resolve(&mut self, ptr: OffsetPtr, len: u64) -> *mut u8 {
+        self.alloc.shared.arena.ptr(ptr.offset(), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance() {
+        let alloc = RallocLike::new(64 << 20);
+        crate::conformance(&alloc, 1 << 20);
+    }
+
+    #[test]
+    fn partial_superblocks_are_shared() {
+        let alloc = RallocLike::new(16 << 20);
+        let mut a = alloc.thread().unwrap();
+        let mut b = alloc.thread().unwrap();
+        // a fills a superblock (8192 blocks of 8 B), b frees one block:
+        // the superblock lands on the shared partial list and a *new
+        // thread* allocates from it without carving memory.
+        let ptrs: Vec<_> = (0..8192).map(|_| a.alloc(8).unwrap()).collect();
+        b.dealloc(ptrs[17]).unwrap();
+        let used = alloc.memory_usage().data_bytes;
+        let mut c = alloc.thread().unwrap();
+        let p = c.alloc(8).unwrap();
+        assert_eq!(p, ptrs[17], "block must come from the shared partial superblock");
+        assert_eq!(alloc.memory_usage().data_bytes, used);
+        for (i, p) in ptrs.into_iter().enumerate() {
+            if i != 17 {
+                a.dealloc(p).unwrap();
+            }
+        }
+        c.dealloc(p).unwrap();
+    }
+
+    #[test]
+    fn gc_recovery_reclaims_dead_allocations() {
+        let alloc = RallocLike::new(16 << 20);
+        let mut t = alloc.thread().unwrap();
+        let live: Vec<_> = (0..10).map(|_| t.alloc(64).unwrap()).collect();
+        // A "crashed thread" allocated these and died:
+        let _dead: Vec<_> = (0..100).map(|_| t.alloc(64).unwrap()).collect();
+        let reclaimed = alloc.recover_gc(&live);
+        assert_eq!(reclaimed, 100 * 64);
+        // Live blocks survive; their slots are still claimed.
+        let p = t.alloc(64).unwrap();
+        assert!(!live.contains(&p));
+        t.dealloc(p).unwrap();
+    }
+
+    #[test]
+    fn leak_accounting() {
+        let alloc = RallocLike::new(16 << 20);
+        let mut t = alloc.thread().unwrap();
+        let live: Vec<_> = (0..5).map(|_| t.alloc(128).unwrap()).collect();
+        let _dead: Vec<_> = (0..20).map(|_| t.alloc(128).unwrap()).collect();
+        assert_eq!(alloc.leaked_bytes(&live), 20 * 128);
+    }
+
+    #[test]
+    fn gc_blocks_concurrent_operations() {
+        use std::sync::atomic::AtomicBool;
+        let alloc = Arc::new(RallocLike::new(16 << 20));
+        // Pre-populate so GC has work.
+        let mut t = alloc.thread().unwrap();
+        let live: Vec<_> = (0..1000).map(|_| t.alloc(64).unwrap()).collect();
+        let in_gc = Arc::new(AtomicBool::new(false));
+
+        // Hold the write gate from this thread and verify an allocation
+        // on another thread cannot proceed until released.
+        let gate = alloc.shared.gc_gate.write();
+        in_gc.store(true, Ordering::SeqCst);
+        let alloc2 = alloc.clone();
+        let in_gc2 = in_gc.clone();
+        let h = std::thread::spawn(move || {
+            let mut t = alloc2.thread().unwrap();
+            let before = in_gc2.load(Ordering::SeqCst);
+            let _p = t.alloc(64).unwrap();
+            // By the time alloc returned, the gate must have dropped.
+            (before, in_gc2.load(Ordering::SeqCst))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        in_gc.store(false, Ordering::SeqCst);
+        drop(gate);
+        let (before, after) = h.join().unwrap();
+        assert!(before, "helper started during GC");
+        assert!(!after, "helper's alloc completed only after GC released");
+        drop(live);
+    }
+}

@@ -1,0 +1,318 @@
+//! Figure 12: small-heap microbenchmark throughput under different CXL
+//! HWcc architectural assumptions (paper §5.4.2).
+//!
+//! Variants (each for cxlalloc and a ralloc model):
+//! * plain — local DRAM latencies, caches effective;
+//! * `-hwcc` — CXL memory with a hardware-coherent metadata region;
+//! * `-mcas` — CXL memory with **no** HWcc: the metadata region is
+//!   device-biased/uncachable and every CAS is an NMP mCAS.
+//!
+//! cxlalloc runs for real over the simulated-coherence backend; its
+//! SWcc protocol keeps local metadata cached, so `threadtest` retains
+//! ~80 % of `-hwcc` throughput under mCAS, while `xmalloc` (every free
+//! remote ⇒ every free an mCAS) collapses to a few percent. The ralloc
+//! model reproduces that allocator's §5.4.2 behaviour: separated (but
+//! not HWcc/SWcc-split) metadata, so every free reads its size class
+//! from uncachable memory, and shared partial slabs whose batch refills
+//! contend on mCAS as threads grow.
+//!
+//! Throughput is *modeled* (total operations / longest per-core virtual
+//! time), since the latencies come from the calibrated model.
+
+use baselines::CxlallocAdapter;
+use cxl_bench::allocators::cxlalloc_pod_with_mode;
+use cxl_bench::report::{human_rate, NdjsonSink, Table};
+use cxl_bench::Options;
+use cxl_core::AttachOptions;
+use cxl_pod::{CoreId, HwccMode, Pod, PodMemory};
+use std::sync::Arc;
+use workloads::MicroSpec;
+
+/// Ops per thread for the modeled runs (kept modest: every op crosses
+/// the simulation).
+const OPS: u64 = 8_000;
+
+fn modeled_throughput(pod: &Pod, cores: &[u16], ops: u64) -> f64 {
+    let longest = cores
+        .iter()
+        .map(|&c| pod.memory().virtual_ns(CoreId(c)))
+        .max()
+        .unwrap_or(0);
+    if longest == 0 {
+        return 0.0;
+    }
+    ops as f64 / (longest as f64 / 1e9)
+}
+
+/// Runs cxlalloc's threadtest/xmalloc over a simulated pod.
+fn run_cxlalloc(mode: HwccMode, local_dram: bool, spec: &MicroSpec, threads: u32) -> f64 {
+    let pod = cxlalloc_pod_with_mode(512 << 20, threads + 2, mode, local_dram);
+    let alloc = Arc::new(CxlallocAdapter::new(pod.clone(), 2, AttachOptions::default()));
+    let total = OPS * threads as u64;
+    let result = cxl_bench::run_micro(
+        &(alloc as Arc<dyn baselines::PodAlloc>),
+        &MicroSpec {
+            total_ops: total,
+            ..*spec
+        },
+        threads,
+    );
+    assert!(!result.failed);
+    let cores: Vec<u16> = (0..threads as u16 + 2).collect();
+    modeled_throughput(&pod, &cores, result.ops)
+}
+
+/// A minimal ralloc model over the same simulated pod memory: shared
+/// partial slabs (one hot bitmap word per class), thread-local caches,
+/// and metadata reads on every free.
+fn run_ralloc_sim(mode: HwccMode, local_dram: bool, spec: &MicroSpec, threads: u32) -> f64 {
+    let pod = cxlalloc_pod_with_mode(512 << 20, threads + 2, mode, local_dram);
+    seed_ralloc(&pod);
+    let mem = pod.memory().clone();
+    let layout = mem.layout().clone();
+    let remote = spec.remote_free;
+
+    // Cell roles (all in the HWcc region, like ralloc's undivided
+    // metadata): per-slab bitmap word + per-slab class word; a global
+    // next-slab cursor.
+    let cursor_cell = layout.huge.reservation_at(0);
+    // A small rotating set of active slabs concentrates traffic and,
+    // without HWcc, turns bitmap races into expensive mCAS retries —
+    // ralloc-mcas's poor scaling (paper §5.4.2).
+    // Must exceed the blocks simultaneously held in thread caches and
+    // in-flight xmalloc batches, or refills starve: 128 words × 64
+    // blocks = 8192 for ≤ 26 threads × ~300 held.
+    let slab_limit = layout
+        .small
+        .max_slabs
+        .min(layout.large.max_slabs)
+        .min(128);
+
+    std::thread::scope(|scope| {
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..threads)
+            .map(|_| std::sync::mpsc::sync_channel::<Vec<u32>>(2))
+            .unzip();
+        let mut senders: Vec<Option<_>> = senders.into_iter().map(Some).collect();
+        let mut receivers: Vec<Option<_>> = receivers.into_iter().map(Some).collect();
+        for t in 0..threads as usize {
+            let mem = mem.clone();
+            let layout = layout.clone();
+            let to_next = senders[(t + 1) % threads as usize].take().unwrap();
+            let from_prev = receivers[t].take().unwrap();
+            scope.spawn(move || {
+                let core = CoreId(t as u16);
+                let mut cache: Vec<u32> = Vec::new(); // block handles: slab*64+bit
+                // Returns blocks to their shared bitmaps (CAS/mCAS per
+                // word) — used when the thread cache spills.
+                let spill = |mem: &Arc<dyn PodMemory>, cache: &mut Vec<u32>, keep: usize| {
+                    while cache.len() > keep {
+                        let handle = cache.pop().expect("nonempty");
+                        let word = layout.small.hwcc_desc_at(handle / 64);
+                        loop {
+                            let cur = mem.load_u64(core, word);
+                            if mem
+                                .cas_u64(core, word, cur, cur | 1 << (handle % 64))
+                                .is_ok()
+                            {
+                                break;
+                            }
+                        }
+                    }
+                };
+                let mut done = 0u64;
+                let mut batch = Vec::with_capacity(spec.batch);
+                while done < OPS {
+                    for _ in 0..spec.batch.min((OPS - done) as usize) {
+                        // Alloc: thread-local cache first.
+                        let handle = match cache.pop() {
+                            Some(h) => h,
+                            None => {
+                                // Refill: claim a whole shared bitmap word
+                                // (one CAS/mCAS for up to 64 blocks), from
+                                // the globally shared cursor — the
+                                // contended structure.
+                                loop {
+                                    let cur = mem.load_u64(core, cursor_cell);
+                                    let slab = (cur % slab_limit as u64) as u32;
+                                    let word = layout.small.hwcc_desc_at(slab);
+                                    let bits = mem.load_u64(core, word);
+                                    if bits == 0 {
+                                        // Exhausted: advance the cursor.
+                                        let _ = mem.cas_u64(core, cursor_cell, cur, cur + 1);
+                                        continue;
+                                    }
+                                    // Claim at most 8 blocks per CAS so
+                                    // refills recur (and contend) often.
+                                    let mut take = bits;
+                                    let mut kept = 0;
+                                    while take != 0 && kept < 8 {
+                                        take &= take - 1;
+                                        kept += 1;
+                                    }
+                                    let claimed = bits ^ take;
+                                    if mem.cas_u64(core, word, bits, bits & !claimed).is_ok() {
+                                        for b in 0..64u32 {
+                                            if claimed & (1 << b) != 0 {
+                                                cache.push(slab * 64 + b);
+                                            }
+                                        }
+                                        break;
+                                    }
+                                }
+                                cache.pop().expect("refill nonempty")
+                            }
+                        };
+                        batch.push(handle);
+                        done += 1;
+                    }
+                    // Frees: read the block's size class from metadata
+                    // (uncachable without HWcc), then park the block in
+                    // the freeing thread's own cache — ralloc's shared
+                    // slabs allow this, which is why it beats cxlalloc's
+                    // counter protocol at low thread counts (§5.4.2).
+                    let free_block = |mem: &Arc<dyn PodMemory>, cache: &mut Vec<u32>, handle: u32| {
+                        let _class =
+                            mem.load_u64(core, layout.large.hwcc_desc_at(handle / 64));
+                        cache.push(handle);
+                    };
+                    if remote && threads > 1 {
+                        if to_next.send(std::mem::take(&mut batch)).is_err() {
+                            break;
+                        }
+                        while let Ok(incoming) = from_prev.try_recv() {
+                            for h in incoming {
+                                free_block(&mem, &mut cache, h);
+                            }
+                        }
+                    } else {
+                        for h in batch.drain(..) {
+                            free_block(&mem, &mut cache, h);
+                        }
+                    }
+                    // Bounded caches: overflow spills back to the shared
+                    // bitmaps (mCAS traffic that contends as threads
+                    // grow).
+                    if cache.len() > 96 {
+                        spill(&mem, &mut cache, 48);
+                    }
+                }
+                drop(to_next);
+                while let Ok(incoming) = from_prev.recv() {
+                    let _ =
+                        incoming.iter().map(|h| mem.load_u64(core, layout.large.hwcc_desc_at(h / 64))).count();
+                    cache.extend(incoming);
+                    if cache.len() > 96 {
+                        spill(&mem, &mut cache, 48);
+                    }
+                }
+                spill(&mem, &mut cache, 0);
+            });
+        }
+    });
+    let cores: Vec<u16> = (0..threads as u16).collect();
+    modeled_throughput(&pod, &cores, OPS * threads as u64)
+}
+
+/// Pre-fills the ralloc model's bitmap words so refills find blocks.
+fn seed_ralloc(pod: &Pod) {
+    let mem = pod.memory();
+    let layout = mem.layout();
+    let slab_limit = layout.small.max_slabs.min(layout.large.max_slabs).min(128);
+    for slab in 0..slab_limit {
+        mem.store_u64(CoreId(0), layout.small.hwcc_desc_at(slab), u64::MAX);
+    }
+    mem.reset_clocks();
+}
+
+fn main() {
+    let _options = Options::from_args();
+    let mut sink = NdjsonSink::open();
+    let mut table = Table::new(&["Workload", "Variant", "Threads", "Modeled throughput"]);
+    let mut reference: std::collections::HashMap<(String, &str, u32), f64> = Default::default();
+
+    let thread_counts = [1u32, 4, 8, 16, 24];
+    for spec in [MicroSpec::threadtest_small(), MicroSpec::xmalloc_small()] {
+        for (variant, mode, dram) in [
+            ("cxlalloc", HwccMode::Limited, true),
+            ("cxlalloc-hwcc", HwccMode::Limited, false),
+            ("cxlalloc-mcas", HwccMode::None, false),
+        ] {
+            for &threads in &thread_counts {
+                let tput = run_cxlalloc(mode, dram, &spec, threads);
+                table.row(vec![
+                    spec.name.to_string(),
+                    variant.to_string(),
+                    threads.to_string(),
+                    human_rate(tput),
+                ]);
+                sink.record(&[
+                    ("experiment", "fig12".into()),
+                    ("workload", spec.name.into()),
+                    ("variant", variant.into()),
+                    ("threads", threads.into()),
+                    ("modeled_throughput", tput.into()),
+                ]);
+                reference.insert((spec.name.to_string(), variant, threads), tput);
+                eprintln!("fig12 {} {variant} t={threads} -> {}", spec.name, human_rate(tput));
+            }
+        }
+        for (variant, mode, dram) in [
+            ("ralloc", HwccMode::Limited, true),
+            ("ralloc-hwcc", HwccMode::Limited, false),
+            ("ralloc-mcas", HwccMode::None, false),
+        ] {
+            for &threads in &thread_counts {
+                let tput = run_ralloc_sim(mode, dram, &spec, threads);
+                table.row(vec![
+                    spec.name.to_string(),
+                    variant.to_string(),
+                    threads.to_string(),
+                    human_rate(tput),
+                ]);
+                sink.record(&[
+                    ("experiment", "fig12".into()),
+                    ("workload", spec.name.into()),
+                    ("variant", variant.into()),
+                    ("threads", threads.into()),
+                    ("modeled_throughput", tput.into()),
+                ]);
+                reference.insert((spec.name.to_string(), variant, threads), tput);
+                eprintln!("fig12 {} {variant} t={threads} -> {}", spec.name, human_rate(tput));
+            }
+        }
+    }
+
+    println!("Figure 12: small-heap throughput under CXL HWcc assumptions (modeled).\n");
+    println!("{}", table.render());
+
+    // Headline ratios the paper reports.
+    let ratio = |w: &str, a: &str, b: &str, t: u32| -> Option<f64> {
+        let x = reference.get(&(w.to_string(), a, t))?;
+        let y = reference.get(&(w.to_string(), b, t))?;
+        (*y > 0.0).then(|| x / y)
+    };
+    if let Some(r) = ratio("threadtest-small", "cxlalloc-mcas", "cxlalloc-hwcc", 16) {
+        println!(
+            "threadtest: cxlalloc-mcas at {:.0} % of cxlalloc-hwcc (paper: 80 %)",
+            r * 100.0
+        );
+    }
+    if let Some(r) = ratio("threadtest-small", "cxlalloc-mcas", "ralloc-mcas", 16) {
+        println!(
+            "threadtest: cxlalloc-mcas {:.0}x ralloc-mcas (paper: 10–99x)",
+            r
+        );
+    }
+    if let Some(r) = ratio("xmalloc-small", "cxlalloc-mcas", "cxlalloc-hwcc", 16) {
+        println!(
+            "xmalloc: cxlalloc-mcas at {:.1} % of cxlalloc-hwcc (paper: ~1 %)",
+            r * 100.0
+        );
+    }
+    if let Some(r) = ratio("xmalloc-small", "cxlalloc-mcas", "ralloc-mcas", 24) {
+        println!(
+            "xmalloc at 24 threads: cxlalloc-mcas {:.1}x ralloc-mcas (paper: 9.9x)",
+            r
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 9: throughput and memory consumption for the small-heap
+//! allocator microbenchmarks (threadtest-small, xmalloc-small) across
+//! all allocators with increasing thread counts.
+//!
+//! Also reports the §5.2.2 partial-failure overheads (paper: cxlalloc
+//! reaches 94.7 % of nonrecoverable on threadtest and 88.4 % on
+//! xmalloc).
+
+use cxl_bench::report::{human_bytes, human_rate, NdjsonSink, Table};
+use cxl_bench::{run_micro, AllocatorKind, Options};
+use std::collections::HashMap;
+use workloads::MicroSpec;
+
+fn main() {
+    let options = Options::from_args();
+    let mut sink = NdjsonSink::open();
+    let mut table = Table::new(&["Workload", "Allocator", "Threads", "Throughput", "PSS"]);
+    let mut overhead: HashMap<(&str, u32), (f64, f64)> = HashMap::new();
+
+    for base in [MicroSpec::threadtest_small(), MicroSpec::xmalloc_small()] {
+        let spec = if options.paper { base } else { base.scaled_down(options.scale) };
+        for threads in options.threads.clone() {
+            for kind in AllocatorKind::all() {
+                let alloc = kind.build(2 << 30, options.processes, threads + 2);
+                let result = run_micro(&alloc, &spec, threads);
+                table.row(vec![
+                    result.workload.to_string(),
+                    result.allocator.to_string(),
+                    threads.to_string(),
+                    human_rate(result.throughput()),
+                    human_bytes(result.pss_bytes),
+                ]);
+                sink.record(&[
+                    ("experiment", "fig9".into()),
+                    ("workload", result.workload.into()),
+                    ("allocator", result.allocator.into()),
+                    ("threads", threads.into()),
+                    ("ops", result.ops.into()),
+                    ("seconds", result.seconds.into()),
+                    ("throughput", result.throughput().into()),
+                    ("pss_bytes", result.pss_bytes.into()),
+                    ("failed", result.failed.into()),
+                ]);
+                match kind {
+                    AllocatorKind::Cxlalloc => {
+                        overhead.entry((result.workload, threads)).or_default().0 =
+                            result.throughput()
+                    }
+                    AllocatorKind::CxlallocNonrecoverable => {
+                        overhead.entry((result.workload, threads)).or_default().1 =
+                            result.throughput()
+                    }
+                    _ => {}
+                }
+                eprintln!(
+                    "fig9 {} {} t={} -> {} ops/s",
+                    result.workload,
+                    result.allocator,
+                    threads,
+                    human_rate(result.throughput())
+                );
+            }
+        }
+    }
+
+    println!("Figure 9: small-heap microbenchmark throughput and memory.\n");
+    println!("{}", table.render());
+
+    for workload in ["threadtest-small", "xmalloc-small"] {
+        let ratios: Vec<f64> = overhead
+            .iter()
+            .filter(|((w, _), (r, n))| *w == workload && *r > 0.0 && *n > 0.0)
+            .map(|(_, (r, n))| r / n)
+            .collect();
+        if !ratios.is_empty() {
+            let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            println!(
+                "{workload}: cxlalloc at {:.1} % of nonrecoverable \
+                 (paper: {})",
+                mean * 100.0,
+                if workload.starts_with("threadtest") { "94.7 %" } else { "88.4 %" }
+            );
+            sink.record(&[
+                ("experiment", "fig9-overhead".into()),
+                ("workload", workload.into()),
+                ("recoverable_over_nonrecoverable", mean.into()),
+            ]);
+        }
+    }
+}

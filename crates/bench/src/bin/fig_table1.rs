@@ -1,0 +1,62 @@
+//! Table 1: properties of the memory allocators in the evaluation.
+//!
+//! Columns follow the paper: Mem. (memory kind), XP (cross-process
+//! allocation via pointer alternatives), mmap (can extend the heap /
+//! back large allocations with mmap), Fail (behavior of live threads on
+//! failure: blocking B / non-blocking NB), Rec. (recovery behavior), and
+//! Str. (recovery strategy).
+
+use cxl_bench::report::{NdjsonSink, Table, Value};
+use cxl_bench::AllocatorKind;
+use baselines::RecoveryStrategy;
+
+fn main() {
+    let mut table = Table::new(&["Allocator", "Mem.", "XP", "mmap", "Fail", "Rec.", "Str."]);
+    let mut sink = NdjsonSink::open();
+    for kind in [
+        AllocatorKind::Mimalloc,
+        AllocatorKind::Boost,
+        AllocatorKind::Lightning,
+        AllocatorKind::CxlShm,
+        AllocatorKind::Ralloc,
+        AllocatorKind::Cxlalloc,
+    ] {
+        let alloc = kind.build(16 << 20, 1, 4);
+        let p = alloc.props();
+        let fail = if p.fail_nonblocking { "NB" } else { "B" };
+        let rec = match p.recovery_nonblocking {
+            Some(true) => "NB",
+            Some(false) => "B",
+            None => "x",
+        };
+        let strategy = match p.strategy {
+            RecoveryStrategy::Gc => "GC",
+            RecoveryStrategy::App => "App",
+            RecoveryStrategy::None => "x",
+        };
+        table.row(vec![
+            p.name.to_string(),
+            p.mem.to_string(),
+            if p.cross_process { "yes" } else { "x" }.to_string(),
+            if p.mmap { "yes" } else { "x" }.to_string(),
+            fail.to_string(),
+            rec.to_string(),
+            strategy.to_string(),
+        ]);
+        sink.record(&[
+            ("experiment", "table1".into()),
+            ("allocator", p.name.into()),
+            ("mem", p.mem.into()),
+            ("cross_process", p.cross_process.into()),
+            ("mmap", p.mmap.into()),
+            ("fail_nonblocking", p.fail_nonblocking.into()),
+            (
+                "recovery",
+                Value::Str(rec.to_string()),
+            ),
+            ("strategy", Value::Str(strategy.to_string())),
+        ]);
+    }
+    println!("Table 1: Properties of memory allocators in our evaluation.\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,51 @@
+//! Table 2: summary statistics for the in-memory key-value store
+//! workloads, printed from the generator specs and verified against a
+//! sampled stream.
+
+use cxl_bench::report::{NdjsonSink, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::{KvOp, OpStream, WorkloadSpec};
+
+fn main() {
+    let mut table = Table::new(&[
+        "Workload",
+        "Ins. %",
+        "Key Distr.",
+        "Key Size",
+        "Value Size",
+        "measured Ins. %",
+    ]);
+    let mut sink = NdjsonSink::open();
+    for spec in WorkloadSpec::all() {
+        // Verify the generator actually produces the spec's mix.
+        let mut stream = OpStream::new(spec.clone(), StdRng::seed_from_u64(42));
+        let mut inserts = 0u64;
+        const SAMPLE: u64 = 200_000;
+        for _ in 0..SAMPLE {
+            if matches!(stream.next_op(), KvOp::Insert { .. }) {
+                inserts += 1;
+            }
+        }
+        let measured = inserts as f64 / SAMPLE as f64 * 100.0;
+        table.row(vec![
+            spec.name.to_string(),
+            format!("{}", spec.insert_pct),
+            spec.key_dist.to_string(),
+            spec.key_size.describe(),
+            spec.value_size.describe(),
+            format!("{measured:.1}"),
+        ]);
+        sink.record(&[
+            ("experiment", "table2".into()),
+            ("workload", spec.name.into()),
+            ("insert_pct", spec.insert_pct.into()),
+            ("measured_insert_pct", measured.into()),
+            ("key_dist", spec.key_dist.to_string().into()),
+            ("key_size", spec.key_size.describe().into()),
+            ("value_size", spec.value_size.describe().into()),
+        ]);
+    }
+    println!("Table 2: Summary statistics for in-memory key-value store workloads.\n");
+    println!("{}", table.render());
+}

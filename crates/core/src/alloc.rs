@@ -1,0 +1,561 @@
+//! The public cxlalloc API.
+//!
+//! One [`Cxlalloc`] is attached per process; each participating thread
+//! registers for a [`ThreadHandle`], which carries the thread's identity
+//! (a 16-bit slot), its simulated core (cache), and its volatile
+//! huge-heap state. All pointers are [`OffsetPtr`]s — plain segment
+//! offsets, valid in every process (PC-S); dereferencing goes through
+//! [`ThreadHandle::resolve`], which installs missing mappings via the
+//! fault-handler path (PC-T).
+//!
+//! ```
+//! use cxl_pod::{Pod, PodConfig};
+//! use cxl_core::{AttachOptions, Cxlalloc};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pod = Pod::new(PodConfig::small_for_tests())?;
+//! let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default())?;
+//! let mut thread = heap.register_thread()?;
+//! let ptr = thread.alloc(64)?;
+//! let raw = thread.resolve(ptr, 64)?;
+//! unsafe { raw.write_bytes(0xAB, 64) };
+//! thread.dealloc(ptr)?;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::ctx::Ctx;
+use crate::error::AllocError;
+use crate::huge::{HugeHeap, HugeThread};
+use crate::recovery::{self, RecoveryReport};
+use crate::slab::SlabHeap;
+use crate::{OffsetPtr, ThreadId};
+use cxl_pod::{CoreId, Fault, PodMemory, Process};
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Thread registry states (one HWcc cell per slot).
+mod registry {
+    /// Slot is unclaimed.
+    pub const FREE: u64 = 0;
+    /// Slot belongs to a live thread.
+    pub const LIVE: u64 = 1;
+    /// Slot's thread crashed; recovery pending.
+    pub const DEAD: u64 = 2;
+}
+
+thread_local! {
+    /// The allocator identity of the current OS thread, consulted by the
+    /// fault handler (the paper's signal handler runs in the faulting
+    /// thread's context and can use its thread-local state).
+    static CURRENT: Cell<Option<(u16, u16)>> = const { Cell::new(None) };
+}
+
+/// Attach-time options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttachOptions {
+    /// Maximum thread-local unsized list length before slabs overflow to
+    /// the global free list.
+    pub unsized_limit: u32,
+    /// Whether to maintain recovery state (the per-thread redo log and
+    /// detectable-CAS help records). Disabling reproduces the paper's
+    /// `cxlalloc-nonrecoverable` ablation (§5.2.1).
+    pub recoverable: bool,
+}
+
+impl Default for AttachOptions {
+    fn default() -> Self {
+        AttachOptions {
+            unsized_limit: 4,
+            recoverable: true,
+        }
+    }
+}
+
+/// A per-process handle to the shared heap. Cheap to clone.
+#[derive(Debug, Clone)]
+pub struct Cxlalloc {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    process: Arc<Process>,
+    small: SlabHeap,
+    large: SlabHeap,
+    huge: HugeHeap,
+    options: AttachOptions,
+}
+
+impl Cxlalloc {
+    /// Attaches to the heap through `process`, installing the
+    /// fault handler that provides PC-T.
+    ///
+    /// No initialization of shared state happens here: an all-zero
+    /// segment *is* a valid empty heap (paper §4), so processes attach
+    /// in any order without coordination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::ConfigMismatch`] if the pod layout does not
+    /// match this crate's class tables.
+    pub fn attach(process: Arc<Process>, options: AttachOptions) -> Result<Self, AllocError> {
+        let layout = process.memory().layout();
+        if layout.small.num_classes != crate::class::SMALL_CLASSES_TABLE.len()
+            || layout.large.num_classes != crate::class::LARGE_CLASSES_TABLE.len()
+        {
+            return Err(AllocError::ConfigMismatch {
+                reason: format!(
+                    "layout has {}/{} classes, allocator has {}/{}",
+                    layout.small.num_classes,
+                    layout.large.num_classes,
+                    crate::class::SMALL_CLASSES_TABLE.len(),
+                    crate::class::LARGE_CLASSES_TABLE.len()
+                ),
+            });
+        }
+        let this = Cxlalloc {
+            inner: Arc::new(Inner {
+                process: process.clone(),
+                small: SlabHeap::small(),
+                large: SlabHeap::large(),
+                huge: HugeHeap,
+                options,
+            }),
+        };
+        let handler = this.clone();
+        process.set_fault_handler(Arc::new(move |proc, fault| handler.handle_fault(proc, fault)));
+        Ok(this)
+    }
+
+    /// The process this handle is attached through.
+    pub fn process(&self) -> &Arc<Process> {
+        &self.inner.process
+    }
+
+    fn mem(&self) -> &dyn PodMemory {
+        self.inner.process.memory().as_ref()
+    }
+
+    /// The signal-handler equivalent (paper §3.3): decide whether the
+    /// faulting offset should be backed by a mapping, install it if so.
+    fn handle_fault(&self, process: &Process, fault: Fault) -> bool {
+        let mem = process.memory().as_ref();
+        let layout = mem.layout();
+        let (tid_raw, core_raw) = CURRENT.with(|c| c.get()).unwrap_or((0, 0));
+        let core = CoreId(core_raw);
+        // Small/large heap: a pointer below the heap length should be
+        // mapped (§3.3.1 — "the signal handler checks the heap length").
+        if layout.small.slab_of(fault.offset).is_some() {
+            let len = self.inner.small.len(mem, core) as u64;
+            if (layout.small.slab_of(fault.offset).unwrap() as u64) < len {
+                process.map_small_upto(len);
+                return true;
+            }
+            return false;
+        }
+        if layout.large.slab_of(fault.offset).is_some() {
+            let len = self.inner.large.len(mem, core) as u64;
+            if (layout.large.slab_of(fault.offset).unwrap() as u64) < len {
+                process.map_large_upto(len);
+                return true;
+            }
+            return false;
+        }
+        // Huge heap: walk descriptor lists (§3.3.2); requires a thread
+        // identity to publish the hazard offset.
+        if layout.huge.data.contains(fault.offset) {
+            let Some(tid) = ThreadId::new(tid_raw) else {
+                return false;
+            };
+            let ctx = self.ctx(tid, core);
+            return self.inner.huge.handle_fault(&ctx, fault.offset);
+        }
+        false
+    }
+
+    fn ctx(&self, tid: ThreadId, core: CoreId) -> Ctx<'_> {
+        Ctx {
+            mem: self.mem(),
+            core,
+            tid,
+            process: &self.inner.process,
+            unsized_limit: self.inner.options.unsized_limit,
+            recoverable: self.inner.options.recoverable,
+        }
+    }
+
+    /// Registers the calling thread, claiming a free slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::TooManyThreads`] when every slot is taken.
+    pub fn register_thread(&self) -> Result<ThreadHandle, AllocError> {
+        let mem = self.mem();
+        let layout = mem.layout();
+        for slot in 0..layout.max_threads {
+            let off = layout.registry_at(slot);
+            if mem.load_u64(CoreId(0), off) == registry::FREE
+                && mem
+                    .cas_u64(CoreId(0), off, registry::FREE, registry::LIVE)
+                    .is_ok()
+            {
+                return Ok(self.make_handle(ThreadId::from_slot(slot)));
+            }
+        }
+        Err(AllocError::TooManyThreads {
+            max: layout.max_threads,
+        })
+    }
+
+    fn make_handle(&self, tid: ThreadId) -> ThreadHandle {
+        let core = CoreId(tid.slot() as u16);
+        CURRENT.with(|c| c.set(Some((tid.raw(), core.0))));
+        // Huge-heap state is always derived from the segment: for a fresh
+        // slot this yields the full descriptor pool and no owned regions;
+        // for an adopted slot it is the §3.4.2 reconstruction.
+        let huge = self.inner.huge.reconstruct(&self.ctx(tid, core));
+        ThreadHandle {
+            heap: self.clone(),
+            tid,
+            core,
+            huge,
+        }
+    }
+
+    /// Marks `tid` as crashed. In simulated-coherence pods this also
+    /// discards the dead core's cache — dirty lines die with the thread,
+    /// exactly as on real hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::BadThreadState`] if the slot is not live.
+    pub fn mark_crashed(&self, tid: ThreadId) -> Result<(), AllocError> {
+        let mem = self.mem();
+        let off = mem.layout().registry_at(tid.slot());
+        mem.cas_u64(CoreId(0), off, registry::LIVE, registry::DEAD)
+            .map_err(|_| AllocError::BadThreadState {
+                thread: tid,
+                state: "not live",
+            })?;
+        if let Some(sim) = mem.as_any().downcast_ref::<cxl_pod::SimMemory>() {
+            sim.cache().discard_all(tid.slot() as usize);
+        }
+        Ok(())
+    }
+
+    /// Recovers crashed thread `tid`'s interrupted operation, using
+    /// `via`'s core for memory access. Non-blocking: touches only the
+    /// dead thread's single-writer structures and lock-free cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::BadThreadState`] unless `tid` is marked
+    /// crashed.
+    pub fn recover(&self, tid: ThreadId, via: CoreId) -> Result<RecoveryReport, AllocError> {
+        let mem = self.mem();
+        let off = mem.layout().registry_at(tid.slot());
+        if mem.load_u64(via, off) != registry::DEAD {
+            return Err(AllocError::BadThreadState {
+                thread: tid,
+                state: "not crashed",
+            });
+        }
+        let ctx = self.ctx(tid, via);
+        Ok(recovery::recover(&ctx))
+    }
+
+    /// Recovers `tid` and re-registers it as a live thread owned by the
+    /// caller, reconstructing its volatile huge-heap state from the
+    /// segment (paper §3.4.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Cxlalloc::recover`] errors.
+    pub fn adopt(&self, tid: ThreadId, via: CoreId) -> Result<(ThreadHandle, RecoveryReport), AllocError> {
+        let report = self.recover(tid, via)?;
+        let mem = self.mem();
+        let off = mem.layout().registry_at(tid.slot());
+        mem.cas_u64(via, off, registry::DEAD, registry::LIVE)
+            .map_err(|_| AllocError::BadThreadState {
+                thread: tid,
+                state: "raced",
+            })?;
+        let handle = self.make_handle(tid);
+        Ok((handle, report))
+    }
+
+    /// Heap-wide statistics.
+    pub fn stats(&self) -> HeapStats {
+        let mem = self.mem();
+        let core = CoreId(0);
+        let small_len = self.inner.small.len(mem, core);
+        let large_len = self.inner.large.len(mem, core);
+        HeapStats {
+            small_slabs: small_len,
+            large_slabs: large_len,
+            small_bytes: self.inner.small.mapped_bytes(mem, core),
+            large_bytes: self.inner.large.mapped_bytes(mem, core),
+            hwcc_bytes: mem.layout().hwcc_bytes_in_use(small_len, large_len),
+            mem: mem.stats(),
+        }
+    }
+
+    /// Runs the heap-wide invariant checks of §5.1. Call only while the
+    /// heap is quiescent (no concurrent operations); concurrent
+    /// transitions can look momentarily inconsistent to the checker.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self, via: CoreId) -> Result<(), String> {
+        crate::invariants::check(self.mem(), via)
+    }
+}
+
+/// Snapshot of heap-level statistics.
+#[derive(Debug, Clone)]
+pub struct HeapStats {
+    /// Small-heap length in slabs.
+    pub small_slabs: u32,
+    /// Large-heap length in slabs.
+    pub large_slabs: u32,
+    /// Small-heap mapped data bytes.
+    pub small_bytes: u64,
+    /// Large-heap mapped data bytes.
+    pub large_bytes: u64,
+    /// HWcc metadata bytes in use (§5.2.1 metric).
+    pub hwcc_bytes: u64,
+    /// Backend operation counters.
+    pub mem: cxl_pod::stats::MemStatsSnapshot,
+}
+
+/// A registered thread's handle: the only way to allocate and free.
+///
+/// Not `Sync`: each handle belongs to one thread, as the paper assumes
+/// (threads pinned to cores). It may be *moved* to another OS thread,
+/// which models rescheduling a pinned thread — do this only at quiescent
+/// points.
+#[derive(Debug)]
+pub struct ThreadHandle {
+    heap: Cxlalloc,
+    tid: ThreadId,
+    core: CoreId,
+    huge: HugeThread,
+}
+
+impl ThreadHandle {
+    /// This thread's allocator identity.
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// The simulated core this thread is pinned to.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The owning heap.
+    pub fn heap(&self) -> &Cxlalloc {
+        &self.heap
+    }
+
+    fn ctx(&self) -> Ctx<'_> {
+        self.heap.ctx(self.tid, self.core)
+    }
+
+    /// Allocates `size` bytes, routed to the small (≤ 1 KiB), large
+    /// (≤ 512 KiB), or huge heap.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidSize`] for zero sizes;
+    /// [`AllocError::OutOfMemory`] when the responsible heap is
+    /// exhausted.
+    pub fn alloc(&mut self, size: usize) -> Result<OffsetPtr, AllocError> {
+        self.alloc_inner(size, 0)
+    }
+
+    /// Detectable allocation: like [`ThreadHandle::alloc`], but records
+    /// `dst` (the 8-byte shared cell the caller will store the resulting
+    /// pointer into) in the recovery log. If the thread crashes
+    /// mid-allocation, recovery keeps the block only if `dst` holds its
+    /// offset — the mechanism recoverable data structures use to avoid
+    /// leaks (paper Figure 7).
+    ///
+    /// # Errors
+    ///
+    /// As [`ThreadHandle::alloc`].
+    pub fn alloc_detectable(&mut self, size: usize, dst: OffsetPtr) -> Result<OffsetPtr, AllocError> {
+        self.alloc_inner(size, dst.offset())
+    }
+
+    fn alloc_inner(&mut self, size: usize, dst: u64) -> Result<OffsetPtr, AllocError> {
+        CURRENT.with(|c| c.set(Some((self.tid.raw(), self.core.0))));
+        let inner = &self.heap.inner;
+        let ctx = self.heap.ctx(self.tid, self.core);
+        let offset = if size <= inner.small.classes.max_size() as usize {
+            inner.small.alloc(&ctx, size, dst)?
+        } else if size <= inner.large.classes.max_size() as usize {
+            inner.large.alloc(&ctx, size, dst)?
+        } else {
+            inner.huge.alloc(&ctx, &mut self.huge, size)?
+        };
+        Ok(OffsetPtr::new(offset).expect("data offsets are nonzero"))
+    }
+
+    /// Frees the allocation at `ptr`. Size is not required: the owning
+    /// slab or huge descriptor is found from the offset.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::WildPointer`] / [`AllocError::NotAllocated`] for
+    /// pointers that do not reference a live allocation.
+    pub fn dealloc(&mut self, ptr: OffsetPtr) -> Result<(), AllocError> {
+        CURRENT.with(|c| c.set(Some((self.tid.raw(), self.core.0))));
+        let inner = &self.heap.inner;
+        let layout = self.heap.mem().layout();
+        let offset = ptr.offset();
+        let ctx = self.heap.ctx(self.tid, self.core);
+        if layout.small.data.contains(offset) {
+            inner.small.dealloc(&ctx, offset)
+        } else if layout.large.data.contains(offset) {
+            inner.large.dealloc(&ctx, offset)
+        } else if layout.huge.data.contains(offset) {
+            inner.huge.dealloc(&ctx, offset)
+        } else {
+            Err(AllocError::WildPointer { offset })
+        }
+    }
+
+    /// Resolves `ptr` to a raw pointer valid for `len` bytes in this
+    /// process, faulting in the mapping if necessary (PC-T).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Fault`] for wild pointers.
+    pub fn resolve(&self, ptr: OffsetPtr, len: u64) -> Result<*mut u8, Fault> {
+        CURRENT.with(|c| c.set(Some((self.tid.raw(), self.core.0))));
+        self.heap.inner.process.resolve(ptr.offset(), len)
+    }
+
+    /// Runs one huge-heap cleanup pass (hazard scan + descriptor
+    /// reclamation); returns the number of allocations reclaimed.
+    pub fn cleanup(&mut self) -> u32 {
+        let ctx = self.heap.ctx(self.tid, self.core);
+        self.heap.inner.huge.cleanup(&ctx, &mut self.huge)
+    }
+
+    /// Writes back and drops this thread's entire simulated cache — a
+    /// quiesce point, required before another core validates the heap
+    /// with [`Cxlalloc::check_invariants`] on software-coherent pods
+    /// (the checker reads durable memory, which otherwise lags owners'
+    /// caches).
+    pub fn flush_cache(&self) {
+        self.heap.mem().flush_all(self.core);
+    }
+
+    /// Releases surplus thread-local slabs to the global free list
+    /// immediately (normally done incrementally during frees).
+    pub fn flush_local_caches(&mut self) {
+        let ctx = self.ctx();
+        self.heap.inner.small.release_overflow(&ctx);
+        self.heap.inner.large.release_overflow(&ctx);
+    }
+
+    /// Huge-heap volatile state (inspection for tests).
+    pub fn huge_state(&self) -> &HugeThread {
+        &self.huge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_pod::{Pod, PodConfig};
+
+    fn setup() -> (Pod, Cxlalloc) {
+        let pod = Pod::new(PodConfig::small_for_tests()).unwrap();
+        let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+        (pod, heap)
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_small() {
+        let (_pod, heap) = setup();
+        let mut t = heap.register_thread().unwrap();
+        let ptr = t.alloc(64).unwrap();
+        let raw = t.resolve(ptr, 64).unwrap();
+        unsafe { raw.write_bytes(0x5A, 64) };
+        t.dealloc(ptr).unwrap();
+        heap.check_invariants(t.core()).unwrap();
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_ids() {
+        let (_pod, heap) = setup();
+        let a = heap.register_thread().unwrap();
+        let b = heap.register_thread().unwrap();
+        assert_ne!(a.tid(), b.tid());
+    }
+
+    #[test]
+    fn thread_slots_exhaust() {
+        let (_pod, heap) = setup();
+        let mut handles = Vec::new();
+        loop {
+            match heap.register_thread() {
+                Ok(h) => handles.push(h),
+                Err(AllocError::TooManyThreads { max }) => {
+                    assert_eq!(max, 16);
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert_eq!(handles.len(), 16);
+    }
+
+    #[test]
+    fn routes_by_size() {
+        let (pod, heap) = setup();
+        let mut t = heap.register_thread().unwrap();
+        let layout = pod.layout();
+        let small = t.alloc(8).unwrap();
+        assert!(layout.small.data.contains(small.offset()));
+        let large = t.alloc(4096).unwrap();
+        assert!(layout.large.data.contains(large.offset()));
+        let huge = t.alloc(1 << 20).unwrap();
+        assert!(layout.huge.data.contains(huge.offset()));
+        for p in [small, large, huge] {
+            t.dealloc(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let (_pod, heap) = setup();
+        let mut t = heap.register_thread().unwrap();
+        assert!(matches!(t.alloc(0), Err(AllocError::InvalidSize { .. })));
+    }
+
+    #[test]
+    fn wild_free_rejected() {
+        let (_pod, heap) = setup();
+        let mut t = heap.register_thread().unwrap();
+        let err = t.dealloc(OffsetPtr::new(8).unwrap()).unwrap_err();
+        assert!(matches!(err, AllocError::WildPointer { .. }));
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let (_pod, heap) = setup();
+        let mut t = heap.register_thread().unwrap();
+        let ptr = t.alloc(64).unwrap();
+        t.dealloc(ptr).unwrap();
+        assert!(matches!(
+            t.dealloc(ptr),
+            Err(AllocError::NotAllocated { .. })
+        ));
+    }
+}

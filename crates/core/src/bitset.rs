@@ -1,0 +1,211 @@
+//! Block bitsets (`SWccDesc.free`).
+//!
+//! Each slab descriptor embeds a bitset with one bit per block — set
+//! means *free*. Like mimalloc's sharded free lists, a per-slab bitset
+//! keeps allocation state local to the slab, decreasing contention and
+//! improving spatial locality (paper §3.2.1). The bitset is single-writer
+//! (the slab's owner), so words are plain loads and stores through the
+//! pod memory — no atomics, no flushes on the fast path.
+
+use cxl_pod::{CoreId, PodMemory};
+
+/// A view of one slab's free-block bitset inside the segment.
+#[derive(Clone, Copy)]
+pub struct BlockBits<'m> {
+    mem: &'m dyn PodMemory,
+    /// Segment offset of the first word.
+    base: u64,
+    /// Number of meaningful bits (blocks in the slab at its current
+    /// class).
+    nbits: u32,
+}
+
+impl<'m> std::fmt::Debug for BlockBits<'m> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockBits")
+            .field("base", &self.base)
+            .field("nbits", &self.nbits)
+            .finish()
+    }
+}
+
+impl<'m> BlockBits<'m> {
+    /// Creates a view of `nbits` bits starting at segment offset `base`.
+    pub fn new(mem: &'m dyn PodMemory, base: u64, nbits: u32) -> Self {
+        debug_assert_eq!(base % 8, 0);
+        BlockBits {
+            mem,
+            base,
+            nbits,
+        }
+    }
+
+    /// Number of meaningful bits.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.nbits
+    }
+
+    /// Whether the view covers zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nbits == 0
+    }
+
+    #[inline]
+    fn words(&self) -> u32 {
+        self.nbits.div_ceil(64)
+    }
+
+    #[inline]
+    fn word_offset(&self, word: u32) -> u64 {
+        self.base + word as u64 * 8
+    }
+
+    /// Reads bit `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `bit` is out of range.
+    pub fn get(&self, core: CoreId, bit: u32) -> bool {
+        debug_assert!(bit < self.nbits);
+        let word = self.mem.load_u64(core, self.word_offset(bit / 64));
+        word & (1 << (bit % 64)) != 0
+    }
+
+    /// Sets bit `bit` (marks the block free).
+    pub fn set(&self, core: CoreId, bit: u32) {
+        debug_assert!(bit < self.nbits);
+        let off = self.word_offset(bit / 64);
+        let word = self.mem.load_u64(core, off);
+        self.mem.store_u64(core, off, word | 1 << (bit % 64));
+    }
+
+    /// Clears bit `bit` (marks the block allocated).
+    pub fn clear(&self, core: CoreId, bit: u32) {
+        debug_assert!(bit < self.nbits);
+        let off = self.word_offset(bit / 64);
+        let word = self.mem.load_u64(core, off);
+        self.mem.store_u64(core, off, word & !(1 << (bit % 64)));
+    }
+
+    /// Finds the lowest set (free) bit, if any.
+    pub fn find_set(&self, core: CoreId) -> Option<u32> {
+        for w in 0..self.words() {
+            let mut word = self.mem.load_u64(core, self.word_offset(w));
+            if w == self.words() - 1 && self.nbits % 64 != 0 {
+                word &= (1u64 << (self.nbits % 64)) - 1;
+            }
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros());
+            }
+        }
+        None
+    }
+
+    /// Sets all `nbits` bits (slab initialization: every block free) and
+    /// zeroes any tail bits of the last word.
+    pub fn set_all(&self, core: CoreId) {
+        for w in 0..self.words() {
+            let mut word = u64::MAX;
+            if w == self.words() - 1 && self.nbits % 64 != 0 {
+                word = (1u64 << (self.nbits % 64)) - 1;
+            }
+            self.mem.store_u64(core, self.word_offset(w), word);
+        }
+    }
+
+    /// Counts set (free) bits.
+    pub fn count_set(&self, core: CoreId) -> u32 {
+        let mut count = 0;
+        for w in 0..self.words() {
+            let mut word = self.mem.load_u64(core, self.word_offset(w));
+            if w == self.words() - 1 && self.nbits % 64 != 0 {
+                word &= (1u64 << (self.nbits % 64)) - 1;
+            }
+            count += word.count_ones();
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_pod::{Pod, PodConfig};
+
+    fn fixture() -> (Pod, u64) {
+        let pod = Pod::new(PodConfig::small_for_tests()).unwrap();
+        let base = pod.layout().small.bitset_at(0);
+        (pod, base)
+    }
+
+    #[test]
+    fn set_clear_get() {
+        let (pod, base) = fixture();
+        let bits = BlockBits::new(pod.memory().as_ref(), base, 100);
+        let core = CoreId(0);
+        assert!(!bits.get(core, 3));
+        bits.set(core, 3);
+        assert!(bits.get(core, 3));
+        bits.clear(core, 3);
+        assert!(!bits.get(core, 3));
+    }
+
+    #[test]
+    fn set_all_and_count() {
+        let (pod, base) = fixture();
+        let core = CoreId(0);
+        for nbits in [1u32, 63, 64, 65, 100, 4096] {
+            let bits = BlockBits::new(pod.memory().as_ref(), base, nbits);
+            bits.set_all(core);
+            assert_eq!(bits.count_set(core), nbits, "nbits={nbits}");
+            assert_eq!(bits.find_set(core), Some(0));
+        }
+    }
+
+    #[test]
+    fn find_skips_cleared() {
+        let (pod, base) = fixture();
+        let bits = BlockBits::new(pod.memory().as_ref(), base, 130);
+        let core = CoreId(0);
+        bits.set_all(core);
+        for expected in 0..130 {
+            assert_eq!(bits.find_set(core), Some(expected));
+            bits.clear(core, expected);
+        }
+        assert_eq!(bits.find_set(core), None);
+        assert_eq!(bits.count_set(core), 0);
+    }
+
+    #[test]
+    fn tail_bits_do_not_leak() {
+        let (pod, base) = fixture();
+        let core = CoreId(0);
+        // A 4096-bit view sets all words; a narrower re-view over the
+        // same memory must mask the tail.
+        let wide = BlockBits::new(pod.memory().as_ref(), base, 128);
+        wide.set_all(core);
+        let narrow = BlockBits::new(pod.memory().as_ref(), base, 70);
+        assert_eq!(narrow.count_set(core), 70);
+        for bit in 0..70 {
+            narrow.clear(core, bit);
+        }
+        assert_eq!(narrow.find_set(core), None, "tail bits must be masked");
+    }
+
+    #[test]
+    fn words_are_independent() {
+        let (pod, base) = fixture();
+        let bits = BlockBits::new(pod.memory().as_ref(), base, 256);
+        let core = CoreId(0);
+        bits.set(core, 0);
+        bits.set(core, 64);
+        bits.set(core, 255);
+        assert_eq!(bits.count_set(core), 3);
+        bits.clear(core, 64);
+        assert!(bits.get(core, 0));
+        assert!(bits.get(core, 255));
+        assert!(!bits.get(core, 64));
+    }
+}

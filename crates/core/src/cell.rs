@@ -1,0 +1,206 @@
+//! Packed 64-bit cell encodings.
+//!
+//! Every multi-writer shared cell in cxlalloc is a single 64-bit word so
+//! it can be updated with one (m)CAS, and embeds the detectable-CAS
+//! thread id and version (paper §3.4.2: "our CAS targets are at most 32
+//! bits, so we use a 16-bit thread ID and version to support systems
+//! with only 8-byte CAS").
+//!
+//! ```text
+//! detectable cell: [ version:16 | tid:16 | payload:32 ]
+//! SWccDesc header: [ flags:8 | class:8 | owner:16 | next:32 ]
+//! log word:        [ op:8 | b:8 | c:16 | a:32 ]
+//! ```
+//!
+//! `next` link fields and free-list heads store `slab_index + 1` with 0
+//! meaning null, so the all-zero heap is valid (paper §4).
+
+/// A decoded detectable-CAS cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detect {
+    /// Version (low 16 bits of the writer's operation counter).
+    pub version: u16,
+    /// Raw thread id of the last successful CASer (0 = never CASed).
+    pub tid: u16,
+    /// The 32-bit payload.
+    pub payload: u32,
+}
+
+impl Detect {
+    /// Packs into the wire format.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        ((self.version as u64) << 48) | ((self.tid as u64) << 32) | self.payload as u64
+    }
+
+    /// Unpacks from the wire format.
+    #[inline]
+    pub fn unpack(raw: u64) -> Self {
+        Detect {
+            version: (raw >> 48) as u16,
+            tid: (raw >> 32) as u16,
+            payload: raw as u32,
+        }
+    }
+}
+
+/// A decoded `SWccDesc` header (paper Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SwccHeader {
+    /// Intrusive free-list link: `slab_index + 1`, 0 = null.
+    pub next: u32,
+    /// Owning thread (raw id), 0 = no owner.
+    pub owner: u16,
+    /// Size class (meaningful only while the slab is sized).
+    pub class: u8,
+    /// Flag bits ([`flags`]).
+    pub flags: u8,
+}
+
+/// `SWccDesc` flag bits.
+pub mod flags {
+    /// The slab currently has a size class (is in a sized list, detached,
+    /// or disowned) rather than being inactive.
+    pub const SIZED: u8 = 1 << 0;
+}
+
+impl SwccHeader {
+    /// Packs into the wire format.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        ((self.flags as u64) << 56)
+            | ((self.class as u64) << 48)
+            | ((self.owner as u64) << 32)
+            | self.next as u64
+    }
+
+    /// Unpacks from the wire format.
+    #[inline]
+    pub fn unpack(raw: u64) -> Self {
+        SwccHeader {
+            next: raw as u32,
+            owner: (raw >> 32) as u16,
+            class: (raw >> 48) as u8,
+            flags: (raw >> 56) as u8,
+        }
+    }
+}
+
+/// A decoded per-thread recovery-log word (paper §3.4.2: "each thread
+/// atomically updates 8 bytes of state in place, which records which
+/// operation the thread is currently performing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogWord {
+    /// Operation code (0 = idle; see [`crate::recovery::Op`]).
+    pub op: u8,
+    /// Primary operand — typically a slab index or descriptor offset / 8.
+    pub a: u32,
+    /// Secondary operand — typically a size class.
+    pub b: u8,
+    /// Tertiary operand — typically the detectable-CAS version (low 16
+    /// bits).
+    pub c: u16,
+}
+
+impl LogWord {
+    /// The idle log word (all zero — valid in a fresh heap).
+    pub const IDLE: LogWord = LogWord {
+        op: 0,
+        a: 0,
+        b: 0,
+        c: 0,
+    };
+
+    /// Packs into the wire format.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        ((self.op as u64) << 56) | ((self.b as u64) << 48) | ((self.c as u64) << 32) | self.a as u64
+    }
+
+    /// Unpacks from the wire format.
+    #[inline]
+    pub fn unpack(raw: u64) -> Self {
+        LogWord {
+            op: (raw >> 56) as u8,
+            b: (raw >> 48) as u8,
+            c: (raw >> 32) as u16,
+            a: raw as u32,
+        }
+    }
+}
+
+/// Wrap-aware comparison of 16-bit sequence numbers (RFC 1982 style):
+/// `true` if `a` is strictly newer than `b`, treating distances under
+/// 2¹⁵ as forward.
+#[inline]
+pub fn seq16_newer(a: u16, b: u16) -> bool {
+    a != b && a.wrapping_sub(b) < 0x8000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_roundtrip() {
+        let d = Detect {
+            version: 0xABCD,
+            tid: 42,
+            payload: 0xDEAD_BEEF,
+        };
+        assert_eq!(Detect::unpack(d.pack()), d);
+        assert_eq!(Detect::unpack(0), Detect {
+            version: 0,
+            tid: 0,
+            payload: 0
+        });
+    }
+
+    #[test]
+    fn swcc_header_roundtrip() {
+        let h = SwccHeader {
+            next: 7,
+            owner: 3,
+            class: 12,
+            flags: flags::SIZED,
+        };
+        assert_eq!(SwccHeader::unpack(h.pack()), h);
+        // Zero unpacks to the "inactive, unowned, unlinked" state.
+        assert_eq!(SwccHeader::unpack(0), SwccHeader::default());
+    }
+
+    #[test]
+    fn log_word_roundtrip() {
+        let w = LogWord {
+            op: 9,
+            a: 0xFFFF_FFFF,
+            b: 27,
+            c: 0x1234,
+        };
+        assert_eq!(LogWord::unpack(w.pack()), w);
+        assert_eq!(LogWord::IDLE.pack(), 0);
+    }
+
+    #[test]
+    fn fields_do_not_bleed() {
+        let h = SwccHeader {
+            next: u32::MAX,
+            owner: 0,
+            class: 0,
+            flags: 0,
+        };
+        let u = SwccHeader::unpack(h.pack());
+        assert_eq!(u.owner, 0);
+        assert_eq!(u.class, 0);
+        assert_eq!(u.flags, 0);
+    }
+
+    #[test]
+    fn seq16_wraps() {
+        assert!(seq16_newer(1, 0));
+        assert!(seq16_newer(0, 0xFFFF)); // wrapped forward
+        assert!(!seq16_newer(0, 0));
+        assert!(!seq16_newer(0, 1));
+        assert!(!seq16_newer(0xFFFF, 0));
+    }
+}

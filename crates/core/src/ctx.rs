@@ -1,0 +1,44 @@
+//! Per-thread operation context.
+
+use crate::dcas::Dcas;
+use crate::oplog::OpLog;
+use crate::ThreadId;
+use cxl_pod::{CoreId, PodMemory, Process};
+use std::sync::Arc;
+
+/// Everything a heap operation needs about the calling thread: its
+/// identity, its core (cache), its process (mapping view), and handles to
+/// its recovery log and the detectable-CAS help array.
+pub(crate) struct Ctx<'m> {
+    pub mem: &'m dyn PodMemory,
+    pub core: CoreId,
+    pub tid: ThreadId,
+    pub process: &'m Arc<Process>,
+    /// Maximum length of the thread-local unsized list before slabs
+    /// overflow to the global free list.
+    pub unsized_limit: u32,
+    /// Whether recovery state (redo log, help records) is maintained.
+    /// `false` reproduces the `cxlalloc-nonrecoverable` ablation.
+    pub recoverable: bool,
+}
+
+impl<'m> Ctx<'m> {
+    /// The thread's recovery log (inert when recovery is disabled).
+    pub fn log(&self) -> OpLog<'m> {
+        OpLog::with_enabled(self.mem, self.tid.slot(), self.recoverable)
+    }
+
+    /// Detectable-CAS handle (plain CAS when recovery is disabled).
+    pub fn dcas(&self) -> Dcas<'m> {
+        Dcas::with_detectable(self.mem, self.recoverable)
+    }
+}
+
+impl<'m> std::fmt::Debug for Ctx<'m> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("tid", &self.tid)
+            .field("core", &self.core)
+            .finish_non_exhaustive()
+    }
+}

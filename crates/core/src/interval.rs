@@ -1,0 +1,215 @@
+//! Free-interval tracking for the huge heap (`HugeLocal.free`).
+//!
+//! Each thread tracks the free virtual-address ranges of the reservation
+//! regions it owns. The paper notes "any deterministic data structure
+//! will work here" — determinism matters because the tree is *volatile*
+//! and is reconstructed after a crash from the reservation array and the
+//! thread's descriptor list (§3.4.2). We use an ordered map keyed by
+//! interval start with eager coalescing.
+
+use std::collections::BTreeMap;
+
+/// A set of disjoint free `[start, start+len)` intervals with first-fit
+/// allocation.
+///
+/// ```
+/// use cxl_core::interval::IntervalTree;
+///
+/// let mut tree = IntervalTree::new();
+/// tree.insert(0, 1 << 20);
+/// let a = tree.take(4096).expect("space available");
+/// tree.insert(a, 4096); // returning coalesces back to one interval
+/// assert_eq!(tree.len(), 1);
+/// assert_eq!(tree.free_bytes(), 1 << 20);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalTree {
+    /// start -> len; invariant: disjoint and non-adjacent (coalesced).
+    free: BTreeMap<u64, u64>,
+}
+
+impl IntervalTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of disjoint intervals.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether no free space is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Total free bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.free.values().sum()
+    }
+
+    /// Returns a free interval of at least `size` bytes (first fit by
+    /// address), carving it out of the tree.
+    pub fn take(&mut self, size: u64) -> Option<u64> {
+        debug_assert!(size > 0);
+        let (&start, &len) = self.free.iter().find(|&(_, &len)| len >= size)?;
+        self.free.remove(&start);
+        if len > size {
+            self.free.insert(start + size, len - size);
+        }
+        Some(start)
+    }
+
+    /// Returns `[start, start+len)` to the tree, coalescing with
+    /// neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval overlaps free space already in the tree
+    /// (double insert — an allocator invariant violation).
+    pub fn insert(&mut self, start: u64, len: u64) {
+        assert!(len > 0, "empty interval");
+        let mut new_start = start;
+        let mut new_len = len;
+        // Coalesce with the predecessor.
+        if let Some((&ps, &pl)) = self.free.range(..start).next_back() {
+            assert!(ps + pl <= start, "interval [{start}, +{len}) overlaps [{ps}, +{pl})");
+            if ps + pl == start {
+                self.free.remove(&ps);
+                new_start = ps;
+                new_len += pl;
+            }
+        }
+        // Coalesce with the successor.
+        if let Some((&ns, &nl)) = self.free.range(start..).next() {
+            assert!(start + len <= ns, "interval [{start}, +{len}) overlaps [{ns}, +{nl})");
+            if start + len == ns {
+                self.free.remove(&ns);
+                new_len += nl;
+            }
+        }
+        self.free.insert(new_start, new_len);
+    }
+
+    /// Removes `[start, start+len)` from the free space if present
+    /// (used during post-crash reconstruction to punch out live
+    /// allocations). Tolerates partial overlap.
+    pub fn subtract(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let end = start + len;
+        let affected: Vec<(u64, u64)> = self
+            .free
+            .range(..end)
+            .filter(|&(&s, &l)| s + l > start)
+            .map(|(&s, &l)| (s, l))
+            .collect();
+        for (s, l) in affected {
+            let e = s + l;
+            self.free.remove(&s);
+            if s < start {
+                self.free.insert(s, start - s);
+            }
+            if e > end {
+                self.free.insert(end, e - end);
+            }
+        }
+    }
+
+    /// Whether `[start, start+len)` is entirely free.
+    pub fn contains(&self, start: u64, len: u64) -> bool {
+        match self.free.range(..=start).next_back() {
+            Some((&s, &l)) => s + l >= start + len.max(1) && s <= start,
+            None => false,
+        }
+    }
+
+    /// Iterates `(start, len)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.free.iter().map(|(&s, &l)| (s, l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_first_fit_and_carve() {
+        let mut t = IntervalTree::new();
+        t.insert(0, 100);
+        t.insert(200, 50);
+        assert_eq!(t.take(30), Some(0));
+        // 80 doesn't fit in [30, 100) (70 bytes) nor in the 50-byte interval.
+        assert_eq!(t.take(80), None);
+        assert_eq!(t.take(70), Some(30));
+        assert_eq!(t.take(50), Some(200));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn insert_coalesces_both_sides() {
+        let mut t = IntervalTree::new();
+        t.insert(0, 10);
+        t.insert(20, 10);
+        assert_eq!(t.len(), 2);
+        t.insert(10, 10);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.iter().next(), Some((0, 30)));
+        assert_eq!(t.free_bytes(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn double_insert_panics() {
+        let mut t = IntervalTree::new();
+        t.insert(0, 10);
+        t.insert(5, 10);
+    }
+
+    #[test]
+    fn subtract_punches_holes() {
+        let mut t = IntervalTree::new();
+        t.insert(0, 100);
+        t.subtract(40, 20);
+        assert!(t.contains(0, 40));
+        assert!(t.contains(60, 40));
+        assert!(!t.contains(40, 1));
+        assert_eq!(t.free_bytes(), 80);
+        // Subtracting at the edges.
+        t.subtract(0, 10);
+        t.subtract(90, 10);
+        assert_eq!(t.free_bytes(), 60);
+        // Subtracting free-of-free is a no-op.
+        t.subtract(40, 20);
+        assert_eq!(t.free_bytes(), 60);
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_preserves_bytes() {
+        let mut t = IntervalTree::new();
+        t.insert(0, 1 << 20);
+        let a = t.take(4096).unwrap();
+        let b = t.take(8192).unwrap();
+        let c = t.take(4096).unwrap();
+        assert_ne!(a, b);
+        t.insert(b, 8192);
+        t.insert(a, 4096);
+        t.insert(c, 4096);
+        assert_eq!(t.free_bytes(), 1 << 20);
+        assert_eq!(t.len(), 1, "everything must coalesce back");
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let mut t = IntervalTree::new();
+        t.insert(10, 10);
+        assert!(t.contains(10, 10));
+        assert!(t.contains(15, 5));
+        assert!(!t.contains(15, 6));
+        assert!(!t.contains(9, 2));
+        assert!(!t.contains(0, 1));
+    }
+}

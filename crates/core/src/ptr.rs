@@ -1,0 +1,159 @@
+//! Offset pointers and thread identifiers.
+//!
+//! Traditional pointers are absolute virtual addresses and therefore
+//! meaningless across processes. Cxlalloc follows the persistent-memory
+//! tradition of *offset pointers* (paper §2.3): a pointer is a byte
+//! offset into the shared segment, and every process places heap data at
+//! consistent offsets (PC-S). Dereferencing goes through a process's
+//! mapping view ([`cxl_pod::Process::resolve`]).
+
+use std::fmt;
+use std::num::NonZeroU16;
+
+/// A cross-process pointer: a byte offset into the pod's shared segment.
+///
+/// `OffsetPtr` is plain data — it can be stored in shared memory, passed
+/// between processes, and remains valid wherever the segment is mapped.
+/// Offset `0` is reserved as null (the segment's offset 0 is metadata,
+/// never application data, so no valid allocation can be there).
+///
+/// # Example
+///
+/// ```
+/// use cxl_core::OffsetPtr;
+///
+/// let p = OffsetPtr::new(4096).unwrap();
+/// assert_eq!(p.offset(), 4096);
+/// assert_eq!(p.wrapping_add(8).offset(), 4104);
+/// assert!(OffsetPtr::new(0).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OffsetPtr(u64);
+
+impl OffsetPtr {
+    /// Creates an offset pointer; returns `None` for the null offset 0.
+    #[inline]
+    pub fn new(offset: u64) -> Option<Self> {
+        if offset == 0 {
+            None
+        } else {
+            Some(OffsetPtr(offset))
+        }
+    }
+
+    /// The raw segment offset.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0
+    }
+
+    /// Pointer arithmetic (wrapping, like raw pointers).
+    #[inline]
+    #[must_use]
+    pub fn wrapping_add(self, bytes: u64) -> Self {
+        OffsetPtr(self.0.wrapping_add(bytes))
+    }
+
+    /// Encodes to a u64 where 0 means null — the representation stored
+    /// in shared data structures.
+    #[inline]
+    pub fn encode(ptr: Option<OffsetPtr>) -> u64 {
+        ptr.map_or(0, |p| p.0)
+    }
+
+    /// Decodes from the shared representation.
+    #[inline]
+    pub fn decode(raw: u64) -> Option<OffsetPtr> {
+        OffsetPtr::new(raw)
+    }
+}
+
+impl fmt::Display for OffsetPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:#x}", self.0)
+    }
+}
+
+/// A registered allocator thread's identity.
+///
+/// Thread IDs are 16-bit and 1-based: the all-zero heap must be valid
+/// (paper §4), and `SWccDesc.owner == 0` means "no owner", so real
+/// threads start at 1. A `ThreadId` indexes per-thread metadata via
+/// [`ThreadId::slot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(NonZeroU16);
+
+impl ThreadId {
+    /// Creates a thread id; returns `None` for 0 (the "no owner" value).
+    #[inline]
+    pub fn new(raw: u16) -> Option<Self> {
+        NonZeroU16::new(raw).map(ThreadId)
+    }
+
+    /// The raw 16-bit value as stored in shared metadata.
+    #[inline]
+    pub fn raw(self) -> u16 {
+        self.0.get()
+    }
+
+    /// Zero-based index into per-thread metadata arrays.
+    #[inline]
+    pub fn slot(self) -> u32 {
+        (self.0.get() - 1) as u32
+    }
+
+    /// Builds the id owning metadata slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot + 1` overflows 16 bits.
+    #[inline]
+    pub fn from_slot(slot: u32) -> Self {
+        ThreadId(NonZeroU16::new(u16::try_from(slot + 1).expect("slot fits u16")).expect("nonzero"))
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread{}", self.0.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_offset_is_rejected() {
+        assert!(OffsetPtr::new(0).is_none());
+        assert_eq!(OffsetPtr::encode(None), 0);
+        assert_eq!(OffsetPtr::decode(0), None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = OffsetPtr::new(777).unwrap();
+        assert_eq!(OffsetPtr::decode(OffsetPtr::encode(Some(p))), Some(p));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let p = OffsetPtr::new(100).unwrap();
+        assert_eq!(p.wrapping_add(28).offset(), 128);
+    }
+
+    #[test]
+    fn thread_id_slots_are_zero_based() {
+        let t = ThreadId::new(1).unwrap();
+        assert_eq!(t.slot(), 0);
+        assert_eq!(ThreadId::from_slot(0), t);
+        assert_eq!(ThreadId::from_slot(41).raw(), 42);
+        assert!(ThreadId::new(0).is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ThreadId::new(3).unwrap().to_string(), "thread3");
+        assert_eq!(OffsetPtr::new(255).unwrap().to_string(), "@0xff");
+    }
+}

@@ -1,0 +1,502 @@
+//! Non-blocking crash recovery (paper §3.4).
+//!
+//! A crashed thread's 8-byte log word names the operation it was inside;
+//! recovery redoes that operation idempotently from durable ground truth:
+//!
+//! * **Block-level ops** (`AllocBlock`, `FreeLocal`) are normalized from
+//!   the slab's bitset: the free count is recomputed, the slab is
+//!   re-linked to the list its fullness dictates, and an interrupted
+//!   allocation is rolled back unless the application demonstrably
+//!   received the pointer (the *detectable allocation* destination cell,
+//!   the same idea Memento-style recoverable structures rely on).
+//! * **Detectable-CAS ops** (`Extend`, `PopGlobal`, `PushGlobal`,
+//!   `RemoteFree*`, `HugeClaim`) query [`Dcas::detect`](crate::dcas::Dcas::detect) to learn whether
+//!   the crashed CAS took effect, then either complete the operation's
+//!   post-actions or redo it.
+//! * **Huge-heap ops** roll back an un-handed-out allocation (by marking
+//!   the descriptor free, letting normal cleanup reclaim it) and roll
+//!   frees and cleanups forward.
+//!
+//! Recovery never blocks live threads: it touches only the dead thread's
+//! single-writer structures plus lock-free cells, exactly like a normal
+//! operation. Recovery is itself crash-tolerant — every step is
+//! idempotent, so a crashed recovery can simply be re-run.
+
+use crate::ctx::Ctx;
+use crate::error::HeapKind;
+use crate::huge::HugeHeap;
+use crate::slab::SlabHeap;
+
+/// Operation codes stored in the log word. Slab ops are tagged with the
+/// heap they apply to via [`Op::encode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Op {
+    /// No operation in flight.
+    Idle = 0,
+    /// Heap extension: `a` = expected length, `c` = dcas version.
+    Extend = 1,
+    /// Global free-list pop: `a` = slab, `c` = version.
+    PopGlobal = 2,
+    /// Global free-list push: `a` = slab, `c` = version.
+    PushGlobal = 3,
+    /// Slab initialization / unsized→sized transfer: `a` = slab, `b` =
+    /// class.
+    InitSlab = 4,
+    /// Block allocation: `a` = slab, `b` = class, `c` = bit, aux0 =
+    /// detect destination.
+    AllocBlock = 5,
+    /// Local free: `a` = slab, `b` = class, `c` = bit.
+    FreeLocal = 6,
+    /// Remote free (not reaching zero): `a` = slab, `c` = version.
+    RemoteFree = 7,
+    /// Remote free reaching zero (steal): `a` = slab, `c` = version.
+    RemoteFreeLast = 8,
+    /// Huge allocation: aux = `[desc_off, data_off, size]`.
+    HugeAlloc = 13,
+    /// Huge free: aux = `[desc_off]`.
+    HugeFree = 14,
+    /// Reservation claim: `a` = region, `c` = version.
+    HugeClaim = 15,
+    /// Huge descriptor reclamation: aux = `[desc_off]`.
+    HugeCleanup = 16,
+}
+
+/// Bit set in the encoded op byte for large-heap operations.
+const LARGE_BIT: u8 = 0x40;
+
+impl Op {
+    /// Encodes with the heap tag.
+    pub fn encode(self, kind: HeapKind) -> u8 {
+        match kind {
+            HeapKind::Small | HeapKind::Huge => self as u8,
+            HeapKind::Large => self as u8 | LARGE_BIT,
+        }
+    }
+
+    /// Decodes an op byte into the operation and its heap.
+    pub fn decode(raw: u8) -> Option<(Op, HeapKind)> {
+        let kind = if raw & LARGE_BIT != 0 {
+            HeapKind::Large
+        } else {
+            HeapKind::Small
+        };
+        let op = match raw & !LARGE_BIT {
+            0 => Op::Idle,
+            1 => Op::Extend,
+            2 => Op::PopGlobal,
+            3 => Op::PushGlobal,
+            4 => Op::InitSlab,
+            5 => Op::AllocBlock,
+            6 => Op::FreeLocal,
+            7 => Op::RemoteFree,
+            8 => Op::RemoteFreeLast,
+            13 => Op::HugeAlloc,
+            14 => Op::HugeFree,
+            15 => Op::HugeClaim,
+            16 => Op::HugeCleanup,
+            _ => return None,
+        };
+        let kind = match op {
+            Op::HugeAlloc | Op::HugeFree | Op::HugeClaim | Op::HugeCleanup => HeapKind::Huge,
+            _ => kind,
+        };
+        Some((op, kind))
+    }
+}
+
+/// What recovery found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The interrupted operation, if any.
+    pub interrupted: Option<(Op, HeapKind)>,
+    /// Human-readable outcome.
+    pub outcome: &'static str,
+    /// Offset of a block that was allocated but never handed to the
+    /// application *and* had no detect destination — the application (or
+    /// harness) may reclaim it. `None` when recovery rolled the
+    /// allocation back itself.
+    pub lost_block: Option<u64>,
+}
+
+impl RecoveryReport {
+    fn clean(outcome: &'static str) -> Self {
+        RecoveryReport {
+            interrupted: None,
+            outcome,
+            lost_block: None,
+        }
+    }
+}
+
+/// Runs recovery for the thread owning `ctx.tid` (a *dead* thread; the
+/// context's core and process belong to the recovering thread).
+pub(crate) fn recover(ctx: &Ctx<'_>) -> RecoveryReport {
+    let log = ctx.log();
+    let entry = log.read(ctx.core);
+    let Some((op, kind)) = Op::decode(entry.word.op) else {
+        log.clear(ctx.core);
+        return RecoveryReport::clean("unknown op cleared");
+    };
+    if op == Op::Idle {
+        return RecoveryReport::clean("idle");
+    }
+    let mut report = RecoveryReport {
+        interrupted: Some((op, kind)),
+        outcome: "redone",
+        lost_block: None,
+    };
+    match kind {
+        HeapKind::Small | HeapKind::Large => {
+            let heap = if kind == HeapKind::Small {
+                SlabHeap::small()
+            } else {
+                SlabHeap::large()
+            };
+            recover_slab(ctx, &heap, op, &entry, &mut report);
+        }
+        HeapKind::Huge => recover_huge(ctx, op, &entry, &mut report),
+    }
+    log.clear(ctx.core);
+    // Everything recovery wrote must be durable before the slot is
+    // reused: flush the thread's local-head lines.
+    flush_thread_lines(ctx);
+    report
+}
+
+/// Flushes the dead thread's local free-list heads so repairs are
+/// durable (the recovering core wrote them through its own cache).
+fn flush_thread_lines(ctx: &Ctx<'_>) {
+    let layout = ctx.mem.layout();
+    let slot = ctx.tid.slot();
+    ctx.mem.flush(
+        ctx.core,
+        layout.small.local_unsized_at(slot),
+        layout.small.local_stride,
+    );
+    ctx.mem.flush(
+        ctx.core,
+        layout.large.local_unsized_at(slot),
+        layout.large.local_stride,
+    );
+    ctx.mem.flush(
+        ctx.core,
+        layout.huge.local_descs_at(slot),
+        layout.huge.local_stride,
+    );
+    ctx.mem.fence(ctx.core);
+}
+
+/// Flushes (invalidates) the recovering core's view of the dead thread's
+/// slab descriptor and list heads before reading them — the recoverer
+/// may hold stale cached lines.
+fn refresh_slab_view(ctx: &Ctx<'_>, heap: &SlabHeap, slab: u32) {
+    let hl = heap.hl(ctx.mem);
+    ctx.mem
+        .flush(ctx.core, hl.swcc_desc_at(slab), hl.swcc_desc_stride);
+    ctx.mem.flush(
+        ctx.core,
+        hl.local_unsized_at(ctx.tid.slot()),
+        hl.local_stride,
+    );
+    ctx.mem.fence(ctx.core);
+}
+
+fn recover_slab(
+    ctx: &Ctx<'_>,
+    heap: &SlabHeap,
+    op: Op,
+    entry: &crate::oplog::LogEntry,
+    report: &mut RecoveryReport,
+) {
+    let hl = heap.hl(ctx.mem);
+    let dcas = ctx.dcas();
+    let slab = entry.word.a;
+    let version = entry.word.c;
+    match op {
+        Op::Idle => {}
+        Op::Extend => {
+            if dcas.detect(ctx.core, hl.global_len, ctx.tid, version) {
+                // The CAS landed: slab `a` is ours and orphaned.
+                refresh_slab_view(ctx, heap, slab);
+                heap.map_upto(ctx, slab as u64 + 1);
+                park_orphan(ctx, heap, slab);
+                report.outcome = "extend completed; slab parked on unsized list";
+            } else {
+                report.outcome = "extend had not happened";
+            }
+        }
+        Op::PopGlobal => {
+            if dcas.detect(ctx.core, hl.global_free, ctx.tid, version) {
+                refresh_slab_view(ctx, heap, slab);
+                park_orphan(ctx, heap, slab);
+                report.outcome = "pop completed; slab parked on unsized list";
+            } else {
+                report.outcome = "pop had not happened";
+            }
+        }
+        Op::PushGlobal => {
+            refresh_slab_view(ctx, heap, slab);
+            if dcas.detect(ctx.core, hl.global_free, ctx.tid, version) {
+                // The slab is on the global list; it must not also be on
+                // our private list (the pop precedes the CAS, but be
+                // defensive).
+                heap.remove_local(ctx, heap.unsized_head_off(ctx), slab);
+                report.outcome = "push completed";
+            } else if heap.contains_local(ctx, heap.unsized_head_off(ctx), slab) {
+                // Crash before the pop: nothing happened.
+                report.outcome = "push had not happened";
+            } else {
+                // Popped but not pushed: complete the push.
+                heap.push_global(ctx, slab);
+                report.outcome = "push redone";
+            }
+        }
+        Op::InitSlab => {
+            refresh_slab_view(ctx, heap, slab);
+            heap.remove_local(ctx, heap.unsized_head_off(ctx), slab);
+            heap.init_slab_body(ctx, slab, entry.word.b);
+            heap.flush_desc(ctx, slab);
+            report.outcome = "init redone";
+        }
+        Op::AllocBlock => {
+            refresh_slab_view(ctx, heap, slab);
+            let class = entry.word.b;
+            let bit = entry.word.c as u32;
+            let bits = heap.bits(ctx, slab, class);
+            if !bits.get(ctx.core, bit) {
+                // The block was allocated. Did the application get the
+                // pointer? Only if the detect destination holds it.
+                let block_off =
+                    hl.slab_data_at(slab) + bit as u64 * heap.classes.block_size(class) as u64;
+                let dst = entry.aux[0];
+                let delivered = dst != 0
+                    && ctx.mem.segment().atomic_u64(dst).load(std::sync::atomic::Ordering::SeqCst)
+                        == block_off;
+                if delivered {
+                    report.outcome = "allocation delivered; kept";
+                } else if dst != 0 {
+                    bits.set(ctx.core, bit);
+                    report.outcome = "allocation rolled back";
+                } else {
+                    // No detect destination: we cannot prove the app
+                    // didn't get it. Keep it allocated, report it.
+                    report.lost_block = Some(block_off);
+                    report.outcome = "allocation kept; reported as lost";
+                }
+            } else {
+                report.outcome = "allocation had not happened";
+            }
+            normalize_slab(ctx, heap, slab, class);
+        }
+        Op::FreeLocal => {
+            refresh_slab_view(ctx, heap, slab);
+            let class = entry.word.b;
+            let bit = entry.word.c as u32;
+            // Redo: the target state is "block free".
+            heap.bits(ctx, slab, class).set(ctx.core, bit);
+            normalize_slab(ctx, heap, slab, class);
+            report.outcome = "free redone";
+        }
+        Op::RemoteFree | Op::RemoteFreeLast => {
+            let cell = hl.hwcc_desc_at(slab);
+            if dcas.detect(ctx.core, cell, ctx.tid, version) {
+                if op == Op::RemoteFreeLast {
+                    refresh_slab_view(ctx, heap, slab);
+                    if !heap.contains_local(ctx, heap.unsized_head_off(ctx), slab) {
+                        heap.steal(ctx, slab);
+                    }
+                    heap.flush_desc(ctx, slab);
+                    report.outcome = "final remote free completed; slab stolen";
+                } else {
+                    report.outcome = "remote free completed";
+                }
+            } else {
+                // The decrement never landed: redo it.
+                redo_remote_free(ctx, heap, slab);
+                report.outcome = "remote free redone";
+            }
+        }
+        _ => unreachable!("huge ops dispatched separately"),
+    }
+}
+
+/// Parks an orphaned, freshly acquired slab on the dead thread's unsized
+/// list (idempotent).
+fn park_orphan(ctx: &Ctx<'_>, heap: &SlabHeap, slab: u32) {
+    if heap.contains_local(ctx, heap.unsized_head_off(ctx), slab) {
+        return;
+    }
+    heap.set_header(ctx, slab, crate::cell::SwccHeader {
+        next: 0,
+        owner: ctx.tid.raw(),
+        class: 0,
+        flags: 0,
+    });
+    heap.set_free_count(ctx, slab, 0);
+    heap.push_local(ctx, heap.unsized_head_off(ctx), slab);
+    heap.flush_desc(ctx, slab);
+}
+
+/// Normalizes a slab after a block-level op: recompute the free count
+/// from the bitset (the durable ground truth) and place the slab on the
+/// list its state dictates (Figure 4).
+fn normalize_slab(ctx: &Ctx<'_>, heap: &SlabHeap, slab: u32, class: u8) {
+    let blocks = heap.classes.blocks_per_slab(class);
+    let free = heap.bits(ctx, slab, class).count_set(ctx.core);
+    heap.set_free_count(ctx, slab, free);
+    let sized_off = heap.sized_head_off(ctx, class);
+    let unsized_off = heap.unsized_head_off(ctx);
+    if free == 0 {
+        // Full: must be unlinked, then detached or disowned.
+        heap.remove_local(ctx, sized_off, slab);
+        heap.remove_local(ctx, unsized_off, slab);
+        heap.full_transition(ctx, slab, class);
+    } else if free == blocks {
+        // Empty: unsized.
+        heap.remove_local(ctx, sized_off, slab);
+        let mut header = heap.header(ctx, slab);
+        header.class = 0;
+        header.flags = 0;
+        header.owner = ctx.tid.raw();
+        heap.set_header(ctx, slab, header);
+        if !heap.contains_local(ctx, unsized_off, slab) {
+            heap.push_local(ctx, unsized_off, slab);
+        }
+        heap.flush_desc(ctx, slab);
+    } else {
+        // Non-full: on the sized list.
+        heap.remove_local(ctx, unsized_off, slab);
+        let mut header = heap.header(ctx, slab);
+        header.class = class;
+        header.flags = crate::cell::flags::SIZED;
+        header.owner = ctx.tid.raw();
+        heap.set_header(ctx, slab, header);
+        if !heap.contains_local(ctx, sized_off, slab) {
+            heap.push_local(ctx, sized_off, slab);
+        }
+        heap.flush_desc(ctx, slab);
+    }
+}
+
+/// Redoes an undelivered remote-free decrement.
+fn redo_remote_free(ctx: &Ctx<'_>, heap: &SlabHeap, slab: u32) {
+    let hl = heap.hl(ctx.mem);
+    let dcas = ctx.dcas();
+    loop {
+        let remote = dcas.read(ctx.core, hl.hwcc_desc_at(slab));
+        if remote.payload == 0 {
+            return; // cannot happen for a pending free, but be safe
+        }
+        let last = remote.payload == 1;
+        let version = ctx.log().bump_version(ctx.core);
+        if dcas
+            .attempt(
+                ctx.core,
+                hl.hwcc_desc_at(slab),
+                remote,
+                remote.payload - 1,
+                ctx.tid,
+                version,
+            )
+            .is_ok()
+        {
+            if last {
+                refresh_slab_view(ctx, heap, slab);
+                heap.steal(ctx, slab);
+                heap.flush_desc(ctx, slab);
+            }
+            return;
+        }
+    }
+}
+
+fn recover_huge(
+    ctx: &Ctx<'_>,
+    op: Op,
+    entry: &crate::oplog::LogEntry,
+    report: &mut RecoveryReport,
+) {
+    let huge = HugeHeap;
+    match op {
+        Op::HugeClaim => {
+            // Whether or not the claim landed, reconstruction will pick
+            // the region up from the reservation array.
+            report.outcome = "claim state derived from reservation array";
+        }
+        Op::HugeAlloc => {
+            let desc_off = entry.aux[0];
+            let data_off = entry.aux[1];
+            if huge
+                .walk_descs(ctx, ctx.tid.slot(), |off, _| off == desc_off)
+                .is_some()
+            {
+                // Linked but never handed out: mark free; cleanup
+                // reclaims it (space and descriptor) later.
+                ctx.mem.store_u64(ctx.core, desc_off + 24, 1);
+                ctx.mem.flush(ctx.core, desc_off + 24, 8);
+                ctx.mem.fence(ctx.core);
+                huge.remove_hazard(ctx.mem, ctx.core, ctx.tid, data_off);
+                report.outcome = "huge alloc rolled back (descriptor freed)";
+            } else {
+                // Never linked: the descriptor slot and interval come
+                // back via reconstruction.
+                huge.remove_hazard(ctx.mem, ctx.core, ctx.tid, data_off);
+                report.outcome = "huge alloc had not happened";
+            }
+        }
+        Op::HugeFree => {
+            let desc_off = entry.aux[0];
+            let desc = huge.read_desc(ctx, desc_off);
+            ctx.mem.store_u64(ctx.core, desc_off + 24, 1);
+            ctx.mem.flush(ctx.core, desc_off + 24, 8);
+            ctx.mem.fence(ctx.core);
+            huge.remove_hazard(ctx.mem, ctx.core, ctx.tid, desc.offset);
+            report.outcome = "huge free redone";
+        }
+        Op::HugeCleanup => {
+            // Reclamation is completed by the next cleanup pass; nothing
+            // is lost because the descriptor is still linked or already
+            // unlinked, and reconstruction recomputes both pools.
+            report.outcome = "cleanup will re-run";
+        }
+        _ => unreachable!("slab ops dispatched separately"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::LogWord;
+
+    #[test]
+    fn op_encode_decode_roundtrip() {
+        for op in [
+            Op::Extend,
+            Op::PopGlobal,
+            Op::PushGlobal,
+            Op::InitSlab,
+            Op::AllocBlock,
+            Op::FreeLocal,
+            Op::RemoteFree,
+            Op::RemoteFreeLast,
+        ] {
+            for kind in [HeapKind::Small, HeapKind::Large] {
+                let raw = op.encode(kind);
+                assert_eq!(Op::decode(raw), Some((op, kind)), "{op:?} {kind:?}");
+            }
+        }
+        for op in [Op::HugeAlloc, Op::HugeFree, Op::HugeClaim, Op::HugeCleanup] {
+            let raw = op.encode(HeapKind::Huge);
+            assert_eq!(Op::decode(raw), Some((op, HeapKind::Huge)));
+        }
+        assert_eq!(Op::decode(0), Some((Op::Idle, HeapKind::Small)));
+        assert_eq!(Op::decode(99), None);
+    }
+
+    #[test]
+    fn idle_log_word_is_zero() {
+        assert_eq!(Op::Idle.encode(HeapKind::Small), 0);
+        assert_eq!(LogWord::IDLE.op, 0);
+    }
+}

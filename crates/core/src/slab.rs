@@ -1,0 +1,712 @@
+//! The slab heaps (small and large).
+//!
+//! The small heap serves 8 B – 1 KiB blocks from 32 KiB slabs; the large
+//! heap serves 1 KiB – 512 KiB blocks from 512 KiB slabs. Both share the
+//! design of paper §3.1.1:
+//!
+//! * The data region is divided into fixed-size slabs; the heap length
+//!   (`SmallGlobal.len`) is the current slab count and only grows.
+//! * Slabs move between the states of Figure 4: **unmapped** (past the
+//!   heap length), **global** (on the CAS-managed global free list),
+//!   **TL unsized** (owned, no class, all memory available), **TL
+//!   sized** (owned, classed, non-full), **detached** (full, owned,
+//!   unlinked — no remote frees yet), and **disowned** (full, unowned,
+//!   unlinked — had remote frees).
+//! * Each slab splits its metadata between an 8-byte HWcc descriptor
+//!   (the remote-free counter, a detectable-CAS cell) and a SWcc
+//!   descriptor (header + free count + block bitset) that only the owner
+//!   writes.
+//!
+//! The remote-free protocol is the paper's §3.2.1: remote frees only
+//! decrement the HWcc counter (which counts *down* so correctness never
+//! depends on the possibly-stale class field); the thread whose decrement
+//! reaches zero steals the slab. Detached slabs let fully-remote-freed
+//! slabs (producer/consumer) be reclaimed without coordinating with the
+//! owner; disowning forces mixed local/remote slabs to eventually drain
+//! through the remote path.
+//!
+//! The SWcc discipline is §3.2.2: owners keep descriptors cached and only
+//! flush + fence when ownership may change (push to global, detach,
+//! disown); readers flush before loading `next` on the global-list path;
+//! the `owner` field may be read from cache without flushing (the
+//! four-case argument in the paper, reproduced in this crate's tests).
+//!
+//! Every structural step first updates the thread's 8-byte recovery log
+//! (§3.4.2); `recovery.rs` redoes interrupted steps idempotently.
+
+use crate::bitset::BlockBits;
+use crate::cell::{flags, Detect, LogWord, SwccHeader};
+use crate::class::ClassTable;
+use crate::crash;
+use crate::ctx::Ctx;
+use crate::error::{AllocError, HeapKind};
+use crate::recovery::Op;
+use cxl_pod::{CoreId, HeapLayout, PodMemory};
+
+/// Crash-point labels compiled into this module (white-box failure
+/// tests iterate these).
+pub const CRASH_POINTS: &[&str] = &[
+    "slab::alloc_block::after_log",
+    "slab::alloc_block::after_clear",
+    "slab::alloc_block::after_unlink",
+    "slab::alloc_block::after_transition",
+    "slab::free_local::after_log",
+    "slab::free_local::after_set",
+    "slab::free_local::after_relink",
+    "slab::remote_free::after_log",
+    "slab::remote_free::after_cas",
+    "slab::remote_free::before_steal_push",
+    "slab::init::after_log",
+    "slab::init::mid",
+    "slab::pop_global::after_log",
+    "slab::pop_global::after_cas",
+    "slab::push_global::after_log",
+    "slab::push_global::after_pop",
+    "slab::push_global::after_cas",
+    "slab::extend::after_log",
+    "slab::extend::after_cas",
+];
+
+/// One slab heap (instantiated once for small, once for large).
+#[derive(Debug, Clone, Copy)]
+pub struct SlabHeap {
+    /// Which heap this is.
+    pub kind: HeapKind,
+    /// Its size-class table.
+    pub classes: ClassTable,
+}
+
+impl SlabHeap {
+    /// The small heap.
+    pub fn small() -> Self {
+        SlabHeap {
+            kind: HeapKind::Small,
+            classes: crate::class::SMALL_CLASSES_TABLE,
+        }
+    }
+
+    /// The large heap.
+    pub fn large() -> Self {
+        SlabHeap {
+            kind: HeapKind::Large,
+            classes: crate::class::LARGE_CLASSES_TABLE,
+        }
+    }
+
+    /// This heap's region layout.
+    pub fn hl<'a>(&self, mem: &'a dyn PodMemory) -> &'a HeapLayout {
+        match self.kind {
+            HeapKind::Small => &mem.layout().small,
+            HeapKind::Large => &mem.layout().large,
+            HeapKind::Huge => unreachable!("huge heap is not a slab heap"),
+        }
+    }
+
+    fn op(&self, op: Op) -> u8 {
+        op.encode(self.kind)
+    }
+
+    // ---- descriptor accessors ------------------------------------------
+
+    pub(crate) fn header(&self, ctx: &Ctx<'_>, slab: u32) -> SwccHeader {
+        SwccHeader::unpack(ctx.mem.load_u64(ctx.core, self.hl(ctx.mem).swcc_desc_at(slab)))
+    }
+
+    pub(crate) fn set_header(&self, ctx: &Ctx<'_>, slab: u32, header: SwccHeader) {
+        ctx.mem
+            .store_u64(ctx.core, self.hl(ctx.mem).swcc_desc_at(slab), header.pack());
+    }
+
+    pub(crate) fn free_count(&self, ctx: &Ctx<'_>, slab: u32) -> u32 {
+        ctx.mem.load_u64(ctx.core, self.hl(ctx.mem).free_count_at(slab)) as u32
+    }
+
+    pub(crate) fn set_free_count(&self, ctx: &Ctx<'_>, slab: u32, count: u32) {
+        ctx.mem
+            .store_u64(ctx.core, self.hl(ctx.mem).free_count_at(slab), count as u64);
+    }
+
+    pub(crate) fn bits<'m>(&self, ctx: &Ctx<'m>, slab: u32, class: u8) -> BlockBits<'m> {
+        BlockBits::new(
+            ctx.mem,
+            self.hl(ctx.mem).bitset_at(slab),
+            self.classes.blocks_per_slab(class),
+        )
+    }
+
+    /// Flushes a slab's entire SWcc descriptor (header, count, bitset)
+    /// and fences — required before any transition after which another
+    /// thread may become the owner (§3.2.2).
+    pub(crate) fn flush_desc(&self, ctx: &Ctx<'_>, slab: u32) {
+        let hl = self.hl(ctx.mem);
+        ctx.mem
+            .flush(ctx.core, hl.swcc_desc_at(slab), hl.swcc_desc_stride);
+        ctx.mem.fence(ctx.core);
+    }
+
+    /// Current heap length (number of mapped slabs).
+    pub fn len(&self, mem: &dyn PodMemory, core: CoreId) -> u32 {
+        Detect::unpack(mem.load_u64(core, self.hl(mem).global_len)).payload
+    }
+
+    /// Whether the heap has no slabs yet.
+    pub fn is_empty(&self, mem: &dyn PodMemory, core: CoreId) -> bool {
+        self.len(mem, core) == 0
+    }
+
+    // ---- private (thread-local) free lists ------------------------------
+
+    fn head_of(&self, ctx: &Ctx<'_>, head_off: u64) -> Option<u32> {
+        let raw = ctx.mem.load_u64(ctx.core, head_off) as u32;
+        raw.checked_sub(1)
+    }
+
+    pub(crate) fn unsized_head_off(&self, ctx: &Ctx<'_>) -> u64 {
+        self.hl(ctx.mem).local_unsized_at(ctx.tid.slot())
+    }
+
+    pub(crate) fn sized_head_off(&self, ctx: &Ctx<'_>, class: u8) -> u64 {
+        self.hl(ctx.mem).local_sized_at(ctx.tid.slot(), class as u32)
+    }
+
+    /// Pushes `slab` onto the private list at `head_off`.
+    pub(crate) fn push_local(&self, ctx: &Ctx<'_>, head_off: u64, slab: u32) {
+        let old = ctx.mem.load_u64(ctx.core, head_off) as u32;
+        let mut header = self.header(ctx, slab);
+        header.next = old;
+        self.set_header(ctx, slab, header);
+        ctx.mem.store_u64(ctx.core, head_off, (slab + 1) as u64);
+    }
+
+    /// Pops the head of the private list at `head_off`.
+    pub(crate) fn pop_local(&self, ctx: &Ctx<'_>, head_off: u64) -> Option<u32> {
+        let slab = self.head_of(ctx, head_off)?;
+        let header = self.header(ctx, slab);
+        ctx.mem.store_u64(ctx.core, head_off, header.next as u64);
+        Some(slab)
+    }
+
+    /// Removes `slab` from the private list at `head_off`; returns
+    /// whether it was present. Private lists are short, so this walk is
+    /// cheap; only the owning thread (or its recoverer) calls it.
+    pub(crate) fn remove_local(&self, ctx: &Ctx<'_>, head_off: u64, slab: u32) -> bool {
+        let mut prev: Option<u32> = None;
+        let mut cursor = self.head_of(ctx, head_off);
+        let mut hops = 0u32;
+        while let Some(cur) = cursor {
+            assert!(
+                hops <= self.hl(ctx.mem).max_slabs,
+                "cycle in private free list at head {head_off:#x}"
+            );
+            hops += 1;
+            let header = self.header(ctx, cur);
+            if cur == slab {
+                match prev {
+                    None => ctx.mem.store_u64(ctx.core, head_off, header.next as u64),
+                    Some(p) => {
+                        let mut ph = self.header(ctx, p);
+                        ph.next = header.next;
+                        self.set_header(ctx, p, ph);
+                    }
+                }
+                return true;
+            }
+            prev = Some(cur);
+            cursor = header.next.checked_sub(1);
+        }
+        false
+    }
+
+    /// Whether `slab` is on the private list at `head_off`.
+    pub(crate) fn contains_local(&self, ctx: &Ctx<'_>, head_off: u64, slab: u32) -> bool {
+        let mut cursor = self.head_of(ctx, head_off);
+        let mut hops = 0u32;
+        while let Some(cur) = cursor {
+            assert!(hops <= self.hl(ctx.mem).max_slabs, "cycle in private free list");
+            hops += 1;
+            if cur == slab {
+                return true;
+            }
+            cursor = self.header(ctx, cur).next.checked_sub(1);
+        }
+        false
+    }
+
+    /// Walks the private list at `head_off`, up to `cap` nodes.
+    pub(crate) fn list_len(&self, ctx: &Ctx<'_>, head_off: u64, cap: u32) -> u32 {
+        let mut n = 0;
+        let mut cursor = self.head_of(ctx, head_off);
+        while let Some(cur) = cursor {
+            n += 1;
+            if n >= cap {
+                break;
+            }
+            cursor = self.header(ctx, cur).next.checked_sub(1);
+        }
+        n
+    }
+
+    // ---- slab acquisition -------------------------------------------------
+
+    /// Initializes `slab` for `class` and links it into the calling
+    /// thread's sized list. The slab must be owned by the caller and
+    /// unlinked (freshly popped from the unsized list, the global list,
+    /// or the heap end).
+    fn init_slab(&self, ctx: &Ctx<'_>, slab: u32, class: u8) {
+        ctx.log().begin(
+            ctx.core,
+            LogWord {
+                op: self.op(Op::InitSlab),
+                a: slab,
+                b: class,
+                c: 0,
+            },
+            &[],
+        );
+        crash::point("slab::init::after_log");
+        self.init_slab_body(ctx, slab, class);
+        ctx.log().clear(ctx.core);
+    }
+
+    /// The (idempotent) body of slab initialization; also called by
+    /// recovery to redo an interrupted init.
+    pub(crate) fn init_slab_body(&self, ctx: &Ctx<'_>, slab: u32, class: u8) {
+        let blocks = self.classes.blocks_per_slab(class);
+        self.set_header(ctx, slab, SwccHeader {
+            next: 0,
+            owner: ctx.tid.raw(),
+            class,
+            flags: flags::SIZED,
+        });
+        self.set_free_count(ctx, slab, blocks);
+        crash::point("slab::init::mid");
+        self.bits(ctx, slab, class).set_all(ctx.core);
+        // Reset the remote-free counter to the block count. A plain
+        // store is safe: no block of this slab is live, so no thread can
+        // be racing a remote free (§3.1.1).
+        ctx.mem.store_u64(
+            ctx.core,
+            self.hl(ctx.mem).hwcc_desc_at(slab),
+            Detect {
+                version: 0,
+                tid: 0,
+                payload: blocks,
+            }
+            .pack(),
+        );
+        if !self.contains_local(ctx, self.sized_head_off(ctx, class), slab) {
+            self.push_local(ctx, self.sized_head_off(ctx, class), slab);
+        }
+    }
+
+    /// Pops a slab from the global free list (paper §3.2.2's
+    /// flush-before-load discipline on `next`).
+    fn pop_global(&self, ctx: &Ctx<'_>) -> Option<u32> {
+        let hl = self.hl(ctx.mem);
+        let dcas = ctx.dcas();
+        loop {
+            let head = dcas.read(ctx.core, hl.global_free);
+            let slab = head.payload.checked_sub(1)?;
+            // Readers flush before loading SWccDesc.next; a stale load is
+            // caught by the CAS on the head (version mismatch).
+            ctx.mem.flush(ctx.core, hl.swcc_desc_at(slab), 8);
+            let next = self.header(ctx, slab).next;
+            let version = ctx.log().bump_version(ctx.core);
+            ctx.log().begin(
+                ctx.core,
+                LogWord {
+                    op: self.op(Op::PopGlobal),
+                    a: slab,
+                    b: 0,
+                    c: version,
+                },
+                &[],
+            );
+            crash::point("slab::pop_global::after_log");
+            if dcas
+                .attempt(ctx.core, hl.global_free, head, next, ctx.tid, version)
+                .is_ok()
+            {
+                crash::point("slab::pop_global::after_cas");
+                return Some(slab);
+            }
+            ctx.log().clear(ctx.core);
+        }
+    }
+
+    /// Pushes `slab` (owned, unlinked, empty) onto the global free list.
+    pub(crate) fn push_global(&self, ctx: &Ctx<'_>, slab: u32) {
+        let hl = self.hl(ctx.mem);
+        let dcas = ctx.dcas();
+        loop {
+            let head = dcas.read(ctx.core, hl.global_free);
+            // Slabs on the global list are unowned and unsized.
+            self.set_header(ctx, slab, SwccHeader {
+                next: head.payload,
+                owner: 0,
+                class: 0,
+                flags: 0,
+            });
+            // Ownership is about to change: flush + fence the descriptor
+            // before publishing (§3.2.2).
+            self.flush_desc(ctx, slab);
+            let version = ctx.log().bump_version(ctx.core);
+            ctx.log().begin(
+                ctx.core,
+                LogWord {
+                    op: self.op(Op::PushGlobal),
+                    a: slab,
+                    b: 0,
+                    c: version,
+                },
+                &[],
+            );
+            crash::point("slab::push_global::after_log");
+            if dcas
+                .attempt(ctx.core, hl.global_free, head, slab + 1, ctx.tid, version)
+                .is_ok()
+            {
+                crash::point("slab::push_global::after_cas");
+                ctx.log().clear(ctx.core);
+                return;
+            }
+            ctx.log().clear(ctx.core);
+        }
+    }
+
+    /// Extends the heap by one slab; returns the new slab's index.
+    fn extend(&self, ctx: &Ctx<'_>) -> Option<u32> {
+        let hl = self.hl(ctx.mem);
+        let dcas = ctx.dcas();
+        loop {
+            let len = dcas.read(ctx.core, hl.global_len);
+            if len.payload >= hl.max_slabs {
+                return None;
+            }
+            let version = ctx.log().bump_version(ctx.core);
+            ctx.log().begin(
+                ctx.core,
+                LogWord {
+                    op: self.op(Op::Extend),
+                    a: len.payload,
+                    b: 0,
+                    c: version,
+                },
+                &[],
+            );
+            crash::point("slab::extend::after_log");
+            if dcas
+                .attempt(ctx.core, hl.global_len, len, len.payload + 1, ctx.tid, version)
+                .is_ok()
+            {
+                crash::point("slab::extend::after_cas");
+                let slab = len.payload;
+                self.map_upto(ctx, slab as u64 + 1);
+                return Some(slab);
+            }
+            ctx.log().clear(ctx.core);
+        }
+    }
+
+    /// Installs this process's mappings up to `slabs` slabs (the three
+    /// mappings of §3.3.1, modeled as the process's heap watermark).
+    pub(crate) fn map_upto(&self, ctx: &Ctx<'_>, slabs: u64) {
+        match self.kind {
+            HeapKind::Small => ctx.process.map_small_upto(slabs),
+            HeapKind::Large => ctx.process.map_large_upto(slabs),
+            HeapKind::Huge => unreachable!(),
+        }
+    }
+
+    /// Acquires a slab for `class` into the sized list, per the paper's
+    /// transfer order: thread-local unsized list, global free list, heap
+    /// extension.
+    fn acquire(&self, ctx: &Ctx<'_>, class: u8) -> Result<(), AllocError> {
+        let slab = if let Some(slab) = self.head_of(ctx, self.unsized_head_off(ctx)) {
+            // We log the init *before* popping so recovery can redo the
+            // pop (the init body is idempotent and pops if still linked).
+            ctx.log().begin(
+                ctx.core,
+                LogWord {
+                    op: self.op(Op::InitSlab),
+                    a: slab,
+                    b: class,
+                    c: 0,
+                },
+                &[],
+            );
+            crash::point("slab::init::after_log");
+            self.pop_local(ctx, self.unsized_head_off(ctx));
+            self.init_slab_body(ctx, slab, class);
+            ctx.log().clear(ctx.core);
+            return Ok(());
+        } else if let Some(slab) = self.pop_global(ctx) {
+            slab
+        } else if let Some(slab) = self.extend(ctx) {
+            slab
+        } else {
+            return Err(AllocError::OutOfMemory {
+                heap: self.kind,
+                size: self.classes.block_size(class) as usize,
+            });
+        };
+        self.init_slab(ctx, slab, class);
+        Ok(())
+    }
+
+    // ---- allocation ------------------------------------------------------
+
+    /// Allocates `size` bytes; returns the block's segment offset.
+    ///
+    /// `detect_dst` is an optional segment offset of an 8-byte cell the
+    /// caller will store the resulting pointer into; recovery uses it to
+    /// decide whether an interrupted allocation reached the application
+    /// (see `recovery.rs`).
+    pub(crate) fn alloc(&self, ctx: &Ctx<'_>, size: usize, detect_dst: u64) -> Result<u64, AllocError> {
+        let class = self
+            .classes
+            .class_of(size)
+            .ok_or(AllocError::InvalidSize { size })?;
+        loop {
+            let Some(slab) = self.head_of(ctx, self.sized_head_off(ctx, class)) else {
+                self.acquire(ctx, class)?;
+                continue;
+            };
+            return Ok(self.alloc_block(ctx, slab, class, detect_dst));
+        }
+    }
+
+    /// Allocates one block from `slab` (the head of the caller's sized
+    /// list for `class`), handling the full-slab transition.
+    fn alloc_block(&self, ctx: &Ctx<'_>, slab: u32, class: u8, detect_dst: u64) -> u64 {
+        let bits = self.bits(ctx, slab, class);
+        let bit = bits
+            .find_set(ctx.core)
+            .expect("sized-list invariant: slabs on sized lists are non-full");
+        ctx.log().begin(
+            ctx.core,
+            LogWord {
+                op: self.op(Op::AllocBlock),
+                a: slab,
+                b: class,
+                c: bit as u16,
+            },
+            &[detect_dst],
+        );
+        crash::point("slab::alloc_block::after_log");
+        bits.clear(ctx.core, bit);
+        let remaining = self.free_count(ctx, slab) - 1;
+        self.set_free_count(ctx, slab, remaining);
+        crash::point("slab::alloc_block::after_clear");
+        if remaining == 0 {
+            // The slab is now full: unlink it so the sized list only
+            // holds non-full slabs, then detach or disown (Figure 4).
+            self.pop_local(ctx, self.sized_head_off(ctx, class));
+            crash::point("slab::alloc_block::after_unlink");
+            self.full_transition(ctx, slab, class);
+            crash::point("slab::alloc_block::after_transition");
+        }
+        ctx.log().clear(ctx.core);
+        self.hl(ctx.mem).slab_data_at(slab) + bit as u64 * self.classes.block_size(class) as u64
+    }
+
+    /// Detaches or disowns a just-full slab, per its remote counter.
+    /// Idempotent (also used by recovery).
+    pub(crate) fn full_transition(&self, ctx: &Ctx<'_>, slab: u32, class: u8) {
+        let hl = self.hl(ctx.mem);
+        let remote = Detect::unpack(ctx.mem.load_u64(ctx.core, hl.hwcc_desc_at(slab))).payload;
+        let blocks = self.classes.blocks_per_slab(class);
+        if remote == blocks {
+            // No remote frees: detach, keeping ownership. The descriptor
+            // must be durable before our allocation returns, because the
+            // final remote free may steal the slab and read it.
+            self.flush_desc(ctx, slab);
+        } else {
+            // At least one remote free: disown so every subsequent free
+            // takes the remote path and the whole slab drains (§3.2.1).
+            let mut header = self.header(ctx, slab);
+            header.owner = 0;
+            self.set_header(ctx, slab, header);
+            self.flush_desc(ctx, slab);
+        }
+    }
+
+    // ---- deallocation ------------------------------------------------------
+
+    /// Frees the block at segment offset `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::NotAllocated`] for misaligned interior
+    /// pointers, blocks that are already free, or slabs past the heap
+    /// length.
+    pub(crate) fn dealloc(&self, ctx: &Ctx<'_>, offset: u64) -> Result<(), AllocError> {
+        let hl = self.hl(ctx.mem);
+        let slab = hl
+            .slab_of(offset)
+            .ok_or(AllocError::WildPointer { offset })?;
+        // No heap-length check here: it would cost an HWcc read on every
+        // free. A pointer past the heap length hits an all-zero
+        // descriptor (owner 0 -> remote path -> zero counter) and is
+        // rejected by the counter check.
+        // Loading the owner from our own cache without flushing is safe:
+        // the four-case analysis of §3.2.2.
+        let header = self.header(ctx, slab);
+        if header.owner == ctx.tid.raw() {
+            self.free_local(ctx, slab, header, offset)
+        } else {
+            self.free_remote(ctx, slab, offset)
+        }
+    }
+
+    /// The unsynchronized local-free fast path.
+    fn free_local(
+        &self,
+        ctx: &Ctx<'_>,
+        slab: u32,
+        header: SwccHeader,
+        offset: u64,
+    ) -> Result<(), AllocError> {
+        let hl = self.hl(ctx.mem);
+        let class = header.class;
+        let block_size = self.classes.block_size(class) as u64;
+        let within = offset - hl.slab_data_at(slab);
+        if within % block_size != 0 {
+            return Err(AllocError::NotAllocated { offset });
+        }
+        let bit = (within / block_size) as u32;
+        let bits = self.bits(ctx, slab, class);
+        if bits.get(ctx.core, bit) {
+            return Err(AllocError::NotAllocated { offset }); // double free
+        }
+        ctx.log().begin(
+            ctx.core,
+            LogWord {
+                op: self.op(Op::FreeLocal),
+                a: slab,
+                b: class,
+                c: bit as u16,
+            },
+            &[],
+        );
+        crash::point("slab::free_local::after_log");
+        let was_full = self.free_count(ctx, slab) == 0;
+        bits.set(ctx.core, bit);
+        let now_free = self.free_count(ctx, slab) + 1;
+        self.set_free_count(ctx, slab, now_free);
+        crash::point("slab::free_local::after_set");
+        if was_full {
+            // It was detached (full + owned + unlinked): re-link it.
+            self.push_local(ctx, self.sized_head_off(ctx, class), slab);
+        }
+        if now_free == self.classes.blocks_per_slab(class) {
+            // Fully empty: move from the sized list to the unsized list.
+            self.remove_local(ctx, self.sized_head_off(ctx, class), slab);
+            let mut h = self.header(ctx, slab);
+            h.class = 0;
+            h.flags = 0;
+            self.set_header(ctx, slab, h);
+            self.push_local(ctx, self.unsized_head_off(ctx), slab);
+        }
+        crash::point("slab::free_local::after_relink");
+        ctx.log().clear(ctx.core);
+        self.release_overflow(ctx);
+        Ok(())
+    }
+
+    /// Releases unsized slabs beyond the configured threshold to the
+    /// global free list.
+    pub(crate) fn release_overflow(&self, ctx: &Ctx<'_>) {
+        let head_off = self.unsized_head_off(ctx);
+        while self.list_len(ctx, head_off, ctx.unsized_limit + 1) > ctx.unsized_limit {
+            let Some(slab) = self.pop_local(ctx, head_off) else {
+                return;
+            };
+            crash::point("slab::push_global::after_pop");
+            self.push_global(ctx, slab);
+        }
+    }
+
+    /// The remote-free path: decrement the HWcc counter with detectable
+    /// (m)CAS; steal the slab if we reach zero.
+    fn free_remote(&self, ctx: &Ctx<'_>, slab: u32, offset: u64) -> Result<(), AllocError> {
+        let hl = self.hl(ctx.mem);
+        let dcas = ctx.dcas();
+        loop {
+            let remote = dcas.read(ctx.core, hl.hwcc_desc_at(slab));
+            if remote.payload == 0 {
+                // Every block was already remotely freed; another free
+                // into this slab is an application bug.
+                return Err(AllocError::NotAllocated { offset });
+            }
+            let last = remote.payload == 1;
+            let version = ctx.log().bump_version(ctx.core);
+            ctx.log().begin(
+                ctx.core,
+                LogWord {
+                    op: self.op(if last {
+                        Op::RemoteFreeLast
+                    } else {
+                        Op::RemoteFree
+                    }),
+                    a: slab,
+                    b: 0,
+                    c: version,
+                },
+                &[],
+            );
+            crash::point("slab::remote_free::after_log");
+            if dcas
+                .attempt(
+                    ctx.core,
+                    hl.hwcc_desc_at(slab),
+                    remote,
+                    remote.payload - 1,
+                    ctx.tid,
+                    version,
+                )
+                .is_ok()
+            {
+                crash::point("slab::remote_free::after_cas");
+                if last {
+                    self.steal(ctx, slab);
+                }
+                ctx.log().clear(ctx.core);
+                if last {
+                    self.release_overflow(ctx);
+                }
+                return Ok(());
+            }
+            ctx.log().clear(ctx.core);
+        }
+    }
+
+    /// Steals a fully-remotely-freed slab (detached or disowned, hence
+    /// unlinked) onto our unsized list. Safe without coordination: with
+    /// the counter at zero there can be no further allocation from or
+    /// deallocation to this slab (§3.1.1).
+    pub(crate) fn steal(&self, ctx: &Ctx<'_>, slab: u32) {
+        self.set_header(ctx, slab, SwccHeader {
+            next: 0,
+            owner: ctx.tid.raw(),
+            class: 0,
+            flags: 0,
+        });
+        self.set_free_count(ctx, slab, 0);
+        crash::point("slab::remote_free::before_steal_push");
+        self.push_local(ctx, self.unsized_head_off(ctx), slab);
+    }
+
+    // ---- introspection ------------------------------------------------------
+
+    /// Bytes of HWcc memory currently in use by this heap (§5.2.1
+    /// accounting).
+    pub fn hwcc_bytes(&self, mem: &dyn PodMemory, core: CoreId) -> u64 {
+        self.hl(mem).hwcc_bytes(self.len(mem, core))
+    }
+
+    /// Total data bytes mapped (heap length × slab size).
+    pub fn mapped_bytes(&self, mem: &dyn PodMemory, core: CoreId) -> u64 {
+        self.len(mem, core) as u64 * self.hl(mem).slab_size
+    }
+}

@@ -1,0 +1,390 @@
+//! Partial-failure tests (paper §3.4 and §5.1): white-box tests with
+//! defined crash points, and black-box tests with random crashes.
+//!
+//! The harness crashes a victim thread at a named point inside the
+//! allocator (the thread unwinds, leaving shared state exactly as a real
+//! crash would — and in simulated-coherence pods, losing its dirty cache
+//! lines), then recovers the thread and re-validates every heap
+//! invariant. Live threads never block on the dead one.
+
+use cxl_core::crash::{self, CrashPlan};
+use cxl_core::{AttachOptions, Cxlalloc, OffsetPtr, ThreadId};
+use cxl_pod::{CoreId, HwccMode, Pod, PodConfig};
+
+const MIB: usize = 1 << 20;
+
+fn pod(mode: Option<HwccMode>) -> Pod {
+    let config = PodConfig {
+        small_max_slabs: 256,
+        ..PodConfig::small_for_tests()
+    };
+    match mode {
+        None => Pod::new(config).unwrap(),
+        Some(mode) => Pod::with_simulation(config, mode).unwrap(),
+    }
+}
+
+/// Runs `victim` on a fresh thread with a crash plan armed; returns the
+/// victim's tid after marking it crashed, plus whether the crash fired.
+fn crash_thread(
+    heap: &Cxlalloc,
+    plan: CrashPlan,
+    victim: impl FnOnce(&mut cxl_core::ThreadHandle) + Send,
+) -> (ThreadId, bool) {
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut t = heap.register_thread().unwrap();
+            let tid = t.tid();
+            crash::arm(plan);
+            let crashed = crash::catch(std::panic::AssertUnwindSafe(|| victim(&mut t))).is_err();
+            crash::disarm();
+            (tid, crashed)
+        })
+        .join()
+        .unwrap()
+    })
+}
+
+/// Exercises every slab-heap crash point with a workload that passes it,
+/// recovering and validating after each.
+#[test]
+fn every_slab_crash_point_recovers() {
+    for point in cxl_core::slab::CRASH_POINTS {
+        for mode in [None, Some(HwccMode::Limited)] {
+            let pod = pod(mode);
+            // A tight unsized limit makes the workload overflow to (and
+            // pop from) the global free list quickly.
+            let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions {
+                unsized_limit: 1,
+                ..AttachOptions::default()
+            })
+            .unwrap();
+
+            // A workload guaranteed to traverse all slab paths: local
+            // churn, slab fills (detach), remote frees (disown + steal),
+            // unsized overflow to the global list, pops from it.
+            let (tid, crashed) = crash_thread(&heap, CrashPlan {
+                at: point,
+                skip: 0,
+            }, |t| {
+                let mut helper_ptrs = Vec::new();
+                for round in 0..3 {
+                    let ptrs: Vec<OffsetPtr> =
+                        (0..1200).map(|_| t.alloc(64).unwrap()).collect();
+                    for (i, p) in ptrs.into_iter().enumerate() {
+                        if i % 7 == round {
+                            helper_ptrs.push(p);
+                        } else {
+                            t.dealloc(p).unwrap();
+                        }
+                    }
+                }
+                for p in helper_ptrs {
+                    t.dealloc(p).unwrap();
+                }
+                // Everything is free now: surplus slabs went to the
+                // global list. Allocate a big batch to exercise unsized
+                // pops and then global-list pops.
+                let again: Vec<OffsetPtr> = (0..2400).map(|_| t.alloc(64).unwrap()).collect();
+                for p in again {
+                    t.dealloc(p).unwrap();
+                }
+            });
+
+            // Remote-free points need a second thread; retry there below.
+            if !crashed && point.starts_with("slab::remote_free") {
+                continue;
+            }
+            assert!(
+                crashed || point.starts_with("slab::remote_free"),
+                "workload never reached {point}"
+            );
+            heap.mark_crashed(tid).unwrap();
+
+            // A live thread keeps working while the victim is dead —
+            // non-blocking crash (paper §3.4.1).
+            let mut live = heap.register_thread().unwrap();
+            for _ in 0..200 {
+                let p = live.alloc(64).unwrap();
+                live.dealloc(p).unwrap();
+            }
+
+            let report = heap.recover(tid, live.core()).unwrap();
+            assert!(!report.outcome.is_empty());
+            heap.check_invariants(live.core())
+                .unwrap_or_else(|e| panic!("invariants after {point} ({mode:?}): {e}"));
+        }
+    }
+}
+
+#[test]
+fn remote_free_crash_points_recover() {
+    for point in [
+        "slab::remote_free::after_log",
+        "slab::remote_free::after_cas",
+        "slab::remote_free::before_steal_push",
+    ] {
+        let pod = pod(Some(HwccMode::Limited));
+        let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+        let mut producer = heap.register_thread().unwrap();
+        let ptrs: Vec<OffsetPtr> = (0..512).map(|_| producer.alloc(64).unwrap()).collect();
+
+        // The steal point fires exactly once per drained slab, the other
+        // points fire per free: pick the skip accordingly.
+        let skip = if point.ends_with("before_steal_push") { 0 } else { 100 };
+        let (tid, crashed) = crash_thread(&heap, CrashPlan {
+            at: point,
+            skip,
+        }, |t| {
+            for p in &ptrs {
+                t.dealloc(*p).unwrap();
+            }
+        });
+        assert!(crashed, "never reached {point}");
+        heap.mark_crashed(tid).unwrap();
+        let report = heap.recover(tid, producer.core()).unwrap();
+        assert!(report.interrupted.is_some());
+        heap.check_invariants(producer.core())
+            .unwrap_or_else(|e| panic!("invariants after {point}: {e}"));
+
+        // The adopted thread (and the heap as a whole) remain fully
+        // usable. (We do not re-free the remaining pointers: freeing a
+        // block twice is an application bug, and which of the victim's
+        // frees landed is exactly what the log + counter already
+        // reconciled.)
+        let (mut adopted, _) = heap.adopt(tid, producer.core()).unwrap();
+        let fresh: Vec<OffsetPtr> = (0..256).map(|_| adopted.alloc(64).unwrap()).collect();
+        for p in fresh {
+            adopted.dealloc(p).unwrap();
+        }
+        heap.check_invariants(adopted.core()).unwrap();
+    }
+}
+
+#[test]
+fn steal_crash_point_recovers_slab() {
+    // Crash exactly between the final decrement and the steal push: the
+    // slab would be orphaned without recovery.
+    let pod = pod(None);
+    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+    let mut producer = heap.register_thread().unwrap();
+    let ptrs: Vec<OffsetPtr> = (0..512).map(|_| producer.alloc(64).unwrap()).collect();
+
+    let (tid, crashed) = crash_thread(&heap, CrashPlan {
+        at: "slab::remote_free::before_steal_push",
+        skip: 0,
+    }, |t| {
+        for p in &ptrs {
+            t.dealloc(*p).unwrap();
+        }
+    });
+    assert!(crashed);
+    heap.mark_crashed(tid).unwrap();
+    let slabs_before = heap.stats().small_slabs;
+    let (mut adopted, report) = heap.adopt(tid, CoreId(5)).unwrap();
+    assert!(report.outcome.contains("stolen") || report.outcome.contains("redone"),
+        "unexpected outcome: {}", report.outcome);
+    // The stolen slab is on the adopted thread's unsized list: new
+    // allocations must not extend the heap.
+    let p: Vec<OffsetPtr> = (0..512).map(|_| adopted.alloc(64).unwrap()).collect();
+    assert_eq!(heap.stats().small_slabs, slabs_before);
+    for ptr in p {
+        adopted.dealloc(ptr).unwrap();
+    }
+    heap.check_invariants(adopted.core()).unwrap();
+}
+
+#[test]
+fn interrupted_alloc_is_rolled_back_without_delivery() {
+    // Detectable allocation: the app's destination cell never received
+    // the pointer, so recovery rolls the block back — no leak.
+    let pod = pod(None);
+    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+    let mut owner = heap.register_thread().unwrap();
+    let dst = owner.alloc(8).unwrap();
+
+    let dst_copy = dst;
+    let (tid, crashed) = crash_thread(&heap, CrashPlan {
+        at: "slab::alloc_block::after_clear",
+        skip: 0,
+    }, move |t| {
+        let _ = t.alloc_detectable(64, dst_copy);
+        unreachable!("crash point must fire");
+    });
+    assert!(crashed);
+    heap.mark_crashed(tid).unwrap();
+    let report = heap.recover(tid, owner.core()).unwrap();
+    assert_eq!(report.outcome, "allocation rolled back");
+    assert_eq!(report.lost_block, None);
+    heap.check_invariants(owner.core()).unwrap();
+}
+
+#[test]
+fn interrupted_alloc_without_destination_is_reported() {
+    let pod = pod(None);
+    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+    let (tid, crashed) = crash_thread(&heap, CrashPlan {
+        at: "slab::alloc_block::after_clear",
+        skip: 0,
+    }, |t| {
+        let _ = t.alloc(64);
+        unreachable!();
+    });
+    assert!(crashed);
+    heap.mark_crashed(tid).unwrap();
+    let report = heap.recover(tid, CoreId(3)).unwrap();
+    assert_eq!(report.outcome, "allocation kept; reported as lost");
+    let lost = report.lost_block.expect("lost block must be reported");
+    // The harness can reclaim it through the adopted thread.
+    let (mut adopted, _) = heap.adopt(tid, CoreId(3)).unwrap();
+    adopted.dealloc(OffsetPtr::new(lost).unwrap()).unwrap();
+    heap.check_invariants(adopted.core()).unwrap();
+}
+
+#[test]
+fn every_huge_crash_point_recovers() {
+    for point in cxl_core::huge::CRASH_POINTS {
+        let pod = pod(None);
+        let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+        let (tid, crashed) = crash_thread(&heap, CrashPlan {
+            at: point,
+            skip: 0,
+        }, |t| {
+            let a = t.alloc(MIB).unwrap();
+            let b = t.alloc(2 * MIB).unwrap();
+            t.dealloc(a).unwrap();
+            t.cleanup();
+            t.dealloc(b).unwrap();
+            t.cleanup();
+        });
+        assert!(crashed, "workload never reached {point}");
+        heap.mark_crashed(tid).unwrap();
+        let (mut adopted, report) = heap.adopt(tid, CoreId(7)).unwrap();
+        assert!(!report.outcome.is_empty());
+        // The adopted thread's reconstructed state is fully usable:
+        // allocate the entire huge capacity's worth over a few rounds.
+        for _ in 0..3 {
+            let p = adopted.alloc(4 * MIB).unwrap();
+            adopted.dealloc(p).unwrap();
+            adopted.cleanup();
+        }
+        heap.check_invariants(adopted.core())
+            .unwrap_or_else(|e| panic!("invariants after {point}: {e}"));
+    }
+}
+
+#[test]
+fn random_blackbox_crashes() {
+    // §5.1's black-box methodology: crash at a random operation count,
+    // recover, validate, repeat — across coherence modes.
+    for seed in 0..12u32 {
+        let mode = match seed % 3 {
+            0 => None,
+            1 => Some(HwccMode::Limited),
+            _ => Some(HwccMode::None),
+        };
+        let pod = pod(mode);
+        let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+        // Use op-count-based crashes at the log point (reached by every
+        // structural operation).
+        let (tid, crashed) = crash_thread(&heap, CrashPlan {
+            at: "slab::alloc_block::after_log",
+            skip: 17 * seed + 3,
+        }, |t| {
+            let mut live = Vec::new();
+            for op in 0..2000usize {
+                live.push(t.alloc(8 + (op * 13) % 1000).unwrap());
+                if live.len() > 40 {
+                    let p = live.swap_remove(op % 40);
+                    t.dealloc(p).unwrap();
+                }
+            }
+            for p in live.drain(..) {
+                t.dealloc(p).unwrap();
+            }
+        });
+        assert!(crashed, "seed {seed} never crashed");
+        heap.mark_crashed(tid).unwrap();
+        let (mut adopted, _) = heap.adopt(tid, CoreId(9)).unwrap();
+        for _ in 0..100 {
+            let p = adopted.alloc(64).unwrap();
+            adopted.dealloc(p).unwrap();
+        }
+        heap.check_invariants(adopted.core())
+            .unwrap_or_else(|e| panic!("seed {seed} ({mode:?}): {e}"));
+    }
+}
+
+#[test]
+fn recovery_requires_crashed_state() {
+    let pod = pod(None);
+    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+    let t = heap.register_thread().unwrap();
+    // Recovering a live thread is rejected.
+    assert!(heap.recover(t.tid(), CoreId(0)).is_err());
+    // Marking a never-registered slot crashed is rejected.
+    assert!(heap.mark_crashed(ThreadId::new(9).unwrap()).is_err());
+}
+
+#[test]
+fn double_recovery_is_idempotent() {
+    let pod = pod(None);
+    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+    let (tid, crashed) = crash_thread(&heap, CrashPlan {
+        at: "slab::free_local::after_set",
+        skip: 5,
+    }, |t| {
+        let ptrs: Vec<_> = (0..100).map(|_| t.alloc(64).unwrap()).collect();
+        for p in ptrs {
+            t.dealloc(p).unwrap();
+        }
+    });
+    assert!(crashed);
+    heap.mark_crashed(tid).unwrap();
+    let r1 = heap.recover(tid, CoreId(2)).unwrap();
+    // Recovery itself can crash; re-running must be safe.
+    let r2 = heap.recover(tid, CoreId(2)).unwrap();
+    assert!(r1.interrupted.is_some());
+    assert_eq!(r2.interrupted, None, "second pass sees a clean log");
+    heap.check_invariants(CoreId(2)).unwrap();
+}
+
+#[test]
+fn large_heap_crash_points_recover() {
+    // The large heap shares the slab machinery; make sure its ops are
+    // logged with the Large tag and recover correctly too.
+    for point in [
+        "slab::alloc_block::after_clear",
+        "slab::free_local::after_set",
+        "slab::extend::after_cas",
+    ] {
+        let pod = pod(None);
+        let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+        let skip = if point.contains("extend") { 1 } else { 3 };
+        let (tid, crashed) = crash_thread(&heap, CrashPlan {
+            at: point,
+            skip,
+        }, |t| {
+            let mut live = Vec::new();
+            for i in 0..64 {
+                live.push(t.alloc(4096 + (i % 4) * 1024).unwrap());
+                if live.len() > 8 {
+                    t.dealloc(live.remove(0)).unwrap();
+                }
+            }
+            for p in live {
+                t.dealloc(p).unwrap();
+            }
+        });
+        assert!(crashed, "never reached {point} in the large heap");
+        heap.mark_crashed(tid).unwrap();
+        let (mut adopted, report) = heap.adopt(tid, CoreId(4)).unwrap();
+        if let Some((_, kind)) = report.interrupted {
+            assert_eq!(kind, cxl_core::HeapKind::Large, "{point}");
+        }
+        let p = adopted.alloc(8192).unwrap();
+        adopted.dealloc(p).unwrap();
+        heap.check_invariants(adopted.core())
+            .unwrap_or_else(|e| panic!("invariants after {point}: {e}"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Property-based tests (proptest) on the allocator and its core data
+//! structures, checked against simple shadow models.
+
+use cxl_core::interval::IntervalTree;
+use cxl_core::{AttachOptions, Cxlalloc, OffsetPtr};
+use cxl_pod::{MapSet, Pod, PodConfig};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+
+// ---------------------------------------------------------------------------
+// Allocator vs shadow model: random alloc/free sequences must produce
+// disjoint, in-bounds, aligned blocks and support full drain.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc(usize),
+    FreeOldest,
+    FreeNewest,
+}
+
+fn alloc_op() -> impl Strategy<Value = AllocOp> {
+    prop_oneof![
+        3 => (1usize..=2048).prop_map(AllocOp::Alloc),
+        1 => Just(AllocOp::FreeOldest),
+        1 => Just(AllocOp::FreeNewest),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn allocator_blocks_never_overlap(ops in proptest::collection::vec(alloc_op(), 1..300)) {
+        let pod = Pod::new(PodConfig {
+            small_max_slabs: 256,
+            ..PodConfig::small_for_tests()
+        }).unwrap();
+        let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+        let mut t = heap.register_thread().unwrap();
+        let mut live: Vec<(OffsetPtr, usize)> = Vec::new();
+        let mut shadow: HashMap<u64, usize> = HashMap::new();
+
+        for op in ops {
+            match op {
+                AllocOp::Alloc(size) => {
+                    let p = t.alloc(size).unwrap();
+                    // In-bounds of some data region.
+                    let layout = pod.layout();
+                    prop_assert!(layout.is_data(p.offset()));
+                    // Disjoint from every live block.
+                    for (&o, &s) in &shadow {
+                        prop_assert!(
+                            p.offset() + size as u64 <= o || p.offset() >= o + s as u64,
+                            "[{:#x}+{}) overlaps [{:#x}+{})", p.offset(), size, o, s
+                        );
+                    }
+                    shadow.insert(p.offset(), size);
+                    live.push((p, size));
+                }
+                AllocOp::FreeOldest if !live.is_empty() => {
+                    let (p, _) = live.remove(0);
+                    shadow.remove(&p.offset());
+                    t.dealloc(p).unwrap();
+                }
+                AllocOp::FreeNewest if !live.is_empty() => {
+                    let (p, _) = live.pop().unwrap();
+                    shadow.remove(&p.offset());
+                    t.dealloc(p).unwrap();
+                }
+                _ => {}
+            }
+        }
+        for (p, _) in live {
+            t.dealloc(p).unwrap();
+        }
+        prop_assert!(heap.check_invariants(t.core()).is_ok());
+    }
+
+    #[test]
+    fn size_class_serves_at_least_requested(size in 1usize..=(512 << 10)) {
+        use cxl_core::class::{LARGE_CLASSES_TABLE, SMALL_CLASSES_TABLE};
+        let table = if size <= 1024 { &SMALL_CLASSES_TABLE } else { &LARGE_CLASSES_TABLE };
+        let class = table.class_of(size).unwrap();
+        prop_assert!(table.block_size(class) as usize >= size);
+        if class > 0 {
+            prop_assert!((table.block_size(class - 1) as usize) < size);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IntervalTree vs BTreeSet-of-bytes model.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Take(u64),
+    InsertTaken(usize),
+}
+
+fn tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        2 => (1u64..=64).prop_map(TreeOp::Take),
+        1 => (0usize..8).prop_map(TreeOp::InsertTaken),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 128,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn interval_tree_matches_byte_model(ops in proptest::collection::vec(tree_op(), 1..200)) {
+        const SPACE: u64 = 512;
+        let mut tree = IntervalTree::new();
+        tree.insert(0, SPACE);
+        let mut model: BTreeSet<u64> = (0..SPACE).collect();
+        let mut taken: Vec<(u64, u64)> = Vec::new();
+
+        for op in ops {
+            match op {
+                TreeOp::Take(len) => {
+                    match tree.take(len) {
+                        Some(start) => {
+                            for b in start..start + len {
+                                prop_assert!(model.remove(&b), "byte {b} double-taken");
+                            }
+                            taken.push((start, len));
+                        }
+                        None => {
+                            // No run of `len` contiguous free bytes may exist.
+                            let mut run = 0u64;
+                            let mut prev: Option<u64> = None;
+                            let mut max_run = 0u64;
+                            for &b in &model {
+                                run = match prev {
+                                    Some(p) if b == p + 1 => run + 1,
+                                    _ => 1,
+                                };
+                                prev = Some(b);
+                                max_run = max_run.max(run);
+                            }
+                            prop_assert!(max_run < len, "take({len}) failed with a {max_run}-byte run free");
+                        }
+                    }
+                }
+                TreeOp::InsertTaken(i) if !taken.is_empty() => {
+                    let (start, len) = taken.swap_remove(i % taken.len());
+                    tree.insert(start, len);
+                    for b in start..start + len {
+                        prop_assert!(model.insert(b));
+                    }
+                }
+                _ => {}
+            }
+            prop_assert_eq!(tree.free_bytes(), model.len() as u64);
+        }
+    }
+
+    #[test]
+    fn mapset_matches_byte_model(
+        ops in proptest::collection::vec(
+            (0u64..256, 1u64..64, any::<bool>()), 1..100)
+    ) {
+        let mut set = MapSet::new();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for (start, len, insert) in ops {
+            let end = start + len;
+            if insert {
+                set.insert(start, end);
+                model.extend(start..end);
+            } else {
+                set.remove(start, end);
+                for b in start..end {
+                    model.remove(&b);
+                }
+            }
+            prop_assert_eq!(set.covered_bytes(), model.len() as u64);
+            // Spot-check membership at the edges.
+            for probe in [start.saturating_sub(1), start, end - 1, end] {
+                prop_assert_eq!(
+                    set.contains(probe, 1),
+                    model.contains(&probe),
+                    "probe {}", probe
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detect_cell_roundtrips(version in any::<u16>(), tid in any::<u16>(), payload in any::<u32>()) {
+        use cxl_core::cell::Detect;
+        let d = Detect { version, tid, payload };
+        prop_assert_eq!(Detect::unpack(d.pack()), d);
+    }
+
+    #[test]
+    fn swcc_header_roundtrips(next in any::<u32>(), owner in any::<u16>(), class in any::<u8>(), flags in any::<u8>()) {
+        use cxl_core::cell::SwccHeader;
+        let h = SwccHeader { next, owner, class, flags };
+        prop_assert_eq!(SwccHeader::unpack(h.pack()), h);
+    }
+}

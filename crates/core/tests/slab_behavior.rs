@@ -1,0 +1,315 @@
+//! Behavioral tests of the slab heaps: the Figure 4 state machine, the
+//! remote-free protocol, the global free list, and multi-threaded
+//! stress with invariant checks (paper §5.1).
+
+use cxl_core::{AllocError, AttachOptions, Cxlalloc, OffsetPtr};
+use cxl_pod::{CoreId, Pod, PodConfig};
+use std::collections::HashSet;
+
+fn setup() -> (Pod, Cxlalloc) {
+    let pod = Pod::new(PodConfig::small_for_tests()).unwrap();
+    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+    (pod, heap)
+}
+
+#[test]
+fn blocks_within_a_slab_are_disjoint() {
+    let (pod, heap) = setup();
+    let mut t = heap.register_thread().unwrap();
+    let mut seen = HashSet::new();
+    let mut ptrs = Vec::new();
+    for _ in 0..1000 {
+        let p = t.alloc(48).unwrap();
+        assert!(seen.insert(p.offset()), "duplicate allocation at {p}");
+        assert!(pod.layout().small.data.contains(p.offset()));
+        // 48-byte class: blocks are 48-byte aligned within the slab.
+        let within = (p.offset() - pod.layout().small.data.start) % 32768;
+        assert_eq!(within % 48, 0);
+        ptrs.push(p);
+    }
+    for p in ptrs {
+        t.dealloc(p).unwrap();
+    }
+    heap.check_invariants(t.core()).unwrap();
+}
+
+#[test]
+fn freed_blocks_are_reused() {
+    let (_pod, heap) = setup();
+    let mut t = heap.register_thread().unwrap();
+    let a = t.alloc(64).unwrap();
+    t.dealloc(a).unwrap();
+    let b = t.alloc(64).unwrap();
+    assert_eq!(a, b, "local free list should hand the block right back");
+}
+
+#[test]
+fn heap_extends_monotonically() {
+    let (_pod, heap) = setup();
+    let mut t = heap.register_thread().unwrap();
+    let before = heap.stats().small_slabs;
+    // A 32 KiB slab holds 32768/64 = 512 blocks of the 64-byte class;
+    // allocate three slabs' worth.
+    let ptrs: Vec<_> = (0..1536).map(|_| t.alloc(64).unwrap()).collect();
+    let after = heap.stats().small_slabs;
+    assert!(after >= before + 3, "expected ≥3 slab extensions, got {before}→{after}");
+    for p in ptrs {
+        t.dealloc(p).unwrap();
+    }
+    // Extension is monotonic: frees never shrink the heap.
+    assert_eq!(heap.stats().small_slabs, after);
+    heap.check_invariants(t.core()).unwrap();
+}
+
+#[test]
+fn empty_slabs_overflow_to_global_list_and_are_reused() {
+    let (_pod, heap) = setup();
+    let mut a = heap.register_thread().unwrap();
+    // Fill and free many slabs so `a`'s unsized list overflows to the
+    // global free list...
+    let ptrs: Vec<_> = (0..4096).map(|_| a.alloc(64).unwrap()).collect();
+    let peak = heap.stats().small_slabs;
+    for p in ptrs {
+        a.dealloc(p).unwrap();
+    }
+    heap.check_invariants(a.core()).unwrap();
+    // ...then a different thread allocates: it must reuse global slabs,
+    // not extend the heap.
+    let mut b = heap.register_thread().unwrap();
+    let ptrs: Vec<_> = (0..2048).map(|_| b.alloc(64).unwrap()).collect();
+    assert_eq!(heap.stats().small_slabs, peak, "no new slabs should be needed");
+    for p in ptrs {
+        b.dealloc(p).unwrap();
+    }
+    heap.check_invariants(b.core()).unwrap();
+}
+
+#[test]
+fn producer_consumer_slabs_are_stolen() {
+    // Paper §3.2.1: a slab entirely remotely freed (producer/consumer)
+    // is stolen by the freeing thread without coordinating with the
+    // producer.
+    let (_pod, heap) = setup();
+    let mut producer = heap.register_thread().unwrap();
+    let mut consumer = heap.register_thread().unwrap();
+    // Exactly one 512-block slab of the 64-byte class.
+    let ptrs: Vec<_> = (0..512).map(|_| producer.alloc(64).unwrap()).collect();
+    let slabs_before = heap.stats().small_slabs;
+    for p in ptrs {
+        consumer.dealloc(p).unwrap(); // remote frees
+    }
+    heap.check_invariants(consumer.core()).unwrap();
+    // The consumer now owns the stolen slab: its next allocations of any
+    // class must come from it without extending the heap.
+    let ptrs: Vec<_> = (0..512).map(|_| consumer.alloc(64).unwrap()).collect();
+    assert_eq!(heap.stats().small_slabs, slabs_before, "stolen slab must be reused");
+    for p in ptrs {
+        consumer.dealloc(p).unwrap();
+    }
+}
+
+#[test]
+fn mixed_local_remote_frees_reclaim_via_disown() {
+    // Paper §3.2.1: a slab with at least one remote free is *disowned*
+    // when it fills, forcing all later frees through the remote path so
+    // the whole slab eventually drains.
+    let (_pod, heap) = setup();
+    let mut owner = heap.register_thread().unwrap();
+    let mut other = heap.register_thread().unwrap();
+
+    // Fill one 64-byte slab.
+    let mut ptrs: Vec<_> = (0..512).map(|_| owner.alloc(64).unwrap()).collect();
+    // Remote-free one block, then locally free another: slab now has a
+    // mix and is non-full (so it is on the owner's sized list).
+    other.dealloc(ptrs.pop().unwrap()).unwrap();
+    owner.dealloc(ptrs.pop().unwrap()).unwrap();
+    // Refill: the slab becomes full again and must be DISOWNED (remote
+    // counter < total). The owner's local free of a disowned slab takes
+    // the remote path.
+    ptrs.push(owner.alloc(64).unwrap());
+    ptrs.push(owner.alloc(64).unwrap());
+    // Drain everything through both threads; the final free steals.
+    for (i, p) in ptrs.into_iter().enumerate() {
+        if i % 2 == 0 {
+            owner.dealloc(p).unwrap();
+        } else {
+            other.dealloc(p).unwrap();
+        }
+    }
+    heap.check_invariants(owner.core()).unwrap();
+}
+
+#[test]
+fn remote_free_to_drained_slab_is_rejected() {
+    let (_pod, heap) = setup();
+    let mut producer = heap.register_thread().unwrap();
+    let mut consumer = heap.register_thread().unwrap();
+    let ptrs: Vec<_> = (0..512).map(|_| producer.alloc(64).unwrap()).collect();
+    let last = ptrs[0];
+    for p in &ptrs {
+        consumer.dealloc(*p).unwrap();
+    }
+    // Freeing again into the fully-drained slab is an application bug.
+    // The consumer stole the slab, so the *producer*'s double free takes
+    // the remote path and the zeroed counter rejects it. (The stealer
+    // itself owns the slab now, so its double frees are as undetectable
+    // as any local double free into a recycled slab.)
+    assert!(matches!(
+        producer.dealloc(last),
+        Err(AllocError::NotAllocated { .. })
+    ));
+}
+
+#[test]
+fn interior_pointer_rejected() {
+    let (_pod, heap) = setup();
+    let mut t = heap.register_thread().unwrap();
+    let p = t.alloc(64).unwrap();
+    let interior = OffsetPtr::new(p.offset() + 8).unwrap();
+    assert!(matches!(
+        t.dealloc(interior),
+        Err(AllocError::NotAllocated { .. })
+    ));
+    t.dealloc(p).unwrap();
+}
+
+#[test]
+fn large_heap_works_like_small() {
+    let (pod, heap) = setup();
+    let mut t = heap.register_thread().unwrap();
+    let mut ptrs = Vec::new();
+    for size in [1025usize, 4096, 100_000, 512 << 10] {
+        let p = t.alloc(size).unwrap();
+        assert!(pod.layout().large.data.contains(p.offset()), "size {size}");
+        ptrs.push(p);
+    }
+    for p in ptrs {
+        t.dealloc(p).unwrap();
+    }
+    heap.check_invariants(t.core()).unwrap();
+    assert!(heap.stats().large_slabs >= 1);
+}
+
+#[test]
+fn small_heap_oom_is_reported() {
+    let config = PodConfig {
+        small_max_slabs: 2,
+        ..PodConfig::small_for_tests()
+    };
+    let pod = Pod::new(config).unwrap();
+    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+    let mut t = heap.register_thread().unwrap();
+    let mut ptrs = Vec::new();
+    let err = loop {
+        match t.alloc(1024) {
+            Ok(p) => ptrs.push(p),
+            Err(e) => break e,
+        }
+        assert!(ptrs.len() <= 64, "2 slabs of 1 KiB blocks hold exactly 64");
+    };
+    assert!(matches!(err, AllocError::OutOfMemory { .. }));
+    assert_eq!(ptrs.len(), 64);
+    // Freeing restores allocatability.
+    for p in ptrs {
+        t.dealloc(p).unwrap();
+    }
+    assert!(t.alloc(1024).is_ok());
+}
+
+#[test]
+fn hwcc_usage_matches_paper_accounting() {
+    let (_pod, heap) = setup();
+    let mut t = heap.register_thread().unwrap();
+    let ptrs: Vec<_> = (0..1000).map(|_| t.alloc(128).unwrap()).collect();
+    let stats = heap.stats();
+    // HWcc: 16 B per heap global + 8 B per slab + 8 KiB-equivalent huge
+    // reservations. Tiny compared to mapped data.
+    assert!(stats.hwcc_bytes < 16 * 1024);
+    assert!(stats.small_bytes >= 1000 * 128 / 2);
+    assert!(
+        stats.hwcc_bytes * 10 < stats.small_bytes,
+        "HWcc ({}) must be a small fraction of data ({})",
+        stats.hwcc_bytes,
+        stats.small_bytes
+    );
+    for p in ptrs {
+        t.dealloc(p).unwrap();
+    }
+}
+
+#[test]
+fn multithreaded_stress_with_remote_frees() {
+    use std::sync::mpsc;
+    let config = PodConfig {
+        small_max_slabs: 512,
+        ..PodConfig::small_for_tests()
+    };
+    let pod = Pod::new(config).unwrap();
+    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+
+    const THREADS: usize = 4;
+    const OPS: usize = 3000;
+    // Ring of channels: each thread frees blocks allocated by its
+    // neighbour (all remote frees) plus churns locally.
+    let (senders, receivers): (Vec<_>, Vec<_>) =
+        (0..THREADS).map(|_| mpsc::channel::<OffsetPtr>()).unzip();
+    let mut senders = senders.into_iter().map(Some).collect::<Vec<_>>();
+
+    std::thread::scope(|s| {
+        let mut receivers = receivers.into_iter();
+        for i in 0..THREADS {
+            let heap = heap.clone();
+            let to_next = senders[(i + 1) % THREADS].take().unwrap();
+            let from_prev = receivers.next().unwrap();
+            s.spawn(move || {
+                let mut t = heap.register_thread().unwrap();
+                let mut local = Vec::new();
+                for op in 0..OPS {
+                    let size = 8 + (op * 13) % 1017;
+                    let p = t.alloc(size).unwrap();
+                    if op % 3 == 0 {
+                        // Hand to the neighbour for a remote free.
+                        if to_next.send(p).is_err() {
+                            t.dealloc(p).unwrap();
+                        }
+                    } else {
+                        local.push(p);
+                    }
+                    if op % 5 == 0 {
+                        while let Ok(remote) = from_prev.try_recv() {
+                            t.dealloc(remote).unwrap();
+                        }
+                    }
+                    if local.len() > 64 {
+                        t.dealloc(local.swap_remove(op % 64)).unwrap();
+                    }
+                }
+                drop(to_next);
+                for p in local {
+                    t.dealloc(p).unwrap();
+                }
+                while let Ok(remote) = from_prev.recv() {
+                    t.dealloc(remote).unwrap();
+                }
+            });
+        }
+    });
+    heap.check_invariants(CoreId(0)).unwrap();
+}
+
+#[test]
+fn detectable_allocation_stores_destination() {
+    // alloc_detectable is the hook recoverable data structures use; in
+    // normal (non-crash) operation it behaves exactly like alloc.
+    let (_pod, heap) = setup();
+    let mut t = heap.register_thread().unwrap();
+    let cell = t.alloc(8).unwrap(); // an app-side 8-byte cell
+    let p = t.alloc_detectable(100, cell).unwrap();
+    // Simulate the app's publish: store the pointer into the cell.
+    unsafe {
+        (t.resolve(cell, 8).unwrap() as *mut u64).write(p.offset());
+    }
+    t.dealloc(p).unwrap();
+    t.dealloc(cell).unwrap();
+    heap.check_invariants(t.core()).unwrap();
+}

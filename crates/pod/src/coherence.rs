@@ -1,0 +1,388 @@
+//! Per-core software cache model.
+//!
+//! CXL pods without inter-host hardware cache coherence still let each
+//! host cache shared memory — they simply never *invalidate* each other.
+//! The allocator's SWcc protocol (paper §3.2.2) therefore controls cache
+//! state manually with flushes and fences (see `SimMemory` in `mem`).
+//! This module provides the
+//! adversarial environment in which that protocol must be correct: every
+//! core has an unbounded private cache, loads hit the (possibly stale)
+//! cache forever until the owner flushes, and stores stay invisible to
+//! other cores until flushed.
+//!
+//! An unbounded cache is *more* adversarial than real hardware (which
+//! evicts and thereby accidentally publishes or refreshes lines): any
+//! missing flush/fence in the allocator shows up as a deterministic stale
+//! read here rather than a once-a-week heisenbug on real hardware.
+//!
+//! Writebacks happen at 8-byte-word granularity, tracked by a per-line
+//! dirty mask. This mirrors the paper's layout discipline: structures
+//! with different writers never share an 8-byte word, so a writeback can
+//! never clobber another core's concurrent write.
+
+use crate::segment::Segment;
+use crate::stats::MemStats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+
+/// Cacheline size in bytes.
+pub const LINE: u64 = 64;
+const WORDS: usize = (LINE / 8) as usize;
+
+/// One cached line: an 8-word copy plus a dirty mask (bit per word).
+#[derive(Debug, Clone, Copy)]
+struct CacheLine {
+    words: [u64; WORDS],
+    dirty: u8,
+}
+
+/// A single core's private cache.
+#[derive(Debug, Default)]
+struct CoreCache {
+    lines: HashMap<u64, CacheLine>,
+    /// Xorshift state for pseudo-random eviction.
+    seed: u64,
+}
+
+/// The pod-wide cache model: one private cache per core.
+///
+/// By default caches are **unbounded** — maximally stale, the most
+/// adversarial setting for missing flushes. A bounded capacity
+/// ([`CacheModel::with_capacity`]) adds the *other* hardware behaviour:
+/// silent eviction, where a dirty line is written back at an arbitrary
+/// moment the software didn't choose. The allocator's single-writer
+/// layout discipline must make such writebacks harmless.
+#[derive(Debug)]
+pub struct CacheModel {
+    caches: Vec<Mutex<CoreCache>>,
+    /// Maximum lines per core (0 = unbounded).
+    capacity: usize,
+}
+
+impl CacheModel {
+    /// Creates unbounded caches for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        Self::with_capacity(cores, 0)
+    }
+
+    /// Creates caches holding at most `capacity` lines per core
+    /// (0 = unbounded); overflowing inserts evict a pseudo-random line,
+    /// writing back its dirty words.
+    pub fn with_capacity(cores: usize, capacity: usize) -> Self {
+        CacheModel {
+            caches: (0..cores)
+                .map(|i| {
+                    Mutex::new(CoreCache {
+                        lines: HashMap::new(),
+                        seed: 0x2545_F491_4F6C_DD1D ^ (i as u64 + 1),
+                    })
+                })
+                .collect(),
+            capacity,
+        }
+    }
+
+    /// Evicts one pseudo-randomly chosen line (writing back dirty words)
+    /// if the cache is at capacity.
+    fn maybe_evict(&self, cache: &mut CoreCache, segment: &Segment, stats: &MemStats) {
+        if self.capacity == 0 || cache.lines.len() < self.capacity {
+            return;
+        }
+        let mut x = cache.seed;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        cache.seed = x;
+        let index = (x % cache.lines.len() as u64) as usize;
+        let victim = *cache.lines.keys().nth(index).expect("nonempty");
+        let line = cache.lines.remove(&victim).expect("key just observed");
+        if line.dirty != 0 {
+            for (i, &w) in line.words.iter().enumerate() {
+                if line.dirty & (1 << i) != 0 {
+                    segment
+                        .atomic_u64(victim + i as u64 * 8)
+                        .store(w, Ordering::Release);
+                }
+            }
+            stats.writeback();
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.caches.len()
+    }
+
+    #[inline]
+    fn split(offset: u64) -> (u64, usize) {
+        (offset & !(LINE - 1), ((offset % LINE) / 8) as usize)
+    }
+
+    /// Cached load of the u64 at `offset`. Fills the line from the
+    /// segment on a miss; on a hit returns the cached copy even if memory
+    /// has since changed (that staleness is the point).
+    ///
+    /// Returns `(value, hit)`.
+    pub fn load(&self, core: usize, segment: &Segment, offset: u64, stats: &MemStats) -> (u64, bool) {
+        debug_assert_eq!(offset % 8, 0);
+        let (line_addr, word) = Self::split(offset);
+        let mut cache = self.caches[core].lock();
+        if let Some(line) = cache.lines.get(&line_addr) {
+            stats.cached_hit();
+            return (line.words[word], true);
+        }
+        self.maybe_evict(&mut cache, segment, stats);
+        let mut words = [0u64; WORDS];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = segment
+                .atomic_u64(line_addr + i as u64 * 8)
+                .load(Ordering::Acquire);
+        }
+        stats.line_fill();
+        let value = words[word];
+        cache.lines.insert(
+            line_addr,
+            CacheLine {
+                words,
+                dirty: 0,
+            },
+        );
+        (value, false)
+    }
+
+    /// Cached store of the u64 at `offset` (write-allocate). The store
+    /// stays private to `core` until the line is flushed.
+    ///
+    /// Returns `true` if the line was already present.
+    pub fn store(&self, core: usize, segment: &Segment, offset: u64, value: u64, stats: &MemStats) -> bool {
+        debug_assert_eq!(offset % 8, 0);
+        let (line_addr, word) = Self::split(offset);
+        let mut cache = self.caches[core].lock();
+        let hit = cache.lines.contains_key(&line_addr);
+        if !hit {
+            self.maybe_evict(&mut cache, segment, stats);
+        }
+        let line = cache.lines.entry(line_addr).or_insert_with(|| {
+            let mut words = [0u64; WORDS];
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = segment
+                    .atomic_u64(line_addr + i as u64 * 8)
+                    .load(Ordering::Acquire);
+            }
+            stats.line_fill();
+            CacheLine {
+                words,
+                dirty: 0,
+            }
+        });
+        line.words[word] = value;
+        line.dirty |= 1 << word;
+        hit
+    }
+
+    /// Flushes (writes back dirty words and evicts) every line
+    /// intersecting `[offset, offset + len)` from `core`'s cache.
+    ///
+    /// Returns the number of lines written back.
+    pub fn flush(&self, core: usize, segment: &Segment, offset: u64, len: u64, stats: &MemStats) -> usize {
+        let first = offset & !(LINE - 1);
+        let last = (offset + len.max(1) - 1) & !(LINE - 1);
+        let mut cache = self.caches[core].lock();
+        let mut written = 0;
+        let mut line_addr = first;
+        loop {
+            if let Some(line) = cache.lines.remove(&line_addr) {
+                if line.dirty != 0 {
+                    for (i, &w) in line.words.iter().enumerate() {
+                        if line.dirty & (1 << i) != 0 {
+                            segment
+                                .atomic_u64(line_addr + i as u64 * 8)
+                                .store(w, Ordering::Release);
+                        }
+                    }
+                    stats.writeback();
+                    written += 1;
+                }
+            }
+            if line_addr == last {
+                break;
+            }
+            line_addr += LINE;
+        }
+        stats.flush();
+        written
+    }
+
+    /// Writes back and drops every line in `core`'s cache (a full
+    /// quiesce — used before validating the heap from another core).
+    pub fn flush_all(&self, core: usize, segment: &Segment, stats: &MemStats) {
+        let mut cache = self.caches[core].lock();
+        for (line_addr, line) in cache.lines.drain() {
+            if line.dirty != 0 {
+                for (i, &w) in line.words.iter().enumerate() {
+                    if line.dirty & (1 << i) != 0 {
+                        segment
+                            .atomic_u64(line_addr + i as u64 * 8)
+                            .store(w, Ordering::Release);
+                    }
+                }
+                stats.writeback();
+            }
+        }
+    }
+
+    /// Drops every line from `core`'s cache *without* writing back —
+    /// models a core losing its cache contents (e.g. the crash of the
+    /// thread pinned there).
+    pub fn discard_all(&self, core: usize) {
+        self.caches[core].lock().lines.clear();
+    }
+
+    /// Test hook: whether `core` currently caches the line containing
+    /// `offset`.
+    pub fn is_cached(&self, core: usize, offset: u64) -> bool {
+        let (line_addr, _) = Self::split(offset);
+        self.caches[core].lock().lines.contains_key(&line_addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Segment>, CacheModel, MemStats) {
+        (
+            Arc::new(Segment::zeroed(4096).unwrap()),
+            CacheModel::new(4),
+            MemStats::new(),
+        )
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (seg, cache, stats) = setup();
+        seg.atomic_u64(64).store(7, Ordering::SeqCst);
+        let (v, hit) = cache.load(0, &seg, 64, &stats);
+        assert_eq!((v, hit), (7, false));
+        let (v, hit) = cache.load(0, &seg, 64, &stats);
+        assert_eq!((v, hit), (7, true));
+    }
+
+    #[test]
+    fn stale_read_until_refill() {
+        // Core 0 caches a value; core 1 updates memory directly; core 0
+        // keeps seeing the stale value until it flushes (evicts) and
+        // reloads. This is the exact hazard the SWcc protocol manages.
+        let (seg, cache, stats) = setup();
+        seg.atomic_u64(64).store(1, Ordering::SeqCst);
+        assert_eq!(cache.load(0, &seg, 64, &stats).0, 1);
+        seg.atomic_u64(64).store(2, Ordering::SeqCst);
+        assert_eq!(cache.load(0, &seg, 64, &stats).0, 1, "must be stale");
+        cache.flush(0, &seg, 64, 8, &stats);
+        assert_eq!(cache.load(0, &seg, 64, &stats).0, 2);
+    }
+
+    #[test]
+    fn store_invisible_until_flush() {
+        let (seg, cache, stats) = setup();
+        cache.store(0, &seg, 64, 42, &stats);
+        assert_eq!(seg.peek_u64(64), 0, "store must stay private");
+        // Another core reads memory (through its own cache): sees 0.
+        assert_eq!(cache.load(1, &seg, 64, &stats).0, 0);
+        cache.flush(0, &seg, 64, 8, &stats);
+        assert_eq!(seg.peek_u64(64), 42);
+        // Core 1 still caches the stale 0 until it, too, flushes.
+        assert_eq!(cache.load(1, &seg, 64, &stats).0, 0);
+        cache.flush(1, &seg, 64, 8, &stats);
+        assert_eq!(cache.load(1, &seg, 64, &stats).0, 42);
+    }
+
+    #[test]
+    fn writeback_is_word_granular() {
+        // Two cores dirty different words of the same line; both
+        // writebacks must survive (no whole-line clobbering).
+        let (seg, cache, stats) = setup();
+        cache.store(0, &seg, 0, 10, &stats);
+        cache.store(1, &seg, 8, 20, &stats);
+        cache.flush(0, &seg, 0, 8, &stats);
+        cache.flush(1, &seg, 8, 8, &stats);
+        assert_eq!(seg.peek_u64(0), 10);
+        assert_eq!(seg.peek_u64(8), 20);
+    }
+
+    #[test]
+    fn flush_range_covers_multiple_lines() {
+        let (seg, cache, stats) = setup();
+        cache.store(0, &seg, 0, 1, &stats);
+        cache.store(0, &seg, 64, 2, &stats);
+        cache.store(0, &seg, 128, 3, &stats);
+        let written = cache.flush(0, &seg, 0, 192, &stats);
+        assert_eq!(written, 3);
+        assert_eq!(seg.peek_u64(0), 1);
+        assert_eq!(seg.peek_u64(64), 2);
+        assert_eq!(seg.peek_u64(128), 3);
+    }
+
+    #[test]
+    fn discard_loses_dirty_data() {
+        let (seg, cache, stats) = setup();
+        cache.store(0, &seg, 64, 99, &stats);
+        cache.discard_all(0);
+        assert_eq!(seg.peek_u64(64), 0);
+        assert!(!cache.is_cached(0, 64));
+    }
+
+    #[test]
+    fn clean_flush_writes_nothing() {
+        let (seg, cache, stats) = setup();
+        cache.load(0, &seg, 64, &stats);
+        let written = cache.flush(0, &seg, 64, 8, &stats);
+        assert_eq!(written, 0);
+    }
+}
+
+#[cfg(test)]
+mod eviction_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_cache_evicts_and_writes_back() {
+        let seg = Arc::new(Segment::zeroed(1 << 16).unwrap());
+        let cache = CacheModel::with_capacity(1, 4);
+        let stats = MemStats::new();
+        // Dirty 10 distinct lines; with 4 slots, at least 6 evictions
+        // must have written back.
+        for i in 0..10u64 {
+            cache.store(0, &seg, i * 64, i + 1, &stats);
+        }
+        let snap = stats.snapshot();
+        assert!(snap.writebacks >= 6, "writebacks={}", snap.writebacks);
+        // Everything evicted is durable; everything cached is not yet.
+        let mut durable = 0;
+        for i in 0..10u64 {
+            if seg.peek_u64(i * 64) == i + 1 {
+                durable += 1;
+            }
+        }
+        assert!(durable >= 6);
+        // A full flush drains the rest.
+        cache.flush(0, &seg, 0, 10 * 64, &stats);
+        for i in 0..10u64 {
+            assert_eq!(seg.peek_u64(i * 64), i + 1);
+        }
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let seg = Arc::new(Segment::zeroed(1 << 16).unwrap());
+        let cache = CacheModel::new(1);
+        let stats = MemStats::new();
+        for i in 0..100u64 {
+            cache.store(0, &seg, i * 64, 1, &stats);
+        }
+        assert_eq!(stats.snapshot().writebacks, 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types for the pod substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing or operating a pod.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PodError {
+    /// The [`PodConfig`](crate::PodConfig) is internally inconsistent.
+    InvalidConfig {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// The computed segment size exceeds the configured cap.
+    SegmentTooLarge {
+        /// Requested segment size in bytes.
+        requested: u64,
+        /// Maximum allowed segment size in bytes.
+        max: u64,
+    },
+    /// The host ran out of memory backing the segment.
+    OutOfHostMemory {
+        /// Requested segment size in bytes.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for PodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PodError::InvalidConfig { reason } => write!(f, "invalid pod config: {reason}"),
+            PodError::SegmentTooLarge { requested, max } => {
+                write!(f, "segment of {requested} bytes exceeds cap of {max} bytes")
+            }
+            PodError::OutOfHostMemory { requested } => {
+                write!(f, "host allocation of {requested} bytes failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PodError {}
+
+/// A simulated page fault: a process touched a segment offset for which it
+/// has no installed mapping.
+///
+/// This is the moral equivalent of the `SIGSEGV` the paper's signal
+/// handler intercepts: it may be a program bug, or it may be a pointer to
+/// memory mapped by another process that the allocator's fault handler
+/// should now install locally (PC-T, paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Segment offset of the faulting access.
+    pub offset: u64,
+    /// Length of the faulting access in bytes.
+    pub len: u64,
+    /// The process that faulted.
+    pub process: crate::ProcessId,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault in {:?} at offset {:#x} (+{})",
+            self.process, self.offset, self.len
+        )
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_nonempty() {
+        let errors = [
+            PodError::InvalidConfig {
+                reason: "x".into(),
+            },
+            PodError::SegmentTooLarge {
+                requested: 10,
+                max: 5,
+            },
+            PodError::OutOfHostMemory { requested: 10 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn fault_display_mentions_offset() {
+        let fault = Fault {
+            offset: 0x1000,
+            len: 8,
+            process: crate::ProcessId(2),
+        };
+        assert!(fault.to_string().contains("0x1000"));
+    }
+}

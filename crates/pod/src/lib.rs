@@ -1,0 +1,267 @@
+//! CXL pod substrate for the cxlalloc reproduction.
+//!
+//! A *CXL pod* is a small group of hosts (8–16) that share a single
+//! multi-headed CXL memory device at cacheline granularity. This crate
+//! models everything the `cxl-core` allocator needs from such a pod:
+//!
+//! * [`Segment`] — one shared "physical" memory segment with the paper's
+//!   three-way layout: a small hardware-cache-coherent (HWcc) metadata
+//!   region, a software-cache-coherent (SWcc) metadata region, and the
+//!   data region (paper Figure 2).
+//! * [`PodMemory`] — the access interface the allocator routes all of its
+//!   *metadata* loads, stores, CAS, flush, and fence operations through.
+//!   Two backends are provided:
+//!   * [`RawMemory`] — direct atomic access; models a pod with full
+//!     inter-host hardware cache coherence (or a single host). Flush and
+//!     fence only bump counters. This is the fast backend used by the
+//!     wall-clock performance experiments (paper Figures 8–10).
+//!   * [`SimMemory`] — routes accesses through a per-core software cache
+//!     model ([`coherence`]) and, when configured with
+//!     [`HwccMode::None`], through a near-memory-processing mCAS device
+//!     ([`nmp`]). A calibrated virtual-clock [`latency`] model accumulates
+//!     modeled time. This backend powers the limited-HWcc experiments
+//!     (paper Figures 11 and 12) and the SWcc-protocol correctness tests.
+//! * [`Process`] — simulated processes with private mapping tables over
+//!   the shared segment. Dereferencing an unmapped offset raises a fault
+//!   that is routed to an installable fault handler, reproducing the
+//!   paper's SIGSEGV-based asynchronous mapping installation (§3.3).
+//!
+//! # Why a simulation?
+//!
+//! Real multi-host CXL 3.x hardware (and the paper's FPGA mCAS prototype)
+//! is not available here. The substitution preserves the properties the
+//! allocator's protocols are sensitive to: per-core cache *staleness* in
+//! SWcc memory, serialization of mCAS at the device, and the visibility
+//! rules of per-process memory mappings. See `DESIGN.md` §1.
+//!
+//! # Example
+//!
+//! ```
+//! use cxl_pod::{PodConfig, Pod, CoreId};
+//!
+//! # fn main() -> Result<(), cxl_pod::PodError> {
+//! let config = PodConfig::small_for_tests();
+//! let pod = Pod::new(config)?;
+//! let mem = pod.memory();
+//!
+//! // All-zero segment is a valid empty heap: the small-heap length cell
+//! // reads zero.
+//! let layout = pod.layout();
+//! assert_eq!(mem.load_u64(CoreId(0), layout.small.global_len), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coherence;
+mod config;
+mod error;
+pub mod latency;
+mod layout;
+mod mem;
+pub mod nmp;
+mod process;
+mod segment;
+pub mod stats;
+
+pub use config::{
+    PodConfig, CACHELINE, LARGE_CLASSES, LARGE_MAX_BLOCK, LARGE_SLAB_SIZE, PAGE_SIZE,
+    SMALL_CLASSES, SMALL_MAX_BLOCK, SMALL_MIN_BLOCK, SMALL_SLAB_SIZE,
+};
+pub use error::{Fault, PodError};
+pub use layout::{HeapLayout, HugeLayout, Layout, Region, HUGE_DESC_SIZE};
+pub use mem::{HwccMode, PodMemory, RawMemory, SimMemory};
+pub use process::{FaultHandler, MapSet, Process, ProcessId};
+pub use segment::Segment;
+
+use std::sync::Arc;
+
+/// Identity of the CPU core (equivalently: pinned thread) performing a
+/// memory access.
+///
+/// The paper's SWcc protocol assumes threads are pinned to cores, so each
+/// core has an independent cache whose contents can go stale relative to
+/// the shared CXL memory. [`SimMemory`] keeps one simulated cache per
+/// `CoreId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub u16);
+
+impl CoreId {
+    /// Index into per-core tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// A fully assembled pod: shared segment plus a chosen memory backend and
+/// a set of simulated processes.
+///
+/// `Pod` is cheap to share (`Arc` internally); clones refer to the same
+/// segment.
+#[derive(Debug, Clone)]
+pub struct Pod {
+    inner: Arc<PodInner>,
+}
+
+#[derive(Debug)]
+struct PodInner {
+    config: PodConfig,
+    layout: Layout,
+    memory: Arc<dyn PodMemory>,
+    processes: parking_lot::RwLock<Vec<Arc<Process>>>,
+}
+
+impl Pod {
+    /// Creates a pod backed by [`RawMemory`] (full hardware coherence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PodError::InvalidConfig`] if the configuration is
+    /// internally inconsistent, or [`PodError::SegmentTooLarge`] if the
+    /// computed segment exceeds the configured cap.
+    pub fn new(config: PodConfig) -> Result<Self, PodError> {
+        let layout = Layout::compute(&config)?;
+        let segment = Arc::new(Segment::zeroed(layout.total_len)?);
+        let memory: Arc<dyn PodMemory> = Arc::new(RawMemory::new(segment, layout.clone()));
+        Ok(Self::assemble(config, layout, memory))
+    }
+
+    /// Creates a pod backed by [`SimMemory`] with the given coherence mode.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pod::new`].
+    pub fn with_simulation(config: PodConfig, mode: HwccMode) -> Result<Self, PodError> {
+        let layout = Layout::compute(&config)?;
+        let segment = Arc::new(Segment::zeroed(layout.total_len)?);
+        let memory: Arc<dyn PodMemory> = Arc::new(SimMemory::new(
+            segment,
+            layout.clone(),
+            mode,
+            config.max_threads,
+            latency::LatencyModel::paper_calibrated(),
+        ));
+        Ok(Self::assemble(config, layout, memory))
+    }
+
+    /// Creates a simulated pod whose per-core caches hold at most
+    /// `cache_lines` lines: small caches force frequent silent evictions,
+    /// stressing the allocator against unplanned writebacks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pod::new`].
+    pub fn with_simulation_capacity(
+        config: PodConfig,
+        mode: HwccMode,
+        cache_lines: usize,
+    ) -> Result<Self, PodError> {
+        let layout = Layout::compute(&config)?;
+        let segment = Arc::new(Segment::zeroed(layout.total_len)?);
+        let memory: Arc<dyn PodMemory> = Arc::new(SimMemory::with_cache_capacity(
+            segment,
+            layout.clone(),
+            mode,
+            config.max_threads,
+            latency::LatencyModel::paper_calibrated(),
+            cache_lines,
+        ));
+        Ok(Self::assemble(config, layout, memory))
+    }
+
+    /// Creates a pod from an explicit memory backend (for tests that need
+    /// a custom latency model or a pre-populated segment).
+    pub fn from_memory(config: PodConfig, memory: Arc<dyn PodMemory>) -> Self {
+        let layout = memory.layout().clone();
+        Self::assemble(config, layout, memory)
+    }
+
+    fn assemble(config: PodConfig, layout: Layout, memory: Arc<dyn PodMemory>) -> Self {
+        Pod {
+            inner: Arc::new(PodInner {
+                config,
+                layout,
+                memory,
+                processes: parking_lot::RwLock::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The pod's configuration.
+    pub fn config(&self) -> &PodConfig {
+        &self.inner.config
+    }
+
+    /// The computed segment layout.
+    pub fn layout(&self) -> &Layout {
+        &self.inner.layout
+    }
+
+    /// The memory backend shared by every process in the pod.
+    pub fn memory(&self) -> &Arc<dyn PodMemory> {
+        &self.inner.memory
+    }
+
+    /// Spawns a new simulated process attached to this pod.
+    ///
+    /// Each process starts with *no* data mappings installed (only
+    /// reservations), so pointer dereferences fault until the fault
+    /// handler installs the relevant mapping — exactly the PC-T situation
+    /// the paper's signal-handler protocol addresses.
+    pub fn spawn_process(&self) -> Arc<Process> {
+        let mut guard = self.inner.processes.write();
+        let id = ProcessId(guard.len() as u32);
+        let process = Arc::new(Process::new(id, self.inner.memory.clone()));
+        guard.push(process.clone());
+        process
+    }
+
+    /// All processes spawned so far.
+    pub fn processes(&self) -> Vec<Arc<Process>> {
+        self.inner.processes.read().clone()
+    }
+
+    /// Number of processes spawned so far.
+    pub fn process_count(&self) -> usize {
+        self.inner.processes.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_roundtrip() {
+        let pod = Pod::new(PodConfig::small_for_tests()).unwrap();
+        let mem = pod.memory();
+        let off = pod.layout().small.global_len;
+        assert_eq!(mem.load_u64(CoreId(0), off), 0);
+        mem.store_u64(CoreId(0), off, 42);
+        assert_eq!(mem.load_u64(CoreId(1), off), 42);
+    }
+
+    #[test]
+    fn processes_get_distinct_ids() {
+        let pod = Pod::new(PodConfig::small_for_tests()).unwrap();
+        let a = pod.spawn_process();
+        let b = pod.spawn_process();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(pod.process_count(), 2);
+    }
+
+    #[test]
+    fn core_id_display() {
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(CoreId(3).index(), 3);
+    }
+}

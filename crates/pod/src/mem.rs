@@ -1,0 +1,503 @@
+//! Memory backends: the access interface between the allocator and the
+//! pod.
+//!
+//! The allocator routes every *metadata* access — load, store, CAS,
+//! flush, fence — through [`PodMemory`]. Which backend is plugged in
+//! decides what kind of pod the allocator is running on:
+//!
+//! * [`RawMemory`] — full hardware cache coherence (or a single host):
+//!   direct atomics, flush/fence are counters. Used for the wall-clock
+//!   experiments (Figures 8–10).
+//! * [`SimMemory`] — a simulated pod with a chosen [`HwccMode`]:
+//!   SWcc-region accesses go through the per-core [`CacheModel`], and in
+//!   [`HwccMode::None`] CAS on the HWcc region becomes an
+//!   [`NmpDevice`] mCAS. A virtual-clock latency model accumulates
+//!   modeled time (Figures 11–12).
+
+use crate::coherence::CacheModel;
+use crate::latency::{Clocks, LatencyModel};
+use crate::layout::Layout;
+use crate::nmp::NmpDevice;
+use crate::segment::Segment;
+use crate::stats::{MemStats, MemStatsSnapshot};
+use crate::CoreId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How much inter-host hardware cache coherence the pod provides
+/// (paper §1, Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HwccMode {
+    /// Full inter-host HWcc: every access is coherent (CXL 3.x
+    /// back-invalidation). Flush/fence become no-ops.
+    Full,
+    /// HWcc limited to the small HWcc metadata region (Figure 1(A));
+    /// everything else relies on software coherence.
+    Limited,
+    /// No HWcc at all (Figure 1(B)): the HWcc metadata region is
+    /// device-biased and uncachable, synchronized via NMP mCAS.
+    None,
+}
+
+impl std::fmt::Display for HwccMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HwccMode::Full => write!(f, "hwcc-full"),
+            HwccMode::Limited => write!(f, "hwcc-limited"),
+            HwccMode::None => write!(f, "mcas"),
+        }
+    }
+}
+
+/// The memory access interface.
+///
+/// All offsets are 8-byte-aligned segment offsets. `CoreId` identifies
+/// the accessing core for cache simulation and latency accounting.
+pub trait PodMemory: Send + Sync + std::fmt::Debug {
+    /// The segment layout.
+    fn layout(&self) -> &Layout;
+    /// The underlying segment (for data-region raw access).
+    fn segment(&self) -> &Arc<Segment>;
+    /// The coherence mode this backend models.
+    fn hwcc_mode(&self) -> HwccMode;
+    /// Loads the u64 at `offset`.
+    fn load_u64(&self, core: CoreId, offset: u64) -> u64;
+    /// Stores the u64 at `offset`.
+    fn store_u64(&self, core: CoreId, offset: u64, value: u64);
+    /// Atomically compares-and-swaps the u64 at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(actual)` with the observed value when the compare
+    /// fails.
+    fn cas_u64(&self, core: CoreId, offset: u64, current: u64, new: u64) -> Result<u64, u64>;
+    /// Flushes (writes back and evicts) `[offset, offset+len)` from
+    /// `core`'s cache.
+    fn flush(&self, core: CoreId, offset: u64, len: u64);
+    /// Store fence.
+    fn fence(&self, core: CoreId);
+    /// Writes back and drops `core`'s entire cache (quiesce before
+    /// external validation). No-op on coherent backends.
+    fn flush_all(&self, _core: CoreId) {}
+    /// Counter snapshot.
+    fn stats(&self) -> MemStatsSnapshot;
+    /// Virtual time accumulated by `core` in nanoseconds (zero for
+    /// backends without a latency model).
+    fn virtual_ns(&self, core: CoreId) -> u64;
+    /// Resets virtual clocks (between experiment runs).
+    fn reset_clocks(&self);
+    /// Downcast support.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Direct-atomics backend: a pod with full HWcc, or a single host.
+///
+/// Loads and stores are *not* counted in [`MemStats`] (they would
+/// dominate wall-clock benchmarks); CAS, flush, and fence are counted.
+#[derive(Debug)]
+pub struct RawMemory {
+    segment: Arc<Segment>,
+    layout: Layout,
+    stats: Arc<MemStats>,
+}
+
+impl RawMemory {
+    /// Creates a raw backend over `segment`.
+    pub fn new(segment: Arc<Segment>, layout: Layout) -> Self {
+        RawMemory {
+            segment,
+            layout,
+            stats: Arc::new(MemStats::new()),
+        }
+    }
+}
+
+impl PodMemory for RawMemory {
+    fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    fn segment(&self) -> &Arc<Segment> {
+        &self.segment
+    }
+
+    fn hwcc_mode(&self) -> HwccMode {
+        HwccMode::Full
+    }
+
+    #[inline]
+    fn load_u64(&self, _core: CoreId, offset: u64) -> u64 {
+        self.segment.atomic_u64(offset).load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn store_u64(&self, _core: CoreId, offset: u64, value: u64) {
+        self.segment.atomic_u64(offset).store(value, Ordering::Release)
+    }
+
+    #[inline]
+    fn cas_u64(&self, _core: CoreId, offset: u64, current: u64, new: u64) -> Result<u64, u64> {
+        let result = self
+            .segment
+            .atomic_u64(offset)
+            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
+        self.stats.cas(result.is_ok());
+        result
+    }
+
+    #[inline]
+    fn flush(&self, _core: CoreId, _offset: u64, _len: u64) {
+        // Full HWcc: flushes are unnecessary, and even counting them here
+        // would put a shared cacheline (the stats counter) on the
+        // allocator's fast path. The paper likewise removes flushing and
+        // fencing when benchmarking on coherent memory (§5). Use
+        // SimMemory when flush/fence counts matter.
+    }
+
+    #[inline]
+    fn fence(&self, _core: CoreId) {
+        // See `flush`: ordering is already provided by the Release
+        // stores and Acquire loads of this backend.
+    }
+
+    fn stats(&self) -> MemStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn virtual_ns(&self, _core: CoreId) -> u64 {
+        0
+    }
+
+    fn reset_clocks(&self) {}
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Simulated-pod backend: per-core caches, optional NMP mCAS, and a
+/// calibrated latency model.
+#[derive(Debug)]
+pub struct SimMemory {
+    segment: Arc<Segment>,
+    layout: Layout,
+    mode: HwccMode,
+    cache: CacheModel,
+    nmp: NmpDevice,
+    clocks: Clocks,
+    model: LatencyModel,
+    stats: Arc<MemStats>,
+    /// Per-cacheline resource clocks modeling exclusive-line transfer
+    /// under coherent CAS contention.
+    line_clocks: Mutex<HashMap<u64, Arc<AtomicU64>>>,
+}
+
+impl SimMemory {
+    /// Creates a simulated backend with unbounded per-core caches.
+    pub fn new(
+        segment: Arc<Segment>,
+        layout: Layout,
+        mode: HwccMode,
+        cores: u32,
+        model: LatencyModel,
+    ) -> Self {
+        Self::with_cache_capacity(segment, layout, mode, cores, model, 0)
+    }
+
+    /// Creates a simulated backend whose per-core caches hold at most
+    /// `cache_lines` lines (0 = unbounded): bounded caches add silent
+    /// pseudo-random evictions, the *other* way real incoherent hardware
+    /// surprises software.
+    pub fn with_cache_capacity(
+        segment: Arc<Segment>,
+        layout: Layout,
+        mode: HwccMode,
+        cores: u32,
+        model: LatencyModel,
+        cache_lines: usize,
+    ) -> Self {
+        let stats = Arc::new(MemStats::new());
+        SimMemory {
+            nmp: NmpDevice::new(segment.clone(), cores as usize, stats.clone()),
+            cache: CacheModel::with_capacity(cores as usize, cache_lines),
+            clocks: Clocks::new(cores as usize),
+            segment,
+            layout,
+            mode,
+            model,
+            stats,
+            line_clocks: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The NMP device (for direct spwr/sprd experiments).
+    pub fn nmp(&self) -> &NmpDevice {
+        &self.nmp
+    }
+
+    /// The cache model (for staleness assertions in tests).
+    pub fn cache(&self) -> &CacheModel {
+        &self.cache
+    }
+
+    /// The latency model in effect.
+    pub fn model(&self) -> &LatencyModel {
+        &self.model
+    }
+
+    /// The per-core virtual clocks.
+    pub fn clocks(&self) -> &Clocks {
+        &self.clocks
+    }
+
+    /// Whether `offset` goes through the per-core cache in this mode.
+    fn is_cached_region(&self, offset: u64) -> bool {
+        match self.mode {
+            HwccMode::Full => false,
+            // SWcc metadata (and anything outside the HWcc region) is
+            // cached per core; data regions never route through here.
+            HwccMode::Limited | HwccMode::None => !self.layout.is_hwcc(offset),
+        }
+    }
+
+    fn line_clock(&self, offset: u64) -> Arc<AtomicU64> {
+        let line = offset & !63;
+        self.line_clocks
+            .lock()
+            .entry(line)
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone()
+    }
+
+    /// Coherent CAS with exclusive-line contention modeling.
+    fn coherent_cas(&self, core: CoreId, offset: u64, current: u64, new: u64) -> Result<u64, u64> {
+        let line = self.line_clock(offset);
+        self.clocks
+            .serialize_through(core.index(), &line, self.model.line_transfer_ns, &self.model);
+        self.clocks.advance(core.index(), self.model.cas_base_ns, &self.model);
+        let result = self
+            .segment
+            .atomic_u64(offset)
+            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
+        self.stats.cas(result.is_ok());
+        result
+    }
+}
+
+impl PodMemory for SimMemory {
+    fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    fn segment(&self) -> &Arc<Segment> {
+        &self.segment
+    }
+
+    fn hwcc_mode(&self) -> HwccMode {
+        self.mode
+    }
+
+    fn load_u64(&self, core: CoreId, offset: u64) -> u64 {
+        self.stats.load();
+        if self.is_cached_region(offset) {
+            let (value, hit) = self.cache.load(core.index(), &self.segment, offset, &self.stats);
+            let cost = if hit {
+                self.model.cache_hit_ns
+            } else {
+                self.model.cxl_load_ns
+            };
+            self.clocks.advance(core.index(), cost, &self.model);
+            value
+        } else {
+            // HWcc region: cacheable-and-coherent (Full/Limited) or
+            // device-biased uncachable (None).
+            let cost = match self.mode {
+                HwccMode::None => {
+                    self.stats.uncached();
+                    self.model.uncached_op_ns
+                }
+                _ => self.model.hwcc_load_ns,
+            };
+            self.clocks.advance(core.index(), cost, &self.model);
+            self.segment.atomic_u64(offset).load(Ordering::Acquire)
+        }
+    }
+
+    fn store_u64(&self, core: CoreId, offset: u64, value: u64) {
+        self.stats.store();
+        if self.is_cached_region(offset) {
+            self.cache.store(core.index(), &self.segment, offset, value, &self.stats);
+            self.clocks.advance(core.index(), self.model.cache_store_ns, &self.model);
+        } else {
+            let cost = match self.mode {
+                HwccMode::None => {
+                    self.stats.uncached();
+                    self.model.uncached_op_ns
+                }
+                _ => self.model.hwcc_load_ns,
+            };
+            self.clocks.advance(core.index(), cost, &self.model);
+            self.segment.atomic_u64(offset).store(value, Ordering::Release);
+        }
+    }
+
+    fn cas_u64(&self, core: CoreId, offset: u64, current: u64, new: u64) -> Result<u64, u64> {
+        assert!(
+            !self.is_cached_region(offset) || self.mode == HwccMode::Full,
+            "SWcc protocol violation: CAS on software-coherent offset {offset:#x} \
+             (CAS requires coherence; only HWcc-region cells may be CASed)"
+        );
+        match self.mode {
+            HwccMode::Full | HwccMode::Limited => self.coherent_cas(core, offset, current, new),
+            HwccMode::None => {
+                let result = self.nmp.mcas(
+                    core.index(),
+                    offset,
+                    current,
+                    new,
+                    &self.clocks,
+                    &self.model,
+                );
+                if result.success {
+                    Ok(current)
+                } else {
+                    Err(result.previous)
+                }
+            }
+        }
+    }
+
+    fn flush(&self, core: CoreId, offset: u64, len: u64) {
+        if self.is_cached_region(offset) {
+            self.cache.flush(core.index(), &self.segment, offset, len, &self.stats);
+        } else {
+            self.stats.flush();
+        }
+        self.clocks.advance(core.index(), self.model.flush_ns, &self.model);
+    }
+
+    fn fence(&self, core: CoreId) {
+        self.stats.fence();
+        self.clocks.advance(core.index(), self.model.fence_ns, &self.model);
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    fn flush_all(&self, core: CoreId) {
+        self.cache
+            .flush_all(core.index(), &self.segment, &self.stats);
+    }
+
+    fn stats(&self) -> MemStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn virtual_ns(&self, core: CoreId) -> u64 {
+        self.clocks.now(core.index())
+    }
+
+    fn reset_clocks(&self) {
+        self.clocks.reset();
+        self.nmp.reset_clock();
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PodConfig;
+
+    fn sim(mode: HwccMode) -> SimMemory {
+        let layout = Layout::compute(&PodConfig::small_for_tests()).unwrap();
+        let segment = Arc::new(Segment::zeroed(layout.total_len).unwrap());
+        SimMemory::new(segment, layout, mode, 8, LatencyModel::paper_calibrated())
+    }
+
+    #[test]
+    fn full_mode_is_coherent() {
+        let mem = sim(HwccMode::Full);
+        let off = mem.layout().small.swcc_desc_at(0);
+        mem.store_u64(CoreId(0), off, 11);
+        assert_eq!(mem.load_u64(CoreId(1), off), 11);
+    }
+
+    #[test]
+    fn limited_mode_swcc_is_stale_until_flush() {
+        let mem = sim(HwccMode::Limited);
+        let off = mem.layout().small.swcc_desc_at(0);
+        // Core 1 fills its cache with the initial value.
+        assert_eq!(mem.load_u64(CoreId(1), off), 0);
+        // Core 0 writes and flushes.
+        mem.store_u64(CoreId(0), off, 5);
+        mem.flush(CoreId(0), off, 8);
+        mem.fence(CoreId(0));
+        // Core 1 still sees its stale cached copy...
+        assert_eq!(mem.load_u64(CoreId(1), off), 0);
+        // ...until it flushes its own cache.
+        mem.flush(CoreId(1), off, 8);
+        assert_eq!(mem.load_u64(CoreId(1), off), 5);
+    }
+
+    #[test]
+    fn limited_mode_hwcc_is_coherent() {
+        let mem = sim(HwccMode::Limited);
+        let off = mem.layout().small.global_len;
+        mem.store_u64(CoreId(0), off, 3);
+        assert_eq!(mem.load_u64(CoreId(1), off), 3);
+        assert!(mem.cas_u64(CoreId(1), off, 3, 4).is_ok());
+        assert_eq!(mem.load_u64(CoreId(0), off), 4);
+    }
+
+    #[test]
+    fn none_mode_routes_cas_through_nmp() {
+        let mem = sim(HwccMode::None);
+        let off = mem.layout().small.global_len;
+        assert!(mem.cas_u64(CoreId(0), off, 0, 9).is_ok());
+        assert_eq!(mem.cas_u64(CoreId(1), off, 0, 5), Err(9));
+        let stats = mem.stats();
+        assert_eq!(stats.mcas_ok, 1);
+        assert_eq!(stats.mcas_fail, 1);
+        assert_eq!(stats.cas_ok, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "SWcc protocol violation")]
+    fn cas_on_swcc_region_is_rejected() {
+        let mem = sim(HwccMode::Limited);
+        let off = mem.layout().small.swcc_desc_at(0);
+        let _ = mem.cas_u64(CoreId(0), off, 0, 1);
+    }
+
+    #[test]
+    fn mcas_mode_accumulates_round_trip_latency() {
+        let mem = sim(HwccMode::None);
+        let off = mem.layout().small.global_len;
+        let before = mem.virtual_ns(CoreId(0));
+        let _ = mem.cas_u64(CoreId(0), off, 0, 1);
+        let after = mem.virtual_ns(CoreId(0));
+        assert!(after - before >= mem.model().mcas_round_trip_ns / 2);
+    }
+
+    #[test]
+    fn raw_memory_counts_cas() {
+        let layout = Layout::compute(&PodConfig::small_for_tests()).unwrap();
+        let segment = Arc::new(Segment::zeroed(layout.total_len).unwrap());
+        let mem = RawMemory::new(segment, layout);
+        let off = mem.layout().small.global_len;
+        assert!(mem.cas_u64(CoreId(0), off, 0, 1).is_ok());
+        assert!(mem.cas_u64(CoreId(0), off, 0, 2).is_err());
+        let stats = mem.stats();
+        assert_eq!((stats.cas_ok, stats.cas_fail), (1, 1));
+    }
+
+    #[test]
+    fn hwcc_mode_display() {
+        assert_eq!(HwccMode::Full.to_string(), "hwcc-full");
+        assert_eq!(HwccMode::None.to_string(), "mcas");
+    }
+}

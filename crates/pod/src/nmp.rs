@@ -1,0 +1,303 @@
+//! Near-memory-processing (NMP) mCAS device.
+//!
+//! Models the paper's FPGA NMP unit (§4), which sits between the CXL
+//! interface and the memory controller and serializes memory-based
+//! compare-and-swap operations for pods **without** inter-host hardware
+//! cache coherence.
+//!
+//! The interface mirrors the hardware protocol:
+//!
+//! * [`NmpDevice::spwr`] — the *special write*: a thread writes 64 bytes
+//!   (expected value, swap value, target address) into its own cacheline
+//!   of the `spwr` region.
+//! * [`NmpDevice::sprd`] — the *special read*: reading the thread's line
+//!   in the `sprd` region triggers the operation and returns a
+//!   success/failure bit plus the previous value.
+//!
+//! As in the hardware (Figure 6), only one spwr–sprd pair per target
+//! address may be in flight: when the device detects a competing pending
+//! operation on the same address it fails the *later* pair. The
+//! convenience method [`NmpDevice::mcas`] issues a full pair.
+//!
+//! Device-biased memory must never be cached by a CPU, so the backend
+//! marks mCAS-able regions uncachable — the same restriction the paper
+//! imposes via MTRRs.
+
+use crate::latency::{Clocks, LatencyModel};
+use crate::segment::Segment;
+use crate::stats::MemStats;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Outcome of an mCAS operation, as returned by the `sprd` region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McasResult {
+    /// Whether the swap was performed.
+    pub success: bool,
+    /// The value observed at the target address by the device.
+    pub previous: u64,
+}
+
+/// One thread's pending spwr registration.
+#[derive(Debug, Clone, Copy)]
+struct SpwrSlot {
+    target: u64,
+    expected: u64,
+    swap: u64,
+    /// Set when a competing pair on the same address completed first
+    /// (paper Figure 6(b): T2's operation is blocked and fails).
+    doomed: bool,
+    valid: bool,
+}
+
+impl SpwrSlot {
+    const EMPTY: SpwrSlot = SpwrSlot {
+        target: 0,
+        expected: 0,
+        swap: 0,
+        doomed: false,
+        valid: false,
+    };
+}
+
+/// The simulated NMP device.
+///
+/// All state mutation happens under one device mutex — the hardware unit
+/// likewise processes one request at a time, which is exactly what gives
+/// mCAS its atomicity without coherence.
+///
+/// ```
+/// use std::sync::Arc;
+/// use cxl_pod::{Segment, nmp::NmpDevice, stats::MemStats};
+///
+/// let segment = Arc::new(Segment::zeroed(4096)?);
+/// let nmp = NmpDevice::new(segment.clone(), 2, Arc::new(MemStats::new()));
+/// nmp.spwr(0, 64, 0, 42);      // register: swap 0 -> 42 at offset 64
+/// let reply = nmp.sprd(0);     // trigger and read the response
+/// assert!(reply.success);
+/// assert_eq!(segment.peek_u64(64), 42);
+/// # Ok::<(), cxl_pod::PodError>(())
+/// ```
+#[derive(Debug)]
+pub struct NmpDevice {
+    segment: Arc<Segment>,
+    slots: Mutex<Vec<SpwrSlot>>,
+    /// Device service clock for latency modeling.
+    service_clock: AtomicU64,
+    stats: Arc<MemStats>,
+}
+
+impl NmpDevice {
+    /// Creates a device with one spwr/sprd register pair per core.
+    pub fn new(segment: Arc<Segment>, cores: usize, stats: Arc<MemStats>) -> Self {
+        NmpDevice {
+            segment,
+            slots: Mutex::new(vec![SpwrSlot::EMPTY; cores]),
+            service_clock: AtomicU64::new(0),
+            stats,
+        }
+    }
+
+    /// Registers an mCAS request in `core`'s spwr line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` already has a pending spwr (the hardware has one
+    /// register per thread; software must pair spwr/sprd).
+    pub fn spwr(&self, core: usize, target: u64, expected: u64, swap: u64) {
+        let mut slots = self.slots.lock();
+        let slot = &mut slots[core];
+        assert!(
+            !slot.valid,
+            "core {core} issued spwr with an operation already pending"
+        );
+        *slot = SpwrSlot {
+            target,
+            expected,
+            swap,
+            doomed: false,
+            valid: true,
+        };
+    }
+
+    /// Triggers `core`'s pending operation and returns the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` has no pending spwr.
+    pub fn sprd(&self, core: usize) -> McasResult {
+        let mut slots = self.slots.lock();
+        let slot = slots[core];
+        assert!(slot.valid, "core {core} issued sprd without a pending spwr");
+        slots[core] = SpwrSlot::EMPTY;
+
+        let cell = self.segment.atomic_u64(slot.target);
+        let previous = cell.load(Ordering::SeqCst);
+
+        if slot.doomed {
+            // A competing pair on this address completed first; the
+            // device already decided this operation fails.
+            self.stats.mcas(false);
+            return McasResult {
+                success: false,
+                previous,
+            };
+        }
+
+        let success = previous == slot.expected;
+        if success {
+            cell.store(slot.swap, Ordering::SeqCst);
+            // Any other pending spwr on the same target loses the race
+            // (the device stalls and then fails it, Figure 6(b)).
+            for (i, other) in slots.iter_mut().enumerate() {
+                if i != core && other.valid && other.target == slot.target {
+                    other.doomed = true;
+                }
+            }
+        }
+        self.stats.mcas(success);
+        McasResult { success, previous }
+    }
+
+    /// Issues a complete spwr/sprd pair, charging modeled latency to
+    /// `core`'s virtual clock: a fixed PCIe round trip plus queueing at
+    /// the device's service clock.
+    pub fn mcas(
+        &self,
+        core: usize,
+        target: u64,
+        expected: u64,
+        swap: u64,
+        clocks: &Clocks,
+        model: &LatencyModel,
+    ) -> McasResult {
+        self.spwr(core, target, expected, swap);
+        let result = self.sprd(core);
+        // Latency: the round trip overlaps with queueing at the device.
+        clocks.serialize_through(core, &self.service_clock, model.nmp_service_ns, model);
+        clocks.advance(core, model.mcas_round_trip_ns, model);
+        result
+    }
+
+    /// Resets the device service clock (between experiment runs).
+    pub fn reset_clock(&self) {
+        self.service_clock.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> (Arc<Segment>, NmpDevice) {
+        let segment = Arc::new(Segment::zeroed(4096).unwrap());
+        let stats = Arc::new(MemStats::new());
+        let nmp = NmpDevice::new(segment.clone(), 4, stats);
+        (segment, nmp)
+    }
+
+    #[test]
+    fn successful_swap() {
+        let (segment, nmp) = device();
+        segment.atomic_u64(64).store(5, Ordering::SeqCst);
+        nmp.spwr(0, 64, 5, 9);
+        let r = nmp.sprd(0);
+        assert!(r.success);
+        assert_eq!(r.previous, 5);
+        assert_eq!(segment.peek_u64(64), 9);
+    }
+
+    #[test]
+    fn mismatch_fails() {
+        let (segment, nmp) = device();
+        segment.atomic_u64(64).store(5, Ordering::SeqCst);
+        nmp.spwr(0, 64, 4, 9);
+        let r = nmp.sprd(0);
+        assert!(!r.success);
+        assert_eq!(r.previous, 5);
+        assert_eq!(segment.peek_u64(64), 5);
+    }
+
+    #[test]
+    fn competing_pair_is_doomed() {
+        // Paper Figure 6(b): T1 and T2 both spwr the same target; T1's
+        // sprd completes first and succeeds, so T2's operation fails even
+        // though T2's expected value might match the new contents.
+        let (segment, nmp) = device();
+        segment.atomic_u64(64).store(5, Ordering::SeqCst);
+        nmp.spwr(0, 64, 5, 7);
+        nmp.spwr(1, 64, 5, 8);
+        let r1 = nmp.sprd(0);
+        assert!(r1.success);
+        let r2 = nmp.sprd(1);
+        assert!(!r2.success, "competing pair must fail");
+        assert_eq!(segment.peek_u64(64), 7);
+    }
+
+    #[test]
+    fn different_addresses_do_not_conflict() {
+        let (_segment, nmp) = device();
+        nmp.spwr(0, 64, 0, 1);
+        nmp.spwr(1, 128, 0, 2);
+        assert!(nmp.sprd(0).success);
+        assert!(nmp.sprd(1).success);
+    }
+
+    #[test]
+    #[should_panic(expected = "already pending")]
+    fn double_spwr_panics() {
+        let (_segment, nmp) = device();
+        nmp.spwr(0, 64, 0, 1);
+        nmp.spwr(0, 64, 0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a pending spwr")]
+    fn sprd_without_spwr_panics() {
+        let (_segment, nmp) = device();
+        nmp.sprd(0);
+    }
+
+    #[test]
+    fn mcas_charges_latency() {
+        let (_segment, nmp) = device();
+        let clocks = Clocks::new(4);
+        let model = LatencyModel::paper_calibrated();
+        let r = nmp.mcas(0, 64, 0, 1, &clocks, &model);
+        assert!(r.success);
+        assert!(clocks.now(0) >= model.mcas_round_trip_ns / 2);
+    }
+
+    #[test]
+    fn concurrent_mcas_is_linearizable() {
+        // N threads each increment a counter via mCAS retry loops; the
+        // final value must be exactly N * iterations.
+        let (segment, nmp) = device();
+        let nmp = Arc::new(nmp);
+        let clocks = Arc::new(Clocks::new(4));
+        let model = LatencyModel::zero();
+        let mut handles = Vec::new();
+        for core in 0..4 {
+            let nmp = nmp.clone();
+            let segment = segment.clone();
+            let clocks = clocks.clone();
+            let model = model.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    loop {
+                        let cur = segment.peek_u64(64);
+                        let r = nmp.mcas(core, 64, cur, cur + 1, &clocks, &model);
+                        if r.success {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(segment.peek_u64(64), 4000);
+    }
+}

@@ -1,0 +1,420 @@
+//! Simulated processes and memory mappings.
+//!
+//! Cross-process sharing is the second of the paper's three challenges:
+//! a memory mapping created in one process is invisible to the others, so
+//! a pointer handed across processes may fault when dereferenced (PC-T,
+//! paper §1 and §3.3). The paper solves this with a SIGSEGV handler that
+//! consults heap metadata and installs the missing mapping asynchronously.
+//!
+//! Here a [`Process`] keeps a private view of which parts of the shared
+//! segment it has "mapped". [`Process::resolve`] is the dereference
+//! point: it checks the mapping tables, raises a [`Fault`] when the
+//! offset is unmapped, and routes the fault to the installed
+//! [`FaultHandler`] — the allocator's signal handler equivalent — which
+//! may install the mapping and let the access retry.
+//!
+//! Mapping tables mirror the allocator's two mapping disciplines:
+//!
+//! * The small and large heaps only ever *extend* (monotonic heap
+//!   length, §3.3.1), so each process tracks a mapped **watermark** per
+//!   heap — the moral equivalent of having installed every slab mapping
+//!   up to some length.
+//! * Huge allocations are backed by individual mappings that come and go,
+//!   tracked in a [`MapSet`] of ranges.
+
+use crate::error::Fault;
+use crate::mem::PodMemory;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a simulated process within its pod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u32);
+
+impl std::fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "process{}", self.0)
+    }
+}
+
+/// The signal-handler equivalent: inspects a fault and returns `true` if
+/// it installed a mapping (so the access should be retried), `false` to
+/// deliver the fault to the "application" (an `Err` from `resolve`).
+pub type FaultHandler = dyn Fn(&Process, Fault) -> bool + Send + Sync;
+
+/// An ordered set of disjoint, half-open byte ranges.
+///
+/// Used for a process's huge-heap mappings. Adjacent and overlapping
+/// inserts coalesce; removals may split ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MapSet {
+    /// start -> end
+    ranges: BTreeMap<u64, u64>,
+}
+
+impl MapSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of disjoint ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Total bytes covered.
+    pub fn covered_bytes(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Inserts `[start, end)`, coalescing with neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        assert!(start < end, "empty or inverted range [{start}, {end})");
+        let mut new_start = start;
+        let mut new_end = end;
+        // Absorb any range that overlaps or abuts [start, end).
+        let overlapping: Vec<u64> = self
+            .ranges
+            .range(..=end)
+            .filter(|&(&s, &e)| e >= start && s <= end)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in overlapping {
+            let e = self.ranges.remove(&s).expect("key just observed");
+            new_start = new_start.min(s);
+            new_end = new_end.max(e);
+        }
+        self.ranges.insert(new_start, new_end);
+    }
+
+    /// Removes `[start, end)`, splitting ranges as needed.
+    pub fn remove(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let affected: Vec<(u64, u64)> = self
+            .ranges
+            .range(..end)
+            .filter(|&(&s, &e)| e > start && s < end)
+            .map(|(&s, &e)| (s, e))
+            .collect();
+        for (s, e) in affected {
+            self.ranges.remove(&s);
+            if s < start {
+                self.ranges.insert(s, start);
+            }
+            if e > end {
+                self.ranges.insert(end, e);
+            }
+        }
+    }
+
+    /// Whether `[start, start+len)` is fully covered.
+    pub fn contains(&self, start: u64, len: u64) -> bool {
+        let end = start + len.max(1);
+        match self.ranges.range(..=start).next_back() {
+            Some((_, &e)) => e >= end,
+            None => false,
+        }
+    }
+
+    /// Iterates over the disjoint ranges as `(start, end)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.ranges.iter().map(|(&s, &e)| (s, e))
+    }
+}
+
+/// A simulated process: a private mapping view over the pod's shared
+/// segment.
+pub struct Process {
+    id: ProcessId,
+    memory: Arc<dyn PodMemory>,
+    /// Mapped watermark (in slabs) for the small heap.
+    small_mapped: AtomicU64,
+    /// Mapped watermark (in slabs) for the large heap.
+    large_mapped: AtomicU64,
+    /// Huge-heap mapped ranges (data offsets).
+    huge_maps: RwLock<MapSet>,
+    handler: RwLock<Option<Arc<FaultHandler>>>,
+    faults: AtomicU64,
+    maps_installed: AtomicU64,
+    maps_removed: AtomicU64,
+}
+
+impl std::fmt::Debug for Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Process")
+            .field("id", &self.id)
+            .field("small_mapped", &self.small_mapped.load(Ordering::Relaxed))
+            .field("large_mapped", &self.large_mapped.load(Ordering::Relaxed))
+            .field("huge_ranges", &self.huge_maps.read().len())
+            .finish()
+    }
+}
+
+impl Process {
+    pub(crate) fn new(id: ProcessId, memory: Arc<dyn PodMemory>) -> Self {
+        Process {
+            id,
+            memory,
+            small_mapped: AtomicU64::new(0),
+            large_mapped: AtomicU64::new(0),
+            huge_maps: RwLock::new(MapSet::new()),
+            handler: RwLock::new(None),
+            faults: AtomicU64::new(0),
+            maps_installed: AtomicU64::new(0),
+            maps_removed: AtomicU64::new(0),
+        }
+    }
+
+    /// This process's identifier.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The pod memory this process is attached to.
+    pub fn memory(&self) -> &Arc<dyn PodMemory> {
+        &self.memory
+    }
+
+    /// Installs the fault handler (the allocator's "signal handler").
+    /// Replaces any previous handler.
+    pub fn set_fault_handler(&self, handler: Arc<FaultHandler>) {
+        *self.handler.write() = Some(handler);
+    }
+
+    /// Number of faults taken so far.
+    pub fn fault_count(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Number of mappings installed so far.
+    pub fn maps_installed(&self) -> u64 {
+        self.maps_installed.load(Ordering::Relaxed)
+    }
+
+    /// Number of mappings removed so far.
+    pub fn maps_removed(&self) -> u64 {
+        self.maps_removed.load(Ordering::Relaxed)
+    }
+
+    // ---- mapping installation (called by the fault handler / allocator) ----
+
+    /// Raises this process's small-heap mapped watermark to at least
+    /// `slabs` slabs (idempotent; watermarks only grow, matching the
+    /// monotonic heap extension of §3.3.1).
+    pub fn map_small_upto(&self, slabs: u64) {
+        self.bump(&self.small_mapped, slabs);
+    }
+
+    /// Raises the large-heap watermark to at least `slabs` slabs.
+    pub fn map_large_upto(&self, slabs: u64) {
+        self.bump(&self.large_mapped, slabs);
+    }
+
+    fn bump(&self, watermark: &AtomicU64, value: u64) {
+        let previous = watermark.fetch_max(value, Ordering::AcqRel);
+        if previous < value {
+            self.maps_installed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Currently mapped small-heap slabs.
+    pub fn small_mapped(&self) -> u64 {
+        self.small_mapped.load(Ordering::Acquire)
+    }
+
+    /// Currently mapped large-heap slabs.
+    pub fn large_mapped(&self) -> u64 {
+        self.large_mapped.load(Ordering::Acquire)
+    }
+
+    /// Installs a huge-heap mapping covering `[offset, offset+len)` (data
+    /// offsets).
+    pub fn map_huge(&self, offset: u64, len: u64) {
+        self.huge_maps.write().insert(offset, offset + len);
+        self.maps_installed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Removes a huge-heap mapping (the local equivalent of `munmap`).
+    pub fn unmap_huge(&self, offset: u64, len: u64) {
+        self.huge_maps.write().remove(offset, offset + len);
+        self.maps_removed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether `[offset, offset+len)` is mapped in this process's
+    /// huge-heap view.
+    pub fn huge_is_mapped(&self, offset: u64, len: u64) -> bool {
+        self.huge_maps.read().contains(offset, len)
+    }
+
+    // ---- dereference -----------------------------------------------------
+
+    /// Checks whether `[offset, offset+len)` is mapped, without taking a
+    /// fault.
+    pub fn is_mapped(&self, offset: u64, len: u64) -> bool {
+        let layout = self.memory.layout();
+        if let Some(slab) = layout.small.slab_of(offset) {
+            return (slab as u64) < self.small_mapped() && layout.small.data.contains(offset + len - 1);
+        }
+        if let Some(slab) = layout.large.slab_of(offset) {
+            return (slab as u64) < self.large_mapped() && layout.large.data.contains(offset + len - 1);
+        }
+        if layout.huge.data.contains(offset) {
+            return self.huge_is_mapped(offset, len);
+        }
+        // Metadata regions are always mapped (established at attach time,
+        // before any data access; see DESIGN.md fidelity notes).
+        offset + len <= layout.hwcc.end() || offset + len <= layout.log.end()
+    }
+
+    /// Resolves a data offset to a raw pointer, taking the fault path if
+    /// the offset is unmapped in this process.
+    ///
+    /// This is the moral equivalent of dereferencing a pointer: on an
+    /// unmapped access the fault handler (if any) gets a chance to
+    /// install the mapping and the access retries, exactly like the
+    /// paper's SIGSEGV handler re-issuing the faulting instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Fault`] if no handler is installed or the handler
+    /// declines (a genuine wild pointer).
+    pub fn resolve(self: &Arc<Self>, offset: u64, len: u64) -> Result<*mut u8, Fault> {
+        loop {
+            if self.is_mapped(offset, len) {
+                return Ok(self.memory.segment().data_ptr(offset, len));
+            }
+            self.faults.fetch_add(1, Ordering::Relaxed);
+            let fault = Fault {
+                offset,
+                len,
+                process: self.id,
+            };
+            let handler = self.handler.read().clone();
+            match handler {
+                Some(h) if h(self, fault) => continue,
+                _ => return Err(fault),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pod, PodConfig};
+
+    #[test]
+    fn mapset_insert_coalesces() {
+        let mut set = MapSet::new();
+        set.insert(0, 10);
+        set.insert(10, 20);
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(0, 20));
+        set.insert(30, 40);
+        assert_eq!(set.len(), 2);
+        set.insert(15, 35);
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(0, 40));
+        assert_eq!(set.covered_bytes(), 40);
+    }
+
+    #[test]
+    fn mapset_remove_splits() {
+        let mut set = MapSet::new();
+        set.insert(0, 100);
+        set.remove(40, 60);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(0, 40));
+        assert!(set.contains(60, 40));
+        assert!(!set.contains(30, 20));
+        assert_eq!(set.covered_bytes(), 80);
+    }
+
+    #[test]
+    fn mapset_remove_edges() {
+        let mut set = MapSet::new();
+        set.insert(10, 20);
+        set.remove(0, 15);
+        assert!(set.contains(15, 5));
+        assert!(!set.contains(10, 1));
+        set.remove(15, 20);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn watermark_mapping() {
+        let pod = Pod::new(PodConfig::small_for_tests()).unwrap();
+        let process = pod.spawn_process();
+        let data = pod.layout().small.data.start;
+        assert!(!process.is_mapped(data, 8));
+        process.map_small_upto(1);
+        assert!(process.is_mapped(data, 8));
+        assert!(!process.is_mapped(data + pod.layout().small.slab_size, 8));
+        // Watermarks are monotonic.
+        process.map_small_upto(0);
+        assert_eq!(process.small_mapped(), 1);
+    }
+
+    #[test]
+    fn fault_handler_installs_and_retries() {
+        let pod = Pod::new(PodConfig::small_for_tests()).unwrap();
+        let process = pod.spawn_process();
+        let data = pod.layout().small.data.start;
+        // Without a handler: fault surfaces.
+        assert!(process.resolve(data, 8).is_err());
+        assert_eq!(process.fault_count(), 1);
+        // With a handler that extends the watermark: access succeeds.
+        process.set_fault_handler(Arc::new(|p: &Process, fault: Fault| {
+            let layout = p.memory().layout();
+            if layout.small.slab_of(fault.offset).is_some() {
+                p.map_small_upto(1);
+                true
+            } else {
+                false
+            }
+        }));
+        assert!(process.resolve(data, 8).is_ok());
+        assert_eq!(process.fault_count(), 2);
+        // Subsequent accesses do not fault.
+        assert!(process.resolve(data, 8).is_ok());
+        assert_eq!(process.fault_count(), 2);
+    }
+
+    #[test]
+    fn huge_mapping_lifecycle() {
+        let pod = Pod::new(PodConfig::small_for_tests()).unwrap();
+        let process = pod.spawn_process();
+        let base = pod.layout().huge.data.start;
+        process.map_huge(base, 4096);
+        assert!(process.resolve(base, 4096).is_ok());
+        process.unmap_huge(base, 4096);
+        assert!(process.resolve(base, 8).is_err());
+        assert_eq!(process.maps_installed(), 1);
+        assert_eq!(process.maps_removed(), 1);
+    }
+
+    #[test]
+    fn wild_pointer_faults() {
+        let pod = Pod::new(PodConfig::small_for_tests()).unwrap();
+        let process = pod.spawn_process();
+        process.set_fault_handler(Arc::new(|_: &Process, _| false));
+        let wild = pod.layout().huge.data.start + 12345;
+        let err = process.resolve(wild, 8).unwrap_err();
+        assert_eq!(err.offset, wild);
+        assert_eq!(err.process, process.id());
+    }
+}

@@ -1,0 +1,251 @@
+//! The shared "physical" memory segment.
+//!
+//! A [`Segment`] models the CXL device's DRAM: one contiguous,
+//! byte-addressable range shared by every host in the pod. It is
+//! zero-initialized, which the allocator relies on — an all-zero segment
+//! is a valid, initialized heap (paper §4, *Heap initialization*), so no
+//! cross-process bootstrap coordination is needed.
+
+use crate::PodError;
+use std::alloc::{alloc_zeroed, dealloc, Layout as AllocLayout};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Alignment of the segment base (one page).
+const SEGMENT_ALIGN: usize = 4096;
+
+/// A zero-initialized, page-aligned shared memory segment.
+///
+/// All access is through *offsets*, never absolute pointers — the same
+/// discipline the allocator's offset pointers impose (PC-S). Atomic
+/// accessors hand out references to `AtomicU64` cells living inside the
+/// segment.
+///
+/// Backing memory is requested with the allocator's *minimum* alignment
+/// and page-aligned manually. This matters: on Linux, `alloc_zeroed`
+/// with large alignment bypasses `calloc` and memsets the whole
+/// allocation, which would *touch* every page of a multi-GiB segment.
+/// With `calloc`, large requests come from fresh anonymous mappings and
+/// stay lazily committed — untouched heap capacity costs nothing, like
+/// an untouched shared memory file.
+pub struct Segment {
+    /// The pointer returned by the allocator (freed on drop).
+    raw: *mut u8,
+    /// Page-aligned base within `raw`.
+    base: *mut u8,
+    len: u64,
+}
+
+// SAFETY: the segment is a plain byte arena; all mutation goes through
+// atomic operations (or through raw pointers whose synchronization is the
+// caller's responsibility, exactly as with real shared memory).
+unsafe impl Send for Segment {}
+unsafe impl Sync for Segment {}
+
+impl Segment {
+    /// Allocates a zeroed segment of `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PodError::OutOfHostMemory`] if the host allocation fails
+    /// and [`PodError::InvalidConfig`] for a zero-length segment.
+    pub fn zeroed(len: u64) -> Result<Self, PodError> {
+        if len == 0 {
+            return Err(PodError::InvalidConfig {
+                reason: "segment length must be nonzero".into(),
+            });
+        }
+        // Over-allocate by one page at minimal alignment (goes through
+        // calloc → lazily-zeroed fresh mappings for large sizes), then
+        // align the base by hand.
+        let padded = (len as usize)
+            .checked_add(SEGMENT_ALIGN)
+            .ok_or(PodError::InvalidConfig {
+                reason: format!("segment length {len} overflows"),
+            })?;
+        let layout = AllocLayout::from_size_align(padded, 8).map_err(|_| {
+            PodError::InvalidConfig {
+                reason: format!("segment length {len} not layoutable"),
+            }
+        })?;
+        // SAFETY: layout has nonzero size (checked above).
+        let raw = unsafe { alloc_zeroed(layout) };
+        if raw.is_null() {
+            return Err(PodError::OutOfHostMemory { requested: len });
+        }
+        let misalign = raw as usize % SEGMENT_ALIGN;
+        let adjust = if misalign == 0 { 0 } else { SEGMENT_ALIGN - misalign };
+        // SAFETY: adjust < SEGMENT_ALIGN and padded = len + SEGMENT_ALIGN,
+        // so base..base+len stays within the allocation.
+        let base = unsafe { raw.add(adjust) };
+        Ok(Segment { raw, base, len })
+    }
+
+    /// Segment length in bytes.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the segment is empty (never true for a constructed
+    /// segment, provided for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn check(&self, offset: u64, bytes: u64) {
+        assert!(
+            offset.checked_add(bytes).is_some_and(|end| end <= self.len),
+            "segment access out of bounds: offset {offset} + {bytes} > len {}",
+            self.len
+        );
+    }
+
+    /// Returns the `AtomicU64` cell at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is not 8-byte aligned or out of bounds.
+    #[inline]
+    pub fn atomic_u64(&self, offset: u64) -> &AtomicU64 {
+        self.check(offset, 8);
+        assert_eq!(offset % 8, 0, "unaligned u64 access at offset {offset}");
+        // SAFETY: in-bounds (checked), aligned (checked), and AtomicU64
+        // has the same layout as u64; the backing memory lives as long as
+        // `self`.
+        unsafe { &*(self.base.add(offset as usize) as *const AtomicU64) }
+    }
+
+    /// Relaxed-load convenience used by diagnostics.
+    #[inline]
+    pub fn peek_u64(&self, offset: u64) -> u64 {
+        self.atomic_u64(offset).load(Ordering::Relaxed)
+    }
+
+    /// Raw pointer to `offset`, for application data access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `len`-byte range starting at `offset` is out of
+    /// bounds.
+    ///
+    /// The returned pointer is valid for `len` bytes for the lifetime of
+    /// the segment. Synchronization of accesses through it is the
+    /// caller's responsibility (as with real shared memory).
+    #[inline]
+    pub fn data_ptr(&self, offset: u64, len: u64) -> *mut u8 {
+        self.check(offset, len);
+        // SAFETY: in-bounds per check above.
+        unsafe { self.base.add(offset as usize) }
+    }
+
+    /// Copies bytes out of the segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    pub fn read_bytes(&self, offset: u64, out: &mut [u8]) {
+        let ptr = self.data_ptr(offset, out.len() as u64);
+        // SAFETY: source range checked in-bounds; destination is a
+        // distinct Rust slice.
+        unsafe { std::ptr::copy_nonoverlapping(ptr, out.as_mut_ptr(), out.len()) }
+    }
+
+    /// Copies bytes into the segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    pub fn write_bytes(&self, offset: u64, data: &[u8]) {
+        let ptr = self.data_ptr(offset, data.len() as u64);
+        // SAFETY: destination range checked in-bounds.
+        unsafe { std::ptr::copy_nonoverlapping(data.as_ptr(), ptr, data.len()) }
+    }
+}
+
+impl Drop for Segment {
+    fn drop(&mut self) {
+        let layout = AllocLayout::from_size_align(self.len as usize + SEGMENT_ALIGN, 8)
+            .expect("layout validated at construction");
+        // SAFETY: `raw` was allocated with the identical layout in `zeroed`.
+        unsafe { dealloc(self.raw, layout) }
+    }
+}
+
+impl std::fmt::Debug for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Segment").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_on_creation() {
+        let seg = Segment::zeroed(4096).unwrap();
+        for off in (0..4096).step_by(8) {
+            assert_eq!(seg.peek_u64(off), 0);
+        }
+    }
+
+    #[test]
+    fn atomic_cells_are_shared() {
+        let seg = Segment::zeroed(4096).unwrap();
+        seg.atomic_u64(64).store(7, Ordering::SeqCst);
+        assert_eq!(seg.atomic_u64(64).load(Ordering::SeqCst), 7);
+        assert_eq!(seg.peek_u64(64), 7);
+        // Neighbouring cells untouched.
+        assert_eq!(seg.peek_u64(56), 0);
+        assert_eq!(seg.peek_u64(72), 0);
+    }
+
+    #[test]
+    fn byte_copies_roundtrip() {
+        let seg = Segment::zeroed(4096).unwrap();
+        seg.write_bytes(100, b"hello pod");
+        let mut buf = [0u8; 9];
+        seg.read_bytes(100, &mut buf);
+        assert_eq!(&buf, b"hello pod");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let seg = Segment::zeroed(64).unwrap();
+        seg.atomic_u64(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_panics() {
+        let seg = Segment::zeroed(64).unwrap();
+        seg.atomic_u64(4);
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        assert!(Segment::zeroed(0).is_err());
+    }
+
+    #[test]
+    fn concurrent_atomics() {
+        use std::sync::Arc;
+        let seg = Arc::new(Segment::zeroed(4096).unwrap());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let seg = seg.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    seg.atomic_u64(128).fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(seg.peek_u64(128), 80_000);
+    }
+}

@@ -1,0 +1,223 @@
+//! Operation counters for memory backends.
+//!
+//! The evaluation needs more than wall-clock time: the §5.2.1 HWcc-memory
+//! comparison and the Figure 12 mCAS experiments are phrased in terms of
+//! *how many* coherent operations, flushes, and mCASes each design
+//! issues. Every [`PodMemory`](crate::PodMemory) backend keeps one
+//! [`MemStats`] and exposes snapshots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live atomic counters (shared, updated relaxed — they are statistics,
+/// not synchronization).
+#[derive(Debug, Default)]
+pub struct MemStats {
+    /// Metadata loads.
+    pub loads: AtomicU64,
+    /// Metadata stores.
+    pub stores: AtomicU64,
+    /// Successful hardware-coherent CAS operations.
+    pub cas_ok: AtomicU64,
+    /// Failed hardware-coherent CAS operations.
+    pub cas_fail: AtomicU64,
+    /// Successful mCAS operations (routed through the NMP).
+    pub mcas_ok: AtomicU64,
+    /// Failed mCAS operations.
+    pub mcas_fail: AtomicU64,
+    /// Cacheline flushes issued.
+    pub flushes: AtomicU64,
+    /// Fences issued.
+    pub fences: AtomicU64,
+    /// Simulated cacheline fills (SWcc cache misses).
+    pub line_fills: AtomicU64,
+    /// Simulated dirty-line writebacks.
+    pub writebacks: AtomicU64,
+    /// Loads served from a (possibly stale) simulated cache.
+    pub cached_hits: AtomicU64,
+    /// Loads/stores to uncachable (device-biased) memory.
+    pub uncached_ops: AtomicU64,
+}
+
+macro_rules! bump {
+    ($self:ident . $field:ident) => {
+        $self.$field.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+impl MemStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a load.
+    #[inline]
+    pub fn load(&self) {
+        bump!(self.loads);
+    }
+    /// Records a store.
+    #[inline]
+    pub fn store(&self) {
+        bump!(self.stores);
+    }
+    /// Records a CAS outcome.
+    #[inline]
+    pub fn cas(&self, ok: bool) {
+        if ok {
+            bump!(self.cas_ok);
+        } else {
+            bump!(self.cas_fail);
+        }
+    }
+    /// Records an mCAS outcome.
+    #[inline]
+    pub fn mcas(&self, ok: bool) {
+        if ok {
+            bump!(self.mcas_ok);
+        } else {
+            bump!(self.mcas_fail);
+        }
+    }
+    /// Records a flush.
+    #[inline]
+    pub fn flush(&self) {
+        bump!(self.flushes);
+    }
+    /// Records a fence.
+    #[inline]
+    pub fn fence(&self) {
+        bump!(self.fences);
+    }
+    /// Records a simulated line fill.
+    #[inline]
+    pub fn line_fill(&self) {
+        bump!(self.line_fills);
+    }
+    /// Records a simulated writeback.
+    #[inline]
+    pub fn writeback(&self) {
+        bump!(self.writebacks);
+    }
+    /// Records a cached hit.
+    #[inline]
+    pub fn cached_hit(&self) {
+        bump!(self.cached_hits);
+    }
+    /// Records an uncached (device-biased) access.
+    #[inline]
+    pub fn uncached(&self) {
+        bump!(self.uncached_ops);
+    }
+
+    /// Snapshot of the current counter values.
+    pub fn snapshot(&self) -> MemStatsSnapshot {
+        MemStatsSnapshot {
+            loads: self.loads.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            cas_ok: self.cas_ok.load(Ordering::Relaxed),
+            cas_fail: self.cas_fail.load(Ordering::Relaxed),
+            mcas_ok: self.mcas_ok.load(Ordering::Relaxed),
+            mcas_fail: self.mcas_fail.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            line_fills: self.line_fills.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+            cached_hits: self.cached_hits.load(Ordering::Relaxed),
+            uncached_ops: self.uncached_ops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`MemStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStatsSnapshot {
+    /// Metadata loads.
+    pub loads: u64,
+    /// Metadata stores.
+    pub stores: u64,
+    /// Successful CAS.
+    pub cas_ok: u64,
+    /// Failed CAS.
+    pub cas_fail: u64,
+    /// Successful mCAS.
+    pub mcas_ok: u64,
+    /// Failed mCAS.
+    pub mcas_fail: u64,
+    /// Flushes.
+    pub flushes: u64,
+    /// Fences.
+    pub fences: u64,
+    /// Line fills.
+    pub line_fills: u64,
+    /// Writebacks.
+    pub writebacks: u64,
+    /// Cached hits.
+    pub cached_hits: u64,
+    /// Uncached ops.
+    pub uncached_ops: u64,
+}
+
+impl MemStatsSnapshot {
+    /// Total CAS attempts (coherent + mCAS).
+    pub fn cas_total(&self) -> u64 {
+        self.cas_ok + self.cas_fail + self.mcas_ok + self.mcas_fail
+    }
+
+    /// Per-field difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &MemStatsSnapshot) -> MemStatsSnapshot {
+        MemStatsSnapshot {
+            loads: self.loads.saturating_sub(earlier.loads),
+            stores: self.stores.saturating_sub(earlier.stores),
+            cas_ok: self.cas_ok.saturating_sub(earlier.cas_ok),
+            cas_fail: self.cas_fail.saturating_sub(earlier.cas_fail),
+            mcas_ok: self.mcas_ok.saturating_sub(earlier.mcas_ok),
+            mcas_fail: self.mcas_fail.saturating_sub(earlier.mcas_fail),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            fences: self.fences.saturating_sub(earlier.fences),
+            line_fills: self.line_fills.saturating_sub(earlier.line_fills),
+            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
+            cached_hits: self.cached_hits.saturating_sub(earlier.cached_hits),
+            uncached_ops: self.uncached_ops.saturating_sub(earlier.uncached_ops),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = MemStats::new();
+        stats.load();
+        stats.load();
+        stats.store();
+        stats.cas(true);
+        stats.cas(false);
+        stats.mcas(true);
+        stats.flush();
+        stats.fence();
+        let snap = stats.snapshot();
+        assert_eq!(snap.loads, 2);
+        assert_eq!(snap.stores, 1);
+        assert_eq!(snap.cas_ok, 1);
+        assert_eq!(snap.cas_fail, 1);
+        assert_eq!(snap.mcas_ok, 1);
+        assert_eq!(snap.cas_total(), 3);
+        assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.fences, 1);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let stats = MemStats::new();
+        stats.load();
+        let a = stats.snapshot();
+        stats.load();
+        stats.load();
+        let b = stats.snapshot();
+        let diff = b.since(&a);
+        assert_eq!(diff.loads, 2);
+        assert_eq!(diff.stores, 0);
+    }
+}

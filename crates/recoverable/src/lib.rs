@@ -1,0 +1,59 @@
+//! Memento-style detectably recoverable data structures (paper
+//! Figure 7, citing Cho et al., PLDI '23).
+//!
+//! The Figure 7 experiment inserts one million objects into a
+//! recoverable queue / hash map and removes them, crashing 0, 1, or 2
+//! threads during the insertion phase. With cxlalloc, recovery neither
+//! leaks nor blocks; with a GC-recovered allocator like ralloc, one must
+//! either block the heap (ralloc-gc) or leak (ralloc-leak).
+//!
+//! The structures are lock-free over *offset* pointers in pod memory and
+//! use the allocator's **detectable allocation** hook: before each
+//! insert, the node pointer's destination — a per-thread *memento cell*
+//! in shared memory — is registered with the allocator. On recovery the
+//! allocator keeps the block only if the cell holds it; the structure's
+//! own [`RecoverableQueue::recover_slot`] then decides whether the node
+//! made it into the structure, finishing or undoing the insert. Nothing
+//! leaks and no live thread ever waits.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod map;
+pub mod queue;
+
+pub use map::{MapWorker, RecoverableMap};
+pub use queue::RecoverableQueue;
+
+use baselines::{BenchError, PodAllocThread};
+use cxl_core::OffsetPtr;
+use std::sync::atomic::AtomicU64;
+
+/// Maximum worker slots a control block provisions.
+pub const MAX_SLOTS: u32 = 64;
+
+/// Accessor for an `AtomicU64` cell in pod memory.
+///
+/// # Safety contract (internal)
+///
+/// `ptr` must reference at least 8 live bytes, 8-aligned.
+pub(crate) fn cell(alloc: &mut dyn PodAllocThread, ptr: OffsetPtr) -> &'static AtomicU64 {
+    let raw = alloc.resolve(ptr, 8) as *const AtomicU64;
+    debug_assert_eq!(ptr.offset() % 8, 0);
+    // SAFETY: callers only pass pointers into live control blocks or
+    // nodes; the segment outlives every worker ('static is a private
+    // convenience, never exposed).
+    unsafe { &*raw }
+}
+
+/// Allocates and zeroes a control region of `words` 8-byte cells.
+pub(crate) fn alloc_control(
+    alloc: &mut dyn PodAllocThread,
+    words: u64,
+) -> Result<OffsetPtr, BenchError> {
+    let ptr = alloc.alloc((words * 8) as usize)?;
+    let raw = alloc.resolve(ptr, words * 8);
+    // SAFETY: freshly allocated region of exactly words*8 bytes.
+    unsafe { raw.write_bytes(0, (words * 8) as usize) };
+    Ok(ptr)
+}

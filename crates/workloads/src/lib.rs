@@ -1,0 +1,23 @@
+//! Workload generators for the cxlalloc evaluation.
+//!
+//! * [`spec`] — the key-value store workloads of paper Table 2: YCSB
+//!   Load/A/D (Cooper et al.) and statistical models of the Twitter
+//!   memcached production traces (Yang et al.), clusters 12, 15, 31,
+//!   and 37. The real traces are 6.7 GiB of licensed SNIA data; the
+//!   models reproduce the summary statistics the allocator is sensitive
+//!   to — insert ratio, key distribution, and key/value size
+//!   distributions (see `DESIGN.md` §1).
+//! * [`micro`] — the threadtest and xmalloc allocator microbenchmarks
+//!   (small and huge variants).
+//! * [`zipf`] — the YCSB Zipfian generator (constant 0.99).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod micro;
+pub mod spec;
+pub mod zipf;
+
+pub use micro::MicroSpec;
+pub use spec::{KeyDist, KeyGen, KvOp, OpStream, SizeDist, WorkloadSpec};
+pub use zipf::Zipfian;

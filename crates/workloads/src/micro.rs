@@ -1,0 +1,119 @@
+//! Allocator microbenchmark workloads (paper §5.2.2 and §5.3).
+//!
+//! * **threadtest** — "estimates the highest possible allocator
+//!   throughput using a fixed allocation size and entirely thread-local
+//!   operations": each thread repeatedly allocates a batch of objects
+//!   and frees them itself.
+//! * **xmalloc** — "a producer-consumer workload that stresses the
+//!   remote free code path": each thread allocates objects that a
+//!   *different* thread frees.
+//!
+//! The `-small` variants use a fixed small object size; the `-huge`
+//! variants (paper §5.3) use 1 GiB objects backed by individual memory
+//! mappings.
+
+/// Parameters of a microbenchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroSpec {
+    /// Workload name.
+    pub name: &'static str,
+    /// Object size in bytes.
+    pub object_size: usize,
+    /// Objects per batch.
+    pub batch: usize,
+    /// Total operations (alloc+free pairs) across all threads — the
+    /// paper keeps total work fixed as thread counts vary.
+    pub total_ops: u64,
+    /// Whether frees are remote (xmalloc) or local (threadtest).
+    pub remote_free: bool,
+}
+
+impl MicroSpec {
+    /// threadtest with small (64 B) objects.
+    pub fn threadtest_small() -> Self {
+        MicroSpec {
+            name: "threadtest-small",
+            object_size: 64,
+            batch: 100,
+            total_ops: 9_600_000,
+            remote_free: false,
+        }
+    }
+
+    /// xmalloc with small (64 B) objects.
+    pub fn xmalloc_small() -> Self {
+        MicroSpec {
+            name: "xmalloc-small",
+            object_size: 64,
+            batch: 100,
+            total_ops: 9_600_000,
+            remote_free: true,
+        }
+    }
+
+    /// threadtest with 1 GiB objects (paper §5.3: "a punishingly
+    /// unrealistic workload that unnaturally stresses huge allocations").
+    pub fn threadtest_huge() -> Self {
+        MicroSpec {
+            name: "threadtest-huge",
+            object_size: 1 << 30,
+            batch: 4,
+            total_ops: 9_600_000,
+            remote_free: false,
+        }
+    }
+
+    /// xmalloc with 1 GiB objects.
+    pub fn xmalloc_huge() -> Self {
+        MicroSpec {
+            name: "xmalloc-huge",
+            object_size: 1 << 30,
+            batch: 4,
+            total_ops: 9_600_000,
+            remote_free: true,
+        }
+    }
+
+    /// Scales the spec's total work down by `factor` (for quick runs).
+    #[must_use]
+    pub fn scaled_down(mut self, factor: u64) -> Self {
+        self.total_ops = (self.total_ops / factor).max(self.batch as u64);
+        self
+    }
+
+    /// Operations each of `threads` threads performs — the paper divides
+    /// fixed work evenly.
+    pub fn ops_per_thread(&self, threads: u32) -> u64 {
+        self.total_ops / threads as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_divides_evenly_across_paper_thread_counts() {
+        let spec = MicroSpec::threadtest_small();
+        for threads in [1u32, 2, 4, 8, 10, 16, 20, 32, 40, 64, 80] {
+            assert_eq!(
+                spec.ops_per_thread(threads) * threads as u64
+                    + spec.total_ops % threads as u64,
+                spec.total_ops
+            );
+        }
+    }
+
+    #[test]
+    fn huge_variants_use_gigabyte_objects() {
+        assert_eq!(MicroSpec::threadtest_huge().object_size, 1 << 30);
+        assert!(MicroSpec::xmalloc_huge().remote_free);
+        assert!(!MicroSpec::threadtest_huge().remote_free);
+    }
+
+    #[test]
+    fn scaling_preserves_batch_minimum() {
+        let spec = MicroSpec::threadtest_small().scaled_down(1_000_000_000);
+        assert_eq!(spec.total_ops, 100);
+    }
+}

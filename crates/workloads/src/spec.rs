@@ -1,0 +1,448 @@
+//! Workload specifications — the rows of the paper's Table 2.
+
+use crate::zipf::Zipfian;
+use rand::Rng;
+
+/// Key-popularity distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDist {
+    /// Uniform over the key space.
+    Uniform,
+    /// Zipfian with the YCSB constant 0.99 ("Skew" in Table 2).
+    Zipfian,
+}
+
+impl std::fmt::Display for KeyDist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyDist::Uniform => write!(f, "Uniform"),
+            KeyDist::Zipfian => write!(f, "Skew"),
+        }
+    }
+}
+
+/// A size distribution for keys or values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeDist {
+    /// Always the same size.
+    Fixed(u32),
+    /// Uniform in `[min, max]`.
+    Uniform {
+        /// Minimum size.
+        min: u32,
+        /// Maximum size.
+        max: u32,
+    },
+    /// Power-law-skewed in `[min, max]`: `min + (max-min) * u^k` — the
+    /// heavy-tailed value sizes of the memcached traces (mostly tiny,
+    /// occasionally hundreds of KiB).
+    PowerTail {
+        /// Minimum size.
+        min: u32,
+        /// Maximum size.
+        max: u32,
+        /// Skew exponent (larger = more mass near `min`).
+        k: u32,
+    },
+}
+
+impl SizeDist {
+    /// Draws a size.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        match *self {
+            SizeDist::Fixed(size) => size,
+            SizeDist::Uniform { min, max } => rng.gen_range(min..=max),
+            SizeDist::PowerTail { min, max, k } => {
+                let u: f64 = rng.gen();
+                min + ((max - min) as f64 * u.powi(k as i32)) as u32
+            }
+        }
+    }
+
+    /// Largest possible size.
+    pub fn max(&self) -> u32 {
+        match *self {
+            SizeDist::Fixed(size) => size,
+            SizeDist::Uniform { max, .. } | SizeDist::PowerTail { max, .. } => max,
+        }
+    }
+
+    /// Human-readable form for Table 2.
+    pub fn describe(&self) -> String {
+        fn human(bytes: u32) -> String {
+            if bytes >= 1024 && bytes % 1024 == 0 {
+                format!("{} KiB", bytes / 1024)
+            } else if bytes >= 1024 {
+                format!("{:.0} KiB", bytes as f64 / 1024.0)
+            } else {
+                format!("{bytes} B")
+            }
+        }
+        match *self {
+            SizeDist::Fixed(size) => human(size),
+            SizeDist::Uniform { min, max } | SizeDist::PowerTail { min, max, .. } => {
+                format!("{}-{}", human(min), human(max))
+            }
+        }
+    }
+}
+
+/// One key-value store workload (a row of Table 2).
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Workload name.
+    pub name: &'static str,
+    /// Percentage of operations that insert (allocate).
+    pub insert_pct: f64,
+    /// Percentage of operations that delete (free). The remainder reads.
+    pub delete_pct: f64,
+    /// Key popularity.
+    pub key_dist: KeyDist,
+    /// Key size distribution.
+    pub key_size: SizeDist,
+    /// Value size distribution.
+    pub value_size: SizeDist,
+    /// Key-space cardinality.
+    pub key_space: u64,
+    /// Key-value pairs preloaded before the measured phase.
+    pub preload: u64,
+}
+
+impl WorkloadSpec {
+    /// YCSB-Load: 100 % insert, uniform, 8 B keys, 960 B values.
+    pub fn ycsb_load() -> Self {
+        WorkloadSpec {
+            name: "YCSB-Load",
+            insert_pct: 100.0,
+            delete_pct: 0.0,
+            key_dist: KeyDist::Uniform,
+            key_size: SizeDist::Fixed(8),
+            value_size: SizeDist::Fixed(960),
+            key_space: 8_400_000,
+            preload: 0,
+        }
+    }
+
+    /// YCSB-A, modified per the paper: 25 % insert + 25 % delete (to
+    /// stress the allocator) + 50 % read, Zipfian.
+    pub fn ycsb_a() -> Self {
+        WorkloadSpec {
+            name: "YCSB-A",
+            insert_pct: 25.0,
+            delete_pct: 25.0,
+            key_dist: KeyDist::Zipfian,
+            key_size: SizeDist::Fixed(8),
+            value_size: SizeDist::Fixed(960),
+            key_space: 8_400_000,
+            preload: 8_400_000,
+        }
+    }
+
+    /// YCSB-D: 5 % insert, 95 % read, Zipfian.
+    pub fn ycsb_d() -> Self {
+        WorkloadSpec {
+            name: "YCSB-D",
+            insert_pct: 5.0,
+            delete_pct: 0.0,
+            key_dist: KeyDist::Zipfian,
+            key_size: SizeDist::Fixed(8),
+            value_size: SizeDist::Fixed(960),
+            key_space: 8_400_000,
+            preload: 8_400_000,
+        }
+    }
+
+    /// Twitter memcached cluster 12 model: 79.7 % insert, uniform, 44 B
+    /// keys, 0–307 KiB values.
+    pub fn mc12() -> Self {
+        WorkloadSpec {
+            name: "MC-12",
+            insert_pct: 79.7,
+            delete_pct: 0.0,
+            key_dist: KeyDist::Uniform,
+            key_size: SizeDist::Fixed(44),
+            value_size: SizeDist::PowerTail {
+                min: 0,
+                max: 307 << 10,
+                k: 12,
+            },
+            key_space: 4_000_000,
+            preload: 0,
+        }
+    }
+
+    /// Cluster 15: 99.9 % insert, uniform, 14–19 B keys, 0–144 B values.
+    pub fn mc15() -> Self {
+        WorkloadSpec {
+            name: "MC-15",
+            insert_pct: 99.9,
+            delete_pct: 0.0,
+            key_dist: KeyDist::Uniform,
+            key_size: SizeDist::Uniform {
+                min: 14,
+                max: 19,
+            },
+            value_size: SizeDist::PowerTail {
+                min: 0,
+                max: 144,
+                k: 2,
+            },
+            key_space: 8_000_000,
+            preload: 0,
+        }
+    }
+
+    /// Cluster 31: 93 % insert, uniform, 40–46 B keys, 0–15 B values.
+    pub fn mc31() -> Self {
+        WorkloadSpec {
+            name: "MC-31",
+            insert_pct: 93.0,
+            delete_pct: 0.0,
+            key_dist: KeyDist::Uniform,
+            key_size: SizeDist::Uniform {
+                min: 40,
+                max: 46,
+            },
+            value_size: SizeDist::PowerTail {
+                min: 0,
+                max: 15,
+                k: 1,
+            },
+            key_space: 8_000_000,
+            preload: 0,
+        }
+    }
+
+    /// Cluster 37: 38.8 % insert, Zipfian, 68–82 B keys, 0–325 KiB
+    /// values (the memory-hungry trace — the paper runs 840 K instead of
+    /// 8.4 M operations on it).
+    pub fn mc37() -> Self {
+        WorkloadSpec {
+            name: "MC-37",
+            insert_pct: 38.8,
+            delete_pct: 0.0,
+            key_dist: KeyDist::Zipfian,
+            key_size: SizeDist::Uniform {
+                min: 68,
+                max: 82,
+            },
+            value_size: SizeDist::PowerTail {
+                min: 0,
+                max: 325 << 10,
+                k: 10,
+            },
+            key_space: 400_000,
+            preload: 0,
+        }
+    }
+
+    /// Every Table 2 workload, in paper order.
+    pub fn all() -> Vec<WorkloadSpec> {
+        vec![
+            Self::ycsb_load(),
+            Self::ycsb_a(),
+            Self::ycsb_d(),
+            Self::mc12(),
+            Self::mc15(),
+            Self::mc31(),
+            Self::mc37(),
+        ]
+    }
+
+    /// Builds the key generator for this spec.
+    pub fn key_generator(&self) -> KeyGen {
+        match self.key_dist {
+            KeyDist::Uniform => KeyGen::Uniform {
+                n: self.key_space,
+            },
+            KeyDist::Zipfian => KeyGen::Zipfian(Zipfian::ycsb(self.key_space)),
+        }
+    }
+}
+
+/// Key id generator.
+#[derive(Debug, Clone)]
+pub enum KeyGen {
+    /// Uniform keys.
+    Uniform {
+        /// Key-space size.
+        n: u64,
+    },
+    /// Scrambled Zipfian keys.
+    Zipfian(Zipfian),
+}
+
+impl KeyGen {
+    /// Draws a key id.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        match self {
+            KeyGen::Uniform { n } => rng.gen_range(0..*n),
+            KeyGen::Zipfian(z) => z.sample_scrambled(rng),
+        }
+    }
+}
+
+/// One key-value store operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read `key`.
+    Read {
+        /// Key id.
+        key: u64,
+    },
+    /// Insert `key` with the given key/value sizes (allocates).
+    Insert {
+        /// Key id.
+        key: u64,
+        /// Serialized key length in bytes.
+        key_len: u32,
+        /// Value length in bytes.
+        value_len: u32,
+    },
+    /// Delete `key` (frees).
+    Delete {
+        /// Key id.
+        key: u64,
+    },
+}
+
+/// A deterministic stream of operations for one spec.
+#[derive(Debug)]
+pub struct OpStream<R: Rng> {
+    spec: WorkloadSpec,
+    keys: KeyGen,
+    rng: R,
+}
+
+impl<R: Rng> OpStream<R> {
+    /// Creates a stream.
+    pub fn new(spec: WorkloadSpec, rng: R) -> Self {
+        OpStream {
+            keys: spec.key_generator(),
+            spec,
+            rng,
+        }
+    }
+
+    /// The spec driving this stream.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> KvOp {
+        let key = self.keys.sample(&mut self.rng);
+        let roll: f64 = self.rng.gen::<f64>() * 100.0;
+        if roll < self.spec.insert_pct {
+            KvOp::Insert {
+                key,
+                key_len: self.spec.key_size.sample(&mut self.rng),
+                value_len: self.spec.value_size.sample(&mut self.rng),
+            }
+        } else if roll < self.spec.insert_pct + self.spec.delete_pct {
+            KvOp::Delete {
+                key,
+            }
+        } else {
+            KvOp::Read {
+                key,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn table2_rows_match_paper() {
+        let rows = WorkloadSpec::all();
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].insert_pct, 100.0);
+        assert_eq!(rows[1].insert_pct, 25.0);
+        assert_eq!(rows[1].delete_pct, 25.0);
+        assert_eq!(rows[2].insert_pct, 5.0);
+        assert_eq!(rows[3].insert_pct, 79.7);
+        assert_eq!(rows[4].insert_pct, 99.9);
+        assert_eq!(rows[5].insert_pct, 93.0);
+        assert_eq!(rows[6].insert_pct, 38.8);
+        assert_eq!(rows[6].key_dist, KeyDist::Zipfian);
+    }
+
+    #[test]
+    fn op_mix_matches_percentages() {
+        let mut stream = OpStream::new(WorkloadSpec::ycsb_a(), StdRng::seed_from_u64(1));
+        let (mut ins, mut del, mut read) = (0u32, 0u32, 0u32);
+        const N: u32 = 100_000;
+        for _ in 0..N {
+            match stream.next_op() {
+                KvOp::Insert { .. } => ins += 1,
+                KvOp::Delete { .. } => del += 1,
+                KvOp::Read { .. } => read += 1,
+            }
+        }
+        let pct = |x: u32| x as f64 / N as f64 * 100.0;
+        assert!((pct(ins) - 25.0).abs() < 1.0, "insert {}", pct(ins));
+        assert!((pct(del) - 25.0).abs() < 1.0);
+        assert!((pct(read) - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn size_distributions_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = SizeDist::PowerTail {
+            min: 0,
+            max: 307 << 10,
+            k: 12,
+        };
+        let mut max_seen = 0;
+        let mut small = 0;
+        for _ in 0..10_000 {
+            let s = dist.sample(&mut rng);
+            assert!(s <= 307 << 10);
+            max_seen = max_seen.max(s);
+            if s < 1024 {
+                small += 1;
+            }
+        }
+        assert!(small > 5_000, "power tail should be mostly small: {small}");
+        assert!(max_seen > 1024, "tail should reach large values");
+    }
+
+    #[test]
+    fn describe_is_humane() {
+        assert_eq!(SizeDist::Fixed(960).describe(), "960 B");
+        assert_eq!(
+            SizeDist::Uniform {
+                min: 14,
+                max: 19
+            }
+            .describe(),
+            "14 B-19 B"
+        );
+        assert_eq!(
+            SizeDist::PowerTail {
+                min: 0,
+                max: 307 << 10,
+                k: 12
+            }
+            .describe(),
+            "0 B-307 KiB"
+        );
+    }
+
+    #[test]
+    fn skewed_stream_concentrates_keys() {
+        let mut stream = OpStream::new(WorkloadSpec::ycsb_d(), StdRng::seed_from_u64(3));
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            if let KvOp::Read { key } = stream.next_op() {
+                *counts.entry(key).or_insert(0u32) += 1;
+            }
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max > 500, "zipfian hot key should repeat: max={max}");
+    }
+}

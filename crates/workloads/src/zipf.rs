@@ -1,0 +1,166 @@
+//! Zipfian key generator (YCSB's `ZipfianGenerator`, after Gray et al.,
+//! "Quickly generating billion-record synthetic databases").
+//!
+//! YCSB configures skewed workloads with a Zipfian constant of 0.99
+//! (paper Table 2); the same generator drives the MC-37 trace model.
+
+/// A Zipfian distribution over `0..n` with parameter `theta`.
+///
+/// ```
+/// use workloads::Zipfian;
+///
+/// let z = Zipfian::ycsb(1_000_000);
+/// // Rank 0 is the hottest key; ranks are always in-domain.
+/// assert!(z.rank(0.999) < 1_000_000);
+/// assert_eq!(z.rank(0.0), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Creates a generator over `0..n` with the standard YCSB constant.
+    pub fn ycsb(n: u64) -> Self {
+        Self::new(n, 0.99)
+    }
+
+    /// Creates a generator over `0..n` with parameter `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian over empty domain");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n; Euler–Maclaurin tail approximation beyond,
+        // keeping construction O(1)-ish even for billions of keys.
+        const EXACT: u64 = 1_000_000;
+        let exact_n = n.min(EXACT);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > EXACT {
+            let a = EXACT as f64;
+            let b = n as f64;
+            // ∫ x^-theta dx from a to b.
+            sum += (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+        }
+        sum
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws a rank in `0..n` given a uniform `u ∈ [0,1)`. Rank 0 is the
+    /// hottest key.
+    pub fn rank(&self, u: f64) -> u64 {
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Draws using an `rand` RNG, scattering ranks over the key space so
+    /// hot keys are not clustered (YCSB's `ScrambledZipfian`).
+    pub fn sample_scrambled<R: rand::Rng>(&self, rng: &mut R) -> u64 {
+        let rank = self.rank(rng.gen::<f64>());
+        // FNV-style scramble, stable across runs.
+        let mut h = rank.wrapping_mul(0x100000001b3).wrapping_add(0xcbf29ce484222325);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51afd7ed558ccd);
+        h ^= h >> 33;
+        h % self.n
+    }
+
+    /// The zeta(2, theta) constant (exposed for tests).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn ranks_are_in_domain() {
+        let z = Zipfian::ycsb(1000);
+        for i in 0..1000 {
+            let u = i as f64 / 1000.0;
+            assert!(z.rank(u) < 1000);
+        }
+    }
+
+    #[test]
+    fn distribution_is_skewed() {
+        // With theta = 0.99 the hottest rank should draw a large share.
+        let z = Zipfian::ycsb(10_000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hot = 0;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            if z.rank(rand::Rng::gen::<f64>(&mut rng)) == 0 {
+                hot += 1;
+            }
+        }
+        let share = hot as f64 / N as f64;
+        assert!(share > 0.05, "rank 0 share {share} too small for zipf(0.99)");
+    }
+
+    #[test]
+    fn scrambled_covers_domain() {
+        let z = Zipfian::ycsb(100);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let k = z.sample_scrambled(&mut rng);
+            assert!(k < 100);
+            seen.insert(k);
+        }
+        assert!(seen.len() > 50, "scramble should spread keys: {}", seen.len());
+    }
+
+    #[test]
+    fn large_domain_constructs_fast() {
+        let start = std::time::Instant::now();
+        let z = Zipfian::ycsb(1_000_000_000);
+        assert!(z.rank(0.5) < 1_000_000_000);
+        assert!(start.elapsed().as_secs() < 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zero_domain_panics() {
+        Zipfian::ycsb(0);
+    }
+}

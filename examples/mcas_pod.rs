@@ -1,0 +1,81 @@
+//! Running cxlalloc on a pod with **no** inter-host hardware cache
+//! coherence (paper Figure 1(B), §4).
+//!
+//! ```sh
+//! cargo run --example mcas_pod
+//! ```
+//!
+//! The pod's SWcc region is served by per-core caches that nothing ever
+//! invalidates; the HWcc metadata region is device-biased and
+//! uncachable, and every CAS becomes a memory-side mCAS executed by the
+//! near-memory-processing device through its spwr/sprd register
+//! protocol. The allocator runs unmodified — that is the point of the
+//! paper's metadata split.
+
+use cxlalloc::core::{AttachOptions, Cxlalloc};
+use cxlalloc::pod::{CoreId, HwccMode, Pod, PodConfig, SimMemory};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pod = Pod::with_simulation(PodConfig::default(), HwccMode::None)?;
+    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default())?;
+
+    let mut producer = heap.register_thread()?;
+    let mut consumer = heap.register_thread()?;
+
+    // Producer/consumer churn: every free is remote and must go through
+    // the mCAS counter protocol.
+    let before = pod.memory().stats();
+    for round in 0..20 {
+        let ptrs: Vec<_> = (0..512)
+            .map(|_| producer.alloc(64).expect("alloc"))
+            .collect();
+        for p in ptrs {
+            consumer.dealloc(p).expect("remote free");
+        }
+        let _ = round;
+    }
+    let delta = pod.memory().stats().since(&before);
+    println!("producer/consumer of 10,240 blocks on a no-HWcc pod:");
+    println!("  mCAS issued:        {} ok, {} failed", delta.mcas_ok, delta.mcas_fail);
+    println!("  coherent CAS:       {} (must be zero)", delta.cas_ok + delta.cas_fail);
+    println!("  cacheline flushes:  {}", delta.flushes + delta.writebacks);
+    println!("  stale-tolerant cached hits: {}", delta.cached_hits);
+    assert_eq!(delta.cas_ok + delta.cas_fail, 0);
+    assert!(delta.mcas_ok > 0);
+
+    // Raw mCAS through the device's spwr/sprd interface.
+    let sim = pod
+        .memory()
+        .as_any()
+        .downcast_ref::<SimMemory>()
+        .expect("simulated backend");
+    let target = pod.layout().huge.reservation_at(7);
+    sim.nmp().spwr(0, target, 0, 99);
+    let result = sim.nmp().sprd(0);
+    println!(
+        "raw spwr/sprd pair on reservation cell 7: success={} previous={}",
+        result.success, result.previous
+    );
+
+    // Contending pair: the second spwr/sprd on the same address fails,
+    // as in the paper's Figure 6(b).
+    sim.nmp().spwr(0, target, 99, 100);
+    sim.nmp().spwr(1, target, 99, 200);
+    let first = sim.nmp().sprd(0);
+    let second = sim.nmp().sprd(1);
+    println!(
+        "competing pairs: first success={}, second success={} (device fails the loser)",
+        first.success, second.success
+    );
+    assert!(first.success && !second.success);
+
+    // Modeled time: mCAS round trips dominate the virtual clocks.
+    println!(
+        "modeled time on the consumer's core: {:.2} ms (mostly {} mCAS round trips)",
+        pod.memory().virtual_ns(consumer.core()) as f64 / 1e6,
+        delta.mcas_ok + delta.mcas_fail
+    );
+    heap.check_invariants(CoreId(0)).expect("invariants hold");
+    println!("invariants hold under software-only coherence — done");
+    Ok(())
+}
