@@ -119,7 +119,7 @@ impl PodAllocThread for BoostThread {
         let shared = &self.alloc.shared;
         let start = ptr.offset().checked_sub(HEADER).ok_or(BenchError::BadPointer)?;
         let len = shared.arena.cell(start).load(std::sync::atomic::Ordering::Relaxed);
-        if len == 0 || len % 8 != 0 {
+        if len == 0 || !len.is_multiple_of(8) {
             return Err(BenchError::BadPointer);
         }
         let mut state = shared.state.lock();

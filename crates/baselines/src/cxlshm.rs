@@ -172,7 +172,7 @@ impl PodAllocThread for CxlShmThread {
             }
             shared
                 .live_bytes
-                .fetch_sub(class_size(class as usize), Ordering::Relaxed);
+                .fetch_sub(class_size(class), Ordering::Relaxed);
             shared.header_bytes.fetch_sub(HEADER, Ordering::Relaxed);
         }
         Ok(())

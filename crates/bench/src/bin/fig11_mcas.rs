@@ -23,6 +23,8 @@ use std::collections::BinaryHeap;
 
 const OPS_PER_THREAD: usize = 30_000;
 
+// Variant names mirror the figure's legend labels verbatim.
+#[allow(clippy::enum_variant_names)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Variant {
     SwCas,

@@ -198,8 +198,9 @@ fn run_ralloc_sim(mode: HwccMode, local_dram: bool, spec: &MicroSpec, threads: u
                 }
                 drop(to_next);
                 while let Ok(incoming) = from_prev.recv() {
-                    let _ =
-                        incoming.iter().map(|h| mem.load_u64(core, layout.large.hwcc_desc_at(h / 64))).count();
+                    for h in &incoming {
+                        let _ = mem.load_u64(core, layout.large.hwcc_desc_at(h / 64));
+                    }
                     cache.extend(incoming);
                     if cache.len() > 96 {
                         spill(&mem, &mut cache, 48);

@@ -51,6 +51,29 @@ thread_local! {
     static CURRENT: Cell<Option<(u16, u16)>> = const { Cell::new(None) };
 }
 
+/// CAS on a registry cell, retrying transient mCAS contention: on pods
+/// without HWcc the NMP device may bounce a pair with a contention
+/// error while the cell is in fact unchanged (a competing pair on the
+/// same line, or an injected device fault). Such failures are
+/// distinguishable — the observed value still equals the expected one —
+/// and must be retried rather than reported as a state error.
+fn registry_cas(
+    mem: &dyn PodMemory,
+    core: CoreId,
+    offset: u64,
+    current: u64,
+    new: u64,
+) -> Result<(), u64> {
+    for _ in 0..64 {
+        match mem.cas_u64(core, offset, current, new) {
+            Ok(_) => return Ok(()),
+            Err(actual) if actual == current => continue,
+            Err(actual) => return Err(actual),
+        }
+    }
+    Err(current)
+}
+
 /// Attach-time options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttachOptions {
@@ -233,11 +256,12 @@ impl Cxlalloc {
     pub fn mark_crashed(&self, tid: ThreadId) -> Result<(), AllocError> {
         let mem = self.mem();
         let off = mem.layout().registry_at(tid.slot());
-        mem.cas_u64(CoreId(0), off, registry::LIVE, registry::DEAD)
-            .map_err(|_| AllocError::BadThreadState {
+        registry_cas(mem, CoreId(0), off, registry::LIVE, registry::DEAD).map_err(|_| {
+            AllocError::BadThreadState {
                 thread: tid,
                 state: "not live",
-            })?;
+            }
+        })?;
         if let Some(sim) = mem.as_any().downcast_ref::<cxl_pod::SimMemory>() {
             sim.cache().discard_all(tid.slot() as usize);
         }
@@ -262,7 +286,14 @@ impl Cxlalloc {
             });
         }
         let ctx = self.ctx(tid, via);
-        Ok(recovery::recover(&ctx))
+        let report = recovery::recover(&ctx);
+        // Recovery repairs the dead thread's structures through `via`'s
+        // cache, but the thread may resume on a different core (adopt
+        // hands the heap back to the original slot). Every repair must
+        // be durable before anyone else reads it.
+        mem.flush_all(via);
+        mem.fence(via);
+        Ok(report)
     }
 
     /// Recovers `tid` and re-registers it as a live thread owned by the
@@ -276,11 +307,12 @@ impl Cxlalloc {
         let report = self.recover(tid, via)?;
         let mem = self.mem();
         let off = mem.layout().registry_at(tid.slot());
-        mem.cas_u64(via, off, registry::DEAD, registry::LIVE)
-            .map_err(|_| AllocError::BadThreadState {
+        registry_cas(mem, via, off, registry::DEAD, registry::LIVE).map_err(|_| {
+            AllocError::BadThreadState {
                 thread: tid,
                 state: "raced",
-            })?;
+            }
+        })?;
         let handle = self.make_handle(tid);
         Ok((handle, report))
     }

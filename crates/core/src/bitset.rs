@@ -93,7 +93,7 @@ impl<'m> BlockBits<'m> {
     pub fn find_set(&self, core: CoreId) -> Option<u32> {
         for w in 0..self.words() {
             let mut word = self.mem.load_u64(core, self.word_offset(w));
-            if w == self.words() - 1 && self.nbits % 64 != 0 {
+            if w == self.words() - 1 && !self.nbits.is_multiple_of(64) {
                 word &= (1u64 << (self.nbits % 64)) - 1;
             }
             if word != 0 {
@@ -108,7 +108,7 @@ impl<'m> BlockBits<'m> {
     pub fn set_all(&self, core: CoreId) {
         for w in 0..self.words() {
             let mut word = u64::MAX;
-            if w == self.words() - 1 && self.nbits % 64 != 0 {
+            if w == self.words() - 1 && !self.nbits.is_multiple_of(64) {
                 word = (1u64 << (self.nbits % 64)) - 1;
             }
             self.mem.store_u64(core, self.word_offset(w), word);
@@ -120,7 +120,7 @@ impl<'m> BlockBits<'m> {
         let mut count = 0;
         for w in 0..self.words() {
             let mut word = self.mem.load_u64(core, self.word_offset(w));
-            if w == self.words() - 1 && self.nbits % 64 != 0 {
+            if w == self.words() - 1 && !self.nbits.is_multiple_of(64) {
                 word &= (1u64 << (self.nbits % 64)) - 1;
             }
             count += word.count_ones();

@@ -492,10 +492,7 @@ impl HugeHeap {
 
         // Pass 2: reclaim free descriptors nobody hazards.
         let mut reclaimed = 0;
-        loop {
-            let Some((desc_off, desc)) = self.walk_descs(ctx, my_slot, |_, d| d.free) else {
-                break;
-            };
+        while let Some((desc_off, desc)) = self.walk_descs(ctx, my_slot, |_, d| d.free) {
             if self.hazard_published(ctx, desc.offset) {
                 // Someone still has it mapped; try again next pass. (We
                 // stop rather than skip: descriptors are reclaimed in

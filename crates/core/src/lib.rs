@@ -67,12 +67,14 @@ pub mod crash;
 mod ctx;
 pub mod dcas;
 mod error;
+pub mod explore;
 pub mod huge;
 pub mod interval;
 pub mod invariants;
 pub mod oplog;
 mod ptr;
 pub mod recovery;
+pub mod sched;
 pub mod slab;
 
 pub use alloc::{AttachOptions, Cxlalloc, HeapStats, ThreadHandle};

@@ -132,13 +132,27 @@ impl RecoveryReport {
 /// Runs recovery for the thread owning `ctx.tid` (a *dead* thread; the
 /// context's core and process belong to the recovering thread).
 pub(crate) fn recover(ctx: &Ctx<'_>) -> RecoveryReport {
+    // Structural repair precedes the logged-op redo. The dead thread
+    // mutated its list heads and `next` links through its private SWcc
+    // cache and only published slab descriptors at linearization
+    // points, so the durable image of its private lists mixes epochs:
+    // a head may still name a slab whose flushed descriptor says full
+    // or disowned, and links may run into foreign chains. The redo log
+    // cannot help — it covers only the one interrupted operation —
+    // so the lists are validated wholesale against the flushed
+    // descriptors and bitmaps (the durable ground truth). This also
+    // guarantees the redo below walks clean, acyclic lists.
+    sanitize_slab_lists(ctx, &SlabHeap::small());
+    sanitize_slab_lists(ctx, &SlabHeap::large());
     let log = ctx.log();
     let entry = log.read(ctx.core);
     let Some((op, kind)) = Op::decode(entry.word.op) else {
         log.clear(ctx.core);
+        flush_thread_lines(ctx);
         return RecoveryReport::clean("unknown op cleared");
     };
     if op == Op::Idle {
+        flush_thread_lines(ctx);
         return RecoveryReport::clean("idle");
     }
     let mut report = RecoveryReport {
@@ -185,6 +199,93 @@ fn flush_thread_lines(ctx: &Ctx<'_>) {
         layout.huge.local_stride,
     );
     ctx.mem.fence(ctx.core);
+}
+
+/// Restores the dead thread's private free lists of `heap` to a state
+/// satisfying the list invariants, using only durable data.
+fn sanitize_slab_lists(ctx: &Ctx<'_>, heap: &SlabHeap) {
+    let hl = heap.hl(ctx.mem);
+    // Drop any lines the recoverer itself may hold over the thread's
+    // heads before reading the durable image.
+    ctx.mem.flush(
+        ctx.core,
+        hl.local_unsized_at(ctx.tid.slot()),
+        hl.local_stride,
+    );
+    ctx.mem.fence(ctx.core);
+    let classes = hl.num_classes as u8;
+    sanitize_list(ctx, heap, heap.unsized_head_off(ctx), None);
+    for class in 0..classes {
+        sanitize_list(ctx, heap, heap.sized_head_off(ctx, class), Some(class));
+    }
+}
+
+/// Walks one private list in durable state and unlinks every node that
+/// does not belong there (`class` is `None` for the unsized list).
+/// Kept sized nodes get their free count recomputed from the durable
+/// bitmap; nodes the bitmap shows full are unlinked and re-detached.
+/// Unlinking rewrites only the head or the previous *kept* node's
+/// `next`, never a foreign header, so chains that strayed into another
+/// list's slabs drain without corrupting that list. Unmapped indices
+/// and revisits (stale links can tie cycles) truncate the remainder.
+fn sanitize_list(ctx: &Ctx<'_>, heap: &SlabHeap, head_off: u64, class: Option<u8>) {
+    let hl = heap.hl(ctx.mem);
+    let len = heap.len(ctx.mem, ctx.core);
+    let tid_raw = ctx.tid.raw();
+    let mut seen = vec![false; len as usize];
+    let mut prev: Option<u32> = None;
+    let mut cursor = (ctx.mem.load_u64(ctx.core, head_off) as u32).checked_sub(1);
+    while let Some(slab) = cursor {
+        if slab >= len || seen[slab as usize] {
+            unlink_after(ctx, heap, head_off, prev, 0);
+            return;
+        }
+        seen[slab as usize] = true;
+        ctx.mem
+            .flush(ctx.core, hl.swcc_desc_at(slab), hl.swcc_desc_stride);
+        ctx.mem.fence(ctx.core);
+        let header = heap.header(ctx, slab);
+        let sized = header.flags & crate::cell::flags::SIZED != 0;
+        let mut keep = header.owner == tid_raw
+            && match class {
+                None => !sized,
+                Some(c) => sized && header.class == c,
+            };
+        if keep {
+            if let Some(c) = class {
+                let free = heap.bits(ctx, slab, c).count_set(ctx.core);
+                heap.set_free_count(ctx, slab, free);
+                if free == 0 {
+                    // Durably full: the owner's unlink + detach never
+                    // became durable. Finish it.
+                    heap.full_transition(ctx, slab, c);
+                    keep = false;
+                } else {
+                    heap.flush_desc(ctx, slab);
+                }
+            }
+        }
+        if keep {
+            prev = Some(slab);
+        } else {
+            unlink_after(ctx, heap, head_off, prev, header.next);
+        }
+        cursor = header.next.checked_sub(1);
+    }
+}
+
+/// Points the list at `head_off` past an unlinked node: rewrites the
+/// head (no kept predecessor) or the previous kept node's `next`.
+fn unlink_after(ctx: &Ctx<'_>, heap: &SlabHeap, head_off: u64, prev: Option<u32>, next_raw: u32) {
+    match prev {
+        None => ctx.mem.store_u64(ctx.core, head_off, next_raw as u64),
+        Some(p) => {
+            let mut ph = heap.header(ctx, p);
+            ph.next = next_raw;
+            heap.set_header(ctx, p, ph);
+            heap.flush_desc(ctx, p);
+        }
+    }
 }
 
 /// Flushes (invalidates) the recovering core's view of the dead thread's

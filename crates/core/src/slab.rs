@@ -571,7 +571,7 @@ impl SlabHeap {
         let class = header.class;
         let block_size = self.classes.block_size(class) as u64;
         let within = offset - hl.slab_data_at(slab);
-        if within % block_size != 0 {
+        if !within.is_multiple_of(block_size) {
             return Err(AllocError::NotAllocated { offset });
         }
         let bit = (within / block_size) as u32;

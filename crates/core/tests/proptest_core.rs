@@ -207,3 +207,112 @@ proptest! {
         prop_assert_eq!(SwccHeader::unpack(h.pack()), h);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fault plans and schedules: random schedules under randomly generated
+// *benign* fault plans (virtual-clock delays and bounded transient mCAS
+// contention) must still pass every invariant — faults may slow the
+// pod down, never corrupt it.
+// ---------------------------------------------------------------------------
+
+mod faults {
+    use super::*;
+    use cxl_core::explore::Explorer;
+    use cxl_core::sched::{FaultPlan, Schedule, SimConfig};
+    use cxl_pod::fault::{FaultKind, FaultRule};
+    use cxl_pod::HwccMode;
+
+    /// A fault kind that cannot violate correctness: delays only move
+    /// the virtual clock, and transient mCAS contention is retried by
+    /// every caller.
+    fn benign_kind() -> impl Strategy<Value = FaultKind> {
+        prop_oneof![
+            (1u64..=5_000).prop_map(FaultKind::DelayFlush),
+            (1u64..=2_000).prop_map(FaultKind::DelayWriteback),
+            (1u64..=5_000).prop_map(FaultKind::McasDelay),
+            Just(FaultKind::McasContention),
+        ]
+    }
+
+    /// A benign rule: any kind, optional core/range filter, bounded
+    /// skip/count window. Contention stays bounded well below the
+    /// allocator's retry budget so it is always transient.
+    fn benign_rule() -> impl Strategy<Value = FaultRule> {
+        (
+            benign_kind(),
+            prop_oneof![Just(None), (0usize..2).prop_map(Some)],
+            0u64..8,
+            1u64..16,
+        )
+            .prop_map(|(kind, core, skip, count)| {
+                let mut rule = FaultRule::new(kind).after(skip).times(count);
+                if let Some(core) = core {
+                    rule = rule.on_core(core);
+                }
+                rule
+            })
+    }
+
+    fn benign_plan() -> impl Strategy<Value = FaultPlan> {
+        proptest::collection::vec(benign_rule(), 0..4).prop_map(FaultPlan::of)
+    }
+
+    /// A schedule drawn through the canonical generator, so failures
+    /// reported here replay with `Explorer::run_seed(seed)`.
+    fn schedule() -> impl Strategy<Value = Schedule> {
+        (any::<u64>(), 5usize..25)
+            .prop_map(|(seed, len)| Schedule::generate(seed, 2, len))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 24,
+            ..ProptestConfig::default()
+        })]
+
+        #[test]
+        fn random_schedules_survive_benign_fault_plans(
+            schedule in schedule(),
+            plan in benign_plan(),
+        ) {
+            let explorer = Explorer {
+                plan,
+                ..Explorer::default()
+            };
+            let run = cxl_core::sched::run(&explorer.config, &schedule, &explorer.plan);
+            prop_assert!(
+                run.is_ok(),
+                "seed {} failed: {:?} (plan {:?})",
+                schedule.seed,
+                run.err(),
+                explorer.plan
+            );
+        }
+
+        #[test]
+        fn mcas_schedules_survive_device_faults(
+            seed in any::<u64>(),
+            delay in 1u64..10_000,
+            contended in 1u64..12,
+        ) {
+            let config = SimConfig {
+                mode: HwccMode::None,
+                ..SimConfig::default()
+            };
+            let plan = FaultPlan::of(vec![
+                FaultRule::new(FaultKind::McasDelay(delay)).times(16),
+                FaultRule::new(FaultKind::McasContention).times(contended),
+            ]);
+            let schedule = Schedule::generate(seed, 2, 15);
+            let run = cxl_core::sched::run(&config, &schedule, &plan);
+            prop_assert!(run.is_ok(), "seed {seed} failed: {:?}", run.err());
+        }
+
+        #[test]
+        fn schedule_generation_is_pure(seed in any::<u64>(), len in 1usize..60) {
+            let a = Schedule::generate(seed, 3, len);
+            let b = Schedule::generate(seed, 3, len);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

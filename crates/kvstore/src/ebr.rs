@@ -67,7 +67,7 @@ impl Ebr {
             .iter()
             .all(|s| match s.load(Ordering::Acquire) {
                 0 => true,
-                pinned => pinned - 1 >= e,
+                pinned => pinned > e,
             });
         if all_caught_up {
             let _ = self

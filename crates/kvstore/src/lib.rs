@@ -359,7 +359,7 @@ impl KvThread {
     /// entries that two epochs have passed over.
     fn quiesce(&mut self) {
         self.ops += 1;
-        if self.ops % 64 == 0 {
+        if self.ops.is_multiple_of(64) {
             self.store.ebr.tick(self.slot);
         }
         while let Some(&(epoch, ptr)) = self.retired.front() {

@@ -58,6 +58,7 @@
 pub mod coherence;
 mod config;
 mod error;
+pub mod fault;
 pub mod latency;
 mod layout;
 mod mem;

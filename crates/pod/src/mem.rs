@@ -15,6 +15,7 @@
 //!   modeled time (Figures 11–12).
 
 use crate::coherence::CacheModel;
+use crate::fault::{FaultInjector, FaultKind, FaultSite};
 use crate::latency::{Clocks, LatencyModel};
 use crate::layout::Layout;
 use crate::nmp::NmpDevice;
@@ -189,6 +190,7 @@ pub struct SimMemory {
     clocks: Clocks,
     model: LatencyModel,
     stats: Arc<MemStats>,
+    faults: Arc<FaultInjector>,
     /// Per-cacheline resource clocks modeling exclusive-line transfer
     /// under coherent CAS contention.
     line_clocks: Mutex<HashMap<u64, Arc<AtomicU64>>>,
@@ -219,8 +221,14 @@ impl SimMemory {
         cache_lines: usize,
     ) -> Self {
         let stats = Arc::new(MemStats::new());
+        let faults = Arc::new(FaultInjector::new());
         SimMemory {
-            nmp: NmpDevice::new(segment.clone(), cores as usize, stats.clone()),
+            nmp: NmpDevice::with_faults(
+                segment.clone(),
+                cores as usize,
+                stats.clone(),
+                faults.clone(),
+            ),
             cache: CacheModel::with_capacity(cores as usize, cache_lines),
             clocks: Clocks::new(cores as usize),
             segment,
@@ -228,6 +236,7 @@ impl SimMemory {
             mode,
             model,
             stats,
+            faults,
             line_clocks: Mutex::new(HashMap::new()),
         }
     }
@@ -250,6 +259,24 @@ impl SimMemory {
     /// The per-core virtual clocks.
     pub fn clocks(&self) -> &Clocks {
         &self.clocks
+    }
+
+    /// The fault injector shared by this backend and its NMP device.
+    /// Arm [`FaultRule`](crate::fault::FaultRule)s here to script
+    /// dropped/delayed flushes, delayed writebacks, mCAS contention, or
+    /// host crashes; with no rules armed every hook reduces to one
+    /// relaxed load.
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
+    }
+
+    /// Simulates a host crash on `core`: the entire simulated cache is
+    /// discarded *without writeback* — every unflushed store dies, as it
+    /// would on real hardware when the host goes down.
+    pub fn inject_host_crash(&self, core: CoreId) {
+        self.cache.discard_all(core.index());
+        self.faults.note_abandon();
+        self.stats.fault();
     }
 
     /// Whether `offset` goes through the per-core cache in this mode.
@@ -370,8 +397,41 @@ impl PodMemory for SimMemory {
     }
 
     fn flush(&self, core: CoreId, offset: u64, len: u64) {
+        if self.faults.enabled() {
+            match self.faults.check(FaultSite::Flush, core.index(), offset, len) {
+                Some(FaultKind::DropFlush) => {
+                    // The CPU retires the clflush but the device loses
+                    // it: the line stays dirty and cached, and the
+                    // store never reaches shared memory.
+                    self.stats.fault();
+                    self.clocks.advance(core.index(), self.model.flush_ns, &self.model);
+                    return;
+                }
+                Some(FaultKind::DelayFlush(ns)) => {
+                    self.stats.fault();
+                    self.clocks.advance(core.index(), ns, &self.model);
+                }
+                Some(FaultKind::AbandonCache) => {
+                    // Host crash at this flush point: the whole cache
+                    // dies unwritten.
+                    self.cache.discard_all(core.index());
+                    self.stats.fault();
+                    return;
+                }
+                _ => {}
+            }
+        }
         if self.is_cached_region(offset) {
-            self.cache.flush(core.index(), &self.segment, offset, len, &self.stats);
+            let written = self.cache.flush(core.index(), &self.segment, offset, len, &self.stats);
+            if written > 0 && self.faults.enabled() {
+                if let Some(FaultKind::DelayWriteback(ns)) =
+                    self.faults.check(FaultSite::Writeback, core.index(), offset, len)
+                {
+                    self.stats.fault();
+                    self.clocks
+                        .advance(core.index(), ns * written as u64, &self.model);
+                }
+            }
         } else {
             self.stats.flush();
         }
@@ -481,6 +541,76 @@ mod tests {
         let _ = mem.cas_u64(CoreId(0), off, 0, 1);
         let after = mem.virtual_ns(CoreId(0));
         assert!(after - before >= mem.model().mcas_round_trip_ns / 2);
+    }
+
+    #[test]
+    fn dropped_flush_keeps_store_private() {
+        use crate::fault::{FaultKind, FaultRule};
+        let mem = sim(HwccMode::Limited);
+        let off = mem.layout().small.swcc_desc_at(0);
+        mem.faults()
+            .push(FaultRule::new(FaultKind::DropFlush).on_core(0).once());
+        mem.store_u64(CoreId(0), off, 77);
+        mem.flush(CoreId(0), off, 8); // dropped
+        mem.fence(CoreId(0));
+        // The store never reached shared memory...
+        assert_eq!(mem.segment().peek_u64(off), 0);
+        // ...and the line is still dirty in core 0's cache, so the next
+        // (honest) flush publishes it.
+        mem.flush(CoreId(0), off, 8);
+        assert_eq!(mem.segment().peek_u64(off), 77);
+        assert_eq!(mem.stats().faults_injected, 1);
+    }
+
+    #[test]
+    fn abandon_rule_discards_cache_at_flush_point() {
+        use crate::fault::{FaultKind, FaultRule};
+        let mem = sim(HwccMode::Limited);
+        let off = mem.layout().small.swcc_desc_at(0);
+        mem.faults()
+            .push(FaultRule::new(FaultKind::AbandonCache).on_core(0).once());
+        mem.store_u64(CoreId(0), off, 5);
+        mem.flush(CoreId(0), off, 8); // host crashes here
+        assert_eq!(mem.segment().peek_u64(off), 0, "dirty line must die");
+        assert!(!mem.cache().is_cached(0, off));
+        assert_eq!(mem.faults().stats().cache_abandons, 1);
+    }
+
+    #[test]
+    fn inject_host_crash_loses_unflushed_stores() {
+        let mem = sim(HwccMode::Limited);
+        let off = mem.layout().small.swcc_desc_at(0);
+        mem.store_u64(CoreId(2), off, 9);
+        mem.inject_host_crash(CoreId(2));
+        assert_eq!(mem.segment().peek_u64(off), 0);
+        // The crashed core's next load refills from shared memory.
+        assert_eq!(mem.load_u64(CoreId(2), off), 0);
+    }
+
+    #[test]
+    fn delays_advance_virtual_clock_only() {
+        use crate::fault::{FaultKind, FaultRule};
+        let mem = sim(HwccMode::Limited);
+        let off = mem.layout().small.swcc_desc_at(0);
+        mem.faults()
+            .push(FaultRule::new(FaultKind::DelayFlush(1_000_000)).once());
+        let before = mem.virtual_ns(CoreId(0));
+        mem.store_u64(CoreId(0), off, 1);
+        mem.flush(CoreId(0), off, 8);
+        assert!(mem.virtual_ns(CoreId(0)) - before >= 1_000_000);
+        // Despite the delay, the flush completed.
+        assert_eq!(mem.segment().peek_u64(off), 1);
+    }
+
+    #[test]
+    fn disarmed_injector_leaves_flush_semantics_unchanged() {
+        let mem = sim(HwccMode::Limited);
+        assert!(!mem.faults().enabled());
+        let off = mem.layout().small.swcc_desc_at(0);
+        mem.store_u64(CoreId(0), off, 3);
+        mem.flush(CoreId(0), off, 8);
+        assert_eq!(mem.segment().peek_u64(off), 3);
+        assert_eq!(mem.stats().faults_injected, 0);
     }
 
     #[test]

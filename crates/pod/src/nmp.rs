@@ -23,6 +23,7 @@
 //! marks mCAS-able regions uncachable — the same restriction the paper
 //! imposes via MTRRs.
 
+use crate::fault::{FaultInjector, FaultKind, FaultSite};
 use crate::latency::{Clocks, LatencyModel};
 use crate::segment::Segment;
 use crate::stats::MemStats;
@@ -86,17 +87,36 @@ pub struct NmpDevice {
     /// Device service clock for latency modeling.
     service_clock: AtomicU64,
     stats: Arc<MemStats>,
+    faults: Arc<FaultInjector>,
 }
 
 impl NmpDevice {
-    /// Creates a device with one spwr/sprd register pair per core.
+    /// Creates a device with one spwr/sprd register pair per core (and a
+    /// private, disarmed fault injector).
     pub fn new(segment: Arc<Segment>, cores: usize, stats: Arc<MemStats>) -> Self {
+        Self::with_faults(segment, cores, stats, Arc::new(FaultInjector::new()))
+    }
+
+    /// Creates a device sharing `faults` with its owning backend, so
+    /// mCAS rules armed on the backend reach the device.
+    pub fn with_faults(
+        segment: Arc<Segment>,
+        cores: usize,
+        stats: Arc<MemStats>,
+        faults: Arc<FaultInjector>,
+    ) -> Self {
         NmpDevice {
             segment,
             slots: Mutex::new(vec![SpwrSlot::EMPTY; cores]),
             service_clock: AtomicU64::new(0),
             stats,
+            faults,
         }
+    }
+
+    /// The device's fault injector.
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
     }
 
     /// Registers an mCAS request in `core`'s spwr line.
@@ -172,6 +192,33 @@ impl NmpDevice {
         clocks: &Clocks,
         model: &LatencyModel,
     ) -> McasResult {
+        if self.faults.enabled() {
+            match self.faults.check(FaultSite::Mcas, core, target, 8) {
+                Some(FaultKind::McasContention) => {
+                    // The device bounces the pair as if a competing pair
+                    // on the same target won (Figure 6(b)): memory is
+                    // untouched, the pair fails, the round trip is still
+                    // paid. The caller's retry loop re-reads and retries
+                    // exactly as under genuine contention.
+                    self.stats.mcas(false);
+                    self.stats.fault();
+                    clocks.serialize_through(core, &self.service_clock, model.nmp_service_ns, model);
+                    clocks.advance(core, model.mcas_round_trip_ns, model);
+                    let previous = self.segment.atomic_u64(target).load(Ordering::SeqCst);
+                    return McasResult {
+                        success: false,
+                        previous,
+                    };
+                }
+                Some(FaultKind::McasDelay(ns)) => {
+                    // Extra queueing ahead of the device — virtual time
+                    // only, so schedules stay deterministic.
+                    self.stats.fault();
+                    clocks.advance(core, ns, model);
+                }
+                _ => {}
+            }
+        }
         self.spwr(core, target, expected, swap);
         let result = self.sprd(core);
         // Latency: the round trip overlaps with queueing at the device.
@@ -267,6 +314,39 @@ mod tests {
         let r = nmp.mcas(0, 64, 0, 1, &clocks, &model);
         assert!(r.success);
         assert!(clocks.now(0) >= model.mcas_round_trip_ns / 2);
+    }
+
+    #[test]
+    fn injected_contention_fails_pair_without_memory_write() {
+        use crate::fault::{FaultKind, FaultRule};
+        let (segment, nmp) = device();
+        segment.atomic_u64(64).store(5, Ordering::SeqCst);
+        nmp.faults()
+            .push(FaultRule::new(FaultKind::McasContention).once());
+        let clocks = Clocks::new(4);
+        let model = LatencyModel::zero();
+        let r = nmp.mcas(0, 64, 5, 9, &clocks, &model);
+        assert!(!r.success, "injected contention must fail the pair");
+        assert_eq!(r.previous, 5);
+        assert_eq!(segment.peek_u64(64), 5, "memory must be untouched");
+        // The rule is spent: the retry succeeds.
+        let r = nmp.mcas(0, 64, 5, 9, &clocks, &model);
+        assert!(r.success);
+        assert_eq!(segment.peek_u64(64), 9);
+    }
+
+    #[test]
+    fn injected_delay_charges_virtual_latency() {
+        use crate::fault::{FaultKind, FaultRule};
+        let (_segment, nmp) = device();
+        nmp.faults()
+            .push(FaultRule::new(FaultKind::McasDelay(12_345)).once());
+        let clocks = Clocks::new(4);
+        let model = LatencyModel::zero();
+        let r = nmp.mcas(0, 64, 0, 1, &clocks, &model);
+        assert!(r.success, "a delayed pair still completes");
+        assert!(clocks.now(0) >= 12_345);
+        assert_eq!(nmp.faults().stats().mcas_delays, 1);
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub struct MemStats {
     pub cached_hits: AtomicU64,
     /// Loads/stores to uncachable (device-biased) memory.
     pub uncached_ops: AtomicU64,
+    /// Faults injected by the [`FaultInjector`](crate::fault::FaultInjector)
+    /// (any kind; see `FaultInjector::stats` for the breakdown).
+    pub faults_injected: AtomicU64,
 }
 
 macro_rules! bump {
@@ -108,6 +111,11 @@ impl MemStats {
     pub fn uncached(&self) {
         bump!(self.uncached_ops);
     }
+    /// Records an injected fault.
+    #[inline]
+    pub fn fault(&self) {
+        bump!(self.faults_injected);
+    }
 
     /// Snapshot of the current counter values.
     pub fn snapshot(&self) -> MemStatsSnapshot {
@@ -124,6 +132,7 @@ impl MemStats {
             writebacks: self.writebacks.load(Ordering::Relaxed),
             cached_hits: self.cached_hits.load(Ordering::Relaxed),
             uncached_ops: self.uncached_ops.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
         }
     }
 }
@@ -155,6 +164,8 @@ pub struct MemStatsSnapshot {
     pub cached_hits: u64,
     /// Uncached ops.
     pub uncached_ops: u64,
+    /// Injected faults.
+    pub faults_injected: u64,
 }
 
 impl MemStatsSnapshot {
@@ -178,6 +189,7 @@ impl MemStatsSnapshot {
             writebacks: self.writebacks.saturating_sub(earlier.writebacks),
             cached_hits: self.cached_hits.saturating_sub(earlier.cached_hits),
             uncached_ops: self.uncached_ops.saturating_sub(earlier.uncached_ops),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
         }
     }
 }

@@ -304,7 +304,7 @@ mod tests {
         // Drain the rest; every remaining value is one of the enqueued.
         let mut drained = 0;
         while let Some(v) = q.dequeue(t0.as_mut()) {
-            assert!(v >= 10_000 && v < 40_000);
+            assert!((10_000..40_000).contains(&v));
             drained += 1;
         }
         assert_eq!(drained, 3 * 2000 - 3 * 1000);

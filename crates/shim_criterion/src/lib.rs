@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate vendors
+//! the subset of criterion's API the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! `throughput`, the [`criterion_group!`]/[`criterion_main!`] macros, and
+//! [`black_box`]. Measurement is a plain calibrated timing loop: each
+//! benchmark is warmed up, then run for `sample_size` samples whose
+//! median ns/iter (and derived throughput) is printed. No statistics
+//! beyond that — these numbers are for relative comparisons between
+//! in-repo variants, not publication.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+            sample_size,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the routine under test.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id, self.throughput);
+    }
+
+    /// Ends the group (printing is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Hands the routine under test to the timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm up and calibrate: grow the batch until one batch takes
+        // ~5 ms so Instant overhead stays negligible.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.samples_ns.is_empty() {
+            println!("{group}/{id}: no samples (Bencher::iter never called)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.2} Melem/s", n as f64 * 1e3 / median)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.2} MiB/s", n as f64 * 1e9 / median / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!("{group}/{id}: {median:>10.1} ns/iter  [{min:.1} .. {max:.1}]{rate}");
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_produces_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim_selftest");
+        group.throughput(Throughput::Elements(1));
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,382 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate vendors
+//! the subset of proptest's API the workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map` and `boxed`, implemented for integer
+//!   ranges, tuples of strategies, and [`Just`];
+//! * [`any`] for primitive types;
+//! * [`collection::vec`];
+//! * the [`proptest!`] and [`prop_oneof!`] macros, and the
+//!   `prop_assert*` macros (plain assertions here);
+//! * [`ProptestConfig`] with a `cases` knob.
+//!
+//! Shrinking is intentionally omitted: every case derives its RNG from
+//! `base_seed ^ f(case_index)`, and a failing case prints the base seed
+//! and case index so it can be replayed exactly by setting
+//! `PROPTEST_SEED=<base>`. The schedule-exploration harness in
+//! `cxl-core` provides real shrinking for the tests that need minimal
+//! reproducers.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    pub use rand::rngs::StdRng as TestRng;
+}
+
+/// Per-test configuration (subset: number of generated cases).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused by the shim.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Returns the base seed: `PROPTEST_SEED` from the environment, or a
+/// fixed default so CI runs are reproducible.
+pub fn seed_from_env() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xCB7A_11CC_0FF1_CE00)
+}
+
+/// Creates the RNG for one case of a property test.
+pub fn case_rng(base: u64, case: u32) -> StdRng {
+    StdRng::seed_from_u64(base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: rand::UniformInt + 'static> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+impl<T: rand::UniformInt + 'static> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Values with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rand::Rng::gen(rng)
+            }
+        }
+    )*};
+}
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Weighted choice among boxed strategies (built by [`prop_oneof!`]).
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a weighted union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let mut roll = rand::Rng::gen_range(rng, 0..self.total);
+        for (weight, strategy) in &self.arms {
+            if roll < *weight {
+                return strategy.sample(rng);
+            }
+            roll -= weight;
+        }
+        unreachable!("roll below total weight")
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+
+    /// A `Vec` whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy, L: Strategy<Value = usize>>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: Strategy<Value = usize>> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The common imports of a property-test file.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(args in strategies)`
+/// body runs `cases` times with values drawn from the strategies. On
+/// failure the base seed and case index are printed for replay.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let base = $crate::seed_from_env();
+                for case in 0..cfg.cases {
+                    let mut __rng = $crate::case_rng(base, case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest case {case}/{} failed; replay with PROPTEST_SEED={base}",
+                            cfg.cases
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted (`w => strategy`) or unweighted choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Push(u8),
+        Pop,
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            2 => (0u8..=255).prop_map(Op::Push),
+            1 => Just(Op::Pop),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn vec_model(ops in crate::collection::vec(op(), 1..50)) {
+            let mut v = Vec::new();
+            let mut len = 0usize;
+            for op in ops {
+                match op {
+                    Op::Push(x) => { v.push(x); len += 1; }
+                    Op::Pop => { v.pop(); len = len.saturating_sub(1); }
+                }
+                prop_assert_eq!(v.len(), len);
+            }
+        }
+
+        #[test]
+        fn ranges_inclusive(x in 5u32..=9, (lo, flag) in (1u64..4, any::<bool>())) {
+            prop_assert!((5..=9).contains(&x));
+            prop_assert!((1..4).contains(&lo));
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..5)
+            .map(|c| rand::Rng::gen(&mut crate::case_rng(42, c)))
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|c| rand::Rng::gen(&mut crate::case_rng(42, c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -70,7 +70,7 @@ impl SizeDist {
     /// Human-readable form for Table 2.
     pub fn describe(&self) -> String {
         fn human(bytes: u32) -> String {
-            if bytes >= 1024 && bytes % 1024 == 0 {
+            if bytes >= 1024 && bytes.is_multiple_of(1024) {
                 format!("{} KiB", bytes / 1024)
             } else if bytes >= 1024 {
                 format!("{:.0} KiB", bytes as f64 / 1024.0)
