@@ -78,6 +78,43 @@ fn bench_cell_codecs(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_liveness(c: &mut Criterion) {
+    use cxl_core::liveness::LivenessDetector;
+    use cxl_core::{AttachOptions, Cxlalloc};
+    use cxl_pod::fault::FaultRule;
+    use cxl_pod::{HwccMode, SimMemory};
+
+    let mut group = c.benchmark_group("liveness");
+    group.throughput(Throughput::Elements(1));
+
+    let pod = Pod::with_simulation(PodConfig::small_for_tests(), HwccMode::Limited).unwrap();
+    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+    let t = heap.register_thread().unwrap();
+    group.bench_function("heartbeat", |b| b.iter(|| t.heartbeat().unwrap()));
+
+    let mut detector = LivenessDetector::new(pod.layout().max_threads, u32::MAX);
+    let core = t.core();
+    group.bench_function("detector_tick", |b| {
+        b.iter(|| detector.tick(&heap, core).unwrap().scanned)
+    });
+
+    // CAS served by the software-fallback path: a persistent outage
+    // keeps the breaker open (probes keep bouncing), so steady-state
+    // traffic measures the degraded path.
+    let pod = Pod::with_simulation(PodConfig::small_for_tests(), HwccMode::None).unwrap();
+    let sim = pod.memory().as_any().downcast_ref::<SimMemory>().unwrap();
+    sim.faults().push(FaultRule::device_outage(u64::MAX));
+    let mem = pod.memory().clone();
+    let off = pod.layout().small.global_len;
+    group.bench_function("fallback_cas", |b| {
+        b.iter(|| {
+            let cur = mem.load_u64(CoreId(0), off);
+            let _ = mem.cas_u64(CoreId(0), off, cur, cur.wrapping_add(1));
+        })
+    });
+    group.finish();
+}
+
 fn bench_kvstore(c: &mut Criterion) {
     use baselines::{MiLike, PodAlloc};
     use kvstore::KvStore;
@@ -122,6 +159,6 @@ fn bench_workloads(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_cas, bench_nmp, bench_cell_codecs, bench_kvstore, bench_workloads
+    targets = bench_cas, bench_nmp, bench_cell_codecs, bench_liveness, bench_kvstore, bench_workloads
 }
 criterion_main!(benches);

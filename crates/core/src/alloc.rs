@@ -24,25 +24,17 @@
 //! # }
 //! ```
 
+use crate::backoff::{Backoff, BackoffPolicy};
 use crate::ctx::Ctx;
 use crate::error::AllocError;
 use crate::huge::{HugeHeap, HugeThread};
+use crate::liveness::{lease, registry};
 use crate::recovery::{self, RecoveryReport};
 use crate::slab::SlabHeap;
 use crate::{OffsetPtr, ThreadId};
 use cxl_pod::{CoreId, Fault, PodMemory, Process};
 use std::cell::Cell;
 use std::sync::Arc;
-
-/// Thread registry states (one HWcc cell per slot).
-mod registry {
-    /// Slot is unclaimed.
-    pub const FREE: u64 = 0;
-    /// Slot belongs to a live thread.
-    pub const LIVE: u64 = 1;
-    /// Slot's thread crashed; recovery pending.
-    pub const DEAD: u64 = 2;
-}
 
 thread_local! {
     /// The allocator identity of the current OS thread, consulted by the
@@ -51,27 +43,60 @@ thread_local! {
     static CURRENT: Cell<Option<(u16, u16)>> = const { Cell::new(None) };
 }
 
+/// How a [`registry_cas`] loop failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegistryError {
+    /// The cell held a different value — a genuine state conflict.
+    Conflict(u64),
+    /// The retry budget ran out while the cell still held the expected
+    /// value: persistent device contention, never a state change.
+    Contention { retries: u32 },
+}
+
 /// CAS on a registry cell, retrying transient mCAS contention: on pods
 /// without HWcc the NMP device may bounce a pair with a contention
 /// error while the cell is in fact unchanged (a competing pair on the
 /// same line, or an injected device fault). Such failures are
 /// distinguishable — the observed value still equals the expected one —
-/// and must be retried rather than reported as a state error.
+/// and are retried under the bounded [`BackoffPolicy`] rather than
+/// reported as a state error. Exhaustion surfaces as
+/// [`RegistryError::Contention`], which callers map to the typed
+/// [`AllocError::DeviceContention`].
 fn registry_cas(
     mem: &dyn PodMemory,
     core: CoreId,
     offset: u64,
     current: u64,
     new: u64,
-) -> Result<(), u64> {
-    for _ in 0..64 {
+) -> Result<(), RegistryError> {
+    let mut backoff = Backoff::new(BackoffPolicy::default(), offset ^ ((core.0 as u64) << 48));
+    loop {
         match mem.cas_u64(core, offset, current, new) {
             Ok(_) => return Ok(()),
-            Err(actual) if actual == current => continue,
-            Err(actual) => return Err(actual),
+            Err(actual) if actual == current => {
+                mem.note_cas_retry();
+                match backoff.step() {
+                    Some(spins) => Backoff::pause(spins),
+                    None => {
+                        return Err(RegistryError::Contention {
+                            retries: backoff.attempts(),
+                        })
+                    }
+                }
+            }
+            Err(actual) => return Err(RegistryError::Conflict(actual)),
         }
     }
-    Err(current)
+}
+
+impl RegistryError {
+    /// Maps contention to the typed error and conflicts through `f`.
+    fn map_conflict(self, f: impl FnOnce(u64) -> AllocError) -> AllocError {
+        match self {
+            RegistryError::Conflict(actual) => f(actual),
+            RegistryError::Contention { retries } => AllocError::DeviceContention { retries },
+        }
+    }
 }
 
 /// Attach-time options.
@@ -169,17 +194,26 @@ impl Cxlalloc {
         let core = CoreId(core_raw);
         // Small/large heap: a pointer below the heap length should be
         // mapped (§3.3.1 — "the signal handler checks the heap length").
-        if layout.small.slab_of(fault.offset).is_some() {
+        // An offset inside the heap's data region but outside any slab
+        // (`slab_of` returns `None`) is a wild access: reject the fault
+        // rather than risk unwinding inside the handler.
+        if layout.small.data.contains(fault.offset) {
+            let Some(slab) = layout.small.slab_of(fault.offset) else {
+                return false;
+            };
             let len = self.inner.small.len(mem, core) as u64;
-            if (layout.small.slab_of(fault.offset).unwrap() as u64) < len {
+            if (slab as u64) < len {
                 process.map_small_upto(len);
                 return true;
             }
             return false;
         }
-        if layout.large.slab_of(fault.offset).is_some() {
+        if layout.large.data.contains(fault.offset) {
+            let Some(slab) = layout.large.slab_of(fault.offset) else {
+                return false;
+            };
             let len = self.inner.large.len(mem, core) as u64;
-            if (layout.large.slab_of(fault.offset).unwrap() as u64) < len {
+            if (slab as u64) < len {
                 process.map_large_upto(len);
                 return true;
             }
@@ -212,18 +246,24 @@ impl Cxlalloc {
     ///
     /// # Errors
     ///
-    /// Returns [`AllocError::TooManyThreads`] when every slot is taken.
+    /// Returns [`AllocError::TooManyThreads`] when every slot is taken,
+    /// or [`AllocError::DeviceContention`] if the registry CAS could not
+    /// complete against a persistently contended mCAS device.
     pub fn register_thread(&self) -> Result<ThreadHandle, AllocError> {
         let mem = self.mem();
         let layout = mem.layout();
         for slot in 0..layout.max_threads {
             let off = layout.registry_at(slot);
-            if mem.load_u64(CoreId(0), off) == registry::FREE
-                && mem
-                    .cas_u64(CoreId(0), off, registry::FREE, registry::LIVE)
-                    .is_ok()
-            {
-                return Ok(self.make_handle(ThreadId::from_slot(slot)));
+            if mem.load_u64(CoreId(0), off) != registry::FREE {
+                continue;
+            }
+            match registry_cas(mem, CoreId(0), off, registry::FREE, registry::LIVE) {
+                Ok(()) => return Ok(self.make_handle(ThreadId::from_slot(slot))),
+                // Someone else claimed the slot; try the next one.
+                Err(RegistryError::Conflict(_)) => continue,
+                Err(RegistryError::Contention { retries }) => {
+                    return Err(AllocError::DeviceContention { retries })
+                }
             }
         }
         Err(AllocError::TooManyThreads {
@@ -234,6 +274,14 @@ impl Cxlalloc {
     fn make_handle(&self, tid: ThreadId) -> ThreadHandle {
         let core = CoreId(tid.slot() as u16);
         CURRENT.with(|c| c.set(Some((tid.raw(), core.0))));
+        // New incarnation: bump the lease epoch so renewals from the
+        // previous owner of this slot can never read as fresh
+        // heartbeats. A plain store suffices — slot ownership was just
+        // linearized by the registry CAS.
+        let mem = self.mem();
+        let lease_off = mem.layout().lease_at(tid.slot());
+        let word = mem.load_u64(core, lease_off);
+        mem.store_u64(core, lease_off, lease::next_epoch(word));
         // Huge-heap state is always derived from the segment: for a fresh
         // slot this yields the full descriptor pool and no owned regions;
         // for an adopted slot it is the §3.4.2 reconstruction.
@@ -256,16 +304,51 @@ impl Cxlalloc {
     pub fn mark_crashed(&self, tid: ThreadId) -> Result<(), AllocError> {
         let mem = self.mem();
         let off = mem.layout().registry_at(tid.slot());
-        registry_cas(mem, CoreId(0), off, registry::LIVE, registry::DEAD).map_err(|_| {
-            AllocError::BadThreadState {
+        registry_cas(mem, CoreId(0), off, registry::LIVE, registry::DEAD).map_err(|e| {
+            e.map_conflict(|_| AllocError::BadThreadState {
                 thread: tid,
                 state: "not live",
-            }
+            })
         })?;
         if let Some(sim) = mem.as_any().downcast_ref::<cxl_pod::SimMemory>() {
             sim.cache().discard_all(tid.slot() as usize);
         }
         Ok(())
+    }
+
+    /// Declares `tid` dead on behalf of a liveness detector whose lease
+    /// budget expired: flips the registry LIVE→DEAD and (on simulated
+    /// pods) discards the dead core's cache, exactly like
+    /// [`Cxlalloc::mark_crashed`].
+    ///
+    /// Returns `Ok(true)` if this call performed the flip, `Ok(false)`
+    /// if the slot was already DEAD or mid-adoption (another detector
+    /// got there first — benign).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::BadThreadState`] if the slot is FREE (nothing to
+    /// declare dead), [`AllocError::DeviceContention`] on retry-budget
+    /// exhaustion.
+    pub fn declare_dead(&self, tid: ThreadId) -> Result<bool, AllocError> {
+        let mem = self.mem();
+        let off = mem.layout().registry_at(tid.slot());
+        match registry_cas(mem, CoreId(0), off, registry::LIVE, registry::DEAD) {
+            Ok(()) => {
+                if let Some(sim) = mem.as_any().downcast_ref::<cxl_pod::SimMemory>() {
+                    sim.cache().discard_all(tid.slot() as usize);
+                }
+                Ok(true)
+            }
+            Err(RegistryError::Conflict(registry::DEAD | registry::ADOPTING)) => Ok(false),
+            Err(RegistryError::Conflict(_)) => Err(AllocError::BadThreadState {
+                thread: tid,
+                state: "not live",
+            }),
+            Err(RegistryError::Contention { retries }) => {
+                Err(AllocError::DeviceContention { retries })
+            }
+        }
     }
 
     /// Recovers crashed thread `tid`'s interrupted operation, using
@@ -285,34 +368,92 @@ impl Cxlalloc {
                 state: "not crashed",
             });
         }
+        Ok(self.recover_inner(tid, via))
+    }
+
+    /// The recovery body, run once the caller has established exclusive
+    /// rights (slot observed DEAD, or held in ADOPTING by the caller).
+    fn recover_inner(&self, tid: ThreadId, via: CoreId) -> RecoveryReport {
         let ctx = self.ctx(tid, via);
         let report = recovery::recover(&ctx);
         // Recovery repairs the dead thread's structures through `via`'s
         // cache, but the thread may resume on a different core (adopt
         // hands the heap back to the original slot). Every repair must
         // be durable before anyone else reads it.
+        let mem = self.mem();
         mem.flush_all(via);
         mem.fence(via);
-        Ok(report)
+        report
     }
 
     /// Recovers `tid` and re-registers it as a live thread owned by the
     /// caller, reconstructing its volatile huge-heap state from the
-    /// segment (paper §3.4.2).
+    /// segment (paper §3.4.2). Alias for [`Cxlalloc::try_adopt`].
     ///
     /// # Errors
     ///
-    /// Propagates [`Cxlalloc::recover`] errors.
+    /// As [`Cxlalloc::try_adopt`].
     pub fn adopt(&self, tid: ThreadId, via: CoreId) -> Result<(ThreadHandle, RecoveryReport), AllocError> {
-        let report = self.recover(tid, via)?;
+        self.try_adopt(tid, via)
+    }
+
+    /// Races to adopt crashed thread `tid`: the DEAD→ADOPTING registry
+    /// CAS is the linearization point, so when several survivors call
+    /// this concurrently exactly one wins, runs recovery while holding
+    /// the slot in ADOPTING, and commits it back to LIVE. Losers return
+    /// immediately with [`AllocError::AdoptionRaced`] and must not touch
+    /// the dead thread's structures.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::AdoptionRaced`] when another survivor's CAS
+    /// linearized first (slot seen ADOPTING or already LIVE);
+    /// [`AllocError::BadThreadState`] when the slot is not crashed at
+    /// all (FREE); [`AllocError::DeviceContention`] when the claim CAS
+    /// exhausted its retry budget.
+    pub fn try_adopt(
+        &self,
+        tid: ThreadId,
+        via: CoreId,
+    ) -> Result<(ThreadHandle, RecoveryReport), AllocError> {
         let mem = self.mem();
         let off = mem.layout().registry_at(tid.slot());
-        registry_cas(mem, via, off, registry::DEAD, registry::LIVE).map_err(|_| {
-            AllocError::BadThreadState {
-                thread: tid,
-                state: "raced",
+        match registry_cas(mem, via, off, registry::DEAD, registry::ADOPTING) {
+            Ok(()) => {}
+            Err(RegistryError::Conflict(registry::ADOPTING | registry::LIVE)) => {
+                return Err(AllocError::AdoptionRaced { thread: tid });
             }
-        })?;
+            Err(RegistryError::Conflict(_)) => {
+                return Err(AllocError::BadThreadState {
+                    thread: tid,
+                    state: "not crashed",
+                });
+            }
+            Err(RegistryError::Contention { retries }) => {
+                return Err(AllocError::DeviceContention { retries });
+            }
+        }
+        let report = self.recover_inner(tid, via);
+        // Commit ADOPTING→LIVE. We own the slot, so only transient
+        // device contention can fail this CAS; the loop must not give up
+        // (abandoning would leak the slot in ADOPTING forever) — under a
+        // persistent outage the NMP breaker eventually reroutes the CAS
+        // through the software-fallback path, which cannot bounce.
+        let mut backoff = Backoff::new(BackoffPolicy::default(), off ^ ((via.0 as u64) << 48) ^ 1);
+        loop {
+            match mem.cas_u64(via, off, registry::ADOPTING, registry::LIVE) {
+                Ok(_) => break,
+                Err(actual) => {
+                    debug_assert_eq!(
+                        actual,
+                        registry::ADOPTING,
+                        "slot {tid} changed under its adopter"
+                    );
+                    mem.note_cas_retry();
+                    Backoff::pause(backoff.step_saturating());
+                }
+            }
+        }
         let handle = self.make_handle(tid);
         Ok((handle, report))
     }
@@ -469,6 +610,37 @@ impl ThreadHandle {
     pub fn resolve(&self, ptr: OffsetPtr, len: u64) -> Result<*mut u8, Fault> {
         CURRENT.with(|c| c.set(Some((self.tid.raw(), self.core.0))));
         self.heap.inner.process.resolve(ptr.offset(), len)
+    }
+
+    /// Renews this thread's lease: bumps the 48-bit counter of its
+    /// lease word (epoch unchanged), proving to every
+    /// [`LivenessDetector`](crate::liveness::LivenessDetector) in the
+    /// pod that the thread is still making progress. Call periodically;
+    /// a thread that stops heartbeating is declared dead after the
+    /// detector's expiry budget and becomes adoptable.
+    ///
+    /// The renewal is a CAS (an mCAS spwr/sprd pair on pods without
+    /// HWcc): the thread is the lease word's only writer while LIVE, so
+    /// the CAS can only fail transiently on device contention, which is
+    /// retried under the bounded backoff policy.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::DeviceContention`] if the device kept bouncing the
+    /// renewal past the retry budget (the lease simply stays un-renewed;
+    /// the next heartbeat tries again).
+    pub fn heartbeat(&self) -> Result<(), AllocError> {
+        let mem = self.heap.mem();
+        let off = mem.layout().lease_at(self.tid.slot());
+        let word = mem.load_u64(self.core, off);
+        registry_cas(mem, self.core, off, word, crate::liveness::lease::renew(word)).map_err(
+            |e| {
+                e.map_conflict(|_| AllocError::BadThreadState {
+                    thread: self.tid,
+                    state: "lease stolen",
+                })
+            },
+        )
     }
 
     /// Runs one huge-heap cleanup pass (hazard scan + descriptor

@@ -1,0 +1,175 @@
+//! Bounded retry/backoff for contended CAS loops.
+//!
+//! Retry loops over shared cells used to be raw bounded spins (64
+//! iterations in `registry_cas`) or unbounded ones (the `dcas` help
+//! path). Both are wrong on a pod whose mCAS device is degraded: the
+//! bounded spin gives up with an ambiguous error, the unbounded one
+//! livelocks. This module centralizes the policy: **exponential**
+//! backoff with **jitter** from the seeded RNG (so schedule replay stays
+//! byte-identical — no wall-clock randomness) and a **bounded** retry
+//! budget after which the caller surfaces a typed
+//! [`AllocError::DeviceContention`](crate::AllocError::DeviceContention).
+//!
+//! All pauses are virtual: [`Backoff::pause`] burns spin-loop hints and
+//! never sleeps, so exploration campaigns stay deterministic and fast.
+
+use rand::{Rng, SeedableRng};
+
+/// Tuning for a bounded retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Failed attempts tolerated before the loop reports contention.
+    /// Chosen larger than the NMP breaker's
+    /// [`trip_after`](cxl_pod::BreakerConfig::trip_after) default so a
+    /// persistent device outage trips into the software-fallback path
+    /// *within one retry loop* instead of surfacing an error.
+    pub max_retries: u32,
+    /// Spin-loop hints paid after the first failed attempt.
+    pub base_spins: u32,
+    /// Cap on the exponentially growing pause.
+    pub max_spins: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            max_retries: 24,
+            base_spins: 4,
+            max_spins: 256,
+        }
+    }
+}
+
+/// One retry loop's backoff state.
+#[derive(Debug)]
+pub struct Backoff {
+    policy: BackoffPolicy,
+    attempt: u32,
+    rng: rand::rngs::StdRng,
+}
+
+impl Backoff {
+    /// Creates backoff state for one loop. `seed` feeds the jitter RNG;
+    /// derive it from stable inputs (core, target offset) so replays of
+    /// the same schedule pause identically.
+    pub fn new(policy: BackoffPolicy, seed: u64) -> Self {
+        Backoff {
+            policy,
+            attempt: 0,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Failed attempts recorded so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Records a failed attempt. Returns `Some(spins)` — the jittered
+    /// pause to pay before retrying — or `None` when the retry budget is
+    /// exhausted and the caller must give up.
+    pub fn step(&mut self) -> Option<u32> {
+        if self.attempt >= self.policy.max_retries {
+            return None;
+        }
+        self.attempt += 1;
+        Some(self.jittered())
+    }
+
+    /// Records a failed attempt in a loop that may not give up (e.g.
+    /// committing a state the caller already owns): the pause saturates
+    /// at `max_spins` instead of exhausting.
+    pub fn step_saturating(&mut self) -> u32 {
+        self.attempt = self.attempt.saturating_add(1);
+        self.jittered()
+    }
+
+    /// Exponential pause for the current attempt, halved and re-widened
+    /// by the jitter RNG so competing loops desynchronize.
+    fn jittered(&mut self) -> u32 {
+        let shift = self.attempt.saturating_sub(1).min(16);
+        let exp = self
+            .policy
+            .base_spins
+            .saturating_mul(1u32 << shift)
+            .min(self.policy.max_spins)
+            .max(1);
+        exp / 2 + self.rng.gen_range(0..=exp - exp / 2)
+    }
+
+    /// Burns `spins` spin-loop hints. Virtual-time-friendly: never
+    /// sleeps, never reads a clock.
+    pub fn pause(spins: u32) {
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_exhausts_at_budget() {
+        let policy = BackoffPolicy {
+            max_retries: 3,
+            ..BackoffPolicy::default()
+        };
+        let mut b = Backoff::new(policy, 7);
+        assert!(b.step().is_some());
+        assert!(b.step().is_some());
+        assert!(b.step().is_some());
+        assert!(b.step().is_none(), "fourth failure must exhaust");
+        assert_eq!(b.attempts(), 3);
+    }
+
+    #[test]
+    fn pauses_grow_up_to_cap() {
+        let policy = BackoffPolicy {
+            max_retries: 32,
+            base_spins: 4,
+            max_spins: 64,
+        };
+        let mut b = Backoff::new(policy, 1);
+        let pauses: Vec<u32> = (0..10).map(|_| b.step().unwrap()).collect();
+        // Every jittered pause stays within [exp/2, exp] <= max_spins.
+        for &p in &pauses {
+            assert!(p <= 64);
+        }
+        // Later pauses reach at least half the cap.
+        assert!(pauses[9] >= 32);
+        // Early pauses are small.
+        assert!(pauses[0] <= 4);
+    }
+
+    #[test]
+    fn same_seed_same_pauses() {
+        let policy = BackoffPolicy::default();
+        let mut a = Backoff::new(policy, 42);
+        let mut b = Backoff::new(policy, 42);
+        for _ in 0..10 {
+            assert_eq!(a.step(), b.step());
+        }
+    }
+
+    #[test]
+    fn saturating_step_never_exhausts() {
+        let policy = BackoffPolicy {
+            max_retries: 2,
+            base_spins: 2,
+            max_spins: 16,
+        };
+        let mut b = Backoff::new(policy, 3);
+        for _ in 0..100 {
+            let spins = b.step_saturating();
+            assert!((1..=16).contains(&spins));
+        }
+    }
+
+    #[test]
+    fn pause_is_a_noop_for_zero() {
+        Backoff::pause(0);
+        Backoff::pause(8);
+    }
+}

@@ -18,6 +18,7 @@
 //! updated through mCAS, which is part of why remote frees get expensive
 //! in `-mcas` configurations (paper Figure 12).
 
+use crate::backoff::{Backoff, BackoffPolicy};
 use crate::cell::{seq16_newer, Detect};
 use crate::ThreadId;
 use cxl_pod::{CoreId, PodMemory};
@@ -120,14 +121,35 @@ impl<'m> Dcas<'m> {
         let slot = (tid - 1) as u32;
         let offset = self.mem.layout().help_at(slot);
         let new = (1u64 << 16) | version as u64;
+        // Help recording may not give up — an unrecorded overwrite would
+        // make the previous writer's success undetectable — so device
+        // contention is paced with saturating backoff, never surfaced.
+        // Under a persistent outage the NMP breaker reroutes the CAS
+        // through the software-fallback path, which cannot bounce.
+        let mut backoff: Option<Backoff> = None;
         loop {
             let cur = self.mem.load_u64(core, offset);
             let cur_valid = (cur >> 16) & 1 == 1;
             if cur_valid && !seq16_newer(version, cur as u16) {
                 return; // current record is the same or newer
             }
-            if self.mem.cas_u64(core, offset, cur, new).is_ok() {
-                return;
+            match self.mem.cas_u64(core, offset, cur, new) {
+                Ok(_) => return,
+                Err(actual) if actual == cur => {
+                    // The cell is unchanged: a device bounce, not a
+                    // competing writer. Back off before re-issuing.
+                    self.mem.note_cas_retry();
+                    let b = backoff.get_or_insert_with(|| {
+                        Backoff::new(
+                            BackoffPolicy::default(),
+                            offset ^ ((core.0 as u64) << 48),
+                        )
+                    });
+                    Backoff::pause(b.step_saturating());
+                }
+                // A competing helper moved the cell; the next iteration
+                // re-reads and re-checks monotonicity.
+                Err(_) => {}
             }
         }
     }

@@ -58,6 +58,23 @@ pub enum AllocError {
         /// What was found.
         state: &'static str,
     },
+    /// A CAS loop exhausted its bounded retry budget against persistent
+    /// device contention (the mCAS device kept bouncing pairs while the
+    /// cell value never changed). Distinct from a genuine state
+    /// conflict: the operation may be retried once the device recovers,
+    /// and the NMP breaker will reroute it through the software-fallback
+    /// path if the outage persists.
+    DeviceContention {
+        /// Failed attempts before giving up.
+        retries: u32,
+    },
+    /// Another survivor won the race to adopt this crashed thread — its
+    /// DEAD→ADOPTING registry CAS linearized first. The loser should
+    /// back off; the thread is being recovered.
+    AdoptionRaced {
+        /// The contested thread slot.
+        thread: crate::ThreadId,
+    },
 }
 
 /// Which of the three heaps an error refers to.
@@ -107,6 +124,12 @@ impl fmt::Display for AllocError {
             AllocError::BadThreadState { thread, state } => {
                 write!(f, "{thread} is in state {state}, operation not permitted")
             }
+            AllocError::DeviceContention { retries } => {
+                write!(f, "mCAS device contention persisted across {retries} bounded retries")
+            }
+            AllocError::AdoptionRaced { thread } => {
+                write!(f, "another survivor is already adopting {thread}")
+            }
         }
     }
 }
@@ -140,6 +163,10 @@ mod tests {
             AllocError::BadThreadState {
                 thread: crate::ThreadId::new(1).unwrap(),
                 state: "live",
+            },
+            AllocError::DeviceContention { retries: 24 },
+            AllocError::AdoptionRaced {
+                thread: crate::ThreadId::new(1).unwrap(),
             },
         ];
         for e in errors {

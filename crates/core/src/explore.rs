@@ -21,6 +21,10 @@ pub struct Explorer {
     pub steps_per_run: usize,
     /// Fault plan applied to every run.
     pub plan: FaultPlan,
+    /// Generate with the liveness profile
+    /// ([`Schedule::generate_liveness`]): heartbeat stops, detector
+    /// ticks, and device-outage bursts join the step mix.
+    pub liveness: bool,
 }
 
 impl Default for Explorer {
@@ -29,6 +33,7 @@ impl Default for Explorer {
             config: SimConfig::default(),
             steps_per_run: 40,
             plan: FaultPlan::none(),
+            liveness: false,
         }
     }
 }
@@ -44,6 +49,12 @@ pub struct ExploreReport {
     pub total_crashes: u64,
     /// Recoveries performed across all runs.
     pub total_recoveries: u64,
+    /// Heartbeats stopped (hosts hung) across all runs.
+    pub total_hangs: u64,
+    /// Expired leases flipped DEAD by detector ticks across all runs.
+    pub total_detections: u64,
+    /// Device-outage bursts injected across all runs.
+    pub total_degrades: u64,
     /// Failing seeds with their failures, in discovery order.
     pub failures: Vec<(u64, ScheduleFailure)>,
 }
@@ -59,7 +70,11 @@ impl Explorer {
     /// The canonical schedule for `seed` under this explorer's
     /// configuration.
     pub fn schedule_for(&self, seed: u64) -> Schedule {
-        Schedule::generate(seed, self.config.hosts, self.steps_per_run)
+        if self.liveness {
+            Schedule::generate_liveness(seed, self.config.hosts, self.steps_per_run)
+        } else {
+            Schedule::generate(seed, self.config.hosts, self.steps_per_run)
+        }
     }
 
     /// Runs the canonical schedule of `seed`.
@@ -80,6 +95,9 @@ impl Explorer {
             total_allocs: 0,
             total_crashes: 0,
             total_recoveries: 0,
+            total_hangs: 0,
+            total_detections: 0,
+            total_degrades: 0,
             failures: Vec::new(),
         };
         for i in 0..runs {
@@ -89,6 +107,9 @@ impl Explorer {
                     report.total_allocs += r.allocs;
                     report.total_crashes += r.crashes_fired;
                     report.total_recoveries += r.recoveries;
+                    report.total_hangs += r.hangs;
+                    report.total_detections += r.detections;
+                    report.total_degrades += r.degrades;
                 }
                 Err(failure) => report.failures.push((seed, failure)),
             }
@@ -168,6 +189,22 @@ mod tests {
             report.failures
         );
         assert!(report.total_allocs > 0);
+    }
+
+    #[test]
+    fn liveness_campaign_passes_and_exercises_new_steps() {
+        let explorer = Explorer {
+            liveness: true,
+            steps_per_run: 60,
+            ..Explorer::default()
+        };
+        let report = explorer.explore(2000, 8);
+        assert!(report.all_passed(), "failures: {:?}", report.failures);
+        assert!(report.total_hangs > 0, "no heartbeat stops exercised");
+        assert!(report.total_degrades > 0, "no device outages exercised");
+        // Every hang must eventually be recovered (in-schedule adoption
+        // or end-of-run cleanup), so recoveries bound hangs from above.
+        assert!(report.total_recoveries >= report.total_hangs);
     }
 
     #[test]

@@ -19,10 +19,24 @@ use cxl_pod::{CoreId, HeapLayout, PodMemory};
 ///
 /// A human-readable description of the violated invariant.
 pub fn check(mem: &dyn PodMemory, core: CoreId) -> Result<(), String> {
+    check_registry(mem, core)?;
     for heap in [SlabHeap::small(), SlabHeap::large()] {
         check_slab_heap(mem, core, &heap)?;
     }
     check_huge(mem, core)
+}
+
+/// Every registry cell holds a legal state. ADOPTING is legal but, in a
+/// quiescent heap, suspicious: it means an adopter died mid-recovery.
+fn check_registry(mem: &dyn PodMemory, core: CoreId) -> Result<(), String> {
+    let layout = mem.layout();
+    for slot in 0..layout.max_threads {
+        let state = mem.load_u64(core, layout.registry_at(slot));
+        if state > crate::liveness::registry::MAX {
+            return Err(format!("registry: slot {slot} holds invalid state {state}"));
+        }
+    }
+    Ok(())
 }
 
 fn read_header(mem: &dyn PodMemory, core: CoreId, hl: &HeapLayout, slab: u32) -> SwccHeader {

@@ -60,6 +60,7 @@
 #![warn(missing_debug_implementations)]
 
 mod alloc;
+pub mod backoff;
 pub mod bitset;
 pub mod cell;
 pub mod class;
@@ -71,6 +72,7 @@ pub mod explore;
 pub mod huge;
 pub mod interval;
 pub mod invariants;
+pub mod liveness;
 pub mod oplog;
 mod ptr;
 pub mod recovery;

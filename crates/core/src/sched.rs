@@ -87,6 +87,34 @@ pub enum Step {
         /// Host performing the adoption.
         via: usize,
     },
+    /// Host dies *silently*: its thread is gone (handle dropped, cache
+    /// lost) but — unlike [`Step::Crash`] — nothing flips its registry
+    /// slot, which stays LIVE until some survivor's
+    /// [`Step::DetectorTick`] notices the stale lease. This is the
+    /// failure mode the liveness layer exists for.
+    StopHeartbeat {
+        /// Acting host.
+        host: usize,
+    },
+    /// Host runs one tick of its
+    /// [`LivenessDetector`](crate::liveness::LivenessDetector), flipping
+    /// any lease-expired slot LIVE→DEAD, then races to adopt every
+    /// handle-less host whose slot is DEAD (self-healing).
+    DetectorTick {
+        /// Acting host.
+        host: usize,
+    },
+    /// Arms a persistent device outage: the next `pairs` mCAS pairs
+    /// anywhere on the NMP device bounce with contention results,
+    /// exercising bounded backoff and (past the breaker threshold) the
+    /// software-fallback CAS path. Only meaningful in
+    /// [`HwccMode::None`]; a no-op fault plan otherwise.
+    DeviceDegrade {
+        /// Acting host (provenance only; the outage is device-wide).
+        host: usize,
+        /// Pairs to bounce.
+        pairs: u32,
+    },
 }
 
 impl Step {
@@ -98,7 +126,10 @@ impl Step {
             | Step::Cleanup { host }
             | Step::FlushCache { host }
             | Step::Crash { host, .. }
-            | Step::Recover { host, .. } => host,
+            | Step::Recover { host, .. }
+            | Step::StopHeartbeat { host }
+            | Step::DetectorTick { host }
+            | Step::DeviceDegrade { host, .. } => host,
         }
     }
 }
@@ -162,6 +193,59 @@ impl Schedule {
         Schedule { seed, hosts, steps }
     }
 
+    /// Generates the canonical *liveness* schedule for `seed`: the
+    /// classic churn/crash mix of [`Schedule::generate`] plus silent
+    /// host hangs ([`Step::StopHeartbeat`]), detector ticks
+    /// ([`Step::DetectorTick`]), and device outages
+    /// ([`Step::DeviceDegrade`]). Kept separate from `generate` so
+    /// existing seeds replay byte-identically.
+    pub fn generate_liveness(seed: u64, hosts: usize, len: usize) -> Schedule {
+        assert!(hosts > 0, "a schedule needs at least one host");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let slab_points = crate::slab::CRASH_POINTS;
+        let huge_points = crate::huge::CRASH_POINTS;
+        let steps = (0..len)
+            .map(|_| {
+                let host = rng.gen_range(0..hosts);
+                match rng.gen_range(0..100u32) {
+                    0..=38 => Step::Alloc {
+                        host,
+                        size: Self::pick_size(&mut rng),
+                    },
+                    39..=59 => Step::Dealloc {
+                        host,
+                        index: rng.gen_range(0..1024usize),
+                    },
+                    60..=63 => Step::Cleanup { host },
+                    64..=67 => Step::FlushCache { host },
+                    68..=73 => {
+                        let at = if rng.gen_range(0..4u32) == 0 {
+                            huge_points[rng.gen_range(0..huge_points.len())]
+                        } else {
+                            slab_points[rng.gen_range(0..slab_points.len())]
+                        };
+                        Step::Crash {
+                            host,
+                            at,
+                            skip: rng.gen_range(0..6u32),
+                        }
+                    }
+                    74..=79 => Step::Recover {
+                        host,
+                        via: rng.gen_range(0..hosts),
+                    },
+                    80..=85 => Step::StopHeartbeat { host },
+                    86..=95 => Step::DetectorTick { host },
+                    _ => Step::DeviceDegrade {
+                        host,
+                        pairs: rng.gen_range(8..=24u32),
+                    },
+                }
+            })
+            .collect();
+        Schedule { seed, hosts, steps }
+    }
+
     /// Request-size distribution: mostly small blocks, some large, the
     /// occasional huge mapping.
     fn pick_size(rng: &mut rand::rngs::StdRng) -> usize {
@@ -205,6 +289,9 @@ pub struct SimConfig {
     /// Per-host cap on simultaneously live allocations (keeps random
     /// schedules inside the test pod's capacity).
     pub live_cap: usize,
+    /// Consecutive [`Step::DetectorTick`]s (of one host's detector)
+    /// without a lease renewal before a LIVE slot is declared dead.
+    pub lease_expiry_ticks: u32,
 }
 
 impl Default for SimConfig {
@@ -213,6 +300,7 @@ impl Default for SimConfig {
             hosts: 2,
             mode: HwccMode::Limited,
             live_cap: 48,
+            lease_expiry_ticks: 3,
         }
     }
 }
@@ -246,6 +334,13 @@ pub struct RunReport {
     pub crashes_missed: u64,
     /// Adoptions performed (in-schedule and end-of-run).
     pub recoveries: u64,
+    /// Hosts that silently stopped heartbeating ([`Step::StopHeartbeat`]
+    /// on a live host).
+    pub hangs: u64,
+    /// Threads declared dead by detector ticks (lease expiry).
+    pub detections: u64,
+    /// Device outages armed ([`Step::DeviceDegrade`]).
+    pub degrades: u64,
     /// Faults the pod injector reported injecting during the run.
     pub faults_injected: u64,
 }
@@ -294,12 +389,18 @@ impl Fingerprint {
 }
 
 /// One simulated host: its process's heap handle, its registered
-/// thread (absent while crashed), and the allocations it holds.
+/// thread (absent while crashed or hung), the allocations it holds,
+/// and its private liveness-detector state.
 struct Host {
     heap: Cxlalloc,
     handle: Option<ThreadHandle>,
     tid: ThreadId,
     live: Vec<OffsetPtr>,
+    /// Set by [`Step::StopHeartbeat`]: the thread is gone but its
+    /// registry slot is still LIVE until a detector (or end-of-run
+    /// cleanup) declares it dead.
+    hung: bool,
+    detector: crate::liveness::LivenessDetector,
 }
 
 /// Runs `schedule` under `plan` on a fresh pod, then performs full
@@ -352,6 +453,11 @@ pub fn run(
                 handle: Some(handle),
                 tid,
                 live: Vec::new(),
+                hung: false,
+                detector: crate::liveness::LivenessDetector::new(
+                    pod.layout().max_threads,
+                    config.lease_expiry_ticks,
+                ),
             }
         })
         .collect();
@@ -365,11 +471,37 @@ pub fn run(
         crashes_fired: 0,
         crashes_missed: 0,
         recoveries: 0,
+        hangs: 0,
+        detections: 0,
+        degrades: 0,
         faults_injected: 0,
     };
 
     for (i, step) in schedule.steps.iter().enumerate() {
         fp.mix(i as u64);
+        // Every live host renews its lease before each step — the
+        // deterministic analogue of a periodic heartbeat timer. Hosts
+        // without a handle (crashed or hung) silently miss renewals and
+        // age toward lease expiry.
+        let beat = guard(|| {
+            for (h, host) in hosts.iter().enumerate() {
+                if let Some(handle) = host.handle.as_ref() {
+                    handle
+                        .heartbeat()
+                        .map_err(|e| format!("heartbeat of host {h}: {e}"))?;
+                }
+            }
+            Ok::<(), String>(())
+        });
+        match beat {
+            Ok(Ok(())) => {}
+            Ok(Err(message)) | Err(message) => {
+                return Err(ScheduleFailure {
+                    step: Some(i),
+                    message,
+                });
+            }
+        }
         let outcome = guard(|| exec_step(config, &mut hosts, *step, &mut fp, &mut report));
         match outcome {
             Ok(Ok(())) => {}
@@ -528,6 +660,20 @@ fn exec_step(
                     fp.tag("alive");
                     return Ok(());
                 }
+                if host.hung {
+                    // The host died silently and no detector has flipped
+                    // its slot yet: it is not adoptable (registry still
+                    // LIVE). A DetectorTick has to find it first.
+                    let mem = host.heap.process().memory();
+                    let state = mem.load_u64(
+                        CoreId(host.tid.slot() as u16),
+                        mem.layout().registry_at(host.tid.slot()),
+                    );
+                    if state == crate::liveness::registry::LIVE {
+                        fp.tag("undetected");
+                        return Ok(());
+                    }
+                }
                 host.tid
             };
             // Adopt through `via` if it is live, else the lowest live
@@ -548,7 +694,99 @@ fn exec_step(
             fp.tag("recover");
             fp.tag(rep.outcome);
             hosts[host_index].handle = Some(handle);
+            hosts[host_index].hung = false;
             report.recoveries += 1;
+        }
+        Step::StopHeartbeat { .. } => {
+            let host = &mut hosts[host_index];
+            let Some(handle) = host.handle.take() else {
+                fp.tag("dead");
+                return Ok(());
+            };
+            // The host dies silently: thread and cache are gone, but
+            // nothing flips its registry slot — only a detector's lease
+            // scan can discover this.
+            drop(handle);
+            if let Some(sim) = host
+                .heap
+                .process()
+                .memory()
+                .as_any()
+                .downcast_ref::<SimMemory>()
+            {
+                sim.cache().discard_all(host.tid.slot() as usize);
+            }
+            host.hung = true;
+            fp.tag("hang");
+            // Same reasoning as a crash: unflushed metadata will be
+            // rolled back by eventual recovery, so tracked pointers can
+            // no longer be assumed allocated.
+            fp.mix(host.live.len() as u64);
+            host.live.clear();
+            report.hangs += 1;
+        }
+        Step::DetectorTick { .. } => {
+            let Some(via_core) = hosts[host_index].handle.as_ref().map(|h| h.core()) else {
+                fp.tag("dead");
+                return Ok(());
+            };
+            let tick = {
+                let host = &mut hosts[host_index];
+                let heap = host.heap.clone();
+                host.detector
+                    .tick(&heap, via_core)
+                    .map_err(|e| format!("detector tick on host {host_index}: {e}"))?
+            };
+            fp.tag("tick");
+            fp.mix(tick.expired.len() as u64);
+            for tid in &tick.expired {
+                fp.mix(tid.raw() as u64);
+            }
+            report.detections += tick.expired.len() as u64;
+            // Self-healing: the ticking host races to adopt every
+            // handle-less host whose slot is now DEAD (whether this
+            // tick flipped it or an earlier one did).
+            let heap = hosts[host_index].heap.clone();
+            for (j, other) in hosts.iter_mut().enumerate() {
+                if j == host_index || other.handle.is_some() {
+                    continue;
+                }
+                let tid = other.tid;
+                let mem = heap.process().memory();
+                if mem.load_u64(via_core, mem.layout().registry_at(tid.slot()))
+                    != crate::liveness::registry::DEAD
+                {
+                    continue;
+                }
+                match heap.try_adopt(tid, via_core) {
+                    Ok((handle, rep)) => {
+                        fp.tag("adopt");
+                        fp.tag(rep.outcome);
+                        other.handle = Some(handle);
+                        other.hung = false;
+                        report.recoveries += 1;
+                    }
+                    // Impossible single-threaded, but the typed loser
+                    // path must not fail the run.
+                    Err(AllocError::AdoptionRaced { .. }) => fp.tag("raced"),
+                    Err(e) => return Err(format!("adopt of host {j} after tick: {e}")),
+                }
+            }
+        }
+        Step::DeviceDegrade { pairs, .. } => {
+            let host = &hosts[host_index];
+            let sim = host
+                .heap
+                .process()
+                .memory()
+                .as_any()
+                .downcast_ref::<SimMemory>()
+                .expect("simulated pods back schedules");
+            sim.faults()
+                .push(cxl_pod::fault::FaultRule::device_outage(pairs as u64));
+            fp.tag("degrade");
+            fp.mix(pairs as u64);
+            report.degrades += 1;
         }
     }
     Ok(())
@@ -608,6 +846,20 @@ fn churn(handle: &mut ThreadHandle) -> Result<(), String> {
 /// End-of-run validation: adopt every crashed host, free everything,
 /// quiesce all caches, and check every heap invariant.
 fn finish(hosts: &mut [Host], fp: &mut Fingerprint, report: &mut RunReport) -> Result<(), String> {
+    // Hung hosts whose lease never expired in-schedule are still LIVE in
+    // the registry: declare them dead so adoption below can proceed —
+    // the cleanup a detector would eventually have performed.
+    for (i, host) in hosts.iter_mut().enumerate() {
+        if !host.hung || host.handle.is_some() {
+            continue;
+        }
+        let flipped = guard(|| host.heap.declare_dead(host.tid))
+            .map_err(|m| format!("declaring hung host {i} dead panicked: {m}"))?
+            .map_err(|e| format!("declaring hung host {i} dead: {e}"))?;
+        fp.tag("final-declare");
+        fp.mix(flipped as u64);
+        host.hung = false;
+    }
     for (i, host) in hosts.iter_mut().enumerate() {
         if host.handle.is_some() {
             continue;
@@ -742,5 +994,117 @@ mod tests {
         };
         let schedule = Schedule::generate(99, 2, 40);
         run(&config, &schedule, &FaultPlan::none()).unwrap();
+    }
+
+    #[test]
+    fn liveness_generation_is_deterministic_and_complete() {
+        let a = Schedule::generate_liveness(42, 3, 500);
+        let b = Schedule::generate_liveness(42, 3, 500);
+        assert_eq!(a, b);
+        let has = |f: fn(&Step) -> bool| a.steps.iter().any(f);
+        assert!(has(|s| matches!(s, Step::StopHeartbeat { .. })));
+        assert!(has(|s| matches!(s, Step::DetectorTick { .. })));
+        assert!(has(|s| matches!(s, Step::DeviceDegrade { .. })));
+        assert!(has(|s| matches!(s, Step::Alloc { .. })));
+        assert!(has(|s| matches!(s, Step::Crash { .. })));
+    }
+
+    #[test]
+    fn classic_generation_unchanged_by_liveness_steps() {
+        // PR-1 seeds must keep replaying byte-identically: the classic
+        // profile may never emit liveness steps.
+        let s = Schedule::generate(7, 2, 500);
+        assert!(s.steps.iter().all(|s| !matches!(
+            s,
+            Step::StopHeartbeat { .. } | Step::DetectorTick { .. } | Step::DeviceDegrade { .. }
+        )));
+    }
+
+    #[test]
+    fn hung_host_is_detected_and_adopted() {
+        let config = SimConfig {
+            lease_expiry_ticks: 2,
+            ..SimConfig::default()
+        };
+        let schedule = Schedule {
+            seed: 0,
+            hosts: 2,
+            steps: vec![
+                Step::Alloc { host: 1, size: 64 },
+                Step::StopHeartbeat { host: 1 },
+                // Tick 1 records host 1's (now frozen) lease; ticks 2–3
+                // age it to the expiry budget; the flip and adoption
+                // happen inside the third tick.
+                Step::DetectorTick { host: 0 },
+                Step::DetectorTick { host: 0 },
+                Step::DetectorTick { host: 0 },
+                // The adopted slot is live again and can allocate.
+                Step::Alloc { host: 1, size: 128 },
+                Step::Dealloc { host: 1, index: 0 },
+            ],
+        };
+        let report = run(&config, &schedule, &FaultPlan::none()).unwrap();
+        assert_eq!(report.hangs, 1);
+        assert_eq!(report.detections, 1, "the detector must flip the hung host");
+        assert_eq!(report.recoveries, 1, "the ticking host must adopt it");
+    }
+
+    #[test]
+    fn undetected_hang_is_cleaned_up_at_end_of_run() {
+        let config = SimConfig::default();
+        let schedule = Schedule {
+            seed: 0,
+            hosts: 2,
+            steps: vec![
+                Step::Alloc { host: 1, size: 64 },
+                Step::StopHeartbeat { host: 1 },
+                // An explicit Recover cannot adopt an undetected hang.
+                Step::Recover { host: 1, via: 0 },
+            ],
+        };
+        let report = run(&config, &schedule, &FaultPlan::none()).unwrap();
+        assert_eq!(report.hangs, 1);
+        assert_eq!(report.detections, 0);
+        // Only the end-of-run declare+adopt recovered it.
+        assert_eq!(report.recoveries, 1);
+    }
+
+    #[test]
+    fn device_degrade_completes_via_fallback() {
+        let config = SimConfig {
+            mode: HwccMode::None,
+            lease_expiry_ticks: 2,
+            ..SimConfig::default()
+        };
+        let schedule = Schedule {
+            seed: 0,
+            hosts: 2,
+            steps: vec![
+                Step::Alloc { host: 0, size: 64 },
+                // 24 bounced pairs: far past the breaker threshold (8),
+                // so the heartbeat CAS loop trips into fallback instead
+                // of exhausting its 24-retry budget.
+                Step::DeviceDegrade { host: 0, pairs: 24 },
+                Step::Alloc { host: 1, size: 64 },
+                Step::Alloc { host: 0, size: 256 },
+                Step::Dealloc { host: 0, index: 0 },
+                Step::DetectorTick { host: 0 },
+            ],
+        };
+        let report = run(&config, &schedule, &FaultPlan::none()).unwrap();
+        assert_eq!(report.degrades, 1);
+        assert!(report.faults_injected >= 8, "bounced pairs are injected faults");
+    }
+
+    #[test]
+    fn liveness_run_is_replay_identical() {
+        let config = SimConfig {
+            mode: HwccMode::None,
+            ..SimConfig::default()
+        };
+        let schedule = Schedule::generate_liveness(0xFEED, 2, 80);
+        let a = run(&config, &schedule, &FaultPlan::none()).unwrap();
+        let b = run(&config, &schedule, &FaultPlan::none()).unwrap();
+        assert_eq!(a, b, "liveness schedules must replay byte-identically");
     }
 }

@@ -158,6 +158,15 @@ impl FaultRule {
         self.times(1)
     }
 
+    /// A persistent device outage: the next `pairs` mCAS pairs anywhere
+    /// on the device bounce with a contention result — the scenario that
+    /// trips the NMP health breaker
+    /// ([`BreakerConfig`](crate::nmp::BreakerConfig)) into the
+    /// software-fallback CAS path.
+    pub fn device_outage(pairs: u64) -> Self {
+        FaultRule::new(FaultKind::McasContention).times(pairs)
+    }
+
     fn matches(&self, site: FaultSite, core: usize, offset: u64, len: u64) -> bool {
         if !self.kind.applies_to(site) {
             return false;

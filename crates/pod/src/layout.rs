@@ -11,9 +11,10 @@
 //!
 //! ```text
 //! [ HWcc: small global | large global | small HWccDesc[] | large HWccDesc[]
-//!        | huge reservations[] | dcas help[] | thread registry[] ]
+//!        | huge reservations[] | dcas help[] | thread registry[] | leases[] ]
 //! [ SWcc: small locals[] | large locals[] | small SWccDesc[] | large SWccDesc[]
-//!        | huge locals[] | huge desc pools[] | per-thread op logs[] ]
+//!        | huge locals[] | huge desc pools[] | per-thread op logs[]
+//!        | liveness (fallback lock) ]
 //! [ data: small slabs | large slabs | huge pages ]
 //! ```
 
@@ -244,6 +245,17 @@ pub struct Layout {
     pub help: Region,
     /// Thread registry: one 8-byte claim cell per thread slot.
     pub registry: Region,
+    /// Lease words: one epoch-stamped 8-byte cell per thread slot,
+    /// renewed by live threads (via mCAS on pods without HWcc) and
+    /// scanned by liveness detectors. HWcc so renewals are atomic in
+    /// every coherence mode.
+    pub leases: Region,
+    /// The software-fallback CAS lock word: a single-writer spin word in
+    /// SWcc space used when the NMP health breaker is open. It lives
+    /// outside the HWcc region precisely because that region is
+    /// unusable while the mCAS device is degraded; accesses bypass the
+    /// cache model (modeled as an MTRR-uncachable line).
+    pub fallback_lock: u64,
     /// Small heap (8 B – 1 KiB blocks in 32 KiB slabs).
     pub small: HeapLayout,
     /// Large heap (1 KiB – 512 KiB blocks in 512 KiB slabs).
@@ -294,6 +306,7 @@ impl Layout {
         let reservations = region(config.huge_regions as u64 * 8, CACHELINE, &mut cursor);
         let help = region(threads * 8, CACHELINE, &mut cursor);
         let registry = region(threads * 8, CACHELINE, &mut cursor);
+        let leases = region(threads * 8, CACHELINE, &mut cursor);
         let hwcc = Region {
             start: hwcc_start,
             len: align_up(cursor, CACHELINE) - hwcc_start,
@@ -336,6 +349,10 @@ impl Layout {
         // Per-thread recovery logs, one cacheline each.
         let log = region(threads * CACHELINE, CACHELINE, &mut cursor);
 
+        // Liveness coordination in SWcc space: the software-fallback CAS
+        // lock word gets a cacheline to itself.
+        let liveness = region(CACHELINE, CACHELINE, &mut cursor);
+
         // ---- Data region ---------------------------------------------------
         let small_data = region(
             config.small_max_slabs as u64 * SMALL_SLAB_SIZE,
@@ -366,6 +383,8 @@ impl Layout {
             hwcc,
             help,
             registry,
+            leases,
+            fallback_lock: liveness.start,
             small: HeapLayout {
                 global_len: small_global.start,
                 global_free: small_global.start + 8,
@@ -421,6 +440,13 @@ impl Layout {
     pub fn registry_at(&self, slot: u32) -> u64 {
         debug_assert!(slot < self.max_threads);
         self.registry.start + slot as u64 * 8
+    }
+
+    /// Offset of thread `slot`'s lease word.
+    #[inline]
+    pub fn lease_at(&self, slot: u32) -> u64 {
+        debug_assert!(slot < self.max_threads);
+        self.leases.start + slot as u64 * 8
     }
 
     /// Offset of thread `slot`'s recovery-log operation word.
@@ -480,6 +506,13 @@ mod tests {
             ("huge.local", l.huge.local),
             ("huge.pool", l.huge.desc_pool),
             ("log", l.log),
+            (
+                "liveness",
+                Region {
+                    start: l.fallback_lock,
+                    len: 8,
+                },
+            ),
             ("small.data", l.small.data),
             ("large.data", l.large.data),
             ("huge.data", l.huge.data),
@@ -508,8 +541,13 @@ mod tests {
         assert!(l.is_hwcc(l.large.hwcc_desc_at(0)));
         assert!(l.is_hwcc(l.huge.reservation_at(0)));
         assert!(l.is_hwcc(l.help_at(0)));
+        assert!(l.is_hwcc(l.registry_at(0)));
+        assert!(l.is_hwcc(l.lease_at(0)));
+        assert!(l.is_hwcc(l.lease_at(l.max_threads - 1)));
         assert!(!l.is_hwcc(l.small.swcc_desc_at(0)));
         assert!(!l.is_hwcc(l.log_at(0)));
+        // The fallback lock must be usable while the HWcc region is not.
+        assert!(!l.is_hwcc(l.fallback_lock));
     }
 
     #[test]
@@ -545,6 +583,7 @@ mod tests {
         for slot in 0..16u32 {
             assert_eq!(l.log_at(slot) % 8, 0);
             assert_eq!(l.help_at(slot) % 8, 0);
+            assert_eq!(l.lease_at(slot) % 8, 0);
             assert_eq!(l.small.local_unsized_at(slot) % 8, 0);
             for class in 0..SMALL_CLASSES {
                 assert_eq!(l.small.local_sized_at(slot, class) % 8, 0);

@@ -74,6 +74,7 @@ pub use config::{
 pub use error::{Fault, PodError};
 pub use layout::{HeapLayout, HugeLayout, Layout, Region, HUGE_DESC_SIZE};
 pub use mem::{HwccMode, PodMemory, RawMemory, SimMemory};
+pub use nmp::{BreakerConfig, DeviceMode};
 pub use process::{FaultHandler, MapSet, Process, ProcessId};
 pub use segment::Segment;
 

@@ -74,6 +74,10 @@ pub trait PodMemory: Send + Sync + std::fmt::Debug {
     /// Returns `Err(actual)` with the observed value when the compare
     /// fails.
     fn cas_u64(&self, core: CoreId, offset: u64, current: u64, new: u64) -> Result<u64, u64>;
+    /// Records that the caller is about to re-issue a CAS after a
+    /// transient contention result (statistics only; see
+    /// [`MemStats::cas_retries`](crate::stats::MemStats::cas_retries)).
+    fn note_cas_retry(&self) {}
     /// Flushes (writes back and evicts) `[offset, offset+len)` from
     /// `core`'s cache.
     fn flush(&self, core: CoreId, offset: u64, len: u64);
@@ -146,6 +150,11 @@ impl PodMemory for RawMemory {
             .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
         self.stats.cas(result.is_ok());
         result
+    }
+
+    #[inline]
+    fn note_cas_retry(&self) {
+        self.stats.cas_retry();
     }
 
     #[inline]
@@ -298,6 +307,38 @@ impl SimMemory {
             .clone()
     }
 
+    /// Software-fallback CAS for a degraded NMP device: serialize
+    /// through the single-writer lock word the layout reserves in SWcc
+    /// space ([`Layout::fallback_lock`]). Both the lock word and the
+    /// target are touched with raw segment atomics — the coordination
+    /// line is treated as uncachable (MTRR-style), exactly like
+    /// device-biased memory, so no simulated cache can hold a stale
+    /// copy. Three uncachable round trips are charged: acquire, RMW,
+    /// release.
+    fn fallback_cas(&self, core: CoreId, offset: u64, current: u64, new: u64) -> Result<u64, u64> {
+        let lock = self.segment.atomic_u64(self.layout.fallback_lock);
+        while lock
+            .compare_exchange(0, core.0 as u64 + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        let cell = self.segment.atomic_u64(offset);
+        let previous = cell.load(Ordering::SeqCst);
+        let result = if previous == current {
+            cell.store(new, Ordering::SeqCst);
+            Ok(current)
+        } else {
+            Err(previous)
+        };
+        lock.store(0, Ordering::Release);
+        self.stats.fallback();
+        self.stats.cas(result.is_ok());
+        self.clocks
+            .advance(core.index(), 3 * self.model.uncached_op_ns, &self.model);
+        result
+    }
+
     /// Coherent CAS with exclusive-line contention modeling.
     fn coherent_cas(&self, core: CoreId, offset: u64, current: u64, new: u64) -> Result<u64, u64> {
         let line = self.line_clock(offset);
@@ -379,6 +420,9 @@ impl PodMemory for SimMemory {
         match self.mode {
             HwccMode::Full | HwccMode::Limited => self.coherent_cas(core, offset, current, new),
             HwccMode::None => {
+                if self.nmp.route_to_fallback() {
+                    return self.fallback_cas(core, offset, current, new);
+                }
                 let result = self.nmp.mcas(
                     core.index(),
                     offset,
@@ -447,6 +491,10 @@ impl PodMemory for SimMemory {
     fn flush_all(&self, core: CoreId) {
         self.cache
             .flush_all(core.index(), &self.segment, &self.stats);
+    }
+
+    fn note_cas_retry(&self) {
+        self.stats.cas_retry();
     }
 
     fn stats(&self) -> MemStatsSnapshot {
@@ -523,6 +571,55 @@ mod tests {
         assert_eq!(stats.mcas_ok, 1);
         assert_eq!(stats.mcas_fail, 1);
         assert_eq!(stats.cas_ok, 0);
+    }
+
+    #[test]
+    fn persistent_device_faults_degrade_to_fallback_and_heal() {
+        use crate::fault::{FaultKind, FaultRule};
+        use crate::nmp::{BreakerConfig, DeviceMode};
+        let mem = sim(HwccMode::None);
+        mem.nmp().set_breaker_config(BreakerConfig {
+            trip_after: 2,
+            probe_after: 1,
+        });
+        let off = mem.layout().small.global_len;
+        // Two bounced pairs trip the breaker...
+        mem.faults()
+            .push(FaultRule::new(FaultKind::McasContention).times(2));
+        assert!(mem.cas_u64(CoreId(0), off, 0, 1).is_err());
+        assert!(mem.cas_u64(CoreId(0), off, 0, 1).is_err());
+        assert_eq!(mem.nmp().device_mode(), DeviceMode::Fallback);
+        // ...so the next CAS is served by the software path and succeeds
+        // even though the device would still be bouncing pairs.
+        assert!(mem.cas_u64(CoreId(1), off, 0, 7).is_ok());
+        assert_eq!(mem.segment().peek_u64(off), 7);
+        // Faults are spent: the half-open probe heals the breaker.
+        assert!(mem.cas_u64(CoreId(1), off, 7, 8).is_ok());
+        assert_eq!(mem.nmp().device_mode(), DeviceMode::Nmp);
+        let stats = mem.stats();
+        assert_eq!(stats.breaker_trips, 1);
+        assert_eq!(stats.breaker_heals, 1);
+        assert_eq!(stats.fallback_cas, 1);
+        // The fallback CAS counts as a coherent-CAS success, not an mCAS.
+        assert_eq!(stats.cas_ok, 1);
+    }
+
+    #[test]
+    fn fallback_cas_reports_conflicts() {
+        use crate::fault::{FaultKind, FaultRule};
+        use crate::nmp::BreakerConfig;
+        let mem = sim(HwccMode::None);
+        mem.nmp().set_breaker_config(BreakerConfig {
+            trip_after: 1,
+            probe_after: 8,
+        });
+        let off = mem.layout().small.global_len;
+        mem.faults()
+            .push(FaultRule::new(FaultKind::McasContention).once());
+        assert!(mem.cas_u64(CoreId(0), off, 0, 1).is_err()); // trips
+        assert!(mem.cas_u64(CoreId(0), off, 0, 5).is_ok()); // fallback
+        assert_eq!(mem.cas_u64(CoreId(1), off, 0, 9), Err(5)); // genuine conflict
+        assert_eq!(mem.segment().peek_u64(off), 5);
     }
 
     #[test]

@@ -22,6 +22,19 @@
 //! Device-biased memory must never be cached by a CPU, so the backend
 //! marks mCAS-able regions uncachable — the same restriction the paper
 //! imposes via MTRRs.
+//!
+//! # Device-health breaker
+//!
+//! A flaky or overloaded device can bounce every pair with a contention
+//! result, turning each retry loop above it into a livelock. The device
+//! therefore carries a small circuit breaker: a configurable run of
+//! consecutive contention results ([`BreakerConfig::trip_after`]) trips
+//! it from [`DeviceMode::Nmp`] into [`DeviceMode::Fallback`], where the
+//! backend serves CAS through a software path (a single-writer lock word
+//! in SWcc space) instead of the device. After
+//! [`BreakerConfig::probe_after`] fallback operations the breaker lets
+//! one pair through as a half-open probe; a healthy result closes the
+//! breaker and returns the pod to NMP mode.
 
 use crate::fault::{FaultInjector, FaultKind, FaultSite};
 use crate::latency::{Clocks, LatencyModel};
@@ -38,6 +51,62 @@ pub struct McasResult {
     pub success: bool,
     /// The value observed at the target address by the device.
     pub previous: u64,
+}
+
+/// Tuning for the device-health breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive contention results (injected faults or doomed
+    /// competing pairs) that trip the breaker into fallback mode.
+    pub trip_after: u32,
+    /// Fallback operations served while open before the breaker lets a
+    /// half-open probe through to test whether the device healed.
+    pub probe_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_after: 8,
+            probe_after: 4,
+        }
+    }
+}
+
+/// How CAS traffic for non-coherent regions is currently routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceMode {
+    /// Healthy: pairs go to the NMP device.
+    Nmp,
+    /// Breaker open: the backend serves CAS via the software-fallback
+    /// lock word; the device is rested.
+    Fallback,
+    /// Breaker half-open: the next pair is a probe; its result decides
+    /// whether the breaker closes or re-opens.
+    Probing,
+}
+
+/// Mutable breaker state, guarded by its own mutex (never held across a
+/// device operation — `slots` and `breaker` nest slots → breaker only).
+#[derive(Debug, Clone, Copy)]
+struct Breaker {
+    config: BreakerConfig,
+    mode: DeviceMode,
+    /// Consecutive contention results observed while in NMP mode.
+    contention_run: u32,
+    /// Fallback operations served since the breaker last opened.
+    fallback_ops: u32,
+}
+
+impl Breaker {
+    fn new(config: BreakerConfig) -> Self {
+        Breaker {
+            config,
+            mode: DeviceMode::Nmp,
+            contention_run: 0,
+            fallback_ops: 0,
+        }
+    }
 }
 
 /// One thread's pending spwr registration.
@@ -88,6 +157,7 @@ pub struct NmpDevice {
     service_clock: AtomicU64,
     stats: Arc<MemStats>,
     faults: Arc<FaultInjector>,
+    breaker: Mutex<Breaker>,
 }
 
 impl NmpDevice {
@@ -111,6 +181,77 @@ impl NmpDevice {
             service_clock: AtomicU64::new(0),
             stats,
             faults,
+            breaker: Mutex::new(Breaker::new(BreakerConfig::default())),
+        }
+    }
+
+    /// Replaces the breaker tuning and resets its state to healthy.
+    pub fn set_breaker_config(&self, config: BreakerConfig) {
+        *self.breaker.lock() = Breaker::new(config);
+    }
+
+    /// The current routing mode of the device-health breaker.
+    pub fn device_mode(&self) -> DeviceMode {
+        self.breaker.lock().mode
+    }
+
+    /// Asks the breaker whether the next CAS should bypass the device.
+    ///
+    /// Returns `true` while the breaker is open (the caller must serve
+    /// the operation through the software-fallback path). While open,
+    /// every call counts toward [`BreakerConfig::probe_after`]; once
+    /// reached the breaker half-opens and the call is routed to the
+    /// device as a probe.
+    pub fn route_to_fallback(&self) -> bool {
+        let mut breaker = self.breaker.lock();
+        match breaker.mode {
+            DeviceMode::Nmp | DeviceMode::Probing => false,
+            DeviceMode::Fallback => {
+                if breaker.fallback_ops >= breaker.config.probe_after {
+                    breaker.mode = DeviceMode::Probing;
+                    false
+                } else {
+                    breaker.fallback_ops += 1;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Feeds one operation outcome into the breaker. `contention` is
+    /// true for results that signal device trouble (injected contention
+    /// faults, doomed competing pairs); genuine value mismatches and
+    /// successful swaps count as healthy.
+    fn note_result(&self, contention: bool) {
+        let mut breaker = self.breaker.lock();
+        if contention {
+            match breaker.mode {
+                DeviceMode::Nmp => {
+                    breaker.contention_run += 1;
+                    if breaker.contention_run >= breaker.config.trip_after {
+                        breaker.mode = DeviceMode::Fallback;
+                        breaker.contention_run = 0;
+                        breaker.fallback_ops = 0;
+                        self.stats.breaker_trip();
+                    }
+                }
+                DeviceMode::Probing => {
+                    // Probe failed: stay degraded, start a new probe window.
+                    breaker.mode = DeviceMode::Fallback;
+                    breaker.fallback_ops = 0;
+                }
+                DeviceMode::Fallback => {}
+            }
+        } else {
+            match breaker.mode {
+                DeviceMode::Nmp => breaker.contention_run = 0,
+                DeviceMode::Probing => {
+                    breaker.mode = DeviceMode::Nmp;
+                    breaker.contention_run = 0;
+                    self.stats.breaker_heal();
+                }
+                DeviceMode::Fallback => {}
+            }
         }
     }
 
@@ -159,6 +300,7 @@ impl NmpDevice {
             // A competing pair on this address completed first; the
             // device already decided this operation fails.
             self.stats.mcas(false);
+            self.note_result(true);
             return McasResult {
                 success: false,
                 previous,
@@ -177,6 +319,9 @@ impl NmpDevice {
             }
         }
         self.stats.mcas(success);
+        // Both a successful swap and a genuine value mismatch mean the
+        // device serviced the pair — healthy from the breaker's view.
+        self.note_result(false);
         McasResult { success, previous }
     }
 
@@ -202,6 +347,7 @@ impl NmpDevice {
                     // exactly as under genuine contention.
                     self.stats.mcas(false);
                     self.stats.fault();
+                    self.note_result(true);
                     clocks.serialize_through(core, &self.service_clock, model.nmp_service_ns, model);
                     clocks.advance(core, model.mcas_round_trip_ns, model);
                     let previous = self.segment.atomic_u64(target).load(Ordering::SeqCst);
@@ -347,6 +493,96 @@ mod tests {
         assert!(r.success, "a delayed pair still completes");
         assert!(clocks.now(0) >= 12_345);
         assert_eq!(nmp.faults().stats().mcas_delays, 1);
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_contention() {
+        use crate::fault::{FaultKind, FaultRule};
+        let (_segment, nmp) = device();
+        nmp.set_breaker_config(BreakerConfig {
+            trip_after: 3,
+            probe_after: 2,
+        });
+        nmp.faults()
+            .push(FaultRule::new(FaultKind::McasContention).times(3));
+        let clocks = Clocks::new(4);
+        let model = LatencyModel::zero();
+        for _ in 0..3 {
+            assert!(!nmp.route_to_fallback());
+            assert!(!nmp.mcas(0, 64, 0, 1, &clocks, &model).success);
+        }
+        assert_eq!(nmp.device_mode(), DeviceMode::Fallback);
+        // While open, probe_after calls are told to use the fallback.
+        assert!(nmp.route_to_fallback());
+        assert!(nmp.route_to_fallback());
+        // Then the breaker half-opens and lets a probe through.
+        assert!(!nmp.route_to_fallback());
+        assert_eq!(nmp.device_mode(), DeviceMode::Probing);
+        // Faults are spent, so the probe succeeds and the breaker closes.
+        assert!(nmp.mcas(0, 64, 0, 1, &clocks, &model).success);
+        assert_eq!(nmp.device_mode(), DeviceMode::Nmp);
+    }
+
+    #[test]
+    fn failed_probe_reopens_breaker() {
+        use crate::fault::{FaultKind, FaultRule};
+        let (_segment, nmp) = device();
+        nmp.set_breaker_config(BreakerConfig {
+            trip_after: 2,
+            probe_after: 1,
+        });
+        nmp.faults()
+            .push(FaultRule::new(FaultKind::McasContention).times(3));
+        let clocks = Clocks::new(4);
+        let model = LatencyModel::zero();
+        for _ in 0..2 {
+            assert!(!nmp.mcas(0, 64, 0, 1, &clocks, &model).success);
+        }
+        assert_eq!(nmp.device_mode(), DeviceMode::Fallback);
+        assert!(nmp.route_to_fallback());
+        assert!(!nmp.route_to_fallback()); // probe allowed
+        assert!(!nmp.mcas(0, 64, 0, 1, &clocks, &model).success); // probe hits last fault
+        assert_eq!(
+            nmp.device_mode(),
+            DeviceMode::Fallback,
+            "a failed probe must reopen the breaker"
+        );
+    }
+
+    #[test]
+    fn healthy_traffic_resets_contention_run() {
+        use crate::fault::{FaultKind, FaultRule};
+        let (_segment, nmp) = device();
+        nmp.set_breaker_config(BreakerConfig {
+            trip_after: 2,
+            probe_after: 1,
+        });
+        let clocks = Clocks::new(4);
+        let model = LatencyModel::zero();
+        // contention, success, contention: run never reaches 2.
+        nmp.faults()
+            .push(FaultRule::new(FaultKind::McasContention).once());
+        assert!(!nmp.mcas(0, 64, 0, 1, &clocks, &model).success);
+        assert!(nmp.mcas(0, 64, 0, 1, &clocks, &model).success);
+        nmp.faults()
+            .push(FaultRule::new(FaultKind::McasContention).once());
+        assert!(!nmp.mcas(0, 64, 1, 2, &clocks, &model).success);
+        assert_eq!(nmp.device_mode(), DeviceMode::Nmp);
+    }
+
+    #[test]
+    fn doomed_pair_counts_as_contention() {
+        let (segment, nmp) = device();
+        nmp.set_breaker_config(BreakerConfig {
+            trip_after: 1,
+            probe_after: 1,
+        });
+        segment.atomic_u64(64).store(5, Ordering::SeqCst);
+        nmp.spwr(0, 64, 5, 7);
+        nmp.spwr(1, 64, 5, 8);
+        assert!(nmp.sprd(0).success);
+        assert!(!nmp.sprd(1).success);
+        assert_eq!(nmp.device_mode(), DeviceMode::Fallback);
     }
 
     #[test]

@@ -39,6 +39,19 @@ pub struct MemStats {
     /// Faults injected by the [`FaultInjector`](crate::fault::FaultInjector)
     /// (any kind; see `FaultInjector::stats` for the breakdown).
     pub faults_injected: AtomicU64,
+    /// CAS attempts the allocator re-issued after a transient contention
+    /// result (device bounce or competing pair), as reported through
+    /// [`PodMemory::note_cas_retry`](crate::PodMemory::note_cas_retry).
+    pub cas_retries: AtomicU64,
+    /// Times the NMP health breaker tripped from NMP mode into the
+    /// software-fallback CAS path.
+    pub breaker_trips: AtomicU64,
+    /// Times the breaker closed again (a half-open probe found the
+    /// device healthy).
+    pub breaker_heals: AtomicU64,
+    /// CAS operations served by the software-fallback path (single-writer
+    /// lock word) while the device was degraded.
+    pub fallback_cas: AtomicU64,
 }
 
 macro_rules! bump {
@@ -116,6 +129,26 @@ impl MemStats {
     pub fn fault(&self) {
         bump!(self.faults_injected);
     }
+    /// Records a contention-driven CAS retry.
+    #[inline]
+    pub fn cas_retry(&self) {
+        bump!(self.cas_retries);
+    }
+    /// Records a breaker trip into fallback mode.
+    #[inline]
+    pub fn breaker_trip(&self) {
+        bump!(self.breaker_trips);
+    }
+    /// Records a breaker heal back to NMP mode.
+    #[inline]
+    pub fn breaker_heal(&self) {
+        bump!(self.breaker_heals);
+    }
+    /// Records a software-fallback CAS.
+    #[inline]
+    pub fn fallback(&self) {
+        bump!(self.fallback_cas);
+    }
 
     /// Snapshot of the current counter values.
     pub fn snapshot(&self) -> MemStatsSnapshot {
@@ -133,6 +166,10 @@ impl MemStats {
             cached_hits: self.cached_hits.load(Ordering::Relaxed),
             uncached_ops: self.uncached_ops.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            cas_retries: self.cas_retries.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_heals: self.breaker_heals.load(Ordering::Relaxed),
+            fallback_cas: self.fallback_cas.load(Ordering::Relaxed),
         }
     }
 }
@@ -166,6 +203,14 @@ pub struct MemStatsSnapshot {
     pub uncached_ops: u64,
     /// Injected faults.
     pub faults_injected: u64,
+    /// Contention-driven CAS retries.
+    pub cas_retries: u64,
+    /// Breaker trips into fallback mode.
+    pub breaker_trips: u64,
+    /// Breaker heals back to NMP mode.
+    pub breaker_heals: u64,
+    /// Software-fallback CAS operations.
+    pub fallback_cas: u64,
 }
 
 impl MemStatsSnapshot {
@@ -190,6 +235,10 @@ impl MemStatsSnapshot {
             cached_hits: self.cached_hits.saturating_sub(earlier.cached_hits),
             uncached_ops: self.uncached_ops.saturating_sub(earlier.uncached_ops),
             faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
+            cas_retries: self.cas_retries.saturating_sub(earlier.cas_retries),
+            breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+            breaker_heals: self.breaker_heals.saturating_sub(earlier.breaker_heals),
+            fallback_cas: self.fallback_cas.saturating_sub(earlier.fallback_cas),
         }
     }
 }
@@ -218,6 +267,23 @@ mod tests {
         assert_eq!(snap.cas_total(), 3);
         assert_eq!(snap.flushes, 1);
         assert_eq!(snap.fences, 1);
+    }
+
+    #[test]
+    fn liveness_counters_accumulate() {
+        let stats = MemStats::new();
+        stats.cas_retry();
+        stats.cas_retry();
+        stats.breaker_trip();
+        stats.fallback();
+        stats.fallback();
+        stats.fallback();
+        stats.breaker_heal();
+        let snap = stats.snapshot();
+        assert_eq!(snap.cas_retries, 2);
+        assert_eq!(snap.breaker_trips, 1);
+        assert_eq!(snap.breaker_heals, 1);
+        assert_eq!(snap.fallback_cas, 3);
     }
 
     #[test]
