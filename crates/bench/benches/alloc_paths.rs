@@ -1,90 +1,14 @@
 //! Criterion microbenchmarks of the allocator's hot paths: the local
 //! alloc/free fast path per heap, the remote-free (m)CAS path, huge
-//! allocation, and the recoverable-vs-not ablation.
+//! allocation, and the recoverable-vs-not ablation. Bodies live in
+//! `cxl_bench::groups` so `bench-snapshot` can run the same groups.
 
-use baselines::{CxlallocAdapter, PodAlloc, PodAllocThread};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use cxl_bench::allocators::cxlalloc_pod;
-use cxl_core::AttachOptions;
-use std::sync::mpsc;
-
-fn thread(recoverable: bool) -> Box<dyn PodAllocThread> {
-    let options = AttachOptions {
-        recoverable,
-        ..AttachOptions::default()
-    };
-    let alloc = CxlallocAdapter::new(cxlalloc_pod(1 << 30, 8, None), 1, options);
-    alloc.thread().unwrap()
-}
-
-fn bench_local_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("local_alloc_free");
-    group.throughput(Throughput::Elements(1));
-    for (name, size) in [("small_64B", 64usize), ("small_1KiB", 1024), ("large_8KiB", 8192)] {
-        let mut t = thread(true);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let p = t.alloc(size).unwrap();
-                t.dealloc(p).unwrap();
-            })
-        });
-    }
-    // The cxlalloc-nonrecoverable ablation (paper §5.2.1: ~0.3–5 %
-    // difference on real hardware; higher here because the log flush is
-    // a larger fraction of a simulated op).
-    let mut t = thread(false);
-    group.bench_function("small_64B_nonrecoverable", |b| {
-        b.iter(|| {
-            let p = t.alloc(64).unwrap();
-            t.dealloc(p).unwrap();
-        })
-    });
-    group.finish();
-}
-
-fn bench_remote_free(c: &mut Criterion) {
-    let mut group = c.benchmark_group("remote_free");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("producer_consumer_64B", |b| {
-        let alloc = CxlallocAdapter::new(cxlalloc_pod(1 << 30, 8, None), 1, AttachOptions::default());
-        let (tx, rx) = mpsc::sync_channel(1024);
-        let consumer = std::thread::spawn({
-            let alloc = alloc.clone();
-            move || {
-                let mut t = alloc.thread().unwrap();
-                while let Ok(p) = rx.recv() {
-                    t.dealloc(p).unwrap();
-                }
-            }
-        });
-        let mut t = alloc.thread().unwrap();
-        b.iter(|| {
-            let p = t.alloc(64).unwrap();
-            tx.send(p).unwrap();
-        });
-        drop(tx);
-        consumer.join().unwrap();
-    });
-    group.finish();
-}
-
-fn bench_huge(c: &mut Criterion) {
-    let mut group = c.benchmark_group("huge_heap");
-    group.throughput(Throughput::Elements(1));
-    let mut t = thread(true);
-    group.bench_function("alloc_free_cleanup_4MiB", |b| {
-        b.iter(|| {
-            let p = t.alloc(4 << 20).unwrap();
-            t.dealloc(p).unwrap();
-            t.maintain();
-        })
-    });
-    group.finish();
-}
+use criterion::{criterion_group, criterion_main, Criterion};
+use cxl_bench::groups;
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_local_paths, bench_remote_free, bench_huge
+    targets = groups::bench_local_paths, groups::bench_remote_free, groups::bench_huge
 }
 criterion_main!(benches);

@@ -1,164 +1,16 @@
 //! Criterion benchmarks of the substrate primitives: detectable CAS vs
 //! plain CAS, the NMP mCAS device, the coherence simulation, hash-table
-//! operations, and workload generation.
+//! operations, and workload generation. Bodies live in
+//! `cxl_bench::groups` so `bench-snapshot` can run the same groups.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use cxl_core::cell::Detect;
-use cxl_core::dcas::Dcas;
-use cxl_core::ThreadId;
-use cxl_pod::latency::{Clocks, LatencyModel};
-use cxl_pod::nmp::NmpDevice;
-use cxl_pod::stats::MemStats;
-use cxl_pod::{CoreId, Pod, PodConfig, Segment};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::sync::Arc;
-
-fn bench_cas(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cas_primitives");
-    group.throughput(Throughput::Elements(1));
-    let pod = Pod::new(PodConfig::small_for_tests()).unwrap();
-    let mem = pod.memory().clone();
-    let off = pod.layout().small.global_len;
-    let core = CoreId(0);
-
-    group.bench_function("plain_cas", |b| {
-        b.iter(|| {
-            let cur = mem.load_u64(core, off);
-            mem.cas_u64(core, off, cur, cur.wrapping_add(1)).unwrap();
-        })
-    });
-
-    let dcas = Dcas::new(mem.as_ref());
-    let me = ThreadId::new(1).unwrap();
-    let mut version = 0u16;
-    group.bench_function("detectable_cas", |b| {
-        b.iter(|| {
-            let observed = dcas.read(core, off);
-            version = version.wrapping_add(1);
-            dcas.attempt(core, off, observed, observed.payload.wrapping_add(1), me, version)
-                .unwrap();
-        })
-    });
-
-    group.bench_function("detect_query", |b| {
-        b.iter(|| dcas.detect(core, off, me, version))
-    });
-    group.finish();
-}
-
-fn bench_nmp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nmp_mcas");
-    group.throughput(Throughput::Elements(1));
-    let segment = Arc::new(Segment::zeroed(64 << 10).unwrap());
-    let stats = Arc::new(MemStats::new());
-    let nmp = NmpDevice::new(segment.clone(), 4, stats);
-    let clocks = Clocks::new(4);
-    let model = LatencyModel::paper_calibrated();
-    group.bench_function("spwr_sprd_pair", |b| {
-        b.iter(|| {
-            let cur = segment.peek_u64(4096);
-            nmp.mcas(0, 4096, cur, cur.wrapping_add(1), &clocks, &model)
-        })
-    });
-    group.finish();
-}
-
-fn bench_cell_codecs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cell_codecs");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("detect_pack_unpack", |b| {
-        let d = Detect {
-            version: 77,
-            tid: 3,
-            payload: 123456,
-        };
-        b.iter(|| Detect::unpack(criterion::black_box(d.pack())))
-    });
-    group.finish();
-}
-
-fn bench_liveness(c: &mut Criterion) {
-    use cxl_core::liveness::LivenessDetector;
-    use cxl_core::{AttachOptions, Cxlalloc};
-    use cxl_pod::fault::FaultRule;
-    use cxl_pod::{HwccMode, SimMemory};
-
-    let mut group = c.benchmark_group("liveness");
-    group.throughput(Throughput::Elements(1));
-
-    let pod = Pod::with_simulation(PodConfig::small_for_tests(), HwccMode::Limited).unwrap();
-    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
-    let t = heap.register_thread().unwrap();
-    group.bench_function("heartbeat", |b| b.iter(|| t.heartbeat().unwrap()));
-
-    let mut detector = LivenessDetector::new(pod.layout().max_threads, u32::MAX);
-    let core = t.core();
-    group.bench_function("detector_tick", |b| {
-        b.iter(|| detector.tick(&heap, core).unwrap().scanned)
-    });
-
-    // CAS served by the software-fallback path: a persistent outage
-    // keeps the breaker open (probes keep bouncing), so steady-state
-    // traffic measures the degraded path.
-    let pod = Pod::with_simulation(PodConfig::small_for_tests(), HwccMode::None).unwrap();
-    let sim = pod.memory().as_any().downcast_ref::<SimMemory>().unwrap();
-    sim.faults().push(FaultRule::device_outage(u64::MAX));
-    let mem = pod.memory().clone();
-    let off = pod.layout().small.global_len;
-    group.bench_function("fallback_cas", |b| {
-        b.iter(|| {
-            let cur = mem.load_u64(CoreId(0), off);
-            let _ = mem.cas_u64(CoreId(0), off, cur, cur.wrapping_add(1));
-        })
-    });
-    group.finish();
-}
-
-fn bench_kvstore(c: &mut Criterion) {
-    use baselines::{MiLike, PodAlloc};
-    use kvstore::KvStore;
-    let mut group = c.benchmark_group("kvstore");
-    group.throughput(Throughput::Elements(1));
-    let alloc = MiLike::new(512 << 20);
-    let store = KvStore::new(1 << 14, 2);
-    let mut w = store.worker(alloc.thread().unwrap());
-    for key in 0..10_000 {
-        w.insert(key, 8, 64).unwrap();
-    }
-    let mut key = 0u64;
-    group.bench_function("get_hit", |b| {
-        b.iter(|| {
-            key = (key + 1) % 10_000;
-            w.get(key).unwrap()
-        })
-    });
-    group.bench_function("insert_replace", |b| {
-        b.iter(|| {
-            key = (key + 1) % 10_000;
-            w.insert(key, 8, 64).unwrap();
-        })
-    });
-    group.finish();
-}
-
-fn bench_workloads(c: &mut Criterion) {
-    use workloads::{OpStream, WorkloadSpec, Zipfian};
-    let mut group = c.benchmark_group("workload_generation");
-    group.throughput(Throughput::Elements(1));
-    let z = Zipfian::ycsb(8_400_000);
-    let mut rng = StdRng::seed_from_u64(1);
-    group.bench_function("zipfian_sample", |b| {
-        b.iter(|| z.sample_scrambled(&mut rng))
-    });
-    let mut stream = OpStream::new(WorkloadSpec::mc12(), StdRng::seed_from_u64(2));
-    group.bench_function("mc12_next_op", |b| b.iter(|| stream.next_op()));
-    group.finish();
-}
+use criterion::{criterion_group, criterion_main, Criterion};
+use cxl_bench::groups;
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_cas, bench_nmp, bench_cell_codecs, bench_liveness, bench_kvstore, bench_workloads
+    targets = groups::bench_cas, groups::bench_nmp, groups::bench_swcc_substrate,
+        groups::bench_cell_codecs, groups::bench_liveness, groups::bench_kvstore,
+        groups::bench_workloads
 }
 criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! `bench-snapshot`: quick-mode run of the `alloc_paths` + `substrate`
+//! criterion groups, appending a summary record to `BENCH_hotpath.json`
+//! at the repo root.
+//!
+//! The file holds the repo's benchmark *trajectory*: one record per
+//! snapshot (label, unix time, sample count, median ns + ops/sec per
+//! path), plus each record's speedup relative to the most recent
+//! snapshot labelled `--baseline` (default `before`). CI runs this as a
+//! smoke job and fails on panic, not on regression — the numbers are
+//! for reading trends, not gating merges.
+//!
+//! Usage:
+//!   bench-snapshot [--label NAME] [--baseline NAME] [--samples N]
+//!                  [--out PATH] [--groups alloc_paths,substrate]
+
+use criterion::{BenchRecord, Criterion};
+use cxl_bench::groups;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+struct Args {
+    label: String,
+    baseline: String,
+    samples: usize,
+    out: PathBuf,
+    groups: Vec<String>,
+}
+
+fn default_out() -> PathBuf {
+    // crates/bench -> repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate has a repo root")
+        .join("BENCH_hotpath.json")
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        label: "snapshot".to_string(),
+        baseline: "before".to_string(),
+        samples: 10,
+        out: default_out(),
+        groups: vec!["alloc_paths".to_string(), "substrate".to_string()],
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--label" => args.label = value("--label"),
+            "--baseline" => args.baseline = value("--baseline"),
+            "--samples" => args.samples = value("--samples").parse().expect("--samples: integer"),
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--groups" => {
+                args.groups = value("--groups").split(',').map(str::to_string).collect()
+            }
+            other => panic!("unknown flag {other} (see crate docs)"),
+        }
+    }
+    args
+}
+
+/// One snapshot line of the trajectory file. `paths` maps
+/// `group/id` -> median ns/iter.
+struct Snapshot {
+    label: String,
+    raw_line: String,
+    paths: BTreeMap<String, f64>,
+}
+
+/// Parses the snapshot lines out of an existing trajectory file. The
+/// format is line-oriented by construction (this binary is the only
+/// writer): every snapshot record is a single line starting with
+/// `{"label":`.
+fn parse_existing(text: &str) -> Vec<Snapshot> {
+    let mut snapshots = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix("{\"label\":\"") else {
+            continue;
+        };
+        let Some(end) = rest.find('"') else { continue };
+        let label = rest[..end].to_string();
+        let mut paths = BTreeMap::new();
+        let Some(paths_at) = line.find("\"paths\":{") else {
+            continue;
+        };
+        let mut cursor = &line[paths_at + "\"paths\":{".len()..];
+        // Entries look like: "group/id":{"ns":123.4,"ops_per_sec":5.6e6}
+        while let Some(key_start) = cursor.find('"') {
+            let after_key = &cursor[key_start + 1..];
+            let Some(key_end) = after_key.find('"') else { break };
+            let key = &after_key[..key_end];
+            let after = &after_key[key_end + 1..];
+            let Some(ns_at) = after.find("{\"ns\":") else { break };
+            let num = &after[ns_at + "{\"ns\":".len()..];
+            let num_end = num
+                .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+                .unwrap_or(num.len());
+            if let Ok(ns) = num[..num_end].parse::<f64>() {
+                paths.insert(key.to_string(), ns);
+            }
+            let Some(entry_end) = after.find('}') else { break };
+            cursor = &after[entry_end + 1..];
+            if cursor.starts_with('}') {
+                break;
+            }
+        }
+        snapshots.push(Snapshot {
+            label,
+            raw_line: line.to_string(),
+            paths,
+        });
+    }
+    snapshots
+}
+
+fn format_snapshot(
+    label: &str,
+    unix: u64,
+    samples: usize,
+    records: &[BenchRecord],
+    baseline: Option<&Snapshot>,
+) -> String {
+    let mut line = format!("{{\"label\":\"{label}\",\"unix\":{unix},\"samples\":{samples},\"paths\":{{");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let ops = r.per_second().unwrap_or(1e9 / r.median_ns);
+        line.push_str(&format!(
+            "\"{}\":{{\"ns\":{:.1},\"ops_per_sec\":{:.0}}}",
+            r.path(),
+            r.median_ns,
+            ops
+        ));
+    }
+    line.push('}');
+    if let Some(base) = baseline {
+        line.push_str(&format!(",\"speedup_vs_{}\":{{", base.label));
+        let mut first = true;
+        for r in records {
+            if let Some(&base_ns) = base.paths.get(&r.path()) {
+                if !first {
+                    line.push(',');
+                }
+                first = false;
+                line.push_str(&format!("\"{}\":{:.2}", r.path(), base_ns / r.median_ns));
+            }
+        }
+        line.push('}');
+    }
+    line.push('}');
+    line
+}
+
+fn main() {
+    let args = parse_args();
+    let mut criterion = Criterion::default().sample_size(args.samples);
+    for group in &args.groups {
+        match group.as_str() {
+            "alloc_paths" => groups::alloc_paths(&mut criterion),
+            "substrate" => groups::substrate(&mut criterion),
+            other => panic!("unknown group {other}: expected alloc_paths and/or substrate"),
+        }
+    }
+    let records = criterion.take_records();
+    assert!(!records.is_empty(), "benchmark groups produced no records");
+
+    let existing = std::fs::read_to_string(&args.out).unwrap_or_default();
+    let snapshots = parse_existing(&existing);
+    let baseline = snapshots
+        .iter()
+        .rev()
+        .find(|s| s.label == args.baseline && s.label != args.label);
+    let unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let new_line = format_snapshot(&args.label, unix, args.samples, &records, baseline);
+
+    let mut out = String::from("{\n\"schema\":\"bench-snapshot-v1\",\n\"snapshots\":[\n");
+    for s in &snapshots {
+        out.push_str(&s.raw_line);
+        out.push_str(",\n");
+    }
+    out.push_str(&new_line);
+    out.push_str("\n]\n}\n");
+    std::fs::write(&args.out, out).expect("write trajectory file");
+
+    println!("\n-- snapshot '{}' appended to {} --", args.label, args.out.display());
+    if let Some(base) = baseline {
+        println!("speedup vs '{}':", base.label);
+        for r in &records {
+            if let Some(&base_ns) = base.paths.get(&r.path()) {
+                println!("  {:<45} {:>6.2}x", r.path(), base_ns / r.median_ns);
+            }
+        }
+    }
+}

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod allocators;
+pub mod groups;
 pub mod harness;
 pub mod report;
 

@@ -30,6 +30,7 @@ use crate::error::AllocError;
 use crate::huge::{HugeHeap, HugeThread};
 use crate::liveness::{lease, registry};
 use crate::recovery::{self, RecoveryReport};
+use crate::shadow::DescShadow;
 use crate::slab::SlabHeap;
 use crate::{OffsetPtr, ThreadId};
 use cxl_pod::{CoreId, Fault, PodMemory, Process};
@@ -232,6 +233,15 @@ impl Cxlalloc {
     }
 
     fn ctx(&self, tid: ThreadId, core: CoreId) -> Ctx<'_> {
+        self.ctx_with(tid, core, None)
+    }
+
+    fn ctx_with<'a>(
+        &'a self,
+        tid: ThreadId,
+        core: CoreId,
+        shadow: Option<&'a DescShadow>,
+    ) -> Ctx<'a> {
         Ctx {
             mem: self.mem(),
             core,
@@ -239,6 +249,7 @@ impl Cxlalloc {
             process: &self.inner.process,
             unsized_limit: self.inner.options.unsized_limit,
             recoverable: self.inner.options.recoverable,
+            shadow,
         }
     }
 
@@ -291,6 +302,7 @@ impl Cxlalloc {
             tid,
             core,
             huge,
+            shadow: DescShadow::new(mem.hwcc_mode()),
         }
     }
 
@@ -515,6 +527,10 @@ pub struct ThreadHandle {
     tid: ThreadId,
     core: CoreId,
     huge: HugeThread,
+    /// Owner-side DRAM shadow of this thread's slab descriptors
+    /// (paper §3.2: single-writer state the owner never needs to
+    /// re-read from CXL memory).
+    shadow: DescShadow,
 }
 
 impl ThreadHandle {
@@ -534,7 +550,7 @@ impl ThreadHandle {
     }
 
     fn ctx(&self) -> Ctx<'_> {
-        self.heap.ctx(self.tid, self.core)
+        self.heap.ctx_with(self.tid, self.core, Some(&self.shadow))
     }
 
     /// Allocates `size` bytes, routed to the small (≤ 1 KiB), large
@@ -566,15 +582,20 @@ impl ThreadHandle {
     fn alloc_inner(&mut self, size: usize, dst: u64) -> Result<OffsetPtr, AllocError> {
         CURRENT.with(|c| c.set(Some((self.tid.raw(), self.core.0))));
         let inner = &self.heap.inner;
-        let ctx = self.heap.ctx(self.tid, self.core);
-        let offset = if size <= inner.small.classes.max_size() as usize {
-            inner.small.alloc(&ctx, size, dst)?
+        let ctx = self.heap.ctx_with(self.tid, self.core, Some(&self.shadow));
+        let result = if size <= inner.small.classes.max_size() as usize {
+            inner.small.alloc(&ctx, size, dst)
         } else if size <= inner.large.classes.max_size() as usize {
-            inner.large.alloc(&ctx, size, dst)?
+            inner.large.alloc(&ctx, size, dst)
         } else {
-            inner.huge.alloc(&ctx, &mut self.huge, size)?
+            inner.huge.alloc(&ctx, &mut self.huge, size)
         };
-        Ok(OffsetPtr::new(offset).expect("data offsets are nonzero"))
+        // Drain deferred descriptor stores into this core's cache: at
+        // op boundaries the cache/memory image matches the unshadowed
+        // implementation exactly (same-core readers — the invariant
+        // checker, an adopting recoverer — see current state).
+        self.shadow.sync_all(ctx.mem, ctx.core);
+        Ok(OffsetPtr::new(result?).expect("data offsets are nonzero"))
     }
 
     /// Frees the allocation at `ptr`. Size is not required: the owning
@@ -589,8 +610,8 @@ impl ThreadHandle {
         let inner = &self.heap.inner;
         let layout = self.heap.mem().layout();
         let offset = ptr.offset();
-        let ctx = self.heap.ctx(self.tid, self.core);
-        if layout.small.data.contains(offset) {
+        let ctx = self.heap.ctx_with(self.tid, self.core, Some(&self.shadow));
+        let result = if layout.small.data.contains(offset) {
             inner.small.dealloc(&ctx, offset)
         } else if layout.large.data.contains(offset) {
             inner.large.dealloc(&ctx, offset)
@@ -598,7 +619,9 @@ impl ThreadHandle {
             inner.huge.dealloc(&ctx, offset)
         } else {
             Err(AllocError::WildPointer { offset })
-        }
+        };
+        self.shadow.sync_all(ctx.mem, ctx.core);
+        result
     }
 
     /// Resolves `ptr` to a raw pointer valid for `len` bytes in this
@@ -646,7 +669,7 @@ impl ThreadHandle {
     /// Runs one huge-heap cleanup pass (hazard scan + descriptor
     /// reclamation); returns the number of allocations reclaimed.
     pub fn cleanup(&mut self) -> u32 {
-        let ctx = self.heap.ctx(self.tid, self.core);
+        let ctx = self.heap.ctx_with(self.tid, self.core, Some(&self.shadow));
         self.heap.inner.huge.cleanup(&ctx, &mut self.huge)
     }
 
@@ -656,6 +679,9 @@ impl ThreadHandle {
     /// (the checker reads durable memory, which otherwise lags owners'
     /// caches).
     pub fn flush_cache(&self) {
+        // Deferred descriptor-shadow stores must reach the cache first
+        // so the cache-wide writeback covers them.
+        self.shadow.sync_all(self.heap.mem(), self.core);
         self.heap.mem().flush_all(self.core);
     }
 
@@ -665,6 +691,7 @@ impl ThreadHandle {
         let ctx = self.ctx();
         self.heap.inner.small.release_overflow(&ctx);
         self.heap.inner.large.release_overflow(&ctx);
+        self.shadow.sync_all(ctx.mem, ctx.core);
     }
 
     /// Huge-heap volatile state (inspection for tests).

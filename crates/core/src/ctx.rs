@@ -1,7 +1,9 @@
 //! Per-thread operation context.
 
+use crate::crash;
 use crate::dcas::Dcas;
 use crate::oplog::OpLog;
+use crate::shadow::DescShadow;
 use crate::ThreadId;
 use cxl_pod::{CoreId, PodMemory, Process};
 use std::sync::Arc;
@@ -20,6 +22,10 @@ pub(crate) struct Ctx<'m> {
     /// Whether recovery state (redo log, help records) is maintained.
     /// `false` reproduces the `cxlalloc-nonrecoverable` ablation.
     pub recoverable: bool,
+    /// The calling thread's descriptor shadow (`None` for contexts that
+    /// act on *another* thread's structures — recovery, fault handling —
+    /// which must read pod memory directly).
+    pub shadow: Option<&'m DescShadow>,
 }
 
 impl<'m> Ctx<'m> {
@@ -31,6 +37,21 @@ impl<'m> Ctx<'m> {
     /// Detectable-CAS handle (plain CAS when recovery is disabled).
     pub fn dcas(&self) -> Dcas<'m> {
         Dcas::with_detectable(self.mem, self.recoverable)
+    }
+
+    /// A crash point that first drains deferred shadow stores into the
+    /// (to-be-discarded) simulated cache, so the crash image white-box
+    /// tests and schedule exploration observe is byte-identical to the
+    /// unshadowed implementation. The drain runs only when a crash plan
+    /// is armed; otherwise this is exactly [`crash::point`].
+    #[inline]
+    pub fn crash_point(&self, label: &'static str) {
+        if crash::armed() {
+            if let Some(shadow) = self.shadow {
+                shadow.sync_all(self.mem, self.core);
+            }
+        }
+        crash::point(label);
     }
 }
 

@@ -77,6 +77,7 @@ pub mod oplog;
 mod ptr;
 pub mod recovery;
 pub mod sched;
+mod shadow;
 pub mod slab;
 
 pub use alloc::{AttachOptions, Cxlalloc, HeapStats, ThreadHandle};

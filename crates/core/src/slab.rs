@@ -37,7 +37,6 @@
 use crate::bitset::BlockBits;
 use crate::cell::{flags, Detect, LogWord, SwccHeader};
 use crate::class::ClassTable;
-use crate::crash;
 use crate::ctx::Ctx;
 use crate::error::{AllocError, HeapKind};
 use crate::recovery::Op;
@@ -107,21 +106,55 @@ impl SlabHeap {
     }
 
     // ---- descriptor accessors ------------------------------------------
+    //
+    // All four route through the calling thread's descriptor shadow
+    // when it has one (see `shadow.rs`): loads are served from the
+    // shadow, stores are absorbed (software-coherent backends) or
+    // written through (coherent backends). Contexts without a shadow —
+    // recovery, the invariant checker's probes, fault handling — hit
+    // pod memory directly, as before.
 
     pub(crate) fn header(&self, ctx: &Ctx<'_>, slab: u32) -> SwccHeader {
+        if let Some(shadow) = ctx.shadow {
+            if let Some(packed) = shadow.header(self.kind, slab) {
+                return SwccHeader::unpack(packed);
+            }
+            let packed = ctx.mem.load_u64(ctx.core, self.hl(ctx.mem).swcc_desc_at(slab));
+            shadow.install_header(ctx.mem, ctx.core, self.kind, slab, packed);
+            return SwccHeader::unpack(packed);
+        }
         SwccHeader::unpack(ctx.mem.load_u64(ctx.core, self.hl(ctx.mem).swcc_desc_at(slab)))
     }
 
     pub(crate) fn set_header(&self, ctx: &Ctx<'_>, slab: u32, header: SwccHeader) {
+        let packed = header.pack();
+        if let Some(shadow) = ctx.shadow {
+            if shadow.store_header(ctx.mem, ctx.core, self.kind, slab, packed) {
+                return;
+            }
+        }
         ctx.mem
-            .store_u64(ctx.core, self.hl(ctx.mem).swcc_desc_at(slab), header.pack());
+            .store_u64(ctx.core, self.hl(ctx.mem).swcc_desc_at(slab), packed);
     }
 
     pub(crate) fn free_count(&self, ctx: &Ctx<'_>, slab: u32) -> u32 {
+        if let Some(shadow) = ctx.shadow {
+            if let Some(count) = shadow.free_count(self.kind, slab) {
+                return count as u32;
+            }
+            let count = ctx.mem.load_u64(ctx.core, self.hl(ctx.mem).free_count_at(slab));
+            shadow.install_count(ctx.mem, ctx.core, self.kind, slab, count);
+            return count as u32;
+        }
         ctx.mem.load_u64(ctx.core, self.hl(ctx.mem).free_count_at(slab)) as u32
     }
 
     pub(crate) fn set_free_count(&self, ctx: &Ctx<'_>, slab: u32, count: u32) {
+        if let Some(shadow) = ctx.shadow {
+            if shadow.store_count(ctx.mem, ctx.core, self.kind, slab, count as u64) {
+                return;
+            }
+        }
         ctx.mem
             .store_u64(ctx.core, self.hl(ctx.mem).free_count_at(slab), count as u64);
     }
@@ -139,6 +172,12 @@ impl SlabHeap {
     /// thread may become the owner (§3.2.2).
     pub(crate) fn flush_desc(&self, ctx: &Ctx<'_>, slab: u32) {
         let hl = self.hl(ctx.mem);
+        // Drain deferred shadow stores into the cache first (so the
+        // flush writes them back) and forget the entry: after the flush
+        // another thread may own the descriptor.
+        if let Some(shadow) = ctx.shadow {
+            shadow.drop_entry(ctx.mem, ctx.core, self.kind, slab);
+        }
         ctx.mem
             .flush(ctx.core, hl.swcc_desc_at(slab), hl.swcc_desc_stride);
         ctx.mem.fence(ctx.core);
@@ -263,7 +302,7 @@ impl SlabHeap {
             },
             &[],
         );
-        crash::point("slab::init::after_log");
+        ctx.crash_point("slab::init::after_log");
         self.init_slab_body(ctx, slab, class);
         ctx.log().clear(ctx.core);
     }
@@ -279,7 +318,7 @@ impl SlabHeap {
             flags: flags::SIZED,
         });
         self.set_free_count(ctx, slab, blocks);
-        crash::point("slab::init::mid");
+        ctx.crash_point("slab::init::mid");
         self.bits(ctx, slab, class).set_all(ctx.core);
         // Reset the remote-free counter to the block count. A plain
         // store is safe: no block of this slab is live, so no thread can
@@ -308,7 +347,12 @@ impl SlabHeap {
             let head = dcas.read(ctx.core, hl.global_free);
             let slab = head.payload.checked_sub(1)?;
             // Readers flush before loading SWccDesc.next; a stale load is
-            // caught by the CAS on the head (version mismatch).
+            // caught by the CAS on the head (version mismatch). The
+            // shadow entry (a clean read-install at most — we don't own
+            // slabs on the global list) is dropped for the same reason.
+            if let Some(shadow) = ctx.shadow {
+                shadow.drop_entry(ctx.mem, ctx.core, self.kind, slab);
+            }
             ctx.mem.flush(ctx.core, hl.swcc_desc_at(slab), 8);
             let next = self.header(ctx, slab).next;
             let version = ctx.log().bump_version(ctx.core);
@@ -322,12 +366,12 @@ impl SlabHeap {
                 },
                 &[],
             );
-            crash::point("slab::pop_global::after_log");
+            ctx.crash_point("slab::pop_global::after_log");
             if dcas
                 .attempt(ctx.core, hl.global_free, head, next, ctx.tid, version)
                 .is_ok()
             {
-                crash::point("slab::pop_global::after_cas");
+                ctx.crash_point("slab::pop_global::after_cas");
                 return Some(slab);
             }
             ctx.log().clear(ctx.core);
@@ -361,12 +405,12 @@ impl SlabHeap {
                 },
                 &[],
             );
-            crash::point("slab::push_global::after_log");
+            ctx.crash_point("slab::push_global::after_log");
             if dcas
                 .attempt(ctx.core, hl.global_free, head, slab + 1, ctx.tid, version)
                 .is_ok()
             {
-                crash::point("slab::push_global::after_cas");
+                ctx.crash_point("slab::push_global::after_cas");
                 ctx.log().clear(ctx.core);
                 return;
             }
@@ -394,12 +438,12 @@ impl SlabHeap {
                 },
                 &[],
             );
-            crash::point("slab::extend::after_log");
+            ctx.crash_point("slab::extend::after_log");
             if dcas
                 .attempt(ctx.core, hl.global_len, len, len.payload + 1, ctx.tid, version)
                 .is_ok()
             {
-                crash::point("slab::extend::after_cas");
+                ctx.crash_point("slab::extend::after_cas");
                 let slab = len.payload;
                 self.map_upto(ctx, slab as u64 + 1);
                 return Some(slab);
@@ -435,7 +479,7 @@ impl SlabHeap {
                 },
                 &[],
             );
-            crash::point("slab::init::after_log");
+            ctx.crash_point("slab::init::after_log");
             self.pop_local(ctx, self.unsized_head_off(ctx));
             self.init_slab_body(ctx, slab, class);
             ctx.log().clear(ctx.core);
@@ -493,18 +537,18 @@ impl SlabHeap {
             },
             &[detect_dst],
         );
-        crash::point("slab::alloc_block::after_log");
+        ctx.crash_point("slab::alloc_block::after_log");
         bits.clear(ctx.core, bit);
         let remaining = self.free_count(ctx, slab) - 1;
         self.set_free_count(ctx, slab, remaining);
-        crash::point("slab::alloc_block::after_clear");
+        ctx.crash_point("slab::alloc_block::after_clear");
         if remaining == 0 {
             // The slab is now full: unlink it so the sized list only
             // holds non-full slabs, then detach or disown (Figure 4).
             self.pop_local(ctx, self.sized_head_off(ctx, class));
-            crash::point("slab::alloc_block::after_unlink");
+            ctx.crash_point("slab::alloc_block::after_unlink");
             self.full_transition(ctx, slab, class);
-            crash::point("slab::alloc_block::after_transition");
+            ctx.crash_point("slab::alloc_block::after_transition");
         }
         ctx.log().clear(ctx.core);
         self.hl(ctx.mem).slab_data_at(slab) + bit as u64 * self.classes.block_size(class) as u64
@@ -589,12 +633,12 @@ impl SlabHeap {
             },
             &[],
         );
-        crash::point("slab::free_local::after_log");
+        ctx.crash_point("slab::free_local::after_log");
         let was_full = self.free_count(ctx, slab) == 0;
         bits.set(ctx.core, bit);
         let now_free = self.free_count(ctx, slab) + 1;
         self.set_free_count(ctx, slab, now_free);
-        crash::point("slab::free_local::after_set");
+        ctx.crash_point("slab::free_local::after_set");
         if was_full {
             // It was detached (full + owned + unlinked): re-link it.
             self.push_local(ctx, self.sized_head_off(ctx, class), slab);
@@ -608,7 +652,7 @@ impl SlabHeap {
             self.set_header(ctx, slab, h);
             self.push_local(ctx, self.unsized_head_off(ctx), slab);
         }
-        crash::point("slab::free_local::after_relink");
+        ctx.crash_point("slab::free_local::after_relink");
         ctx.log().clear(ctx.core);
         self.release_overflow(ctx);
         Ok(())
@@ -622,7 +666,7 @@ impl SlabHeap {
             let Some(slab) = self.pop_local(ctx, head_off) else {
                 return;
             };
-            crash::point("slab::push_global::after_pop");
+            ctx.crash_point("slab::push_global::after_pop");
             self.push_global(ctx, slab);
         }
     }
@@ -655,7 +699,7 @@ impl SlabHeap {
                 },
                 &[],
             );
-            crash::point("slab::remote_free::after_log");
+            ctx.crash_point("slab::remote_free::after_log");
             if dcas
                 .attempt(
                     ctx.core,
@@ -667,7 +711,7 @@ impl SlabHeap {
                 )
                 .is_ok()
             {
-                crash::point("slab::remote_free::after_cas");
+                ctx.crash_point("slab::remote_free::after_cas");
                 if last {
                     self.steal(ctx, slab);
                 }
@@ -693,7 +737,7 @@ impl SlabHeap {
             flags: 0,
         });
         self.set_free_count(ctx, slab, 0);
-        crash::point("slab::remote_free::before_steal_push");
+        ctx.crash_point("slab::remote_free::before_steal_push");
         self.push_local(ctx, self.unsized_head_off(ctx), slab);
     }
 

@@ -462,3 +462,106 @@ fn large_heap_crash_points_recover() {
             .unwrap_or_else(|e| panic!("invariants after {point}: {e}"));
     }
 }
+
+#[test]
+fn every_slab_crash_point_recovers_with_writeback_shadow() {
+    // The owner-shadow matrix (DESIGN.md §8): under a write-back shadow
+    // (`HwccMode::None` — descriptor stores are deferred in the owner's
+    // DRAM shadow), an armed crash point first drains the shadow into
+    // the victim's simulated cache, which the crash then discards. The
+    // durable SWcc image recovery reads must therefore be exactly what
+    // an unshadowed crash at the same point would have left. Every slab
+    // label is crashed mid-churn and the heap revalidated after
+    // cross-core recovery.
+    for point in cxl_core::slab::CRASH_POINTS {
+        let pod = pod(Some(HwccMode::None));
+        let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions {
+            unsized_limit: 1,
+            ..AttachOptions::default()
+        })
+        .unwrap();
+
+        // Same all-paths workload as `every_slab_crash_point_recovers`:
+        // local churn, slab fills, unsized overflow to the global list,
+        // pops back from it.
+        let (tid, crashed) = crash_thread(&heap, CrashPlan { at: point, skip: 0 }, |t| {
+            let mut helper_ptrs = Vec::new();
+            for round in 0..3 {
+                let ptrs: Vec<OffsetPtr> = (0..1200).map(|_| t.alloc(64).unwrap()).collect();
+                for (i, p) in ptrs.into_iter().enumerate() {
+                    if i % 7 == round {
+                        helper_ptrs.push(p);
+                    } else {
+                        t.dealloc(p).unwrap();
+                    }
+                }
+            }
+            for p in helper_ptrs {
+                t.dealloc(p).unwrap();
+            }
+            let again: Vec<OffsetPtr> = (0..2400).map(|_| t.alloc(64).unwrap()).collect();
+            for p in again {
+                t.dealloc(p).unwrap();
+            }
+        });
+
+        // Remote-free points need a second thread and are covered by
+        // `remote_free_crash_points_recover`.
+        if !crashed && point.starts_with("slab::remote_free") {
+            continue;
+        }
+        assert!(crashed, "workload never reached {point} under HwccMode::None");
+        heap.mark_crashed(tid).unwrap();
+
+        let mut live = heap.register_thread().unwrap();
+        for _ in 0..100 {
+            let p = live.alloc(64).unwrap();
+            live.dealloc(p).unwrap();
+        }
+
+        let report = heap.recover(tid, live.core()).unwrap();
+        assert!(!report.outcome.is_empty());
+        heap.check_invariants(live.core())
+            .unwrap_or_else(|e| panic!("invariants after {point} (shadowed write-back): {e}"));
+    }
+}
+
+#[test]
+fn crash_point_matrix_replays_under_writeback_shadow() {
+    // Schedule-driver companion: the same crash-point matrix as
+    // `crash_point_matrix_via_schedule_driver`, but on an mCAS pod
+    // (`HwccMode::None`) where the shadow runs write-back. Each cell
+    // must replay deterministically: two runs of the same
+    // (config, schedule) produce identical fingerprints even though the
+    // crash interleaves with deferred shadow stores.
+    use cxl_core::sched::{self, FaultPlan, Schedule, SimConfig, Step};
+
+    let config = SimConfig {
+        mode: HwccMode::None,
+        ..SimConfig::default()
+    };
+    for (module, points) in crash::known_points() {
+        for &at in points {
+            let schedule = Schedule {
+                seed: 0,
+                hosts: 2,
+                steps: vec![
+                    Step::Alloc { host: 0, size: 64 },
+                    Step::Crash { host: 1, at, skip: 0 },
+                    Step::Alloc { host: 0, size: 256 },
+                    Step::Recover { host: 1, via: 0 },
+                    Step::Alloc { host: 1, size: 64 },
+                ],
+            };
+            let a = sched::run(&config, &schedule, &FaultPlan::none())
+                .unwrap_or_else(|e| panic!("{module}::{at}: {e}"));
+            let b = sched::run(&config, &schedule, &FaultPlan::none())
+                .unwrap_or_else(|e| panic!("{module}::{at} (replay): {e}"));
+            assert_eq!(
+                a.fingerprint, b.fingerprint,
+                "{module}::{at}: replay diverged under the write-back shadow"
+            );
+            assert_eq!(a.steps, 5, "{module}::{at}");
+        }
+    }
+}

@@ -200,3 +200,38 @@ fn abandon_cache_fault_with_crash_recovers() {
     }
     assert!(survived > 0, "every seed failed under a single AbandonCache");
 }
+
+#[test]
+fn golden_replay_fingerprints_are_pinned() {
+    // Pinned fingerprints for a fixed seed set (the same ones
+    // `examples/print_fingerprints.rs` prints). The fingerprint mixes
+    // every step outcome, allocated offset, live-set length, and
+    // recovery outcome of a run — so these constants change only when
+    // the allocator's *observable* behaviour changes, never from pure
+    // substrate optimizations (caches, shadows, counters). A failure
+    // here means a perf change leaked into semantics; if the behaviour
+    // change is intentional, re-run the example and update the values.
+    let classic = Explorer::default();
+    for (seed, want) in [
+        (3u64, 0x3d49082f08268904u64),
+        (11, 0x864da427604ef416),
+        (12, 0xbc77724b6861e953),
+        (17, 0x466f65b5e1cb16c6),
+        (91, 0x0315d02572d38cf8),
+    ] {
+        let got = classic.run_seed(seed).unwrap().fingerprint;
+        assert_eq!(got, want, "classic seed {seed}: {got:#018x} != {want:#018x}");
+    }
+    let liveness = Explorer {
+        liveness: true,
+        ..Explorer::default()
+    };
+    for (seed, want) in [
+        (5u64, 0x8e6ba72300170e9c),
+        (23, 0xf498863cae132738),
+        (47, 0xc45085683a711a86),
+    ] {
+        let got = liveness.run_seed(seed).unwrap().fingerprint;
+        assert_eq!(got, want, "liveness seed {seed}: {got:#018x} != {want:#018x}");
+    }
+}

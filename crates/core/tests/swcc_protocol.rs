@@ -84,13 +84,23 @@ fn owner_metadata_stays_cached_for_local_ops() {
         t.dealloc(p).unwrap();
     }
     let delta = pod.memory().stats().since(&before);
-    // Every alloc/free logs (flush of the log line ⇒ writebacks), but
-    // the slab descriptor itself must stay cached: cached hits dominate.
-    // The recovery log is flushed (and so refilled) once per operation;
-    // descriptor and list-head accesses beyond that must hit cache.
+    // Every alloc/free logs (flush of the log line ⇒ writebacks), and
+    // those log-line refills are the *only* line fills in steady state:
+    // the slab descriptor never leaves the owner's reach (it is served
+    // from the owner's DRAM shadow, and before that change stayed
+    // resident in the simulated cache — either way, no CXL traffic).
     assert!(
-        delta.cached_hits >= delta.line_fills * 2,
-        "descriptor accesses should hit cache: {delta:?}"
+        delta.line_fills <= delta.flushes,
+        "steady-state fills must be log-line refills only: {delta:?}"
+    );
+    // The owner shadow keeps header/free-count reads out of the
+    // simulated cache entirely: the remaining loads are bitset words
+    // and list heads — a handful per operation, not the descriptor
+    // round trips of a shadowless owner.
+    let ops = 400u64;
+    assert!(
+        delta.loads <= ops * 5,
+        "owner descriptor reads should not reach the cache: {delta:?}"
     );
     t.dealloc(warm).unwrap();
 }

@@ -19,30 +19,167 @@
 //! dirty mask. This mirrors the paper's layout discipline: structures
 //! with different writers never share an 8-byte word, so a writeback can
 //! never clobber another core's concurrent write.
+//!
+//! Since this model sits under *every* simulated memory operation, its
+//! own cost is the simulator's floor. Each core's cache is an
+//! open-addressed, power-of-two line table probed linearly, with a
+//! generation counter so [`CacheModel::discard_all`] is O(1): steady
+//! state load/store/flush allocates nothing and touches no `HashMap`.
+//! (The previous map-based implementation survives as
+//! [`oracle::MapCacheModel`], the reference model for the differential
+//! property test.)
 
 use crate::segment::Segment;
 use crate::stats::MemStats;
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 
 /// Cacheline size in bytes.
 pub const LINE: u64 = 64;
 const WORDS: usize = (LINE / 8) as usize;
 
-/// One cached line: an 8-word copy plus a dirty mask (bit per word).
+/// One slot of the open-addressed line table. `tag` is the line address
+/// with bit 0 set (line addresses are 64-aligned, so 0 is free to mean
+/// "never used"); a slot is live only when its `gen` matches the cache's
+/// current generation, which is how a generation bump discards
+/// everything at once.
 #[derive(Debug, Clone, Copy)]
-struct CacheLine {
-    words: [u64; WORDS],
+struct Slot {
+    tag: u64,
+    gen: u64,
     dirty: u8,
+    words: [u64; WORDS],
 }
 
-/// A single core's private cache.
-#[derive(Debug, Default)]
+const EMPTY: Slot = Slot {
+    tag: 0,
+    gen: 0,
+    dirty: 0,
+    words: [0; WORDS],
+};
+
+/// A single core's private cache: an open-addressed table of lines.
+#[derive(Debug)]
 struct CoreCache {
-    lines: HashMap<u64, CacheLine>,
+    slots: Vec<Slot>,
+    /// `slots.len() - 1` (the table is a power of two).
+    mask: usize,
+    /// Live-slot generation; bumping it empties the table in O(1).
+    generation: u64,
+    /// Live entries in the current generation.
+    len: usize,
     /// Xorshift state for pseudo-random eviction.
     seed: u64,
+}
+
+impl CoreCache {
+    fn new(initial_slots: usize, core: usize) -> Self {
+        debug_assert!(initial_slots.is_power_of_two());
+        CoreCache {
+            slots: vec![EMPTY; initial_slots],
+            mask: initial_slots - 1,
+            generation: 1,
+            len: 0,
+            seed: 0x2545_F491_4F6C_DD1D ^ (core as u64 + 1),
+        }
+    }
+
+    #[inline]
+    fn home(&self, tag: u64) -> usize {
+        // Fibonacci hashing on the line number.
+        (((tag >> 6).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & self.mask
+    }
+
+    #[inline]
+    fn live(&self, i: usize) -> bool {
+        let s = &self.slots[i];
+        s.tag != 0 && s.gen == self.generation
+    }
+
+    /// Index of `tag`'s slot, if cached.
+    #[inline]
+    fn find(&self, tag: u64) -> Option<usize> {
+        let mut i = self.home(tag);
+        loop {
+            if !self.live(i) {
+                return None;
+            }
+            if self.slots[i].tag == tag {
+                return Some(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// First free slot for `tag` (the caller has checked it is absent
+    /// and that the table has room).
+    #[inline]
+    fn insert_slot(&mut self, tag: u64) -> usize {
+        let mut i = self.home(tag);
+        while self.live(i) {
+            i = (i + 1) & self.mask;
+        }
+        self.len += 1;
+        i
+    }
+
+    /// Removes the entry at `i`, compacting the probe cluster behind it
+    /// (backward-shift deletion) so `find`'s early-exit on an empty slot
+    /// stays sound.
+    fn remove_at(&mut self, mut i: usize) {
+        self.len -= 1;
+        let mut j = i;
+        loop {
+            self.slots[i].tag = 0;
+            loop {
+                j = (j + 1) & self.mask;
+                if !self.live(j) {
+                    return;
+                }
+                let home = self.home(self.slots[j].tag);
+                // `j`'s entry may move into the hole at `i` only if its
+                // home position is not strictly inside (i, j].
+                if (j.wrapping_sub(home) & self.mask) >= (j.wrapping_sub(i) & self.mask) {
+                    self.slots[i] = self.slots[j];
+                    i = j;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Doubles the table, re-homing live entries. Only the unbounded
+    /// configuration grows; a bounded cache evicts instead, so after
+    /// warmup the steady state allocates nothing either way.
+    fn grow(&mut self) {
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; (self.mask + 1) * 2]);
+        self.mask = self.slots.len() - 1;
+        let generation = self.generation;
+        self.len = 0;
+        for slot in old {
+            if slot.tag != 0 && slot.gen == generation {
+                let i = self.insert_slot(slot.tag);
+                self.slots[i] = slot;
+            }
+        }
+    }
+
+    /// Picks a pseudo-random live slot: xorshift a start index, then
+    /// walk to the next live slot. Deterministic per seed, unlike the
+    /// old model's dependence on `HashMap` iteration order.
+    fn random_live_slot(&mut self) -> usize {
+        debug_assert!(self.len > 0);
+        let mut x = self.seed;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.seed = x;
+        let mut i = (x as usize) & self.mask;
+        while !self.live(i) {
+            i = (i + 1) & self.mask;
+        }
+        i
+    }
 }
 
 /// The pod-wide cache model: one private cache per core.
@@ -70,43 +207,49 @@ impl CacheModel {
     /// (0 = unbounded); overflowing inserts evict a pseudo-random line,
     /// writing back its dirty words.
     pub fn with_capacity(cores: usize, capacity: usize) -> Self {
+        // Bounded tables are sized once at ≤50% load so they never grow;
+        // unbounded tables start small and double as the working set
+        // warms up.
+        let initial_slots = if capacity == 0 {
+            256
+        } else {
+            (capacity * 2).next_power_of_two().max(8)
+        };
         CacheModel {
             caches: (0..cores)
-                .map(|i| {
-                    Mutex::new(CoreCache {
-                        lines: HashMap::new(),
-                        seed: 0x2545_F491_4F6C_DD1D ^ (i as u64 + 1),
-                    })
-                })
+                .map(|i| Mutex::new(CoreCache::new(initial_slots, i)))
                 .collect(),
             capacity,
         }
     }
 
-    /// Evicts one pseudo-randomly chosen line (writing back dirty words)
-    /// if the cache is at capacity.
-    fn maybe_evict(&self, cache: &mut CoreCache, segment: &Segment, stats: &MemStats) {
-        if self.capacity == 0 || cache.lines.len() < self.capacity {
+    /// Makes room for one more line: evict (bounded) or grow (unbounded)
+    /// when required.
+    fn make_room(&self, cache: &mut CoreCache, segment: &Segment, stats: &MemStats) {
+        if self.capacity == 0 {
+            // Grow at 7/8 load to keep probe clusters short.
+            if (cache.len + 1) * 8 > (cache.mask + 1) * 7 {
+                cache.grow();
+            }
             return;
         }
-        let mut x = cache.seed;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        cache.seed = x;
-        let index = (x % cache.lines.len() as u64) as usize;
-        let victim = *cache.lines.keys().nth(index).expect("nonempty");
-        let line = cache.lines.remove(&victim).expect("key just observed");
+        if cache.len < self.capacity {
+            return;
+        }
+        let victim = cache.random_live_slot();
+        let line = cache.slots[victim];
         if line.dirty != 0 {
+            let line_addr = line.tag & !1;
             for (i, &w) in line.words.iter().enumerate() {
                 if line.dirty & (1 << i) != 0 {
                     segment
-                        .atomic_u64(victim + i as u64 * 8)
+                        .atomic_u64(line_addr + i as u64 * 8)
                         .store(w, Ordering::Release);
                 }
             }
             stats.writeback();
         }
+        cache.remove_at(victim);
     }
 
     /// Number of cores.
@@ -119,6 +262,28 @@ impl CacheModel {
         (offset & !(LINE - 1), ((offset % LINE) / 8) as usize)
     }
 
+    #[inline]
+    fn fill(segment: &Segment, line_addr: u64) -> [u64; WORDS] {
+        let mut words = [0u64; WORDS];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = segment
+                .atomic_u64(line_addr + i as u64 * 8)
+                .load(Ordering::Acquire);
+        }
+        words
+    }
+
+    #[inline]
+    fn write_back(segment: &Segment, line_addr: u64, slot: &Slot) {
+        for (i, &w) in slot.words.iter().enumerate() {
+            if slot.dirty & (1 << i) != 0 {
+                segment
+                    .atomic_u64(line_addr + i as u64 * 8)
+                    .store(w, Ordering::Release);
+            }
+        }
+    }
+
     /// Cached load of the u64 at `offset`. Fills the line from the
     /// segment on a miss; on a hit returns the cached copy even if memory
     /// has since changed (that staleness is the point).
@@ -127,27 +292,23 @@ impl CacheModel {
     pub fn load(&self, core: usize, segment: &Segment, offset: u64, stats: &MemStats) -> (u64, bool) {
         debug_assert_eq!(offset % 8, 0);
         let (line_addr, word) = Self::split(offset);
+        let tag = line_addr | 1;
         let mut cache = self.caches[core].lock();
-        if let Some(line) = cache.lines.get(&line_addr) {
+        if let Some(i) = cache.find(tag) {
             stats.cached_hit();
-            return (line.words[word], true);
+            return (cache.slots[i].words[word], true);
         }
-        self.maybe_evict(&mut cache, segment, stats);
-        let mut words = [0u64; WORDS];
-        for (i, w) in words.iter_mut().enumerate() {
-            *w = segment
-                .atomic_u64(line_addr + i as u64 * 8)
-                .load(Ordering::Acquire);
-        }
+        self.make_room(&mut cache, segment, stats);
+        let words = Self::fill(segment, line_addr);
         stats.line_fill();
         let value = words[word];
-        cache.lines.insert(
-            line_addr,
-            CacheLine {
-                words,
-                dirty: 0,
-            },
-        );
+        let i = cache.insert_slot(tag);
+        cache.slots[i] = Slot {
+            tag,
+            gen: cache.generation,
+            dirty: 0,
+            words,
+        };
         (value, false)
     }
 
@@ -158,26 +319,26 @@ impl CacheModel {
     pub fn store(&self, core: usize, segment: &Segment, offset: u64, value: u64, stats: &MemStats) -> bool {
         debug_assert_eq!(offset % 8, 0);
         let (line_addr, word) = Self::split(offset);
+        let tag = line_addr | 1;
         let mut cache = self.caches[core].lock();
-        let hit = cache.lines.contains_key(&line_addr);
-        if !hit {
-            self.maybe_evict(&mut cache, segment, stats);
-        }
-        let line = cache.lines.entry(line_addr).or_insert_with(|| {
-            let mut words = [0u64; WORDS];
-            for (i, w) in words.iter_mut().enumerate() {
-                *w = segment
-                    .atomic_u64(line_addr + i as u64 * 8)
-                    .load(Ordering::Acquire);
+        let (i, hit) = match cache.find(tag) {
+            Some(i) => (i, true),
+            None => {
+                self.make_room(&mut cache, segment, stats);
+                let words = Self::fill(segment, line_addr);
+                stats.line_fill();
+                let i = cache.insert_slot(tag);
+                cache.slots[i] = Slot {
+                    tag,
+                    gen: cache.generation,
+                    dirty: 0,
+                    words,
+                };
+                (i, false)
             }
-            stats.line_fill();
-            CacheLine {
-                words,
-                dirty: 0,
-            }
-        });
-        line.words[word] = value;
-        line.dirty |= 1 << word;
+        };
+        cache.slots[i].words[word] = value;
+        cache.slots[i].dirty |= 1 << word;
         hit
     }
 
@@ -192,18 +353,14 @@ impl CacheModel {
         let mut written = 0;
         let mut line_addr = first;
         loop {
-            if let Some(line) = cache.lines.remove(&line_addr) {
-                if line.dirty != 0 {
-                    for (i, &w) in line.words.iter().enumerate() {
-                        if line.dirty & (1 << i) != 0 {
-                            segment
-                                .atomic_u64(line_addr + i as u64 * 8)
-                                .store(w, Ordering::Release);
-                        }
-                    }
+            if let Some(i) = cache.find(line_addr | 1) {
+                let slot = cache.slots[i];
+                if slot.dirty != 0 {
+                    Self::write_back(segment, line_addr, &slot);
                     stats.writeback();
                     written += 1;
                 }
+                cache.remove_at(i);
             }
             if line_addr == last {
                 break;
@@ -218,32 +375,225 @@ impl CacheModel {
     /// quiesce — used before validating the heap from another core).
     pub fn flush_all(&self, core: usize, segment: &Segment, stats: &MemStats) {
         let mut cache = self.caches[core].lock();
-        for (line_addr, line) in cache.lines.drain() {
-            if line.dirty != 0 {
-                for (i, &w) in line.words.iter().enumerate() {
-                    if line.dirty & (1 << i) != 0 {
-                        segment
-                            .atomic_u64(line_addr + i as u64 * 8)
-                            .store(w, Ordering::Release);
-                    }
+        if cache.len > 0 {
+            for i in 0..cache.slots.len() {
+                if !cache.live(i) {
+                    continue;
                 }
-                stats.writeback();
+                let slot = cache.slots[i];
+                if slot.dirty != 0 {
+                    Self::write_back(segment, slot.tag & !1, &slot);
+                    stats.writeback();
+                }
             }
         }
+        cache.generation += 1;
+        cache.len = 0;
     }
 
     /// Drops every line from `core`'s cache *without* writing back —
     /// models a core losing its cache contents (e.g. the crash of the
-    /// thread pinned there).
+    /// thread pinned there). O(1): the generation bump invalidates every
+    /// slot at once.
     pub fn discard_all(&self, core: usize) {
-        self.caches[core].lock().lines.clear();
+        let mut cache = self.caches[core].lock();
+        cache.generation += 1;
+        cache.len = 0;
     }
 
     /// Test hook: whether `core` currently caches the line containing
     /// `offset`.
     pub fn is_cached(&self, core: usize, offset: u64) -> bool {
         let (line_addr, _) = Self::split(offset);
-        self.caches[core].lock().lines.contains_key(&line_addr)
+        self.caches[core].lock().find(line_addr | 1).is_some()
+    }
+}
+
+pub mod oracle {
+    //! The previous `HashMap`-based cache model, kept verbatim as the
+    //! *reference semantics* for the differential property test
+    //! (`tests/cache_differential.rs`): random op sequences must observe
+    //! identical memory and stats through both models. Not used by any
+    //! production path.
+
+    use super::{MemStats, Segment, LINE, WORDS};
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+    use std::sync::atomic::Ordering;
+
+    #[derive(Debug, Clone, Copy)]
+    struct CacheLine {
+        words: [u64; WORDS],
+        dirty: u8,
+    }
+
+    #[derive(Debug, Default)]
+    struct CoreCache {
+        lines: HashMap<u64, CacheLine>,
+        seed: u64,
+    }
+
+    /// Map-based reference implementation of [`super::CacheModel`].
+    #[derive(Debug)]
+    pub struct MapCacheModel {
+        caches: Vec<Mutex<CoreCache>>,
+        capacity: usize,
+    }
+
+    impl MapCacheModel {
+        /// Creates unbounded caches for `cores` cores.
+        pub fn new(cores: usize) -> Self {
+            Self::with_capacity(cores, 0)
+        }
+
+        /// Creates caches holding at most `capacity` lines per core.
+        pub fn with_capacity(cores: usize, capacity: usize) -> Self {
+            MapCacheModel {
+                caches: (0..cores)
+                    .map(|i| {
+                        Mutex::new(CoreCache {
+                            lines: HashMap::new(),
+                            seed: 0x2545_F491_4F6C_DD1D ^ (i as u64 + 1),
+                        })
+                    })
+                    .collect(),
+                capacity,
+            }
+        }
+
+        fn maybe_evict(&self, cache: &mut CoreCache, segment: &Segment, stats: &MemStats) {
+            if self.capacity == 0 || cache.lines.len() < self.capacity {
+                return;
+            }
+            let mut x = cache.seed;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            cache.seed = x;
+            let index = (x % cache.lines.len() as u64) as usize;
+            let victim = *cache.lines.keys().nth(index).expect("nonempty");
+            let line = cache.lines.remove(&victim).expect("key just observed");
+            if line.dirty != 0 {
+                for (i, &w) in line.words.iter().enumerate() {
+                    if line.dirty & (1 << i) != 0 {
+                        segment
+                            .atomic_u64(victim + i as u64 * 8)
+                            .store(w, Ordering::Release);
+                    }
+                }
+                stats.writeback();
+            }
+        }
+
+        /// Cached load; returns `(value, hit)`.
+        pub fn load(&self, core: usize, segment: &Segment, offset: u64, stats: &MemStats) -> (u64, bool) {
+            debug_assert_eq!(offset % 8, 0);
+            let (line_addr, word) = split(offset);
+            let mut cache = self.caches[core].lock();
+            if let Some(line) = cache.lines.get(&line_addr) {
+                stats.cached_hit();
+                return (line.words[word], true);
+            }
+            self.maybe_evict(&mut cache, segment, stats);
+            let mut words = [0u64; WORDS];
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = segment
+                    .atomic_u64(line_addr + i as u64 * 8)
+                    .load(Ordering::Acquire);
+            }
+            stats.line_fill();
+            let value = words[word];
+            cache.lines.insert(line_addr, CacheLine { words, dirty: 0 });
+            (value, false)
+        }
+
+        /// Cached store (write-allocate); returns `true` on a hit.
+        pub fn store(&self, core: usize, segment: &Segment, offset: u64, value: u64, stats: &MemStats) -> bool {
+            debug_assert_eq!(offset % 8, 0);
+            let (line_addr, word) = split(offset);
+            let mut cache = self.caches[core].lock();
+            let hit = cache.lines.contains_key(&line_addr);
+            if !hit {
+                self.maybe_evict(&mut cache, segment, stats);
+            }
+            let line = cache.lines.entry(line_addr).or_insert_with(|| {
+                let mut words = [0u64; WORDS];
+                for (i, w) in words.iter_mut().enumerate() {
+                    *w = segment
+                        .atomic_u64(line_addr + i as u64 * 8)
+                        .load(Ordering::Acquire);
+                }
+                stats.line_fill();
+                CacheLine { words, dirty: 0 }
+            });
+            line.words[word] = value;
+            line.dirty |= 1 << word;
+            hit
+        }
+
+        /// Flushes every line intersecting the range; returns lines
+        /// written back.
+        pub fn flush(&self, core: usize, segment: &Segment, offset: u64, len: u64, stats: &MemStats) -> usize {
+            let first = offset & !(LINE - 1);
+            let last = (offset + len.max(1) - 1) & !(LINE - 1);
+            let mut cache = self.caches[core].lock();
+            let mut written = 0;
+            let mut line_addr = first;
+            loop {
+                if let Some(line) = cache.lines.remove(&line_addr) {
+                    if line.dirty != 0 {
+                        for (i, &w) in line.words.iter().enumerate() {
+                            if line.dirty & (1 << i) != 0 {
+                                segment
+                                    .atomic_u64(line_addr + i as u64 * 8)
+                                    .store(w, Ordering::Release);
+                            }
+                        }
+                        stats.writeback();
+                        written += 1;
+                    }
+                }
+                if line_addr == last {
+                    break;
+                }
+                line_addr += LINE;
+            }
+            stats.flush();
+            written
+        }
+
+        /// Writes back and drops every line in `core`'s cache.
+        pub fn flush_all(&self, core: usize, segment: &Segment, stats: &MemStats) {
+            let mut cache = self.caches[core].lock();
+            for (line_addr, line) in cache.lines.drain() {
+                if line.dirty != 0 {
+                    for (i, &w) in line.words.iter().enumerate() {
+                        if line.dirty & (1 << i) != 0 {
+                            segment
+                                .atomic_u64(line_addr + i as u64 * 8)
+                                .store(w, Ordering::Release);
+                        }
+                    }
+                    stats.writeback();
+                }
+            }
+        }
+
+        /// Drops every line without writing back.
+        pub fn discard_all(&self, core: usize) {
+            self.caches[core].lock().lines.clear();
+        }
+
+        /// Whether `core` caches the line containing `offset`.
+        pub fn is_cached(&self, core: usize, offset: u64) -> bool {
+            let (line_addr, _) = split(offset);
+            self.caches[core].lock().lines.contains_key(&line_addr)
+        }
+    }
+
+    #[inline]
+    fn split(offset: u64) -> (u64, usize) {
+        (offset & !(LINE - 1), ((offset % LINE) / 8) as usize)
     }
 }
 
@@ -341,6 +691,67 @@ mod tests {
         let written = cache.flush(0, &seg, 64, 8, &stats);
         assert_eq!(written, 0);
     }
+
+    #[test]
+    fn generation_reuse_after_discard() {
+        // A line cached before discard_all must read as absent after,
+        // and re-filling it must observe current memory, even though the
+        // stale slot bytes are still physically in the table.
+        let (seg, cache, stats) = setup();
+        cache.store(0, &seg, 64, 5, &stats);
+        cache.discard_all(0);
+        seg.atomic_u64(64).store(9, Ordering::SeqCst);
+        let (v, hit) = cache.load(0, &seg, 64, &stats);
+        assert_eq!((v, hit), (9, false));
+    }
+
+    #[test]
+    fn unbounded_cache_grows_past_initial_table() {
+        // Far more lines than the initial table: growth must preserve
+        // every dirty word.
+        let seg = Arc::new(Segment::zeroed(1 << 20).unwrap());
+        let cache = CacheModel::new(1);
+        let stats = MemStats::new();
+        let n = 4096u64;
+        for i in 0..n {
+            cache.store(0, &seg, i * 64, i + 1, &stats);
+        }
+        for i in 0..n {
+            assert_eq!(cache.load(0, &seg, i * 64, &stats).0, i + 1);
+        }
+        assert_eq!(stats.snapshot().writebacks, 0, "unbounded never evicts");
+        cache.flush_all(0, &seg, &stats);
+        for i in 0..n {
+            assert_eq!(seg.peek_u64(i * 64), i + 1);
+        }
+    }
+
+    #[test]
+    fn flush_compacts_probe_clusters() {
+        // Lines that collide into one probe cluster must all stay
+        // reachable after an interior line is flushed out (backward-shift
+        // deletion invariant).
+        let seg = Arc::new(Segment::zeroed(1 << 20).unwrap());
+        let cache = CacheModel::new(1);
+        let stats = MemStats::new();
+        let lines: Vec<u64> = (0..64).map(|i| i * 64).collect();
+        for &l in &lines {
+            cache.store(0, &seg, l, l + 7, &stats);
+        }
+        // Remove every third line, then verify the rest still hit.
+        for &l in lines.iter().step_by(3) {
+            cache.flush(0, &seg, l, 8, &stats);
+        }
+        for (i, &l) in lines.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(!cache.is_cached(0, l));
+            } else {
+                let (v, hit) = cache.load(0, &seg, l, &stats);
+                assert!(hit, "line {l:#x} lost by deletion compaction");
+                assert_eq!(v, l + 7);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -384,5 +795,17 @@ mod eviction_tests {
             cache.store(0, &seg, i * 64, 1, &stats);
         }
         assert_eq!(stats.snapshot().writebacks, 0);
+    }
+
+    #[test]
+    fn bounded_cache_stays_within_capacity() {
+        let seg = Arc::new(Segment::zeroed(1 << 16).unwrap());
+        let cache = CacheModel::with_capacity(1, 4);
+        let stats = MemStats::new();
+        for i in 0..64u64 {
+            cache.store(0, &seg, i * 64, i + 1, &stats);
+        }
+        let resident = (0..64u64).filter(|&i| cache.is_cached(0, i * 64)).count();
+        assert!(resident <= 4, "resident={resident}");
     }
 }

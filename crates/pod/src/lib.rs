@@ -60,6 +60,7 @@ mod config;
 mod error;
 pub mod fault;
 pub mod latency;
+pub mod lineclock;
 mod layout;
 mod mem;
 pub mod nmp;

@@ -18,13 +18,12 @@ use crate::coherence::CacheModel;
 use crate::fault::{FaultInjector, FaultKind, FaultSite};
 use crate::latency::{Clocks, LatencyModel};
 use crate::layout::Layout;
+use crate::lineclock::LineClockTable;
 use crate::nmp::NmpDevice;
 use crate::segment::Segment;
 use crate::stats::{MemStats, MemStatsSnapshot};
 use crate::CoreId;
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// How much inter-host hardware cache coherence the pod provides
@@ -201,8 +200,9 @@ pub struct SimMemory {
     stats: Arc<MemStats>,
     faults: Arc<FaultInjector>,
     /// Per-cacheline resource clocks modeling exclusive-line transfer
-    /// under coherent CAS contention.
-    line_clocks: Mutex<HashMap<u64, Arc<AtomicU64>>>,
+    /// under coherent CAS contention. Lock-free: inline atomics in a
+    /// sharded open-addressed table (see [`crate::lineclock`]).
+    line_clocks: LineClockTable,
 }
 
 impl SimMemory {
@@ -246,7 +246,7 @@ impl SimMemory {
             model,
             stats,
             faults,
-            line_clocks: Mutex::new(HashMap::new()),
+            line_clocks: LineClockTable::new(),
         }
     }
 
@@ -298,15 +298,6 @@ impl SimMemory {
         }
     }
 
-    fn line_clock(&self, offset: u64) -> Arc<AtomicU64> {
-        let line = offset & !63;
-        self.line_clocks
-            .lock()
-            .entry(line)
-            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
-            .clone()
-    }
-
     /// Software-fallback CAS for a degraded NMP device: serialize
     /// through the single-writer lock word the layout reserves in SWcc
     /// space ([`Layout::fallback_lock`]). Both the lock word and the
@@ -315,13 +306,63 @@ impl SimMemory {
     /// device-biased memory, so no simulated cache can hold a stale
     /// copy. Three uncachable round trips are charged: acquire, RMW,
     /// release.
+    ///
+    /// The acquire spin is bounded (exponential backoff, a local copy
+    /// of `cxl-core::backoff`'s discipline — `pod` cannot depend on
+    /// `core`): if the holder never releases — it crashed inside the
+    /// critical section — the waiter breaks the lock after the patience
+    /// budget instead of livelocking the simulator. Breaking is safe
+    /// here because the critical section is a single 8-byte RMW on
+    /// uncachable memory: the crashed holder's store either fully
+    /// happened or never did.
     fn fallback_cas(&self, core: CoreId, offset: u64, current: u64, new: u64) -> Result<u64, u64> {
+        // Bounded exponential spin: 1, 2, 4, ... capped at 2^10 spins
+        // per round, at most `FALLBACK_PATIENCE` rounds per observed
+        // holder before the lock is declared orphaned.
+        const MAX_SHIFT: u32 = 10;
+        const FALLBACK_PATIENCE: u32 = 64;
         let lock = self.segment.atomic_u64(self.layout.fallback_lock);
-        while lock
-            .compare_exchange(0, core.0 as u64 + 1, Ordering::Acquire, Ordering::Relaxed)
-            .is_err()
-        {
-            std::hint::spin_loop();
+        let me = core.0 as u64 + 1;
+        let mut shift = 0u32;
+        let mut rounds = 0u32;
+        let mut observed_holder = 0u64;
+        loop {
+            match lock.compare_exchange(0, me, Ordering::Acquire, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(holder) => {
+                    self.stats.cas_retry();
+                    if holder != observed_holder {
+                        // New holder: restart the patience budget.
+                        observed_holder = holder;
+                        rounds = 0;
+                        shift = 0;
+                    }
+                    rounds += 1;
+                    if rounds > FALLBACK_PATIENCE {
+                        // The holder has been stuck for the whole
+                        // budget: treat it as crashed and seize the
+                        // lock so the pod degrades instead of hanging.
+                        if lock
+                            .compare_exchange(holder, me, Ordering::Acquire, Ordering::Relaxed)
+                            .is_ok()
+                        {
+                            break;
+                        }
+                        // The word moved (holder released or another
+                        // waiter seized it): re-observe from scratch.
+                        observed_holder = 0;
+                        rounds = 0;
+                        shift = 0;
+                        continue;
+                    }
+                    for _ in 0..(1u32 << shift) {
+                        std::hint::spin_loop();
+                    }
+                    if shift < MAX_SHIFT {
+                        shift += 1;
+                    }
+                }
+            }
         }
         let cell = self.segment.atomic_u64(offset);
         let previous = cell.load(Ordering::SeqCst);
@@ -341,9 +382,9 @@ impl SimMemory {
 
     /// Coherent CAS with exclusive-line contention modeling.
     fn coherent_cas(&self, core: CoreId, offset: u64, current: u64, new: u64) -> Result<u64, u64> {
-        let line = self.line_clock(offset);
+        let line = self.line_clocks.clock(offset);
         self.clocks
-            .serialize_through(core.index(), &line, self.model.line_transfer_ns, &self.model);
+            .serialize_through(core.index(), line, self.model.line_transfer_ns, &self.model);
         self.clocks.advance(core.index(), self.model.cas_base_ns, &self.model);
         let result = self
             .segment
@@ -620,6 +661,34 @@ mod tests {
         assert!(mem.cas_u64(CoreId(0), off, 0, 5).is_ok()); // fallback
         assert_eq!(mem.cas_u64(CoreId(1), off, 0, 9), Err(5)); // genuine conflict
         assert_eq!(mem.segment().peek_u64(off), 5);
+    }
+
+    #[test]
+    fn fallback_cas_breaks_orphaned_lock() {
+        use crate::fault::FaultRule;
+        // A holder that crashed inside the fallback critical section
+        // leaves the lock word set forever. The bounded spin must seize
+        // the lock after its patience budget instead of livelocking.
+        let mem = sim(HwccMode::None);
+        mem.nmp().set_breaker_config(crate::nmp::BreakerConfig {
+            trip_after: 1,
+            probe_after: u32::MAX,
+        });
+        mem.faults().push(FaultRule::device_outage(u64::MAX));
+        let off = mem.layout().small.global_len;
+        // Simulate the crashed holder: core 7 acquired and died.
+        mem.segment()
+            .atomic_u64(mem.layout().fallback_lock)
+            .store(8, Ordering::SeqCst);
+        // First attempt trips the breaker; the next routes to the
+        // fallback lock and must break the orphaned hold.
+        let _ = mem.cas_u64(CoreId(0), off, 0, 42);
+        assert!(mem.cas_u64(CoreId(0), off, 0, 42).is_ok());
+        assert_eq!(mem.segment().peek_u64(off), 42);
+        // The lock was released after the seized critical section.
+        assert_eq!(mem.segment().peek_u64(mem.layout().fallback_lock), 0);
+        // The wait was observable: retries were counted.
+        assert!(mem.stats().cas_retries > 0);
     }
 
     #[test]

@@ -6,64 +6,105 @@
 //! issues. Every [`PodMemory`](crate::PodMemory) backend keeps one
 //! [`MemStats`] and exposes snapshots.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Counter shards per [`MemStats`]. Threads are spread round-robin over
+/// shards, so with up to this many concurrently-counting threads no two
+/// ever contend on (or false-share) a counter cache line.
+const SHARDS: usize = 16;
+
+/// One shard's counters, padded to its own cache lines so bumps from
+/// different threads never false-share.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct Shard {
+    loads: AtomicU64,
+    stores: AtomicU64,
+    cas_ok: AtomicU64,
+    cas_fail: AtomicU64,
+    mcas_ok: AtomicU64,
+    mcas_fail: AtomicU64,
+    flushes: AtomicU64,
+    fences: AtomicU64,
+    line_fills: AtomicU64,
+    writebacks: AtomicU64,
+    cached_hits: AtomicU64,
+    uncached_ops: AtomicU64,
+    faults_injected: AtomicU64,
+    cas_retries: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_heals: AtomicU64,
+    fallback_cas: AtomicU64,
+}
+
+/// Round-robin shard assignment, fixed per thread on first use. A
+/// process-wide counter (not per-`MemStats`) keeps the assignment
+/// stable across every backend a thread touches.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+#[inline]
+fn my_shard() -> usize {
+    MY_SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        s.set(v);
+        v
+    })
+}
 
 /// Live atomic counters (shared, updated relaxed — they are statistics,
 /// not synchronization).
-#[derive(Debug, Default)]
+///
+/// Counters are sharded per thread (cache-line-aligned shards, threads
+/// assigned round-robin) so the stats layer itself never serializes
+/// multi-threaded figure runs through false sharing; [`snapshot`]
+/// (`MemStats::snapshot`) sums the shards.
+#[derive(Debug)]
 pub struct MemStats {
-    /// Metadata loads.
-    pub loads: AtomicU64,
-    /// Metadata stores.
-    pub stores: AtomicU64,
-    /// Successful hardware-coherent CAS operations.
-    pub cas_ok: AtomicU64,
-    /// Failed hardware-coherent CAS operations.
-    pub cas_fail: AtomicU64,
-    /// Successful mCAS operations (routed through the NMP).
-    pub mcas_ok: AtomicU64,
-    /// Failed mCAS operations.
-    pub mcas_fail: AtomicU64,
-    /// Cacheline flushes issued.
-    pub flushes: AtomicU64,
-    /// Fences issued.
-    pub fences: AtomicU64,
-    /// Simulated cacheline fills (SWcc cache misses).
-    pub line_fills: AtomicU64,
-    /// Simulated dirty-line writebacks.
-    pub writebacks: AtomicU64,
-    /// Loads served from a (possibly stale) simulated cache.
-    pub cached_hits: AtomicU64,
-    /// Loads/stores to uncachable (device-biased) memory.
-    pub uncached_ops: AtomicU64,
-    /// Faults injected by the [`FaultInjector`](crate::fault::FaultInjector)
-    /// (any kind; see `FaultInjector::stats` for the breakdown).
-    pub faults_injected: AtomicU64,
-    /// CAS attempts the allocator re-issued after a transient contention
-    /// result (device bounce or competing pair), as reported through
-    /// [`PodMemory::note_cas_retry`](crate::PodMemory::note_cas_retry).
-    pub cas_retries: AtomicU64,
-    /// Times the NMP health breaker tripped from NMP mode into the
-    /// software-fallback CAS path.
-    pub breaker_trips: AtomicU64,
-    /// Times the breaker closed again (a half-open probe found the
-    /// device healthy).
-    pub breaker_heals: AtomicU64,
-    /// CAS operations served by the software-fallback path (single-writer
-    /// lock word) while the device was degraded.
-    pub fallback_cas: AtomicU64,
+    shards: Box<[Shard]>,
+}
+
+impl Default for MemStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 macro_rules! bump {
     ($self:ident . $field:ident) => {
-        $self.$field.fetch_add(1, Ordering::Relaxed)
+        $self.shard().$field.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+macro_rules! sum {
+    ($self:ident . $field:ident) => {
+        $self
+            .shards
+            .iter()
+            .map(|s| s.$field.load(Ordering::Relaxed))
+            .sum::<u64>()
     };
 }
 
 impl MemStats {
     /// Creates zeroed counters.
     pub fn new() -> Self {
-        Self::default()
+        MemStats {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    /// This thread's counter shard.
+    #[inline]
+    fn shard(&self) -> &Shard {
+        &self.shards[my_shard()]
     }
 
     /// Records a load.
@@ -150,26 +191,26 @@ impl MemStats {
         bump!(self.fallback_cas);
     }
 
-    /// Snapshot of the current counter values.
+    /// Snapshot of the current counter values (summed over shards).
     pub fn snapshot(&self) -> MemStatsSnapshot {
         MemStatsSnapshot {
-            loads: self.loads.load(Ordering::Relaxed),
-            stores: self.stores.load(Ordering::Relaxed),
-            cas_ok: self.cas_ok.load(Ordering::Relaxed),
-            cas_fail: self.cas_fail.load(Ordering::Relaxed),
-            mcas_ok: self.mcas_ok.load(Ordering::Relaxed),
-            mcas_fail: self.mcas_fail.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            fences: self.fences.load(Ordering::Relaxed),
-            line_fills: self.line_fills.load(Ordering::Relaxed),
-            writebacks: self.writebacks.load(Ordering::Relaxed),
-            cached_hits: self.cached_hits.load(Ordering::Relaxed),
-            uncached_ops: self.uncached_ops.load(Ordering::Relaxed),
-            faults_injected: self.faults_injected.load(Ordering::Relaxed),
-            cas_retries: self.cas_retries.load(Ordering::Relaxed),
-            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
-            breaker_heals: self.breaker_heals.load(Ordering::Relaxed),
-            fallback_cas: self.fallback_cas.load(Ordering::Relaxed),
+            loads: sum!(self.loads),
+            stores: sum!(self.stores),
+            cas_ok: sum!(self.cas_ok),
+            cas_fail: sum!(self.cas_fail),
+            mcas_ok: sum!(self.mcas_ok),
+            mcas_fail: sum!(self.mcas_fail),
+            flushes: sum!(self.flushes),
+            fences: sum!(self.fences),
+            line_fills: sum!(self.line_fills),
+            writebacks: sum!(self.writebacks),
+            cached_hits: sum!(self.cached_hits),
+            uncached_ops: sum!(self.uncached_ops),
+            faults_injected: sum!(self.faults_injected),
+            cas_retries: sum!(self.cas_retries),
+            breaker_trips: sum!(self.breaker_trips),
+            breaker_heals: sum!(self.breaker_heals),
+            fallback_cas: sum!(self.fallback_cas),
         }
     }
 }
@@ -284,6 +325,29 @@ mod tests {
         assert_eq!(snap.breaker_trips, 1);
         assert_eq!(snap.breaker_heals, 1);
         assert_eq!(snap.fallback_cas, 3);
+    }
+
+    #[test]
+    fn shards_sum_across_threads() {
+        use std::sync::Arc;
+        let stats = Arc::new(MemStats::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let stats = stats.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        stats.load();
+                        stats.cas(true);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.loads, 8000);
+        assert_eq!(snap.cas_ok, 8000);
     }
 
     #[test]

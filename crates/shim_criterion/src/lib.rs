@@ -25,16 +25,48 @@ pub enum Throughput {
     Bytes(u64),
 }
 
-/// Top-level benchmark driver.
+/// One finished benchmark's measurement, kept by the driver so harness
+/// binaries (e.g. `bench-snapshot`) can post-process results instead of
+/// scraping stdout.
 #[derive(Debug, Clone)]
-pub struct Criterion {
-    sample_size: usize,
+pub struct BenchRecord {
+    /// Group name (first path component of `group/id`).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median ns per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub max_ns: f64,
+    /// The group's throughput annotation, if any.
+    pub throughput: Option<Throughput>,
 }
 
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { sample_size: 20 }
+impl BenchRecord {
+    /// `group/id`, the path criterion reports under.
+    pub fn path(&self) -> String {
+        format!("{}/{}", self.group, self.id)
     }
+
+    /// Elements (or bytes) per second implied by the median, when the
+    /// group carries a throughput annotation.
+    pub fn per_second(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+                Some(n as f64 * 1e9 / self.median_ns)
+            }
+            None => None,
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    sample_size: usize,
+    records: Vec<BenchRecord>,
 }
 
 impl Criterion {
@@ -49,12 +81,25 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\n== {name} ==");
-        let sample_size = self.sample_size;
+        let sample_size = self.effective_sample_size();
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name,
             throughput: None,
             sample_size,
+        }
+    }
+
+    /// Drains the measurements recorded so far.
+    pub fn take_records(&mut self) -> Vec<BenchRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if self.sample_size == 0 {
+            20
+        } else {
+            self.sample_size
         }
     }
 }
@@ -62,7 +107,7 @@ impl Criterion {
 /// A named group of benchmarks sharing a throughput annotation.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     throughput: Option<Throughput>,
     sample_size: usize,
@@ -83,7 +128,9 @@ impl BenchmarkGroup<'_> {
             samples_ns: Vec::new(),
         };
         f(&mut bencher);
-        bencher.report(&self.name, &id, self.throughput);
+        if let Some(record) = bencher.record(&self.name, &id, self.throughput) {
+            self.criterion.records.push(record);
+        }
     }
 
     /// Ends the group (printing is incremental; nothing to flush).
@@ -126,10 +173,10 @@ impl Bencher {
         }
     }
 
-    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+    fn record(&self, group: &str, id: &str, throughput: Option<Throughput>) -> Option<BenchRecord> {
         if self.samples_ns.is_empty() {
             println!("{group}/{id}: no samples (Bencher::iter never called)");
-            return;
+            return None;
         }
         let mut sorted = self.samples_ns.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
@@ -146,6 +193,14 @@ impl Bencher {
             None => String::new(),
         };
         println!("{group}/{id}: {median:>10.1} ns/iter  [{min:.1} .. {max:.1}]{rate}");
+        Some(BenchRecord {
+            group: group.to_string(),
+            id: id.to_string(),
+            median_ns: median,
+            min_ns: min,
+            max_ns: max,
+            throughput,
+        })
     }
 }
 
