@@ -12,6 +12,20 @@
 //! Usage:
 //!   bench-snapshot [--label NAME] [--baseline NAME] [--samples N]
 //!                  [--out PATH] [--groups alloc_paths,substrate]
+//!                  [--check]
+//!
+//! `--check` runs the groups and compares each path's median against
+//! the most recent snapshot labelled `--baseline`. Because one CI run
+//! on a shared machine can be globally 1.5–2x slower than the
+//! fast-state minima recorded in the trajectory file, the gate is
+//! *relative*: it first computes the geometric-mean ratio across all
+//! shared paths (the run's machine-state factor), then fails only on
+//! paths that are more than `CHECK_TOLERANCE`x worse than that factor
+//! — i.e. paths that regressed relative to the rest of the suite.
+//! Paths with a baseline under `CHECK_MIN_NS` are reported but never
+//! gated (sub-25 ns paths swing 2x on code layout alone). `--check`
+//! never writes the trajectory file, so CI can gate on it without
+//! dirtying the checkout.
 
 use criterion::{BenchRecord, Criterion};
 use cxl_bench::groups;
@@ -25,7 +39,21 @@ struct Args {
     samples: usize,
     out: PathBuf,
     groups: Vec<String>,
+    check: bool,
 }
+
+/// `--check` fails on any path more than this much slower than the
+/// run's geometric-mean ratio to the baseline snapshot (the
+/// machine-state factor). Loose on purpose: the gate is meant to catch
+/// broken paths (2–10× cliffs), not to litigate medians — uniform
+/// slowness of the whole suite cancels out of the per-path verdicts,
+/// and intra-run drift spikes on a busy machine reach ~1.7× relative.
+const CHECK_TOLERANCE: f64 = 2.0;
+
+/// Paths whose baseline median is below this are reported but never
+/// gated: sub-25 ns paths routinely double from binary code layout
+/// changes alone, so any verdict on them is noise.
+const CHECK_MIN_NS: f64 = 25.0;
 
 fn default_out() -> PathBuf {
     // crates/bench -> repo root.
@@ -43,6 +71,7 @@ fn parse_args() -> Args {
         samples: 10,
         out: default_out(),
         groups: vec!["alloc_paths".to_string(), "substrate".to_string()],
+        check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -55,6 +84,7 @@ fn parse_args() -> Args {
             "--groups" => {
                 args.groups = value("--groups").split(',').map(str::to_string).collect()
             }
+            "--check" => args.check = true,
             other => panic!("unknown flag {other} (see crate docs)"),
         }
     }
@@ -170,6 +200,73 @@ fn main() {
 
     let existing = std::fs::read_to_string(&args.out).unwrap_or_default();
     let snapshots = parse_existing(&existing);
+
+    if args.check {
+        let base = snapshots
+            .iter()
+            .rev()
+            .find(|s| s.label == args.baseline)
+            .unwrap_or_else(|| {
+                panic!(
+                    "--check: no snapshot labelled '{}' in {}",
+                    args.baseline,
+                    args.out.display()
+                )
+            });
+        // Machine-state factor: geometric mean of ratios over gated
+        // paths. A globally slow (or fast) run moves every ratio by
+        // the same factor, which this divides back out.
+        let mut log_sum = 0.0;
+        let mut log_n = 0u32;
+        for r in &records {
+            if let Some(&base_ns) = base.paths.get(&r.path()) {
+                if base_ns >= CHECK_MIN_NS {
+                    log_sum += (r.median_ns / base_ns).ln();
+                    log_n += 1;
+                }
+            }
+        }
+        assert!(log_n > 0, "--check: no gated path shared with the baseline");
+        let state = (log_sum / f64::from(log_n)).exp();
+        let threshold = state * CHECK_TOLERANCE;
+        let mut regressed = Vec::new();
+        println!(
+            "\n-- check vs snapshot '{}' (machine-state factor {state:.2}x, \
+             gate {CHECK_TOLERANCE}x relative => {threshold:.2}x) --",
+            base.label
+        );
+        for r in &records {
+            let Some(&base_ns) = base.paths.get(&r.path()) else {
+                println!("  {:<45} (new path, no baseline)", r.path());
+                continue;
+            };
+            let ratio = r.median_ns / base_ns;
+            let verdict = if base_ns < CHECK_MIN_NS {
+                "ungated (tiny path)"
+            } else if ratio > threshold {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "  {:<45} {:>8.1} ns vs {:>8.1} ns  {:>5.2}x  {verdict}",
+                r.path(),
+                r.median_ns,
+                base_ns,
+                ratio
+            );
+            if base_ns >= CHECK_MIN_NS && ratio > threshold {
+                regressed.push(r.path());
+            }
+        }
+        if !regressed.is_empty() {
+            eprintln!("check FAILED: {} path(s) regressed: {regressed:?}", regressed.len());
+            std::process::exit(1);
+        }
+        println!("check passed: no gated path more than {threshold:.2}x slower");
+        return;
+    }
+
     let baseline = snapshots
         .iter()
         .rev()

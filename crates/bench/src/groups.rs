@@ -77,12 +77,22 @@ pub fn bench_local_paths(c: &mut Criterion) {
     group.finish();
 }
 
-/// Remote-free (m)CAS path: producer/consumer across threads.
+/// Remote-free (m)CAS path: producer/consumer across threads. The
+/// channel gates the producer on the consumer's dealloc speed, so the
+/// measured throughput is the remote-free path; the PR-4 amortizations
+/// (batched publishes, magazines, coalesced fences) are enabled here —
+/// the eager ablation lives in `remote_free_batched/eager_64B`.
 pub fn bench_remote_free(c: &mut Criterion) {
     let mut group = c.benchmark_group("remote_free");
     group.throughput(Throughput::Elements(1));
     group.bench_function("producer_consumer_64B", |b| {
-        let alloc = CxlallocAdapter::new(cxlalloc_pod(1 << 30, 8, None), 1, AttachOptions::default());
+        let options = AttachOptions {
+            remote_free_batch: 16,
+            magazine_capacity: 16,
+            coalesce_fences: true,
+            ..AttachOptions::default()
+        };
+        let alloc = CxlallocAdapter::new(cxlalloc_pod(1 << 30, 8, None), 1, options);
         let (tx, rx) = mpsc::sync_channel(1024);
         let consumer = std::thread::spawn({
             let alloc = alloc.clone();
@@ -101,6 +111,90 @@ pub fn bench_remote_free(c: &mut Criterion) {
         drop(tx);
         consumer.join().unwrap();
     });
+    group.finish();
+}
+
+/// The remote-free publish protocol in isolation: two registered
+/// threads on one OS thread (no channel, no scheduler), one allocating
+/// and the other freeing remotely, so the eager-vs-batched difference
+/// is purely CAS-per-free vs CAS-per-batch.
+pub fn bench_remote_free_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remote_free_batched");
+    group.throughput(Throughput::Elements(1));
+    for (name, batch, mode) in [
+        ("eager_64B", 1u32, None),
+        ("batch8_64B", 8, None),
+        ("batch32_64B", 32, None),
+        // The same pair over the simulated SWcc substrate, where the
+        // publish CAS serializes through the coherent-CAS line clocks
+        // and the log flush+fence are real simulated traffic — the
+        // costs the paper's remote-free protocol actually pays.
+        ("sim_eager_64B", 1, Some(HwccMode::Limited)),
+        ("sim_batch16_64B", 16, Some(HwccMode::Limited)),
+    ] {
+        let alloc = CxlallocAdapter::new(
+            cxlalloc_pod(if mode.is_some() { 64 << 20 } else { 1 << 30 }, 8, mode),
+            1,
+            AttachOptions {
+                remote_free_batch: batch,
+                coalesce_fences: batch > 1,
+                ..AttachOptions::default()
+            },
+        );
+        let mut owner = alloc.thread().unwrap();
+        let mut freer = alloc.thread().unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let p = owner.alloc(64).unwrap();
+                freer.dealloc(p).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Local churn with and without the per-thread magazine: same
+/// alloc/free pair, a handful of held blocks keeping the slab
+/// partially live (a free that empties its slab bypasses the magazine
+/// because the slab may be retired).
+pub fn bench_magazines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("magazines");
+    group.throughput(Throughput::Elements(1));
+    for (name, capacity, mode) in [
+        ("churn_64B_baseline", 0u32, None),
+        ("churn_64B_magazine", 16, None),
+        // On the wall-clock backend the magazine roughly breaks even
+        // (a raw DRAM bitset scan is nearly free); the simulated SWcc
+        // substrate is where the skipped descriptor traffic is real.
+        ("sim_churn_64B_baseline", 0, Some(HwccMode::Limited)),
+        ("sim_churn_64B_magazine", 16, Some(HwccMode::Limited)),
+    ] {
+        let alloc = CxlallocAdapter::new(
+            cxlalloc_pod(if mode.is_some() { 64 << 20 } else { 1 << 30 }, 8, mode),
+            1,
+            AttachOptions {
+                magazine_capacity: capacity,
+                coalesce_fences: capacity > 0,
+                ..AttachOptions::default()
+            },
+        );
+        let mut t = alloc.thread().unwrap();
+        // 480 of the slab's 512 blocks stay live: the first-fit scan
+        // must walk ~7 full bitset words per alloc, which is exactly
+        // the walk the magazine's block hint skips. (Held blocks also
+        // keep the slab from going fully free, where frees bypass the
+        // magazine because the slab may be retired.)
+        let held: Vec<_> = (0..480).map(|_| t.alloc(64).unwrap()).collect();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let p = t.alloc(64).unwrap();
+                t.dealloc(p).unwrap();
+            })
+        });
+        for p in held {
+            t.dealloc(p).unwrap();
+        }
+    }
     group.finish();
 }
 
@@ -290,6 +384,37 @@ pub fn bench_kvstore(c: &mut Criterion) {
             w.insert(key, 8, 64).unwrap();
         })
     });
+    // The same workload over cxlalloc itself (the MiLike labels above
+    // are the baseline and cannot reflect allocator changes): eager,
+    // and with the PR-4 amortizations on. Replaced entries are freed on
+    // the inserting thread after an EBR epoch, so magazines and fence
+    // coalescing are the active levers here.
+    for (name, options) in [
+        ("insert_replace_cxl", AttachOptions::default()),
+        (
+            "insert_replace_cxl_batched",
+            AttachOptions {
+                remote_free_batch: 16,
+                magazine_capacity: 16,
+                coalesce_fences: true,
+                ..AttachOptions::default()
+            },
+        ),
+    ] {
+        let alloc = CxlallocAdapter::new(cxlalloc_pod(1 << 30, 8, None), 1, options);
+        let store = KvStore::new(1 << 14, 2);
+        let mut w = store.worker(alloc.thread().unwrap());
+        for key in 0..10_000 {
+            w.insert(key, 8, 64).unwrap();
+        }
+        let mut key = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                key = (key + 1) % 10_000;
+                w.insert(key, 8, 64).unwrap();
+            })
+        });
+    }
     group.finish();
 }
 
@@ -312,6 +437,8 @@ pub fn bench_workloads(c: &mut Criterion) {
 pub fn alloc_paths(c: &mut Criterion) {
     bench_local_paths(c);
     bench_remote_free(c);
+    bench_remote_free_batched(c);
+    bench_magazines(c);
     bench_huge(c);
 }
 

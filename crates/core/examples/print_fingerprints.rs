@@ -3,6 +3,7 @@
 //! keep `sched` replay byte-identical.
 
 use cxl_core::explore::Explorer;
+use cxl_core::sched::SimConfig;
 
 fn main() {
     let classic = Explorer::default();
@@ -17,5 +18,22 @@ fn main() {
     for seed in [5u64, 23, 47] {
         let r = liveness.run_seed(seed).unwrap();
         println!("liveness {seed} {:#018x}", r.fingerprint);
+    }
+    // The liveness profile with every PR-4 amortization enabled
+    // (batched remote frees, magazines, fence coalescing) — pins that
+    // the batched paths stay deterministic under crashes + adoption.
+    let batched = Explorer {
+        liveness: true,
+        config: SimConfig {
+            remote_free_batch: 8,
+            magazine_capacity: 4,
+            coalesce_fences: true,
+            ..SimConfig::default()
+        },
+        ..Explorer::default()
+    };
+    for seed in [23u64, 47] {
+        let r = batched.run_seed(seed).unwrap();
+        println!("batched {seed} {:#018x}", r.fingerprint);
     }
 }

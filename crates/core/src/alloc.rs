@@ -30,6 +30,7 @@ use crate::error::AllocError;
 use crate::huge::{HugeHeap, HugeThread};
 use crate::liveness::{lease, registry};
 use crate::recovery::{self, RecoveryReport};
+use crate::remote::{Magazines, RemoteFreeBuffer};
 use crate::shadow::DescShadow;
 use crate::slab::SlabHeap;
 use crate::{OffsetPtr, ThreadId};
@@ -110,6 +111,27 @@ pub struct AttachOptions {
     /// detectable-CAS help records). Disabling reproduces the paper's
     /// `cxlalloc-nonrecoverable` ablation (§5.2.1).
     pub recoverable: bool,
+    /// Remote frees buffered per slab before one batched detectable CAS
+    /// publishes them all (a decrement by *k* instead of *k* decrements
+    /// by 1). 1 — the default — is the paper's eager §3.2.1 protocol;
+    /// values are clamped to 255, the width of the oplog record's batch
+    /// field. Buffered frees drain at the threshold, on buffer-slot
+    /// eviction, and at the [`ThreadHandle::flush_cache`] /
+    /// [`ThreadHandle::flush_local_caches`] quiesce points; frees still
+    /// buffered when a thread dies are leaked (bounded; see DESIGN.md
+    /// §9.1).
+    pub remote_free_batch: u32,
+    /// Per-class capacity of the volatile magazine of recently freed
+    /// local blocks (mimalloc-style); allocations re-validate and reuse
+    /// these hints, skipping the bitset scan. 0 — the default —
+    /// disables magazines.
+    pub magazine_capacity: u32,
+    /// Defer each completed slab op's log-clear durability to the next
+    /// op's `begin` flush (the two share a cacheline), eliding one
+    /// flush + fence pair per op. Crash consistency is preserved: the
+    /// durable log then names the last *completed* op, whose redo is
+    /// idempotent (DESIGN.md §9.3).
+    pub coalesce_fences: bool,
 }
 
 impl Default for AttachOptions {
@@ -117,6 +139,9 @@ impl Default for AttachOptions {
         AttachOptions {
             unsized_limit: 4,
             recoverable: true,
+            remote_free_batch: 1,
+            magazine_capacity: 0,
+            coalesce_fences: false,
         }
     }
 }
@@ -233,7 +258,7 @@ impl Cxlalloc {
     }
 
     fn ctx(&self, tid: ThreadId, core: CoreId) -> Ctx<'_> {
-        self.ctx_with(tid, core, None)
+        self.ctx_with(tid, core, None, None, None)
     }
 
     fn ctx_with<'a>(
@@ -241,6 +266,8 @@ impl Cxlalloc {
         tid: ThreadId,
         core: CoreId,
         shadow: Option<&'a DescShadow>,
+        remote: Option<&'a RemoteFreeBuffer>,
+        magazines: Option<&'a Magazines>,
     ) -> Ctx<'a> {
         Ctx {
             mem: self.mem(),
@@ -250,6 +277,10 @@ impl Cxlalloc {
             unsized_limit: self.inner.options.unsized_limit,
             recoverable: self.inner.options.recoverable,
             shadow,
+            remote,
+            remote_free_batch: self.inner.options.remote_free_batch.clamp(1, 255),
+            magazines,
+            coalesce_fences: self.inner.options.coalesce_fences,
         }
     }
 
@@ -303,6 +334,8 @@ impl Cxlalloc {
             core,
             huge,
             shadow: DescShadow::new(mem.hwcc_mode()),
+            remote: RemoteFreeBuffer::new(),
+            magazines: Magazines::new(self.inner.options.magazine_capacity),
         }
     }
 
@@ -531,6 +564,12 @@ pub struct ThreadHandle {
     /// (paper §3.2: single-writer state the owner never needs to
     /// re-read from CXL memory).
     shadow: DescShadow,
+    /// Pending (buffered, unpublished) remote frees, keyed by slab.
+    /// Inert unless `AttachOptions::remote_free_batch > 1`.
+    remote: RemoteFreeBuffer,
+    /// Volatile per-class magazines of recently freed local blocks.
+    /// Inert unless `AttachOptions::magazine_capacity > 0`.
+    magazines: Magazines,
 }
 
 impl ThreadHandle {
@@ -550,7 +589,13 @@ impl ThreadHandle {
     }
 
     fn ctx(&self) -> Ctx<'_> {
-        self.heap.ctx_with(self.tid, self.core, Some(&self.shadow))
+        self.heap.ctx_with(
+            self.tid,
+            self.core,
+            Some(&self.shadow),
+            Some(&self.remote),
+            Some(&self.magazines),
+        )
     }
 
     /// Allocates `size` bytes, routed to the small (≤ 1 KiB), large
@@ -582,7 +627,13 @@ impl ThreadHandle {
     fn alloc_inner(&mut self, size: usize, dst: u64) -> Result<OffsetPtr, AllocError> {
         CURRENT.with(|c| c.set(Some((self.tid.raw(), self.core.0))));
         let inner = &self.heap.inner;
-        let ctx = self.heap.ctx_with(self.tid, self.core, Some(&self.shadow));
+        let ctx = self.heap.ctx_with(
+            self.tid,
+            self.core,
+            Some(&self.shadow),
+            Some(&self.remote),
+            Some(&self.magazines),
+        );
         let result = if size <= inner.small.classes.max_size() as usize {
             inner.small.alloc(&ctx, size, dst)
         } else if size <= inner.large.classes.max_size() as usize {
@@ -610,7 +661,13 @@ impl ThreadHandle {
         let inner = &self.heap.inner;
         let layout = self.heap.mem().layout();
         let offset = ptr.offset();
-        let ctx = self.heap.ctx_with(self.tid, self.core, Some(&self.shadow));
+        let ctx = self.heap.ctx_with(
+            self.tid,
+            self.core,
+            Some(&self.shadow),
+            Some(&self.remote),
+            Some(&self.magazines),
+        );
         let result = if layout.small.data.contains(offset) {
             inner.small.dealloc(&ctx, offset)
         } else if layout.large.data.contains(offset) {
@@ -669,8 +726,28 @@ impl ThreadHandle {
     /// Runs one huge-heap cleanup pass (hazard scan + descriptor
     /// reclamation); returns the number of allocations reclaimed.
     pub fn cleanup(&mut self) -> u32 {
-        let ctx = self.heap.ctx_with(self.tid, self.core, Some(&self.shadow));
+        let ctx = self.heap.ctx_with(
+            self.tid,
+            self.core,
+            Some(&self.shadow),
+            Some(&self.remote),
+            Some(&self.magazines),
+        );
         self.heap.inner.huge.cleanup(&ctx, &mut self.huge)
+    }
+
+    /// Publishes every buffered remote free now (one batched detectable
+    /// CAS per slab with pending frees). Runs at the same quiesce points
+    /// that drain the descriptor shadow, so the §3.2.2 stale-owner
+    /// argument sees the same op-boundary image either way.
+    fn drain_remote_frees(&self) {
+        if self.remote.is_empty() {
+            return;
+        }
+        let ctx = self.ctx();
+        while let Some((kind, slab, pending)) = self.remote.take_any() {
+            SlabHeap::of(kind).publish_remote_frees(&ctx, slab, pending);
+        }
     }
 
     /// Writes back and drops this thread's entire simulated cache — a
@@ -679,8 +756,11 @@ impl ThreadHandle {
     /// (the checker reads durable memory, which otherwise lags owners'
     /// caches).
     pub fn flush_cache(&self) {
-        // Deferred descriptor-shadow stores must reach the cache first
-        // so the cache-wide writeback covers them.
+        // Buffered remote frees publish first (they are invisible to
+        // every other thread until their counter decrements land), then
+        // deferred descriptor-shadow stores reach the cache so the
+        // cache-wide writeback covers them.
+        self.drain_remote_frees();
         self.shadow.sync_all(self.heap.mem(), self.core);
         self.heap.mem().flush_all(self.core);
     }
@@ -688,6 +768,7 @@ impl ThreadHandle {
     /// Releases surplus thread-local slabs to the global free list
     /// immediately (normally done incrementally during frees).
     pub fn flush_local_caches(&mut self) {
+        self.drain_remote_frees();
         let ctx = self.ctx();
         self.heap.inner.small.release_overflow(&ctx);
         self.heap.inner.large.release_overflow(&ctx);

@@ -3,6 +3,7 @@
 use crate::crash;
 use crate::dcas::Dcas;
 use crate::oplog::OpLog;
+use crate::remote::{Magazines, RemoteFreeBuffer};
 use crate::shadow::DescShadow;
 use crate::ThreadId;
 use cxl_pod::{CoreId, PodMemory, Process};
@@ -26,12 +27,25 @@ pub(crate) struct Ctx<'m> {
     /// act on *another* thread's structures — recovery, fault handling —
     /// which must read pod memory directly).
     pub shadow: Option<&'m DescShadow>,
+    /// The calling thread's pending-remote-free buffer (`None` for
+    /// foreign-thread contexts, which never buffer).
+    pub remote: Option<&'m RemoteFreeBuffer>,
+    /// Remote frees buffered per slab before a batched publish; 1 means
+    /// eager (publish every free individually, the paper's base
+    /// protocol).
+    pub remote_free_batch: u32,
+    /// The calling thread's free-block magazines (`None` for
+    /// foreign-thread contexts).
+    pub magazines: Option<&'m Magazines>,
+    /// Whether log clears may defer their durability to the next
+    /// operation's `begin` flush (fence coalescing).
+    pub coalesce_fences: bool,
 }
 
 impl<'m> Ctx<'m> {
     /// The thread's recovery log (inert when recovery is disabled).
     pub fn log(&self) -> OpLog<'m> {
-        OpLog::with_enabled(self.mem, self.tid.slot(), self.recoverable)
+        OpLog::with_options(self.mem, self.tid.slot(), self.recoverable, self.coalesce_fences)
     }
 
     /// Detectable-CAS handle (plain CAS when recovery is disabled).

@@ -79,11 +79,20 @@ impl<'m> Dcas<'m> {
         me: ThreadId,
         version: u16,
     ) -> Result<(), Detect> {
-        if self.detectable && observed.tid != 0 {
+        if self.detectable && observed.tid != 0 && observed.tid != me.raw() {
             // Record the to-be-overwritten success. Doing this *before*
             // our CAS is truthful (the value is in the cell, so that CAS
             // succeeded) and guarantees no successful CAS is overwritten
             // unrecorded.
+            //
+            // Overwriting our *own* earlier success needs no help
+            // record: before any attempt the thread's durable log
+            // already holds the new version, so recovery only ever asks
+            // `detect` about the version in the log — never about an
+            // older self-owned version this CAS would bury. Skipping
+            // the help-array RMW here is what keeps a thread that
+            // repeatedly CASes the same cell (remote frees against one
+            // slab) at one CAS per operation.
             self.record_help(core, observed.tid, observed.version);
         }
         let new = Detect {
@@ -218,6 +227,27 @@ mod tests {
         assert!(dcas.detect(core, off, tid(2), 3));
         // Version 0 is a legitimate version once recorded.
         assert!(!dcas.detect(core, off, tid(1), 0));
+    }
+
+    #[test]
+    fn self_overwrite_skips_help_record() {
+        let pod = pod();
+        let mem = pod.memory().as_ref();
+        let dcas = Dcas::new(mem);
+        let core = CoreId(0);
+        let off = pod.layout().small.global_len;
+        let observed = dcas.read(core, off);
+        dcas.attempt(core, off, observed, 7, tid(1), 1).unwrap();
+        let observed = dcas.read(core, off);
+        dcas.attempt(core, off, observed, 8, tid(1), 2).unwrap();
+        // Overwriting our own success writes no help record — the
+        // durable log always holds the version recovery will query.
+        assert_eq!(mem.load_u64(core, pod.layout().help_at(0)), 0);
+        assert!(dcas.detect(core, off, tid(1), 2));
+        // A different thread's overwrite still records our success.
+        let observed = dcas.read(core, off);
+        dcas.attempt(core, off, observed, 9, tid(2), 1).unwrap();
+        assert!(dcas.detect(core, off, tid(1), 2));
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub mod liveness;
 pub mod oplog;
 mod ptr;
 pub mod recovery;
+mod remote;
 pub mod sched;
 mod shadow;
 pub mod slab;

@@ -34,6 +34,12 @@ pub struct OpLog<'m> {
     /// `clear` are no-ops; `bump_version` still counts so detectable-CAS
     /// cells stay ABA-safe.
     enabled: bool,
+    /// When true, [`OpLog::clear_relaxed`] stores IDLE without its own
+    /// flush + fence: durability rides on the *next* `begin`'s 64-byte
+    /// flush of the same log cacheline (fence coalescing). `begin`
+    /// itself always flushes eagerly — the durable log must be at least
+    /// as new as any visible effect of the operation.
+    coalesce: bool,
 }
 
 impl<'m> std::fmt::Debug for OpLog<'m> {
@@ -62,10 +68,16 @@ impl<'m> OpLog<'m> {
     /// Creates a handle, optionally inert (the `cxlalloc-nonrecoverable`
     /// ablation).
     pub fn with_enabled(mem: &'m dyn PodMemory, slot: u32, enabled: bool) -> Self {
+        Self::with_options(mem, slot, enabled, false)
+    }
+
+    /// Creates a handle with fence coalescing opted in or out.
+    pub fn with_options(mem: &'m dyn PodMemory, slot: u32, enabled: bool, coalesce: bool) -> Self {
         OpLog {
             mem,
             slot,
             enabled,
+            coalesce,
         }
     }
 
@@ -100,6 +112,27 @@ impl<'m> OpLog<'m> {
         self.mem.store_u64(core, self.word_off(), LogWord::IDLE.pack());
         self.mem.flush(core, self.word_off(), 8);
         self.mem.fence(core);
+    }
+
+    /// Clears the log to idle, coalescing the flush + fence when the
+    /// handle opted in: the IDLE store stays in the core's cache and
+    /// becomes durable with the next `begin`'s flush of the same
+    /// cacheline. Until then the durable log still names the *completed*
+    /// operation, so a crash in the window redoes it — safe for every
+    /// slab op, whose redo is idempotent from durable ground truth
+    /// (DESIGN.md §9.3). Huge-heap ops keep the eager [`OpLog::clear`]:
+    /// redoing a completed `HugeAlloc` would roll back a delivered
+    /// allocation.
+    pub fn clear_relaxed(&self, core: CoreId) {
+        if !self.coalesce {
+            return self.clear(core);
+        }
+        if !self.enabled {
+            return;
+        }
+        self.mem.store_u64(core, self.word_off(), LogWord::IDLE.pack());
+        self.mem.note_flush_coalesced();
+        self.mem.note_fence_elided();
     }
 
     /// Bumps and durably stores the thread's dcas version counter,
@@ -192,6 +225,39 @@ mod tests {
             c: 0,
         }, &[]);
         assert_eq!(b.read(core).word, LogWord::IDLE);
+    }
+
+    #[test]
+    fn relaxed_clear_defers_durability_to_next_begin() {
+        let pod = Pod::with_simulation(PodConfig::small_for_tests(), HwccMode::Limited).unwrap();
+        let mem = pod.memory().as_ref();
+        let sim = mem.as_any().downcast_ref::<cxl_pod::SimMemory>().unwrap();
+        let log = OpLog::with_options(mem, 0, true, true);
+        let word = LogWord { op: 5, a: 1, b: 2, c: 3 };
+        log.begin(CoreId(0), word, &[]);
+        log.clear_relaxed(CoreId(0));
+        // A crash in the window re-reads the *completed* op: the IDLE
+        // store died with the cache.
+        sim.cache().discard_all(0);
+        assert_eq!(log.read(CoreId(1)).word, word);
+        // The next begin's flush covers the line; after a crash the
+        // durable log names the new op, never a stale one.
+        let next = LogWord { op: 6, a: 9, b: 0, c: 1 };
+        log.begin(CoreId(0), next, &[]);
+        sim.cache().discard_all(0);
+        assert_eq!(log.read(CoreId(1)).word, next);
+    }
+
+    #[test]
+    fn relaxed_clear_without_optin_is_durable() {
+        let pod = Pod::with_simulation(PodConfig::small_for_tests(), HwccMode::Limited).unwrap();
+        let mem = pod.memory().as_ref();
+        let sim = mem.as_any().downcast_ref::<cxl_pod::SimMemory>().unwrap();
+        let log = OpLog::with_options(mem, 0, true, false);
+        log.begin(CoreId(0), LogWord { op: 5, a: 1, b: 2, c: 3 }, &[]);
+        log.clear_relaxed(CoreId(0));
+        sim.cache().discard_all(0);
+        assert_eq!(log.read(CoreId(1)).word, LogWord::IDLE);
     }
 
     #[test]

@@ -48,9 +48,11 @@ pub enum Op {
     AllocBlock = 5,
     /// Local free: `a` = slab, `b` = class, `c` = bit.
     FreeLocal = 6,
-    /// Remote free (not reaching zero): `a` = slab, `c` = version.
+    /// Remote free (not reaching zero): `a` = slab, `b` = batch width
+    /// (0 on the eager path, meaning 1), `c` = version.
     RemoteFree = 7,
-    /// Remote free reaching zero (steal): `a` = slab, `c` = version.
+    /// Remote free reaching zero (steal): `a` = slab, `b` = batch
+    /// width as above, `c` = version.
     RemoteFreeLast = 8,
     /// Huge allocation: aux = `[desc_off, data_off, size]`.
     HugeAlloc = 13,
@@ -413,8 +415,9 @@ fn recover_slab(
                     report.outcome = "remote free completed";
                 }
             } else {
-                // The decrement never landed: redo it.
-                redo_remote_free(ctx, heap, slab);
+                // The decrement never landed: redo it, by the logged
+                // batch width (eager records carry b = 0, meaning 1).
+                redo_remote_free(ctx, heap, slab, (entry.word.b as u32).max(1));
                 report.outcome = "remote free redone";
             }
         }
@@ -480,8 +483,9 @@ fn normalize_slab(ctx: &Ctx<'_>, heap: &SlabHeap, slab: u32, class: u8) {
     }
 }
 
-/// Redoes an undelivered remote-free decrement.
-fn redo_remote_free(ctx: &Ctx<'_>, heap: &SlabHeap, slab: u32) {
+/// Redoes an undelivered remote-free decrement of `width` blocks (the
+/// batch width logged in the record's `b` byte; 1 for eager frees).
+fn redo_remote_free(ctx: &Ctx<'_>, heap: &SlabHeap, slab: u32, width: u32) {
     let hl = heap.hl(ctx.mem);
     let dcas = ctx.dcas();
     loop {
@@ -489,14 +493,15 @@ fn redo_remote_free(ctx: &Ctx<'_>, heap: &SlabHeap, slab: u32) {
         if remote.payload == 0 {
             return; // cannot happen for a pending free, but be safe
         }
-        let last = remote.payload == 1;
+        let k = width.min(remote.payload);
+        let last = remote.payload == k;
         let version = ctx.log().bump_version(ctx.core);
         if dcas
             .attempt(
                 ctx.core,
                 hl.hwcc_desc_at(slab),
                 remote,
-                remote.payload - 1,
+                remote.payload - k,
                 ctx.tid,
                 version,
             )

@@ -1,0 +1,296 @@
+//! Batched remote frees and per-thread magazines (hot-path amortization).
+//!
+//! Both structures are *volatile, per-thread DRAM state* riding on the
+//! [`ThreadHandle`](crate::ThreadHandle), in the same spirit as the
+//! descriptor shadow (`shadow.rs`): they reduce CXL traffic without
+//! adding any durable state that recovery would have to repair.
+//!
+//! * [`RemoteFreeBuffer`] — a small table of *pending* remote frees
+//!   keyed by `(heap, slab)`. The paper's §3.2.1 protocol pays one
+//!   detectable mCAS on the slab's HWcc counter per freed block; the
+//!   buffer accumulates up to `remote_free_batch` frees against one
+//!   slab and publishes them with a *single* detectable CAS that
+//!   decrements the counter by *k* (the batch width travels in the
+//!   oplog record's `b` byte so recovery can redo exactly the
+//!   undelivered decrement). Crash-equivalence: a batched
+//!   decrement-by-k is indistinguishable from k eager decrements that
+//!   were all delayed to the publish instant; the counter can never
+//!   reach zero while frees sit in the buffer (each buffered free holds
+//!   one of the counter's remaining credits), so no steal or slab
+//!   reinitialization can race the buffered state. Frees that are
+//!   buffered but unpublished when the thread dies are lost — a
+//!   bounded leak of at most `SLOTS × (batch-1)` blocks, documented in
+//!   ROADMAP.md's open items.
+//! * [`Magazines`] — a bounded per-class LIFO of `(slab, bit)` *hints*
+//!   for recently locally-freed blocks (mimalloc-style), skipping the
+//!   bitset scan of the alloc fast path. Hints are advisory: the
+//!   allocator re-validates owner, class, and the bitset bit before
+//!   using one, so stale hints (slab stolen, reinitialized, or emptied
+//!   since) are simply discarded. On crash the magazine vanishes with
+//!   the thread; its contents were free blocks in the durable bitset
+//!   all along, so recovery is unchanged.
+
+use crate::error::HeapKind;
+use std::cell::{Cell, RefCell};
+
+/// Slots in the pending-free table. Remote-free traffic concentrates on
+/// few producer slabs at a time; eviction publishes early, so this only
+/// bounds worst-case buffering, not correctness.
+const SLOTS: usize = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    /// `(kind_tag << 32) | (slab + 1)`; 0 marks an empty slot.
+    key: u64,
+    /// Frees buffered against the slab, ≥ 1 for occupied slots.
+    pending: u32,
+}
+
+const EMPTY: Entry = Entry { key: 0, pending: 0 };
+
+fn kind_tag(kind: HeapKind) -> u64 {
+    match kind {
+        HeapKind::Small => 1,
+        HeapKind::Large => 2,
+        HeapKind::Huge => unreachable!("huge allocations have no slab counters"),
+    }
+}
+
+fn key_of(kind: HeapKind, slab: u32) -> u64 {
+    (kind_tag(kind) << 32) | (slab as u64 + 1)
+}
+
+fn decode(key: u64) -> (HeapKind, u32) {
+    let kind = match key >> 32 {
+        1 => HeapKind::Small,
+        2 => HeapKind::Large,
+        tag => unreachable!("corrupt buffer key tag {tag}"),
+    };
+    (kind, (key as u32) - 1)
+}
+
+/// Per-thread bounded buffer of pending (unpublished) remote frees.
+///
+/// Interior-mutable and `!Sync` by construction (like `DescShadow`): it
+/// belongs to exactly one thread.
+#[derive(Debug)]
+pub(crate) struct RemoteFreeBuffer {
+    entries: [Cell<Entry>; SLOTS],
+}
+
+impl RemoteFreeBuffer {
+    pub fn new() -> Self {
+        RemoteFreeBuffer {
+            entries: [const { Cell::new(EMPTY) }; SLOTS],
+        }
+    }
+
+    /// Frees currently buffered against `(kind, slab)`.
+    pub fn pending(&self, kind: HeapKind, slab: u32) -> u32 {
+        let key = key_of(kind, slab);
+        self.entries
+            .iter()
+            .find(|e| e.get().key == key)
+            .map_or(0, |e| e.get().pending)
+    }
+
+    /// Records one more pending free against `(kind, slab)`. Returns the
+    /// slab's new pending count, plus — when the table was full and a
+    /// victim had to make room — the evicted `(kind, slab, pending)`
+    /// entry, which the caller must publish.
+    pub fn note(&self, kind: HeapKind, slab: u32) -> (u32, Option<(HeapKind, u32, u32)>) {
+        let key = key_of(kind, slab);
+        let mut free: Option<usize> = None;
+        for (i, slot) in self.entries.iter().enumerate() {
+            let e = slot.get();
+            if e.key == key {
+                let pending = e.pending + 1;
+                slot.set(Entry { key, pending });
+                return (pending, None);
+            }
+            if e.key == 0 && free.is_none() {
+                free = Some(i);
+            }
+        }
+        if let Some(i) = free {
+            self.entries[i].set(Entry { key, pending: 1 });
+            return (1, None);
+        }
+        // Full: evict the fullest entry (deterministically — ties go to
+        // the lowest index) so the publish it forces amortizes best.
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, e)| (e.get().pending, usize::MAX - i))
+            .expect("SLOTS > 0")
+            .0;
+        let evicted = self.entries[victim].get();
+        self.entries[victim].set(Entry { key, pending: 1 });
+        let (ekind, eslab) = decode(evicted.key);
+        (1, Some((ekind, eslab, evicted.pending)))
+    }
+
+    /// Removes the entry for `(kind, slab)`, returning its pending count
+    /// (0 if absent). Called immediately before publishing so a crash
+    /// mid-publish cannot double-publish the batch.
+    pub fn take(&self, kind: HeapKind, slab: u32) -> u32 {
+        let key = key_of(kind, slab);
+        for slot in &self.entries {
+            let e = slot.get();
+            if e.key == key {
+                slot.set(EMPTY);
+                return e.pending;
+            }
+        }
+        0
+    }
+
+    /// Removes and returns any occupied entry (drain iteration).
+    pub fn take_any(&self) -> Option<(HeapKind, u32, u32)> {
+        for slot in &self.entries {
+            let e = slot.get();
+            if e.key != 0 {
+                slot.set(EMPTY);
+                let (kind, slab) = decode(e.key);
+                return Some((kind, slab, e.pending));
+            }
+        }
+        None
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|e| e.get().key == 0)
+    }
+}
+
+/// Per-thread, per-class magazines of recently freed local blocks.
+///
+/// A magazine entry is a `(slab, bit)` *hint*; the consumer re-validates
+/// it against the descriptor and bitset before use.
+#[derive(Debug)]
+pub(crate) struct Magazines {
+    capacity: u32,
+    small: RefCell<Vec<Vec<(u32, u32)>>>,
+    large: RefCell<Vec<Vec<(u32, u32)>>>,
+}
+
+impl Magazines {
+    /// Magazines of `capacity` hints per class (0 disables — `push` and
+    /// `pop` become no-ops and the per-class vectors stay unallocated).
+    pub fn new(capacity: u32) -> Self {
+        let classes = |n: u32| {
+            if capacity == 0 {
+                Vec::new()
+            } else {
+                (0..n).map(|_| Vec::with_capacity(capacity as usize)).collect()
+            }
+        };
+        Magazines {
+            capacity,
+            small: RefCell::new(classes(crate::class::SMALL_CLASSES_TABLE.len())),
+            large: RefCell::new(classes(crate::class::LARGE_CLASSES_TABLE.len())),
+        }
+    }
+
+    fn per_kind(&self, kind: HeapKind) -> &RefCell<Vec<Vec<(u32, u32)>>> {
+        match kind {
+            HeapKind::Small => &self.small,
+            HeapKind::Large => &self.large,
+            HeapKind::Huge => unreachable!("huge allocations have no size classes"),
+        }
+    }
+
+    /// Offers a freed block's hint; dropped when disabled or full.
+    pub fn push(&self, kind: HeapKind, class: u8, slab: u32, bit: u32) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut mags = self.per_kind(kind).borrow_mut();
+        let mag = &mut mags[class as usize];
+        if (mag.len() as u32) < self.capacity {
+            mag.push((slab, bit));
+        }
+    }
+
+    /// Takes the most recently pushed hint for `class`, if any.
+    pub fn pop(&self, kind: HeapKind, class: u8) -> Option<(u32, u32)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.per_kind(kind).borrow_mut()[class as usize].pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_accumulates_per_slab() {
+        let buf = RemoteFreeBuffer::new();
+        assert!(buf.is_empty());
+        assert_eq!(buf.note(HeapKind::Small, 3), (1, None));
+        assert_eq!(buf.note(HeapKind::Small, 3), (2, None));
+        assert_eq!(buf.note(HeapKind::Large, 3), (1, None), "kinds are distinct keys");
+        assert_eq!(buf.pending(HeapKind::Small, 3), 2);
+        assert_eq!(buf.take(HeapKind::Small, 3), 2);
+        assert_eq!(buf.pending(HeapKind::Small, 3), 0);
+        assert_eq!(buf.take(HeapKind::Small, 3), 0, "take is idempotent");
+        assert!(!buf.is_empty(), "large entry remains");
+    }
+
+    #[test]
+    fn full_buffer_evicts_fullest_entry() {
+        let buf = RemoteFreeBuffer::new();
+        for slab in 0..SLOTS as u32 {
+            buf.note(HeapKind::Small, slab);
+        }
+        buf.note(HeapKind::Small, 5);
+        buf.note(HeapKind::Small, 5); // slab 5 now has pending 3
+        let (count, evicted) = buf.note(HeapKind::Small, 100);
+        assert_eq!(count, 1);
+        assert_eq!(evicted, Some((HeapKind::Small, 5, 3)));
+        assert_eq!(buf.pending(HeapKind::Small, 100), 1);
+        assert_eq!(buf.pending(HeapKind::Small, 5), 0);
+    }
+
+    #[test]
+    fn drain_visits_every_entry() {
+        let buf = RemoteFreeBuffer::new();
+        buf.note(HeapKind::Small, 1);
+        buf.note(HeapKind::Small, 1);
+        buf.note(HeapKind::Large, 2);
+        let mut drained = Vec::new();
+        while let Some(e) = buf.take_any() {
+            drained.push(e);
+        }
+        drained.sort_by_key(|&(kind, slab, _)| (kind_tag(kind), slab));
+        assert_eq!(
+            drained,
+            vec![(HeapKind::Small, 1, 2), (HeapKind::Large, 2, 1)]
+        );
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn magazines_are_per_class_lifo_and_bounded() {
+        let mags = Magazines::new(2);
+        mags.push(HeapKind::Small, 4, 10, 0);
+        mags.push(HeapKind::Small, 4, 10, 1);
+        mags.push(HeapKind::Small, 4, 10, 2); // over capacity: dropped
+        mags.push(HeapKind::Small, 5, 11, 9);
+        assert_eq!(mags.pop(HeapKind::Small, 4), Some((10, 1)));
+        assert_eq!(mags.pop(HeapKind::Small, 4), Some((10, 0)));
+        assert_eq!(mags.pop(HeapKind::Small, 4), None);
+        assert_eq!(mags.pop(HeapKind::Small, 5), Some((11, 9)));
+    }
+
+    #[test]
+    fn disabled_magazines_are_inert() {
+        let mags = Magazines::new(0);
+        mags.push(HeapKind::Small, 0, 1, 2);
+        assert_eq!(mags.pop(HeapKind::Small, 0), None);
+    }
+}

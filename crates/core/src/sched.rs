@@ -292,6 +292,14 @@ pub struct SimConfig {
     /// Consecutive [`Step::DetectorTick`]s (of one host's detector)
     /// without a lease renewal before a LIVE slot is declared dead.
     pub lease_expiry_ticks: u32,
+    /// Remote-free batch width passed to [`AttachOptions`]; 1 (the
+    /// default) keeps the paper's eager per-free publish.
+    pub remote_free_batch: u32,
+    /// Magazine capacity passed to [`AttachOptions`]; 0 (the default)
+    /// disables magazines.
+    pub magazine_capacity: u32,
+    /// Fence coalescing passed to [`AttachOptions`].
+    pub coalesce_fences: bool,
 }
 
 impl Default for SimConfig {
@@ -301,6 +309,9 @@ impl Default for SimConfig {
             mode: HwccMode::Limited,
             live_cap: 48,
             lease_expiry_ticks: 3,
+            remote_free_batch: 1,
+            magazine_capacity: 0,
+            coalesce_fences: false,
         }
     }
 }
@@ -442,6 +453,9 @@ pub fn run(
                 pod.spawn_process(),
                 AttachOptions {
                     unsized_limit: 1,
+                    remote_free_batch: config.remote_free_batch,
+                    magazine_capacity: config.magazine_capacity,
+                    coalesce_fences: config.coalesce_fences,
                     ..AttachOptions::default()
                 },
             )

@@ -40,6 +40,7 @@ use crate::class::ClassTable;
 use crate::ctx::Ctx;
 use crate::error::{AllocError, HeapKind};
 use crate::recovery::Op;
+use crate::remote::RemoteFreeBuffer;
 use cxl_pod::{CoreId, HeapLayout, PodMemory};
 
 /// Crash-point labels compiled into this module (white-box failure
@@ -66,6 +67,15 @@ pub const CRASH_POINTS: &[&str] = &[
     "slab::extend::after_cas",
 ];
 
+/// Crash-point labels on the *batched* remote-free publish path. Kept
+/// out of [`CRASH_POINTS`] so schedule generation (which indexes that
+/// list by RNG draw) is unperturbed for configurations that never
+/// batch; the batched crash matrix iterates this list separately.
+pub const BATCH_CRASH_POINTS: &[&str] = &[
+    "slab::remote_free::publish_after_log",
+    "slab::remote_free::publish_after_cas",
+];
+
 /// One slab heap (instantiated once for small, once for large).
 #[derive(Debug, Clone, Copy)]
 pub struct SlabHeap {
@@ -89,6 +99,15 @@ impl SlabHeap {
         SlabHeap {
             kind: HeapKind::Large,
             classes: crate::class::LARGE_CLASSES_TABLE,
+        }
+    }
+
+    /// The slab heap for `kind` (huge is not a slab heap).
+    pub(crate) fn of(kind: HeapKind) -> Self {
+        match kind {
+            HeapKind::Small => Self::small(),
+            HeapKind::Large => Self::large(),
+            HeapKind::Huge => unreachable!("huge heap is not a slab heap"),
         }
     }
 
@@ -304,7 +323,7 @@ impl SlabHeap {
         );
         ctx.crash_point("slab::init::after_log");
         self.init_slab_body(ctx, slab, class);
-        ctx.log().clear(ctx.core);
+        ctx.log().clear_relaxed(ctx.core);
     }
 
     /// The (idempotent) body of slab initialization; also called by
@@ -374,7 +393,7 @@ impl SlabHeap {
                 ctx.crash_point("slab::pop_global::after_cas");
                 return Some(slab);
             }
-            ctx.log().clear(ctx.core);
+            ctx.log().clear_relaxed(ctx.core);
         }
     }
 
@@ -411,10 +430,10 @@ impl SlabHeap {
                 .is_ok()
             {
                 ctx.crash_point("slab::push_global::after_cas");
-                ctx.log().clear(ctx.core);
+                ctx.log().clear_relaxed(ctx.core);
                 return;
             }
-            ctx.log().clear(ctx.core);
+            ctx.log().clear_relaxed(ctx.core);
         }
     }
 
@@ -448,7 +467,7 @@ impl SlabHeap {
                 self.map_upto(ctx, slab as u64 + 1);
                 return Some(slab);
             }
-            ctx.log().clear(ctx.core);
+            ctx.log().clear_relaxed(ctx.core);
         }
     }
 
@@ -482,7 +501,7 @@ impl SlabHeap {
             ctx.crash_point("slab::init::after_log");
             self.pop_local(ctx, self.unsized_head_off(ctx));
             self.init_slab_body(ctx, slab, class);
-            ctx.log().clear(ctx.core);
+            ctx.log().clear_relaxed(ctx.core);
             return Ok(());
         } else if let Some(slab) = self.pop_global(ctx) {
             slab
@@ -511,6 +530,22 @@ impl SlabHeap {
             .classes
             .class_of(size)
             .ok_or(AllocError::InvalidSize { size })?;
+        if let Some(mags) = ctx.magazines {
+            while let Some((slab, bit)) = mags.pop(self.kind, class) {
+                // A magazine hint is advisory: the slab may have been
+                // emptied, reclassed, or stolen since the hint was
+                // pushed, or the block reallocated. Re-validate owner,
+                // class, and the bitset bit; discard stale hints.
+                let header = self.header(ctx, slab);
+                if header.owner == ctx.tid.raw()
+                    && header.flags & flags::SIZED != 0
+                    && header.class == class
+                    && self.bits(ctx, slab, class).get(ctx.core, bit)
+                {
+                    return Ok(self.alloc_block_hint(ctx, slab, class, bit, detect_dst));
+                }
+            }
+        }
         loop {
             let Some(slab) = self.head_of(ctx, self.sized_head_off(ctx, class)) else {
                 self.acquire(ctx, class)?;
@@ -550,7 +585,47 @@ impl SlabHeap {
             self.full_transition(ctx, slab, class);
             ctx.crash_point("slab::alloc_block::after_transition");
         }
-        ctx.log().clear(ctx.core);
+        ctx.log().clear_relaxed(ctx.core);
+        self.hl(ctx.mem).slab_data_at(slab) + bit as u64 * self.classes.block_size(class) as u64
+    }
+
+    /// Allocates the specific free block `bit` of owned, sized `slab` (a
+    /// validated magazine hint). Identical to [`Self::alloc_block`]
+    /// except the slab need not be its sized list's head, so the
+    /// full-slab transition unlinks with `remove_local`. Recovery is
+    /// shared: the redo of `AllocBlock` already locates the slab by
+    /// index, not list position.
+    fn alloc_block_hint(
+        &self,
+        ctx: &Ctx<'_>,
+        slab: u32,
+        class: u8,
+        bit: u32,
+        detect_dst: u64,
+    ) -> u64 {
+        let bits = self.bits(ctx, slab, class);
+        ctx.log().begin(
+            ctx.core,
+            LogWord {
+                op: self.op(Op::AllocBlock),
+                a: slab,
+                b: class,
+                c: bit as u16,
+            },
+            &[detect_dst],
+        );
+        ctx.crash_point("slab::alloc_block::after_log");
+        bits.clear(ctx.core, bit);
+        let remaining = self.free_count(ctx, slab) - 1;
+        self.set_free_count(ctx, slab, remaining);
+        ctx.crash_point("slab::alloc_block::after_clear");
+        if remaining == 0 {
+            self.remove_local(ctx, self.sized_head_off(ctx, class), slab);
+            ctx.crash_point("slab::alloc_block::after_unlink");
+            self.full_transition(ctx, slab, class);
+            ctx.crash_point("slab::alloc_block::after_transition");
+        }
+        ctx.log().clear_relaxed(ctx.core);
         self.hl(ctx.mem).slab_data_at(slab) + bit as u64 * self.classes.block_size(class) as u64
     }
 
@@ -653,7 +728,16 @@ impl SlabHeap {
             self.push_local(ctx, self.unsized_head_off(ctx), slab);
         }
         ctx.crash_point("slab::free_local::after_relink");
-        ctx.log().clear(ctx.core);
+        ctx.log().clear_relaxed(ctx.core);
+        if now_free != self.classes.blocks_per_slab(class) {
+            // The slab stayed sized and owned: hint the freed block to
+            // the magazine so the next same-class alloc can skip the
+            // bitset scan. (An emptied slab moved to the unsized list;
+            // hinting it would only produce a stale, discarded hint.)
+            if let Some(mags) = ctx.magazines {
+                mags.push(self.kind, class, slab, bit);
+            }
+        }
         self.release_overflow(ctx);
         Ok(())
     }
@@ -674,6 +758,11 @@ impl SlabHeap {
     /// The remote-free path: decrement the HWcc counter with detectable
     /// (m)CAS; steal the slab if we reach zero.
     fn free_remote(&self, ctx: &Ctx<'_>, slab: u32, offset: u64) -> Result<(), AllocError> {
+        if ctx.remote_free_batch > 1 {
+            if let Some(buf) = ctx.remote {
+                return self.free_remote_buffered(ctx, buf, slab, offset);
+            }
+        }
         let hl = self.hl(ctx.mem);
         let dcas = ctx.dcas();
         loop {
@@ -715,13 +804,107 @@ impl SlabHeap {
                 if last {
                     self.steal(ctx, slab);
                 }
-                ctx.log().clear(ctx.core);
+                ctx.log().clear_relaxed(ctx.core);
                 if last {
                     self.release_overflow(ctx);
                 }
                 return Ok(());
             }
-            ctx.log().clear(ctx.core);
+            ctx.log().clear_relaxed(ctx.core);
+        }
+    }
+
+    /// The batched remote-free path: validate the free against the live
+    /// counter, buffer it, and publish the whole batch with a single
+    /// detectable CAS once the slab's entry reaches `remote_free_batch`.
+    ///
+    /// Every buffered free holds one of the counter's remaining credits,
+    /// so the payload can never reach zero while frees sit in the buffer
+    /// — no steal or slab reinitialization can race the buffered state.
+    fn free_remote_buffered(
+        &self,
+        ctx: &Ctx<'_>,
+        buf: &RemoteFreeBuffer,
+        slab: u32,
+        offset: u64,
+    ) -> Result<(), AllocError> {
+        let hl = self.hl(ctx.mem);
+        let remote = ctx.dcas().read(ctx.core, hl.hwcc_desc_at(slab));
+        // Double-free / wild-pointer parity with the eager path: the
+        // payload must strictly exceed the already-buffered count for
+        // one more free into this slab to be legal.
+        let pending = buf.pending(self.kind, slab);
+        if remote.payload <= pending {
+            return Err(AllocError::NotAllocated { offset });
+        }
+        let (count, evicted) = buf.note(self.kind, slab);
+        if let Some((vkind, vslab, vpending)) = evicted {
+            SlabHeap::of(vkind).publish_remote_frees(ctx, vslab, vpending);
+        }
+        if count >= ctx.remote_free_batch {
+            let k = buf.take(self.kind, slab);
+            self.publish_remote_frees(ctx, slab, k);
+        }
+        Ok(())
+    }
+
+    /// Publishes `k` buffered remote frees against `slab` with one
+    /// detectable CAS decrementing the HWcc counter by `k`. The batch
+    /// width travels in the oplog record's `b` byte (`k` ≤ 255 by the
+    /// `remote_free_batch` clamp) so recovery redoes exactly the
+    /// undelivered decrement. `k` is capped at the live payload as a
+    /// defense against application double-frees that were never
+    /// buffered; a zero payload drops the batch the same way the eager
+    /// path would have rejected each free.
+    pub(crate) fn publish_remote_frees(&self, ctx: &Ctx<'_>, slab: u32, k: u32) {
+        let hl = self.hl(ctx.mem);
+        let dcas = ctx.dcas();
+        loop {
+            let remote = dcas.read(ctx.core, hl.hwcc_desc_at(slab));
+            if remote.payload == 0 {
+                return;
+            }
+            let k_eff = k.min(remote.payload);
+            let last = remote.payload == k_eff;
+            let version = ctx.log().bump_version(ctx.core);
+            ctx.log().begin(
+                ctx.core,
+                LogWord {
+                    op: self.op(if last {
+                        Op::RemoteFreeLast
+                    } else {
+                        Op::RemoteFree
+                    }),
+                    a: slab,
+                    b: k_eff as u8,
+                    c: version,
+                },
+                &[],
+            );
+            ctx.crash_point("slab::remote_free::publish_after_log");
+            if dcas
+                .attempt(
+                    ctx.core,
+                    hl.hwcc_desc_at(slab),
+                    remote,
+                    remote.payload - k_eff,
+                    ctx.tid,
+                    version,
+                )
+                .is_ok()
+            {
+                ctx.crash_point("slab::remote_free::publish_after_cas");
+                ctx.mem.note_remote_free_batched(k_eff as u64);
+                if last {
+                    self.steal(ctx, slab);
+                }
+                ctx.log().clear_relaxed(ctx.core);
+                if last {
+                    self.release_overflow(ctx);
+                }
+                return;
+            }
+            ctx.log().clear_relaxed(ctx.core);
         }
     }
 

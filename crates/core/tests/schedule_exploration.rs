@@ -234,4 +234,23 @@ fn golden_replay_fingerprints_are_pinned() {
         let got = liveness.run_seed(seed).unwrap().fingerprint;
         assert_eq!(got, want, "liveness seed {seed}: {got:#018x} != {want:#018x}");
     }
+    // The liveness profile with batched remote frees, magazines, and
+    // fence coalescing enabled (PR 4). Both fingerprints differ from
+    // the eager runs of the same seeds above, proving the schedules
+    // actually drive the batched publish path (crashes, adoptions, and
+    // steals included) — and that it stays deterministic.
+    let batched = Explorer {
+        liveness: true,
+        config: SimConfig {
+            remote_free_batch: 8,
+            magazine_capacity: 4,
+            coalesce_fences: true,
+            ..SimConfig::default()
+        },
+        ..Explorer::default()
+    };
+    for (seed, want) in [(23u64, 0x3c8ff5c119d8ed92), (47, 0x8e9563975c190714)] {
+        let got = batched.run_seed(seed).unwrap().fingerprint;
+        assert_eq!(got, want, "batched seed {seed}: {got:#018x} != {want:#018x}");
+    }
 }

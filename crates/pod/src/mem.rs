@@ -64,6 +64,18 @@ pub trait PodMemory: Send + Sync + std::fmt::Debug {
     fn hwcc_mode(&self) -> HwccMode;
     /// Loads the u64 at `offset`.
     fn load_u64(&self, core: CoreId, offset: u64) -> u64;
+    /// Loads `dst.len()` consecutive u64s starting at `offset` into
+    /// `dst` (8-byte stride). Semantically identical to a loop of
+    /// [`PodMemory::load_u64`] — same values, same accounting totals —
+    /// but lets scanners (the liveness detector's registry/lease sweep)
+    /// amortize the dispatch to one call per span; simulated backends
+    /// may additionally charge the span's latency as one bulk clock
+    /// advance instead of one jittered advance per word.
+    fn load_u64_span(&self, core: CoreId, offset: u64, dst: &mut [u64]) {
+        for (i, word) in dst.iter_mut().enumerate() {
+            *word = self.load_u64(core, offset + 8 * i as u64);
+        }
+    }
     /// Stores the u64 at `offset`.
     fn store_u64(&self, core: CoreId, offset: u64, value: u64);
     /// Atomically compares-and-swaps the u64 at `offset`.
@@ -77,6 +89,14 @@ pub trait PodMemory: Send + Sync + std::fmt::Debug {
     /// transient contention result (statistics only; see
     /// [`MemStats::cas_retries`](crate::stats::MemStats::cas_retries)).
     fn note_cas_retry(&self) {}
+    /// Records a fence elided by epoch coalescing (statistics only).
+    fn note_fence_elided(&self) {}
+    /// Records a flush coalesced into a later flush of the same line
+    /// (statistics only).
+    fn note_flush_coalesced(&self) {}
+    /// Records `k` remote frees delivered through one batched decrement
+    /// (statistics only).
+    fn note_remote_free_batched(&self, _k: u64) {}
     /// Flushes (writes back and evicts) `[offset, offset+len)` from
     /// `core`'s cache.
     fn flush(&self, core: CoreId, offset: u64, len: u64);
@@ -137,6 +157,16 @@ impl PodMemory for RawMemory {
     }
 
     #[inline]
+    fn load_u64_span(&self, _core: CoreId, offset: u64, dst: &mut [u64]) {
+        for (i, word) in dst.iter_mut().enumerate() {
+            *word = self
+                .segment
+                .atomic_u64(offset + 8 * i as u64)
+                .load(Ordering::Acquire);
+        }
+    }
+
+    #[inline]
     fn store_u64(&self, _core: CoreId, offset: u64, value: u64) {
         self.segment.atomic_u64(offset).store(value, Ordering::Release)
     }
@@ -154,6 +184,19 @@ impl PodMemory for RawMemory {
     #[inline]
     fn note_cas_retry(&self) {
         self.stats.cas_retry();
+    }
+
+    // note_fence_elided / note_flush_coalesced stay no-ops here for the
+    // same reason `flush`/`fence` are empty: they would fire per
+    // allocator op and put a shared counter on the fast path of a
+    // backend whose flushes are free anyway. Use SimMemory when the
+    // traffic counters matter.
+
+    #[inline]
+    fn note_remote_free_batched(&self, k: u64) {
+        // Rare (once per published batch), so counting is affordable
+        // even on the wall-clock backend.
+        self.stats.remote_free_batched(k);
     }
 
     #[inline]
@@ -408,6 +451,38 @@ impl PodMemory for SimMemory {
         self.mode
     }
 
+    fn load_u64_span(&self, core: CoreId, offset: u64, dst: &mut [u64]) {
+        // Fast path: a coherent-mode span entirely inside the HWcc
+        // region (the liveness detector's registry/lease sweeps) skips
+        // the per-word dispatch — one bulk stats bump and one clock
+        // advance of n × hwcc_load_ns for the whole span. Totals match
+        // a loop of `load_u64` exactly; only the jitter granularity
+        // (one draw per span instead of per word) differs.
+        let n = dst.len() as u64;
+        if n == 0 {
+            return;
+        }
+        let last = offset + 8 * (n - 1);
+        if self.mode != HwccMode::None
+            && !self.is_cached_region(offset)
+            && !self.is_cached_region(last)
+        {
+            self.stats.load_n(n);
+            self.clocks
+                .advance(core.index(), n * self.model.hwcc_load_ns, &self.model);
+            for (i, word) in dst.iter_mut().enumerate() {
+                *word = self
+                    .segment
+                    .atomic_u64(offset + 8 * i as u64)
+                    .load(Ordering::Acquire);
+            }
+            return;
+        }
+        for (i, word) in dst.iter_mut().enumerate() {
+            *word = self.load_u64(core, offset + 8 * i as u64);
+        }
+    }
+
     fn load_u64(&self, core: CoreId, offset: u64) -> u64 {
         self.stats.load();
         if self.is_cached_region(offset) {
@@ -536,6 +611,18 @@ impl PodMemory for SimMemory {
 
     fn note_cas_retry(&self) {
         self.stats.cas_retry();
+    }
+
+    fn note_fence_elided(&self) {
+        self.stats.fence_elided();
+    }
+
+    fn note_flush_coalesced(&self) {
+        self.stats.flush_coalesced();
+    }
+
+    fn note_remote_free_batched(&self, k: u64) {
+        self.stats.remote_free_batched(k);
     }
 
     fn stats(&self) -> MemStatsSnapshot {

@@ -36,6 +36,9 @@ struct Shard {
     breaker_trips: AtomicU64,
     breaker_heals: AtomicU64,
     fallback_cas: AtomicU64,
+    fences_elided: AtomicU64,
+    flushes_coalesced: AtomicU64,
+    remote_free_batched: AtomicU64,
 }
 
 /// Round-robin shard assignment, fixed per thread on first use. A
@@ -111,6 +114,11 @@ impl MemStats {
     #[inline]
     pub fn load(&self) {
         bump!(self.loads);
+    }
+    /// Records `n` loads delivered by one span load.
+    #[inline]
+    pub fn load_n(&self, n: u64) {
+        self.shard().loads.fetch_add(n, Ordering::Relaxed);
     }
     /// Records a store.
     #[inline]
@@ -190,6 +198,23 @@ impl MemStats {
     pub fn fallback(&self) {
         bump!(self.fallback_cas);
     }
+    /// Records a fence elided by epoch coalescing.
+    #[inline]
+    pub fn fence_elided(&self) {
+        bump!(self.fences_elided);
+    }
+    /// Records a flush coalesced into a later one on the same line.
+    #[inline]
+    pub fn flush_coalesced(&self) {
+        bump!(self.flushes_coalesced);
+    }
+    /// Records `k` remote frees delivered by one batched decrement.
+    #[inline]
+    pub fn remote_free_batched(&self, k: u64) {
+        self.shard()
+            .remote_free_batched
+            .fetch_add(k, Ordering::Relaxed);
+    }
 
     /// Snapshot of the current counter values (summed over shards).
     pub fn snapshot(&self) -> MemStatsSnapshot {
@@ -211,6 +236,9 @@ impl MemStats {
             breaker_trips: sum!(self.breaker_trips),
             breaker_heals: sum!(self.breaker_heals),
             fallback_cas: sum!(self.fallback_cas),
+            fences_elided: sum!(self.fences_elided),
+            flushes_coalesced: sum!(self.flushes_coalesced),
+            remote_free_batched: sum!(self.remote_free_batched),
         }
     }
 }
@@ -252,6 +280,12 @@ pub struct MemStatsSnapshot {
     pub breaker_heals: u64,
     /// Software-fallback CAS operations.
     pub fallback_cas: u64,
+    /// Fences elided by epoch coalescing.
+    pub fences_elided: u64,
+    /// Flushes coalesced into a later flush of the same line.
+    pub flushes_coalesced: u64,
+    /// Remote frees delivered through batched decrements.
+    pub remote_free_batched: u64,
 }
 
 impl MemStatsSnapshot {
@@ -280,6 +314,13 @@ impl MemStatsSnapshot {
             breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
             breaker_heals: self.breaker_heals.saturating_sub(earlier.breaker_heals),
             fallback_cas: self.fallback_cas.saturating_sub(earlier.fallback_cas),
+            fences_elided: self.fences_elided.saturating_sub(earlier.fences_elided),
+            flushes_coalesced: self
+                .flushes_coalesced
+                .saturating_sub(earlier.flushes_coalesced),
+            remote_free_batched: self
+                .remote_free_batched
+                .saturating_sub(earlier.remote_free_batched),
         }
     }
 }
@@ -325,6 +366,20 @@ mod tests {
         assert_eq!(snap.breaker_trips, 1);
         assert_eq!(snap.breaker_heals, 1);
         assert_eq!(snap.fallback_cas, 3);
+    }
+
+    #[test]
+    fn traffic_reduction_counters_accumulate() {
+        let stats = MemStats::new();
+        stats.fence_elided();
+        stats.fence_elided();
+        stats.flush_coalesced();
+        stats.remote_free_batched(7);
+        stats.remote_free_batched(3);
+        let snap = stats.snapshot();
+        assert_eq!(snap.fences_elided, 2);
+        assert_eq!(snap.flushes_coalesced, 1);
+        assert_eq!(snap.remote_free_batched, 10);
     }
 
     #[test]
