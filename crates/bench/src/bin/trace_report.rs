@@ -1,0 +1,295 @@
+//! Latency-attribution report: runs the fig9 microbenchmark phases and
+//! one kvstore macro workload under the [`cxl_pod::trace`] tracer and
+//! prints where every simulated nanosecond went.
+//!
+//! Two deterministic single-threaded sections, each on a fresh
+//! simulated pod ([`HwccMode::Limited`]):
+//!
+//! 1. **fig9 micro** — an `attach` phase (adapter construction + thread
+//!    registration), a `threadtest` phase (thread-local alloc/free
+//!    batches), and an `xmalloc` phase (producer/consumer remote
+//!    frees).
+//! 2. **kvstore** — YCSB-A over the bench KV store, split into
+//!    `preload` and `run` phases.
+//!
+//! After each section the report reconciles the trace against the
+//! backend's own accounting: the attribution table's total charged
+//! latency must equal the sum of the per-core virtual clocks *exactly*
+//! (every `Clocks::advance`/`serialize_through` site in `cxl-pod` emits
+//! the duration it charged), and per-kind event counts must match the
+//! `MemStats` counters for fences, line fills, and writebacks. A
+//! violation is a bug in the tracer wiring and aborts the report.
+//!
+//! Options: `--ops N` scales both sections; `--chrome PREFIX` writes
+//! `PREFIX_micro.json` / `PREFIX_kvstore.json` in Chrome `chrome://tracing`
+//! format. Fingerprints are printed so runs can be compared for
+//! byte-identical replay (see `OBSERVABILITY.md`).
+
+use baselines::{CxlallocAdapter, PodAlloc, PodAllocThread};
+use cxl_bench::allocators::cxlalloc_pod;
+use cxl_core::AttachOptions;
+use cxl_pod::trace::{chrome_trace_json, TraceKind, Tracer};
+use cxl_pod::{CoreId, HwccMode, PodMemory};
+use kvstore::KvStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use workloads::{KeyGen, KvOp, MicroSpec, OpStream, WorkloadSpec};
+
+const CAPACITY: u64 = 256 << 20;
+const MAX_THREADS: u32 = 8;
+
+struct Args {
+    /// Alloc/free pairs per micro phase and measured kvstore ops.
+    ops: u64,
+    /// Chrome-trace output prefix (`PREFIX_micro.json`, …).
+    chrome: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut out = Args {
+            ops: 4_000,
+            chrome: None,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--ops" => {
+                    i += 1;
+                    out.ops = args[i].parse().expect("--ops N");
+                }
+                "--chrome" => {
+                    i += 1;
+                    out.chrome = Some(args[i].clone());
+                }
+                other => panic!("unknown argument {other} (try --ops N, --chrome PREFIX)"),
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+
+    println!("=== trace_report: fig9 micro (threadtest + xmalloc) ===");
+    let micro = run_micro_section(args.ops);
+    if let Some(prefix) = &args.chrome {
+        write_chrome(&format!("{prefix}_micro.json"), &micro);
+    }
+
+    println!();
+    println!("=== trace_report: kvstore ({}) ===", WorkloadSpec::ycsb_a().name);
+    let kv = run_kvstore_section(args.ops);
+    if let Some(prefix) = &args.chrome {
+        write_chrome(&format!("{prefix}_kvstore.json"), &kv);
+    }
+}
+
+/// A section's reconciled snapshot, kept for Chrome export.
+struct Section {
+    trace: cxl_pod::trace::Trace,
+}
+
+fn write_chrome(path: &str, section: &Section) {
+    let json = chrome_trace_json(&section.trace);
+    std::fs::write(path, json).expect("write chrome trace");
+    println!("chrome trace written to {path}");
+}
+
+/// Arms `tracer` and parks every core in the interned phase `name`.
+fn enter_phase(tracer: &Tracer, cores: u32, name: &str) {
+    let id = tracer.phase_id(name);
+    for core in 0..cores {
+        tracer.set_phase(core as usize, id);
+    }
+}
+
+/// Prints the attribution table and checks the trace against the
+/// backend's own latency and operation accounting.
+fn reconcile(mem: &Arc<dyn PodMemory>, cores: u32) -> Section {
+    let tracer = mem.tracer().expect("simulated backends carry a tracer");
+    tracer.disarm();
+
+    let attribution = tracer.attribution();
+    println!("{}", attribution.render());
+
+    // Oracle 1: every nanosecond the latency model charged must appear
+    // as exactly one event's cost — per-core clocks vs. trace total.
+    let clock_total: u64 = (0..cores).map(|c| mem.virtual_ns(CoreId(c as u16))).sum();
+    let trace_total = attribution.total_ns();
+    assert_eq!(
+        trace_total, clock_total,
+        "trace attribution must account for every charged nanosecond"
+    );
+    println!(
+        "reconciled: trace total {trace_total} ns == sum of per-core virtual clocks ({cores} cores)"
+    );
+
+    // Oracle 2: per-kind event counts vs. the MemStats counters that
+    // map one-to-one onto emission sites.
+    let stats = mem.stats();
+    for (kind, counter, name) in [
+        (TraceKind::Fence, stats.fences, "fences"),
+        (TraceKind::LineFill, stats.line_fills, "line_fills"),
+        (TraceKind::Writeback, stats.writebacks, "writebacks"),
+    ] {
+        let traced = attribution.count_of(kind);
+        assert_eq!(
+            traced, counter,
+            "count({}) must match MemStats.{name}",
+            kind.name()
+        );
+    }
+    println!(
+        "reconciled: event counts match MemStats (fences {}, line_fills {}, writebacks {})",
+        stats.fences, stats.line_fills, stats.writebacks
+    );
+    println!(
+        "stats: loads {} stores {} flushes {} cached_hits {} uncached_ops {} mcas {}+{} cas_retries {}",
+        stats.loads,
+        stats.stores,
+        stats.flushes,
+        stats.cached_hits,
+        stats.uncached_ops,
+        stats.mcas_ok,
+        stats.mcas_fail,
+        stats.cas_retries
+    );
+
+    let trace = tracer.snapshot();
+    let dropped: u64 = trace.cores.iter().map(|c| c.dropped).sum();
+    if dropped > 0 {
+        println!(
+            "note: ring overflow dropped {dropped} events from the export \
+             (attribution and fingerprint still cover the full stream)"
+        );
+    }
+    println!("trace fingerprint: {:#018x}", tracer.fingerprint());
+    Section {
+        trace,
+    }
+}
+
+fn run_micro_section(ops: u64) -> Section {
+    let pod = cxlalloc_pod(CAPACITY, MAX_THREADS, Some(HwccMode::Limited));
+    let cores = pod.config().max_threads;
+    let mem = pod.memory().clone();
+    let tracer = mem.tracer().expect("simulated backends carry a tracer");
+    tracer.arm();
+
+    // Attach + thread registration are traced as their own phase so
+    // their (one-time) latency does not pollute the steady-state rows.
+    enter_phase(tracer, cores, "attach");
+    let adapter = CxlallocAdapter::new(pod, 1, AttachOptions::default());
+    let mut local = adapter.thread().expect("register local thread");
+    let mut producer = adapter.thread().expect("register producer");
+    let mut consumer = adapter.thread().expect("register consumer");
+
+    let spec = MicroSpec::threadtest_small();
+    enter_phase(tracer, cores, "threadtest");
+    run_micro_pairs(local.as_mut(), None, spec.object_size, spec.batch, ops);
+
+    let spec = MicroSpec::xmalloc_small();
+    enter_phase(tracer, cores, "xmalloc");
+    run_micro_pairs(
+        producer.as_mut(),
+        Some(consumer.as_mut()),
+        spec.object_size,
+        spec.batch,
+        ops,
+    );
+
+    reconcile(&mem, cores)
+}
+
+/// `ops` alloc/free pairs in batches: allocate `batch` objects on
+/// `alloc`, free them on `free_on` (remote) or `alloc` itself (local).
+fn run_micro_pairs(
+    alloc: &mut dyn PodAllocThread,
+    mut free_on: Option<&mut dyn PodAllocThread>,
+    size: usize,
+    batch: usize,
+    ops: u64,
+) {
+    let mut ptrs = Vec::with_capacity(batch);
+    let mut done = 0;
+    while done < ops {
+        for _ in 0..batch {
+            ptrs.push(alloc.alloc(size).expect("micro alloc"));
+        }
+        for ptr in ptrs.drain(..) {
+            match free_on.as_deref_mut() {
+                Some(remote) => remote.dealloc(ptr).expect("remote free"),
+                None => alloc.dealloc(ptr).expect("local free"),
+            }
+        }
+        done += batch as u64;
+    }
+    alloc.maintain();
+    if let Some(remote) = free_on {
+        remote.maintain();
+    }
+}
+
+fn run_kvstore_section(ops: u64) -> Section {
+    let pod = cxlalloc_pod(CAPACITY, MAX_THREADS, Some(HwccMode::Limited));
+    let cores = pod.config().max_threads;
+    let mem = pod.memory().clone();
+    let tracer = mem.tracer().expect("simulated backends carry a tracer");
+    tracer.arm();
+
+    enter_phase(tracer, cores, "attach");
+    let adapter = CxlallocAdapter::new(pod, 1, AttachOptions::default());
+    let spec = WorkloadSpec::ycsb_a();
+    let store = KvStore::new(1024, 2);
+    let mut worker = store.worker(adapter.thread().expect("register kv worker"));
+
+    // Preload, mirroring `run_macro` (same seed and key schedule) but
+    // capped so the report finishes in seconds.
+    enter_phase(tracer, cores, "preload");
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let keygen = spec.key_generator();
+    let preload = spec.preload.min(ops);
+    for i in 0..preload {
+        let key = match &keygen {
+            KeyGen::Uniform {
+                n,
+            } => i % n,
+            KeyGen::Zipfian(z) => z.sample_scrambled(&mut rng),
+        };
+        let key_len = spec.key_size.sample(&mut rng);
+        let value_len = spec.value_size.sample(&mut rng);
+        let _ = rng.gen::<u8>();
+        worker.insert(key, key_len, value_len).expect("preload insert");
+    }
+    worker.drain_retired();
+
+    enter_phase(tracer, cores, "run");
+    let mut stream = OpStream::new(spec, StdRng::seed_from_u64(7));
+    for _ in 0..ops {
+        match stream.next_op() {
+            KvOp::Insert {
+                key,
+                key_len,
+                value_len,
+            } => worker.insert(key, key_len, value_len).expect("kv insert"),
+            KvOp::Read {
+                key,
+            } => {
+                let _ = worker.get(key);
+            }
+            KvOp::Delete {
+                key,
+            } => {
+                let _ = worker.delete(key);
+            }
+        }
+    }
+    worker.drain_retired();
+
+    reconcile(&mem, cores)
+}

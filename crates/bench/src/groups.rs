@@ -18,7 +18,6 @@ use cxl_pod::stats::MemStats;
 use cxl_pod::{CoreId, HwccMode, Pod, PodConfig, Segment};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::mpsc;
 use std::sync::Arc;
 
 fn thread(recoverable: bool) -> Box<dyn PodAllocThread> {
@@ -78,11 +77,40 @@ pub fn bench_local_paths(c: &mut Criterion) {
 }
 
 /// Remote-free (m)CAS path: producer/consumer across threads. The
-/// channel gates the producer on the consumer's dealloc speed, so the
+/// handoff gates the producer on the consumer's dealloc speed, so the
 /// measured throughput is the remote-free path; the PR-4 amortizations
 /// (batched publishes, magazines, coalesced fences) are enabled here —
 /// the eager ablation lives in `remote_free_batched/eager_64B`.
+///
+/// The handoff is a slot-sentinel SPSC ring rather than
+/// `std::sync::mpsc::sync_channel`: the channel's ~95 ns/op cost put a
+/// ~210 ns floor under this group (PR-4 note in ROADMAP.md) that hid
+/// the batching win end to end. A slot is empty while it holds 0 (no
+/// valid block lives at offset 0), so each side needs one uncontended
+/// atomic load plus one store per transfer. Waits spin briefly and
+/// then yield: on a single-CPU box a pure spin wait burns the whole
+/// timeslice while the peer is runnable but not running, and the ring
+/// degenerates to one transfer per scheduler quantum.
 pub fn bench_remote_free(c: &mut Criterion) {
+    use cxl_core::OffsetPtr;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn wait_until(slot: &AtomicU64, empty: bool) -> u64 {
+        let mut spins = 0u32;
+        loop {
+            let raw = slot.load(Ordering::Acquire);
+            if (raw == 0) == empty {
+                return raw;
+            }
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
     let mut group = c.benchmark_group("remote_free");
     group.throughput(Throughput::Elements(1));
     group.bench_function("producer_consumer_64B", |b| {
@@ -93,22 +121,40 @@ pub fn bench_remote_free(c: &mut Criterion) {
             ..AttachOptions::default()
         };
         let alloc = CxlallocAdapter::new(cxlalloc_pod(1 << 30, 8, None), 1, options);
-        let (tx, rx) = mpsc::sync_channel(1024);
+        const RING: usize = 1024;
+        const CLOSE: u64 = u64::MAX;
+        let ring: Arc<Vec<AtomicU64>> =
+            Arc::new((0..RING).map(|_| AtomicU64::new(0)).collect());
         let consumer = std::thread::spawn({
             let alloc = alloc.clone();
+            let ring = ring.clone();
             move || {
                 let mut t = alloc.thread().unwrap();
-                while let Ok(p) = rx.recv() {
-                    t.dealloc(p).unwrap();
+                let mut i = 0usize;
+                loop {
+                    let slot = &ring[i & (RING - 1)];
+                    let raw = wait_until(slot, false);
+                    slot.store(0, Ordering::Release);
+                    if raw == CLOSE {
+                        break;
+                    }
+                    t.dealloc(OffsetPtr::decode(raw).unwrap()).unwrap();
+                    i += 1;
                 }
             }
         });
         let mut t = alloc.thread().unwrap();
+        let mut i = 0usize;
         b.iter(|| {
             let p = t.alloc(64).unwrap();
-            tx.send(p).unwrap();
+            let slot = &ring[i & (RING - 1)];
+            wait_until(slot, true);
+            slot.store(p.offset(), Ordering::Release);
+            i += 1;
         });
-        drop(tx);
+        let slot = &ring[i & (RING - 1)];
+        wait_until(slot, true);
+        slot.store(CLOSE, Ordering::Release);
         consumer.join().unwrap();
     });
     group.finish();

@@ -34,6 +34,7 @@ use crate::remote::{Magazines, RemoteFreeBuffer};
 use crate::shadow::DescShadow;
 use crate::slab::SlabHeap;
 use crate::{OffsetPtr, ThreadId};
+use cxl_pod::trace::TraceKind;
 use cxl_pod::{CoreId, Fault, PodMemory, Process};
 use std::cell::Cell;
 use std::sync::Arc;
@@ -77,6 +78,7 @@ fn registry_cas(
             Ok(_) => return Ok(()),
             Err(actual) if actual == current => {
                 mem.note_cas_retry();
+                mem.trace_op(core, TraceKind::CasRetry, offset);
                 match backoff.step() {
                     Some(spins) => Backoff::pause(spins),
                     None => {
@@ -118,8 +120,8 @@ pub struct AttachOptions {
     /// field. Buffered frees drain at the threshold, on buffer-slot
     /// eviction, and at the [`ThreadHandle::flush_cache`] /
     /// [`ThreadHandle::flush_local_caches`] quiesce points; frees still
-    /// buffered when a thread dies are leaked (bounded; see DESIGN.md
-    /// §9.1).
+    /// buffered when a thread dies are republished by recovery from the
+    /// thread's durable header line (see DESIGN.md §9.1).
     pub remote_free_batch: u32,
     /// Per-class capacity of the volatile magazine of recently freed
     /// local blocks (mimalloc-style); allocations re-validate and reuse
@@ -173,6 +175,22 @@ impl Cxlalloc {
     ///
     /// Returns [`AllocError::ConfigMismatch`] if the pod layout does not
     /// match this crate's class tables.
+    ///
+    /// # Examples
+    ///
+    /// Attach to a simulated pod, register a thread, and allocate:
+    ///
+    /// ```
+    /// use cxl_core::{AttachOptions, Cxlalloc};
+    /// use cxl_pod::{HwccMode, Pod, PodConfig};
+    ///
+    /// let pod = Pod::with_simulation(PodConfig::small_for_tests(), HwccMode::Limited)?;
+    /// let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default())?;
+    /// let mut thread = heap.register_thread()?;
+    /// let ptr = thread.alloc(64)?;
+    /// thread.dealloc(ptr)?;
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn attach(process: Arc<Process>, options: AttachOptions) -> Result<Self, AllocError> {
         let layout = process.memory().layout();
         if layout.small.num_classes != crate::class::SMALL_CLASSES_TABLE.len()
@@ -404,6 +422,31 @@ impl Cxlalloc {
     ///
     /// Returns [`AllocError::BadThreadState`] unless `tid` is marked
     /// crashed.
+    ///
+    /// # Examples
+    ///
+    /// A survivor repairs a thread that died without cleaning up (the
+    /// handle is dropped while its slot is still LIVE, exactly what a
+    /// real crash leaves behind):
+    ///
+    /// ```
+    /// use cxl_core::{AttachOptions, Cxlalloc};
+    /// use cxl_pod::{HwccMode, Pod, PodConfig};
+    ///
+    /// let pod = Pod::with_simulation(PodConfig::small_for_tests(), HwccMode::Limited)?;
+    /// let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default())?;
+    /// let survivor = heap.register_thread()?;
+    ///
+    /// let mut victim = heap.register_thread()?;
+    /// let tid = victim.tid();
+    /// let _leaked = victim.alloc(64)?;
+    /// drop(victim); // dies mid-flight: slot stays LIVE, block stays allocated
+    ///
+    /// heap.mark_crashed(tid)?; // LIVE → DEAD (and drops the dead core's cache)
+    /// let report = heap.recover(tid, survivor.core())?;
+    /// assert!(report.interrupted.is_none(), "no op was in flight: {}", report.outcome);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn recover(&self, tid: ThreadId, via: CoreId) -> Result<RecoveryReport, AllocError> {
         let mem = self.mem();
         let off = mem.layout().registry_at(tid.slot());
@@ -456,6 +499,37 @@ impl Cxlalloc {
     /// [`AllocError::BadThreadState`] when the slot is not crashed at
     /// all (FREE); [`AllocError::DeviceContention`] when the claim CAS
     /// exhausted its retry budget.
+    ///
+    /// # Examples
+    ///
+    /// Adopt a crashed thread's slot and keep allocating through it; a
+    /// second adoption attempt loses the (already decided) race:
+    ///
+    /// ```
+    /// use cxl_core::{AllocError, AttachOptions, Cxlalloc};
+    /// use cxl_pod::{HwccMode, Pod, PodConfig};
+    ///
+    /// let pod = Pod::with_simulation(PodConfig::small_for_tests(), HwccMode::Limited)?;
+    /// let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default())?;
+    /// let survivor = heap.register_thread()?;
+    ///
+    /// let victim = heap.register_thread()?;
+    /// let tid = victim.tid();
+    /// drop(victim);
+    /// heap.mark_crashed(tid)?;
+    ///
+    /// let (mut adopted, _report) = heap.try_adopt(tid, survivor.core())?;
+    /// assert_eq!(adopted.tid(), tid); // the winner now owns the slot
+    /// let ptr = adopted.alloc(64)?;
+    /// adopted.dealloc(ptr)?;
+    ///
+    /// // The slot is LIVE again, so a late adopter gets the race error.
+    /// assert!(matches!(
+    ///     heap.try_adopt(tid, survivor.core()),
+    ///     Err(AllocError::AdoptionRaced { .. })
+    /// ));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn try_adopt(
         &self,
         tid: ThreadId,
@@ -495,6 +569,7 @@ impl Cxlalloc {
                         "slot {tid} changed under its adopter"
                     );
                     mem.note_cas_retry();
+                    mem.trace_op(via, TraceKind::CasRetry, off);
                     Backoff::pause(backoff.step_saturating());
                 }
             }
@@ -646,7 +721,9 @@ impl ThreadHandle {
         // implementation exactly (same-core readers — the invariant
         // checker, an adopting recoverer — see current state).
         self.shadow.sync_all(ctx.mem, ctx.core);
-        Ok(OffsetPtr::new(result?).expect("data offsets are nonzero"))
+        let offset = result?;
+        ctx.mem.trace_op(ctx.core, TraceKind::SlabAlloc, offset);
+        Ok(OffsetPtr::new(offset).expect("data offsets are nonzero"))
     }
 
     /// Frees the allocation at `ptr`. Size is not required: the owning
@@ -678,6 +755,9 @@ impl ThreadHandle {
             Err(AllocError::WildPointer { offset })
         };
         self.shadow.sync_all(ctx.mem, ctx.core);
+        if result.is_ok() {
+            ctx.mem.trace_op(ctx.core, TraceKind::SlabFree, offset);
+        }
         result
     }
 
@@ -720,7 +800,9 @@ impl ThreadHandle {
                     state: "lease stolen",
                 })
             },
-        )
+        )?;
+        mem.trace_op(self.core, TraceKind::LeaseRenew, off);
+        Ok(())
     }
 
     /// Runs one huge-heap cleanup pass (hazard scan + descriptor

@@ -148,6 +148,8 @@ impl<'m> Dcas<'m> {
                     // The cell is unchanged: a device bounce, not a
                     // competing writer. Back off before re-issuing.
                     self.mem.note_cas_retry();
+                    self.mem
+                        .trace_op(core, cxl_pod::trace::TraceKind::CasRetry, offset);
                     let b = backoff.get_or_insert_with(|| {
                         Backoff::new(
                             BackoffPolicy::default(),

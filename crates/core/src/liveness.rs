@@ -24,7 +24,7 @@
 //!   DEAD→[`ADOPTING`](registry::ADOPTING) registry CAS is the
 //!   linearization point, so exactly one wins and runs recovery while
 //!   losers get a typed
-//!   [`AllocError::AdoptionRaced`](crate::AllocError::AdoptionRaced).
+//!   [`AllocError::AdoptionRaced`].
 //!
 //! Ticks are logical, driven by the schedule driver's `DetectorTick`
 //! steps — no wall clock is involved, so exploration campaigns replay

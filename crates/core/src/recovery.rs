@@ -150,12 +150,26 @@ pub(crate) fn recover(ctx: &Ctx<'_>) -> RecoveryReport {
     let entry = log.read(ctx.core);
     let Some((op, kind)) = Op::decode(entry.word.op) else {
         log.clear(ctx.core);
+        republish_remote_buffer(ctx, None);
         flush_thread_lines(ctx);
         return RecoveryReport::clean("unknown op cleared");
     };
     if op == Op::Idle {
+        republish_remote_buffer(ctx, None);
         flush_thread_lines(ctx);
         return RecoveryReport::clean("idle");
+    }
+    // The durable-buffer scan must skip the one batch the logged redo
+    // already applies: a `RemoteFree*` record whose CAS never landed.
+    // Evaluate the detect *before* the redo reruns the CAS with a newer
+    // version (which makes the logged version undetectable).
+    let mut scan_skip = None;
+    if matches!(op, Op::RemoteFree | Op::RemoteFreeLast) && kind != HeapKind::Huge {
+        let heap = SlabHeap::of(kind);
+        let cell = heap.hl(ctx.mem).hwcc_desc_at(entry.word.a);
+        if !ctx.dcas().detect(ctx.core, cell, ctx.tid, entry.word.c) {
+            scan_skip = Some((kind, entry.word.a));
+        }
     }
     let mut report = RecoveryReport {
         interrupted: Some((op, kind)),
@@ -173,11 +187,51 @@ pub(crate) fn recover(ctx: &Ctx<'_>) -> RecoveryReport {
         }
         HeapKind::Huge => recover_huge(ctx, op, &entry, &mut report),
     }
+    // Republish batched remote frees the dead thread had buffered but
+    // not yet published (this runs its own logged publishes, so it must
+    // precede the final log clear only in program order — each publish
+    // leaves the log idle again).
+    republish_remote_buffer(ctx, scan_skip);
     log.clear(ctx.core);
     // Everything recovery wrote must be durable before the slot is
     // reused: flush the thread's local-head lines.
     flush_thread_lines(ctx);
     report
+}
+
+/// Scans the dead thread's durable remote-free header line and
+/// republishes every batch whose decrement never reached its HWcc
+/// counter. `skip` names the batch covered by the thread's logged
+/// `RemoteFree*` redo: its word is cleared without republishing (the
+/// redo already applied the decrement; publishing again would
+/// double-decrement the counter). Closes the pre-PR-5
+/// `SLOTS × (batch − 1)` leak of buffered-but-unpublished frees.
+fn republish_remote_buffer(ctx: &Ctx<'_>, skip: Option<(HeapKind, u32)>) {
+    use crate::remote::durable;
+    if !ctx.recoverable {
+        return;
+    }
+    let layout = ctx.mem.layout();
+    let line = layout.remote_buf_at(ctx.tid.slot());
+    // Drop any stale view the recovering core holds of the line before
+    // reading the durable image.
+    ctx.mem.flush(ctx.core, line, cxl_pod::CACHELINE);
+    ctx.mem.fence(ctx.core);
+    for i in 0..durable::WORDS {
+        let off = durable::word_at(ctx, i);
+        let word = ctx.mem.load_u64(ctx.core, off);
+        let Some((kind, slab, pending)) = durable::unpack(word) else {
+            continue;
+        };
+        if skip == Some((kind, slab)) || pending == 0 {
+            durable::clear_word(ctx, off);
+            continue;
+        }
+        // The publish durably clears the slab's word before its CAS (or
+        // on the zero-counter drop path), so the line is empty once the
+        // loop completes.
+        SlabHeap::of(kind).publish_remote_frees(ctx, slab, pending);
+    }
 }
 
 /// Flushes the dead thread's local free-list heads so repairs are

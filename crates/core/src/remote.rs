@@ -1,9 +1,9 @@
 //! Batched remote frees and per-thread magazines (hot-path amortization).
 //!
-//! Both structures are *volatile, per-thread DRAM state* riding on the
+//! Both structures are *per-thread DRAM state* riding on the
 //! [`ThreadHandle`](crate::ThreadHandle), in the same spirit as the
-//! descriptor shadow (`shadow.rs`): they reduce CXL traffic without
-//! adding any durable state that recovery would have to repair.
+//! descriptor shadow (`shadow.rs`): they reduce CXL traffic on the hot
+//! path.
 //!
 //! * [`RemoteFreeBuffer`] — a small table of *pending* remote frees
 //!   keyed by `(heap, slab)`. The paper's §3.2.1 protocol pays one
@@ -17,10 +17,14 @@
 //!   were all delayed to the publish instant; the counter can never
 //!   reach zero while frees sit in the buffer (each buffered free holds
 //!   one of the counter's remaining credits), so no steal or slab
-//!   reinitialization can race the buffered state. Frees that are
-//!   buffered but unpublished when the thread dies are lost — a
-//!   bounded leak of at most `SLOTS × (batch-1)` blocks, documented in
-//!   ROADMAP.md's open items.
+//!   reinitialization can race the buffered state. In recoverable mode
+//!   the buffer is mirrored word-for-word into a per-thread *durable
+//!   header line* at the segment tail (the [`durable`] module): every
+//!   buffered free durably records the slab's new pending count, and a
+//!   publish durably clears the slab's word *before* issuing its CAS.
+//!   Recovery scans a dead thread's line and republishes every
+//!   surviving batch, so buffered-but-unpublished frees are no longer
+//!   lost (the pre-PR-5 `SLOTS × (batch-1)` bounded leak is gone).
 //! * [`Magazines`] — a bounded per-class LIFO of `(slab, bit)` *hints*
 //!   for recently locally-freed blocks (mimalloc-style), skipping the
 //!   bitset scan of the alloc fast path. Hints are advisory: the
@@ -162,6 +166,101 @@ impl RemoteFreeBuffer {
     /// Whether nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.entries.iter().all(|e| e.get().key == 0)
+    }
+}
+
+/// Durable mirror of the [`RemoteFreeBuffer`]: one cacheline (8 words,
+/// matching `SLOTS`) per thread at
+/// [`Layout::remote_buf`](cxl_pod::Layout::remote_buf).
+///
+/// Each occupied word packs `key | pending << 34` with the same
+/// `(kind_tag << 32) | (slab + 1)` key encoding as the DRAM buffer; a
+/// zero word is an empty slot. The maintenance protocol keeps one
+/// invariant recovery can rely on: **a publish CAS can only land after
+/// the slab's durable word was durably cleared** (the clear's
+/// store+flush+fence precedes the CAS, both ordered after the oplog
+/// record). A dead thread's line therefore holds exactly the batches
+/// whose decrements never reached the HWcc counter — except possibly
+/// the one batch named by the thread's logged `RemoteFree*` record,
+/// which the logged redo already applies and recovery's scan must skip.
+pub(crate) mod durable {
+    use super::{key_of, HeapKind, SLOTS};
+    use crate::ctx::Ctx;
+    use cxl_pod::CACHELINE;
+
+    const KEY_BITS: u32 = 34;
+    const KEY_MASK: u64 = (1 << KEY_BITS) - 1;
+
+    /// Words per durable header line; mirrors the DRAM buffer 1:1.
+    pub(crate) const WORDS: u32 = (CACHELINE / 8) as u32;
+    const _: () = assert!(WORDS as usize == SLOTS);
+
+    /// Packs an occupied durable word.
+    pub(crate) fn pack(kind: HeapKind, slab: u32, pending: u32) -> u64 {
+        key_of(kind, slab) | ((pending as u64) << KEY_BITS)
+    }
+
+    /// Unpacks a durable word; `None` for empty (or unrecognizable)
+    /// words.
+    pub(crate) fn unpack(word: u64) -> Option<(HeapKind, u32, u32)> {
+        let key = word & KEY_MASK;
+        let kind = match key >> 32 {
+            1 => HeapKind::Small,
+            2 => HeapKind::Large,
+            _ => return None,
+        };
+        Some((kind, (key as u32).wrapping_sub(1), (word >> KEY_BITS) as u32))
+    }
+
+    /// Offset of word `i` in `ctx.tid`'s durable header line.
+    pub(crate) fn word_at(ctx: &Ctx<'_>, i: u32) -> u64 {
+        ctx.mem.layout().remote_buf_word_at(ctx.tid.slot(), i)
+    }
+
+    /// Durably records `pending` buffered frees against `(kind, slab)`
+    /// in `ctx.tid`'s line: store + flush + fence. The line always has
+    /// room because it mirrors the bounded DRAM buffer slot-for-slot.
+    pub(crate) fn record(ctx: &Ctx<'_>, kind: HeapKind, slab: u32, pending: u32) {
+        let off = slot_for(ctx, key_of(kind, slab));
+        ctx.mem.store_u64(ctx.core, off, pack(kind, slab, pending));
+        ctx.mem.flush(ctx.core, off, 8);
+        ctx.mem.fence(ctx.core);
+    }
+
+    /// Durably clears the word for `(kind, slab)` in `ctx.tid`'s line;
+    /// a no-op when absent (retried publish iterations, eager paths).
+    pub(crate) fn clear(ctx: &Ctx<'_>, kind: HeapKind, slab: u32) {
+        let key = key_of(kind, slab);
+        for i in 0..WORDS {
+            let off = word_at(ctx, i);
+            if ctx.mem.load_u64(ctx.core, off) & KEY_MASK == key {
+                clear_word(ctx, off);
+                return;
+            }
+        }
+    }
+
+    /// Durably zeroes the word at `off`.
+    pub(crate) fn clear_word(ctx: &Ctx<'_>, off: u64) {
+        ctx.mem.store_u64(ctx.core, off, 0);
+        ctx.mem.flush(ctx.core, off, 8);
+        ctx.mem.fence(ctx.core);
+    }
+
+    /// The word currently keyed `key`, or the first empty slot.
+    fn slot_for(ctx: &Ctx<'_>, key: u64) -> u64 {
+        let mut free = None;
+        for i in 0..WORDS {
+            let off = word_at(ctx, i);
+            let k = ctx.mem.load_u64(ctx.core, off) & KEY_MASK;
+            if k == key {
+                return off;
+            }
+            if k == 0 && free.is_none() {
+                free = Some(off);
+            }
+        }
+        free.expect("durable line mirrors the bounded buffer; a slot is always free")
     }
 }
 

@@ -317,7 +317,9 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
-    fn pod_config(&self) -> PodConfig {
+    /// The pod configuration schedule runs use; public so callers of
+    /// [`run_on`] can build the identical pod themselves.
+    pub fn pod_config(&self) -> PodConfig {
         PodConfig {
             small_max_slabs: 256,
             huge_capacity: 16 << 20,
@@ -429,6 +431,32 @@ struct Host {
 /// # Panics
 ///
 /// Panics if `schedule.hosts` exceeds the pod's thread capacity.
+///
+/// # Examples
+///
+/// Replay a hand-written two-host schedule with a scripted crash; the
+/// report's fingerprint pins the run for byte-identical replay:
+///
+/// ```
+/// use cxl_core::sched::{self, FaultPlan, Schedule, SimConfig, Step};
+///
+/// let schedule = Schedule {
+///     seed: 0, // hand-written, not generated
+///     hosts: 2,
+///     steps: vec![
+///         Step::Alloc { host: 0, size: 64 },
+///         Step::Alloc { host: 1, size: 128 },
+///         Step::Crash { host: 1, at: "slab::push_global::after_cas", skip: 0 },
+///         Step::Recover { host: 1, via: 0 },
+///     ],
+/// };
+/// let config = SimConfig::default();
+/// let report = sched::run(&config, &schedule, &FaultPlan::none())?;
+/// assert_eq!(report.recoveries, 1);
+/// let replay = sched::run(&config, &schedule, &FaultPlan::none())?;
+/// assert_eq!(report.fingerprint, replay.fingerprint);
+/// # Ok::<(), cxl_core::sched::ScheduleFailure>(())
+/// ```
 pub fn run(
     config: &SimConfig,
     schedule: &Schedule,
@@ -436,6 +464,28 @@ pub fn run(
 ) -> Result<RunReport, ScheduleFailure> {
     let pod = Pod::with_simulation(config.pod_config(), config.mode)
         .expect("test pod config must be valid");
+    run_on(&pod, config, schedule, plan)
+}
+
+/// [`run`] over a caller-built simulated pod: lets the caller arm
+/// backend observers before the run — notably the [`cxl_pod::trace`]
+/// tracer, whose replay determinism is tested this way — or inspect
+/// backend state afterwards.
+///
+/// # Errors
+///
+/// Same as [`run`].
+///
+/// # Panics
+///
+/// Panics if `pod` is not simulation-backed or too small for
+/// `schedule.hosts`.
+pub fn run_on(
+    pod: &Pod,
+    config: &SimConfig,
+    schedule: &Schedule,
+    plan: &FaultPlan,
+) -> Result<RunReport, ScheduleFailure> {
     if !plan.rules.is_empty() {
         let sim = pod
             .memory()

@@ -40,7 +40,9 @@ use crate::class::ClassTable;
 use crate::ctx::Ctx;
 use crate::error::{AllocError, HeapKind};
 use crate::recovery::Op;
+use crate::remote;
 use crate::remote::RemoteFreeBuffer;
+use cxl_pod::trace::TraceKind;
 use cxl_pod::{CoreId, HeapLayout, PodMemory};
 
 /// Crash-point labels compiled into this module (white-box failure
@@ -801,6 +803,7 @@ impl SlabHeap {
                 .is_ok()
             {
                 ctx.crash_point("slab::remote_free::after_cas");
+                ctx.mem.trace_op(ctx.core, TraceKind::RemoteFreePublish, 1);
                 if last {
                     self.steal(ctx, slab);
                 }
@@ -844,6 +847,12 @@ impl SlabHeap {
         if count >= ctx.remote_free_batch {
             let k = buf.take(self.kind, slab);
             self.publish_remote_frees(ctx, slab, k);
+        } else if ctx.recoverable {
+            // Mirror the new pending count into the durable header line
+            // so recovery can republish the batch if we die before the
+            // publish. At the threshold the publish immediately clears
+            // the word, so recording first would be wasted traffic.
+            remote::durable::record(ctx, self.kind, slab, count);
         }
         Ok(())
     }
@@ -862,6 +871,11 @@ impl SlabHeap {
         loop {
             let remote = dcas.read(ctx.core, hl.hwcc_desc_at(slab));
             if remote.payload == 0 {
+                // The batch is dropped, so its durable record must not
+                // survive to be republished by a later recovery.
+                if ctx.recoverable {
+                    remote::durable::clear(ctx, self.kind, slab);
+                }
                 return;
             }
             let k_eff = k.min(remote.payload);
@@ -882,6 +896,14 @@ impl SlabHeap {
                 &[],
             );
             ctx.crash_point("slab::remote_free::publish_after_log");
+            // Durably retire the batch's header word *before* the CAS:
+            // once the decrement can have landed, no recovery may
+            // republish it. A crash in between is covered by the oplog
+            // record just written — the logged redo applies the
+            // decrement and recovery's scan skips this slab's word.
+            if ctx.recoverable {
+                remote::durable::clear(ctx, self.kind, slab);
+            }
             if dcas
                 .attempt(
                     ctx.core,
@@ -895,6 +917,8 @@ impl SlabHeap {
             {
                 ctx.crash_point("slab::remote_free::publish_after_cas");
                 ctx.mem.note_remote_free_batched(k_eff as u64);
+                ctx.mem
+                    .trace_op(ctx.core, TraceKind::RemoteFreePublish, k_eff as u64);
                 if last {
                     self.steal(ctx, slab);
                 }

@@ -101,9 +101,11 @@ fn batched_publish_crash_points_recover() {
             heap.check_invariants(producer.core())
                 .unwrap_or_else(|e| panic!("invariants after {point} skip {skip}: {e}"));
 
-            // The adopted slot is fully usable; frees buffered in the
-            // victim's DRAM at the crash are a bounded leak by design
-            // (the invariants above must hold regardless).
+            // The adopted slot is fully usable; frees that were still
+            // buffered at the crash were republished from the victim's
+            // durable header line during recovery (see
+            // `buffered_frees_republished_after_crash` for the direct
+            // counter assertion).
             let (mut adopted, _) = heap.adopt(tid, producer.core()).unwrap();
             let fresh: Vec<OffsetPtr> = (0..256).map(|_| adopted.alloc(64).unwrap()).collect();
             for p in fresh {
@@ -193,6 +195,75 @@ fn publish_crash_counter_equivalence() {
             "{point}: counter after recovery"
         );
         heap.check_invariants(producer.core()).unwrap();
+    }
+}
+
+/// The PR-4 deferral, closed: frees that are *buffered but unpublished*
+/// when a thread dies must survive the crash. The victim buffers 5
+/// frees against slab A (below the batch threshold, so they only exist
+/// in its DRAM buffer and its durable header line), then crashes inside
+/// the publish of slab B's full batch. Recovery must (a) settle slab
+/// B's logged batch exactly once — redo when the CAS had not landed,
+/// detect-skip when it had — and (b) republish slab A's 5 buffered
+/// decrements from the durable line, leaving zero leaked blocks.
+#[test]
+fn buffered_frees_republished_after_crash() {
+    const BATCH: u32 = 8;
+    for (point, b_at_crash) in [
+        // CAS not yet attempted: B still holds all 512 at the crash.
+        ("slab::remote_free::publish_after_log", 512u32),
+        // CAS landed: B already decremented by the batch.
+        ("slab::remote_free::publish_after_cas", 504),
+    ] {
+        let pod = pod();
+        let heap = Cxlalloc::attach(pod.spawn_process(), batched_options(BATCH)).unwrap();
+        let mut producer = heap.register_thread().unwrap();
+        // Two full 64 B slabs: A = ptrs[..512], B = ptrs[512..].
+        let ptrs: Vec<OffsetPtr> = (0..1024).map(|_| producer.alloc(64).unwrap()).collect();
+        let slab_a = pod.layout().small.slab_of(ptrs[0].offset()).unwrap();
+        let slab_b = pod.layout().small.slab_of(ptrs[512].offset()).unwrap();
+        assert_ne!(slab_a, slab_b);
+
+        let (tid, crashed) = crash_thread(&heap, CrashPlan { at: point, skip: 0 }, |t| {
+            // 5 buffered frees against A (durably recorded, unpublished)…
+            for p in &ptrs[..5] {
+                t.dealloc(*p).unwrap();
+            }
+            // …then fill B's buffer entry; the 8th free triggers the
+            // publish this plan crashes inside.
+            for p in &ptrs[512..512 + BATCH as usize] {
+                t.dealloc(*p).unwrap();
+            }
+        });
+        assert!(crashed, "never reached {point}");
+        assert_eq!(remote_counter(&pod, slab_a), 512, "{point}: A untouched at crash");
+        assert_eq!(remote_counter(&pod, slab_b), b_at_crash, "{point}: B at crash");
+
+        heap.mark_crashed(tid).unwrap();
+        let report = heap.recover(tid, producer.core()).unwrap();
+        assert!(report.interrupted.is_some(), "{point}");
+        assert_eq!(
+            remote_counter(&pod, slab_a),
+            507,
+            "{point}: A's buffered frees must be republished, not leaked"
+        );
+        assert_eq!(
+            remote_counter(&pod, slab_b),
+            504,
+            "{point}: B's logged batch must land exactly once"
+        );
+        heap.check_invariants(producer.core()).unwrap();
+
+        // A second recovery pass must be a no-op: the durable line was
+        // drained, so nothing can be republished twice.
+        let (mut adopted, _) = heap.adopt(tid, producer.core()).unwrap();
+        assert_eq!(remote_counter(&pod, slab_a), 507, "{point}: adopt must not republish");
+        assert_eq!(remote_counter(&pod, slab_b), 504, "{point}: adopt must not republish");
+        let fresh: Vec<OffsetPtr> = (0..64).map(|_| adopted.alloc(64).unwrap()).collect();
+        for p in fresh {
+            adopted.dealloc(p).unwrap();
+        }
+        heap.check_invariants(adopted.core()).unwrap();
     }
 }
 

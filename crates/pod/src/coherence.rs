@@ -31,8 +31,10 @@
 
 use crate::segment::Segment;
 use crate::stats::MemStats;
+use crate::trace::{TraceKind, Tracer};
 use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Cacheline size in bytes.
 pub const LINE: u64 = 64;
@@ -195,6 +197,9 @@ pub struct CacheModel {
     caches: Vec<Mutex<CoreCache>>,
     /// Maximum lines per core (0 = unbounded).
     capacity: usize,
+    /// Event tracer shared with the owning backend. Disarmed unless
+    /// the backend arms it; every emission guards on one relaxed load.
+    tracer: Arc<Tracer>,
 }
 
 impl CacheModel {
@@ -207,6 +212,13 @@ impl CacheModel {
     /// (0 = unbounded); overflowing inserts evict a pseudo-random line,
     /// writing back its dirty words.
     pub fn with_capacity(cores: usize, capacity: usize) -> Self {
+        Self::with_tracer(cores, capacity, Arc::new(Tracer::new(cores)))
+    }
+
+    /// Creates caches sharing `tracer` with the owning backend, so line
+    /// fills and writebacks — including *silent evictions* the software
+    /// never asked for — appear in the event stream.
+    pub fn with_tracer(cores: usize, capacity: usize, tracer: Arc<Tracer>) -> Self {
         // Bounded tables are sized once at ≤50% load so they never grow;
         // unbounded tables start small and double as the working set
         // warms up.
@@ -220,12 +232,13 @@ impl CacheModel {
                 .map(|i| Mutex::new(CoreCache::new(initial_slots, i)))
                 .collect(),
             capacity,
+            tracer,
         }
     }
 
     /// Makes room for one more line: evict (bounded) or grow (unbounded)
     /// when required.
-    fn make_room(&self, cache: &mut CoreCache, segment: &Segment, stats: &MemStats) {
+    fn make_room(&self, core: usize, cache: &mut CoreCache, segment: &Segment, stats: &MemStats) {
         if self.capacity == 0 {
             // Grow at 7/8 load to keep probe clusters short.
             if (cache.len + 1) * 8 > (cache.mask + 1) * 7 {
@@ -248,6 +261,9 @@ impl CacheModel {
                 }
             }
             stats.writeback();
+            // A *silent* eviction: the software never requested this
+            // writeback — exactly the event worth seeing in a trace.
+            self.tracer.emit_here(core, TraceKind::Writeback, line_addr);
         }
         cache.remove_at(victim);
     }
@@ -298,9 +314,10 @@ impl CacheModel {
             stats.cached_hit();
             return (cache.slots[i].words[word], true);
         }
-        self.make_room(&mut cache, segment, stats);
+        self.make_room(core, &mut cache, segment, stats);
         let words = Self::fill(segment, line_addr);
         stats.line_fill();
+        self.tracer.emit_here(core, TraceKind::LineFill, line_addr);
         let value = words[word];
         let i = cache.insert_slot(tag);
         cache.slots[i] = Slot {
@@ -324,9 +341,10 @@ impl CacheModel {
         let (i, hit) = match cache.find(tag) {
             Some(i) => (i, true),
             None => {
-                self.make_room(&mut cache, segment, stats);
+                self.make_room(core, &mut cache, segment, stats);
                 let words = Self::fill(segment, line_addr);
                 stats.line_fill();
+                self.tracer.emit_here(core, TraceKind::LineFill, line_addr);
                 let i = cache.insert_slot(tag);
                 cache.slots[i] = Slot {
                     tag,
@@ -358,6 +376,7 @@ impl CacheModel {
                 if slot.dirty != 0 {
                     Self::write_back(segment, line_addr, &slot);
                     stats.writeback();
+                    self.tracer.emit_here(core, TraceKind::Writeback, line_addr);
                     written += 1;
                 }
                 cache.remove_at(i);
@@ -384,6 +403,7 @@ impl CacheModel {
                 if slot.dirty != 0 {
                     Self::write_back(segment, slot.tag & !1, &slot);
                     stats.writeback();
+                    self.tracer.emit_here(core, TraceKind::Writeback, slot.tag & !1);
                 }
             }
         }

@@ -256,6 +256,22 @@ impl FaultInjector {
 
     /// Arms `rule`. Rules are evaluated in arming order; the first
     /// eligible rule fires for a given event.
+    ///
+    /// # Examples
+    ///
+    /// Reach the injector of a simulated pod and arm a lost-flush rule
+    /// against core 0's next flush:
+    ///
+    /// ```
+    /// use cxl_pod::fault::{FaultKind, FaultRule};
+    /// use cxl_pod::{HwccMode, Pod, PodConfig, SimMemory};
+    ///
+    /// let pod = Pod::with_simulation(PodConfig::small_for_tests(), HwccMode::Limited)?;
+    /// let sim = pod.memory().as_any().downcast_ref::<SimMemory>().unwrap();
+    /// sim.faults().push(FaultRule::new(FaultKind::DropFlush).on_core(0).once());
+    /// assert!(sim.faults().enabled());
+    /// # Ok::<(), cxl_pod::PodError>(())
+    /// ```
     pub fn push(&self, rule: FaultRule) {
         let mut rules = self.rules.lock();
         rules.push(RuleState {

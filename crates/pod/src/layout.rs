@@ -265,6 +265,14 @@ pub struct Layout {
     /// Per-thread recovery logs: one cacheline per thread, first 8 bytes
     /// are the atomically updated operation word (paper §3.4.2).
     pub log: Region,
+    /// Per-thread durable remote-free buffer headers: one cacheline (8
+    /// words) per thread mirroring the in-DRAM
+    /// [`RemoteFreeBuffer`](../cxl_core/remote/struct.RemoteFreeBuffer.html)
+    /// entries. Each word packs `(kind, slab, pending)`; recovery scans a
+    /// dead thread's line and republishes buffered decrements so batched
+    /// remote frees survive crashes. Lives at the segment tail so adding
+    /// it never shifts existing offsets.
+    pub remote_buf: Region,
     /// Total segment length in bytes.
     pub total_len: u64,
     /// Thread slots.
@@ -371,6 +379,12 @@ impl Layout {
             &mut cursor,
         );
 
+        // ---- Tail metadata -------------------------------------------------
+        // Durable remote-free buffer headers sit AFTER the data regions:
+        // appending here keeps every pre-existing offset stable, which
+        // pins replay fingerprints across versions.
+        let remote_buf = region(threads * CACHELINE, CACHELINE, &mut cursor);
+
         let total_len = align_up(cursor, 4096);
         if total_len > config.max_segment_bytes {
             return Err(PodError::SegmentTooLarge {
@@ -423,6 +437,7 @@ impl Layout {
                 hazards_per_thread: config.hazards_per_thread,
             },
             log,
+            remote_buf,
             total_len,
             max_threads: config.max_threads,
         })
@@ -461,6 +476,21 @@ impl Layout {
     pub fn log_aux_at(&self, slot: u32, i: u32) -> u64 {
         debug_assert!((1..8).contains(&i));
         self.log_at(slot) + i as u64 * 8
+    }
+
+    /// Offset of thread `slot`'s durable remote-free buffer line.
+    #[inline]
+    pub fn remote_buf_at(&self, slot: u32) -> u64 {
+        debug_assert!(slot < self.max_threads);
+        self.remote_buf.start + slot as u64 * CACHELINE
+    }
+
+    /// Word `i` (0..8) of thread `slot`'s durable remote-free buffer
+    /// line.
+    #[inline]
+    pub fn remote_buf_word_at(&self, slot: u32, i: u32) -> u64 {
+        debug_assert!(i < (CACHELINE / 8) as u32);
+        self.remote_buf_at(slot) + i as u64 * 8
     }
 
     /// Whether `offset` is inside the HWcc metadata region.
@@ -516,6 +546,7 @@ mod tests {
             ("small.data", l.small.data),
             ("large.data", l.large.data),
             ("huge.data", l.huge.data),
+            ("remote_buf", l.remote_buf),
         ];
         for w in regions.windows(2) {
             let (name_a, a) = w[0];
@@ -529,7 +560,7 @@ mod tests {
                 b.end()
             );
         }
-        assert!(l.huge.data.end() <= l.total_len);
+        assert!(l.remote_buf.end() <= l.total_len);
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod nmp;
 mod process;
 mod segment;
 pub mod stats;
+pub mod trace;
 
 pub use config::{
     PodConfig, CACHELINE, LARGE_CLASSES, LARGE_MAX_BLOCK, LARGE_SLAB_SIZE, PAGE_SIZE,

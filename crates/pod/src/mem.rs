@@ -22,6 +22,7 @@ use crate::lineclock::LineClockTable;
 use crate::nmp::NmpDevice;
 use crate::segment::Segment;
 use crate::stats::{MemStats, MemStatsSnapshot};
+use crate::trace::{TraceKind, Tracer};
 use crate::CoreId;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -87,7 +88,7 @@ pub trait PodMemory: Send + Sync + std::fmt::Debug {
     fn cas_u64(&self, core: CoreId, offset: u64, current: u64, new: u64) -> Result<u64, u64>;
     /// Records that the caller is about to re-issue a CAS after a
     /// transient contention result (statistics only; see
-    /// [`MemStats::cas_retries`](crate::stats::MemStats::cas_retries)).
+    /// [`MemStatsSnapshot::cas_retries`](crate::stats::MemStatsSnapshot::cas_retries)).
     fn note_cas_retry(&self) {}
     /// Records a fence elided by epoch coalescing (statistics only).
     fn note_fence_elided(&self) {}
@@ -97,6 +98,18 @@ pub trait PodMemory: Send + Sync + std::fmt::Debug {
     /// Records `k` remote frees delivered through one batched decrement
     /// (statistics only).
     fn note_remote_free_batched(&self, _k: u64) {}
+    /// Records an allocator-level structural event (slab alloc/free,
+    /// remote-free publish, lease renewal, CAS retry) in the backend's
+    /// event trace. Zero-cost by default and on [`RawMemory`];
+    /// [`SimMemory`] forwards to its [`Tracer`] behind one relaxed
+    /// load, so allocator hot paths may call this unconditionally.
+    fn trace_op(&self, _core: CoreId, _kind: TraceKind, _arg: u64) {}
+    /// The backend's event tracer, when it has one. Arm it (and read
+    /// traces back) through this accessor; `None` on backends without
+    /// tracing ([`RawMemory`] keeps its fast path observer-free).
+    fn tracer(&self) -> Option<&Tracer> {
+        None
+    }
     /// Flushes (writes back and evicts) `[offset, offset+len)` from
     /// `core`'s cache.
     fn flush(&self, core: CoreId, offset: u64, len: u64);
@@ -242,6 +255,9 @@ pub struct SimMemory {
     model: LatencyModel,
     stats: Arc<MemStats>,
     faults: Arc<FaultInjector>,
+    /// Latency-attribution event tracer, shared with the NMP device and
+    /// the cache model. Disarmed by default; see [`crate::trace`].
+    tracer: Arc<Tracer>,
     /// Per-cacheline resource clocks modeling exclusive-line transfer
     /// under coherent CAS contention. Lock-free: inline atomics in a
     /// sharded open-addressed table (see [`crate::lineclock`]).
@@ -274,14 +290,16 @@ impl SimMemory {
     ) -> Self {
         let stats = Arc::new(MemStats::new());
         let faults = Arc::new(FaultInjector::new());
+        let tracer = Arc::new(Tracer::new(cores as usize));
         SimMemory {
-            nmp: NmpDevice::with_faults(
+            nmp: NmpDevice::with_observers(
                 segment.clone(),
                 cores as usize,
                 stats.clone(),
                 faults.clone(),
+                tracer.clone(),
             ),
-            cache: CacheModel::with_capacity(cores as usize, cache_lines),
+            cache: CacheModel::with_tracer(cores as usize, cache_lines, tracer.clone()),
             clocks: Clocks::new(cores as usize),
             segment,
             layout,
@@ -289,6 +307,7 @@ impl SimMemory {
             model,
             stats,
             faults,
+            tracer,
             line_clocks: LineClockTable::new(),
         }
     }
@@ -418,22 +437,42 @@ impl SimMemory {
         lock.store(0, Ordering::Release);
         self.stats.fallback();
         self.stats.cas(result.is_ok());
-        self.clocks
+        let cost = self
+            .clocks
             .advance(core.index(), 3 * self.model.uncached_op_ns, &self.model);
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                core.index(),
+                TraceKind::CasFallback,
+                offset,
+                cost,
+                self.clocks.now(core.index()),
+            );
+        }
         result
     }
 
     /// Coherent CAS with exclusive-line contention modeling.
     fn coherent_cas(&self, core: CoreId, offset: u64, current: u64, new: u64) -> Result<u64, u64> {
         let line = self.line_clocks.clock(offset);
-        self.clocks
+        let mut cost = self
+            .clocks
             .serialize_through(core.index(), line, self.model.line_transfer_ns, &self.model);
-        self.clocks.advance(core.index(), self.model.cas_base_ns, &self.model);
+        cost += self.clocks.advance(core.index(), self.model.cas_base_ns, &self.model);
         let result = self
             .segment
             .atomic_u64(offset)
             .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
         self.stats.cas(result.is_ok());
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                core.index(),
+                TraceKind::CasAttempt,
+                offset,
+                cost,
+                self.clocks.now(core.index()),
+            );
+        }
         result
     }
 }
@@ -468,8 +507,18 @@ impl PodMemory for SimMemory {
             && !self.is_cached_region(last)
         {
             self.stats.load_n(n);
-            self.clocks
+            let cost = self
+                .clocks
                 .advance(core.index(), n * self.model.hwcc_load_ns, &self.model);
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    core.index(),
+                    TraceKind::LoadSpan,
+                    n,
+                    cost,
+                    self.clocks.now(core.index()),
+                );
+            }
             for (i, word) in dst.iter_mut().enumerate() {
                 *word = self
                     .segment
@@ -487,24 +536,37 @@ impl PodMemory for SimMemory {
         self.stats.load();
         if self.is_cached_region(offset) {
             let (value, hit) = self.cache.load(core.index(), &self.segment, offset, &self.stats);
-            let cost = if hit {
+            let ns = if hit {
                 self.model.cache_hit_ns
             } else {
                 self.model.cxl_load_ns
             };
-            self.clocks.advance(core.index(), cost, &self.model);
+            let cost = self.clocks.advance(core.index(), ns, &self.model);
+            if self.tracer.enabled() {
+                let kind = if hit {
+                    TraceKind::LoadHit
+                } else {
+                    TraceKind::LoadFill
+                };
+                self.tracer
+                    .emit(core.index(), kind, offset, cost, self.clocks.now(core.index()));
+            }
             value
         } else {
             // HWcc region: cacheable-and-coherent (Full/Limited) or
             // device-biased uncachable (None).
-            let cost = match self.mode {
+            let (kind, ns) = match self.mode {
                 HwccMode::None => {
                     self.stats.uncached();
-                    self.model.uncached_op_ns
+                    (TraceKind::LoadUncached, self.model.uncached_op_ns)
                 }
-                _ => self.model.hwcc_load_ns,
+                _ => (TraceKind::LoadHwcc, self.model.hwcc_load_ns),
             };
-            self.clocks.advance(core.index(), cost, &self.model);
+            let cost = self.clocks.advance(core.index(), ns, &self.model);
+            if self.tracer.enabled() {
+                self.tracer
+                    .emit(core.index(), kind, offset, cost, self.clocks.now(core.index()));
+            }
             self.segment.atomic_u64(offset).load(Ordering::Acquire)
         }
     }
@@ -513,16 +575,31 @@ impl PodMemory for SimMemory {
         self.stats.store();
         if self.is_cached_region(offset) {
             self.cache.store(core.index(), &self.segment, offset, value, &self.stats);
-            self.clocks.advance(core.index(), self.model.cache_store_ns, &self.model);
+            let cost = self
+                .clocks
+                .advance(core.index(), self.model.cache_store_ns, &self.model);
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    core.index(),
+                    TraceKind::StoreDirty,
+                    offset,
+                    cost,
+                    self.clocks.now(core.index()),
+                );
+            }
         } else {
-            let cost = match self.mode {
+            let (kind, ns) = match self.mode {
                 HwccMode::None => {
                     self.stats.uncached();
-                    self.model.uncached_op_ns
+                    (TraceKind::StoreUncached, self.model.uncached_op_ns)
                 }
-                _ => self.model.hwcc_load_ns,
+                _ => (TraceKind::StoreHwcc, self.model.hwcc_load_ns),
             };
-            self.clocks.advance(core.index(), cost, &self.model);
+            let cost = self.clocks.advance(core.index(), ns, &self.model);
+            if self.tracer.enabled() {
+                self.tracer
+                    .emit(core.index(), kind, offset, cost, self.clocks.now(core.index()));
+            }
             self.segment.atomic_u64(offset).store(value, Ordering::Release);
         }
     }
@@ -557,6 +634,9 @@ impl PodMemory for SimMemory {
     }
 
     fn flush(&self, core: CoreId, offset: u64, len: u64) {
+        // Extra charges from injected faults fold into the flush
+        // event's cost so the trace reconciles with the virtual clock.
+        let mut extra = 0u64;
         if self.faults.enabled() {
             match self.faults.check(FaultSite::Flush, core.index(), offset, len) {
                 Some(FaultKind::DropFlush) => {
@@ -564,43 +644,79 @@ impl PodMemory for SimMemory {
                     // it: the line stays dirty and cached, and the
                     // store never reaches shared memory.
                     self.stats.fault();
-                    self.clocks.advance(core.index(), self.model.flush_ns, &self.model);
+                    let cost = self
+                        .clocks
+                        .advance(core.index(), self.model.flush_ns, &self.model);
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            core.index(),
+                            TraceKind::FlushDropped,
+                            offset,
+                            cost,
+                            self.clocks.now(core.index()),
+                        );
+                    }
                     return;
                 }
                 Some(FaultKind::DelayFlush(ns)) => {
                     self.stats.fault();
-                    self.clocks.advance(core.index(), ns, &self.model);
+                    extra += self.clocks.advance(core.index(), ns, &self.model);
                 }
                 Some(FaultKind::AbandonCache) => {
                     // Host crash at this flush point: the whole cache
                     // dies unwritten.
                     self.cache.discard_all(core.index());
                     self.stats.fault();
+                    self.tracer
+                        .emit_here(core.index(), TraceKind::CacheAbandon, offset);
                     return;
                 }
                 _ => {}
             }
         }
+        let mut written = 0;
         if self.is_cached_region(offset) {
-            let written = self.cache.flush(core.index(), &self.segment, offset, len, &self.stats);
+            written = self.cache.flush(core.index(), &self.segment, offset, len, &self.stats);
             if written > 0 && self.faults.enabled() {
                 if let Some(FaultKind::DelayWriteback(ns)) =
                     self.faults.check(FaultSite::Writeback, core.index(), offset, len)
                 {
                     self.stats.fault();
-                    self.clocks
+                    extra += self
+                        .clocks
                         .advance(core.index(), ns * written as u64, &self.model);
                 }
             }
         } else {
             self.stats.flush();
         }
-        self.clocks.advance(core.index(), self.model.flush_ns, &self.model);
+        let cost = extra
+            + self
+                .clocks
+                .advance(core.index(), self.model.flush_ns, &self.model);
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                core.index(),
+                TraceKind::Flush,
+                written as u64,
+                cost,
+                self.clocks.now(core.index()),
+            );
+        }
     }
 
     fn fence(&self, core: CoreId) {
         self.stats.fence();
-        self.clocks.advance(core.index(), self.model.fence_ns, &self.model);
+        let cost = self.clocks.advance(core.index(), self.model.fence_ns, &self.model);
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                core.index(),
+                TraceKind::Fence,
+                0,
+                cost,
+                self.clocks.now(core.index()),
+            );
+        }
         std::sync::atomic::fence(Ordering::SeqCst);
     }
 
@@ -611,6 +727,17 @@ impl PodMemory for SimMemory {
 
     fn note_cas_retry(&self) {
         self.stats.cas_retry();
+    }
+
+    fn trace_op(&self, core: CoreId, kind: TraceKind, arg: u64) {
+        if self.tracer.enabled() {
+            self.tracer
+                .emit(core.index(), kind, arg, 0, self.clocks.now(core.index()));
+        }
+    }
+
+    fn tracer(&self) -> Option<&Tracer> {
+        Some(&self.tracer)
     }
 
     fn note_fence_elided(&self) {

@@ -40,6 +40,7 @@ use crate::fault::{FaultInjector, FaultKind, FaultSite};
 use crate::latency::{Clocks, LatencyModel};
 use crate::segment::Segment;
 use crate::stats::MemStats;
+use crate::trace::{TraceKind, Tracer};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -157,6 +158,9 @@ pub struct NmpDevice {
     service_clock: AtomicU64,
     stats: Arc<MemStats>,
     faults: Arc<FaultInjector>,
+    /// Event tracer shared with the owning backend (disarmed when the
+    /// device is constructed stand-alone).
+    tracer: Arc<Tracer>,
     breaker: Mutex<Breaker>,
 }
 
@@ -175,12 +179,26 @@ impl NmpDevice {
         stats: Arc<MemStats>,
         faults: Arc<FaultInjector>,
     ) -> Self {
+        Self::with_observers(segment, cores, stats, faults, Arc::new(Tracer::new(cores)))
+    }
+
+    /// Creates a device sharing both the fault injector and the event
+    /// tracer with its owning backend, so mCAS round trips appear in
+    /// the backend's trace stream with their exact charged latency.
+    pub fn with_observers(
+        segment: Arc<Segment>,
+        cores: usize,
+        stats: Arc<MemStats>,
+        faults: Arc<FaultInjector>,
+        tracer: Arc<Tracer>,
+    ) -> Self {
         NmpDevice {
             segment,
             slots: Mutex::new(vec![SpwrSlot::EMPTY; cores]),
             service_clock: AtomicU64::new(0),
             stats,
             faults,
+            tracer,
             breaker: Mutex::new(Breaker::new(BreakerConfig::default())),
         }
     }
@@ -348,8 +366,17 @@ impl NmpDevice {
                     self.stats.mcas(false);
                     self.stats.fault();
                     self.note_result(true);
-                    clocks.serialize_through(core, &self.service_clock, model.nmp_service_ns, model);
-                    clocks.advance(core, model.mcas_round_trip_ns, model);
+                    let mut cost = clocks.serialize_through(
+                        core,
+                        &self.service_clock,
+                        model.nmp_service_ns,
+                        model,
+                    );
+                    cost += clocks.advance(core, model.mcas_round_trip_ns, model);
+                    if self.tracer.enabled() {
+                        self.tracer
+                            .emit(core, TraceKind::McasRetry, target, cost, clocks.now(core));
+                    }
                     let previous = self.segment.atomic_u64(target).load(Ordering::SeqCst);
                     return McasResult {
                         success: false,
@@ -360,7 +387,11 @@ impl NmpDevice {
                     // Extra queueing ahead of the device — virtual time
                     // only, so schedules stay deterministic.
                     self.stats.fault();
-                    clocks.advance(core, ns, model);
+                    let cost = clocks.advance(core, ns, model);
+                    if self.tracer.enabled() {
+                        self.tracer
+                            .emit(core, TraceKind::McasDelay, target, cost, clocks.now(core));
+                    }
                 }
                 _ => {}
             }
@@ -368,8 +399,19 @@ impl NmpDevice {
         self.spwr(core, target, expected, swap);
         let result = self.sprd(core);
         // Latency: the round trip overlaps with queueing at the device.
-        clocks.serialize_through(core, &self.service_clock, model.nmp_service_ns, model);
-        clocks.advance(core, model.mcas_round_trip_ns, model);
+        let mut cost =
+            clocks.serialize_through(core, &self.service_clock, model.nmp_service_ns, model);
+        cost += clocks.advance(core, model.mcas_round_trip_ns, model);
+        if self.tracer.enabled() {
+            // A device-failed pair (doomed competitor or genuine value
+            // mismatch) is the retry the caller will re-issue.
+            let kind = if result.success {
+                TraceKind::McasAttempt
+            } else {
+                TraceKind::McasRetry
+            };
+            self.tracer.emit(core, kind, target, cost, clocks.now(core));
+        }
         result
     }
 

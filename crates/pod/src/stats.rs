@@ -67,8 +67,8 @@ fn my_shard() -> usize {
 ///
 /// Counters are sharded per thread (cache-line-aligned shards, threads
 /// assigned round-robin) so the stats layer itself never serializes
-/// multi-threaded figure runs through false sharing; [`snapshot`]
-/// (`MemStats::snapshot`) sums the shards.
+/// multi-threaded figure runs through false sharing;
+/// [`MemStats::snapshot`] sums the shards.
 #[derive(Debug)]
 pub struct MemStats {
     shards: Box<[Shard]>,
