@@ -341,7 +341,8 @@ impl Cxlalloc {
         let mem = self.mem();
         let lease_off = mem.layout().lease_at(tid.slot());
         let word = mem.load_u64(core, lease_off);
-        mem.store_u64(core, lease_off, lease::next_epoch(word));
+        let fresh = lease::next_epoch(word);
+        mem.store_u64(core, lease_off, fresh);
         // Huge-heap state is always derived from the segment: for a fresh
         // slot this yields the full descriptor pool and no owned regions;
         // for an adopted slot it is the §3.4.2 reconstruction.
@@ -350,6 +351,7 @@ impl Cxlalloc {
             heap: self.clone(),
             tid,
             core,
+            lease_epoch: lease::epoch(fresh),
             huge,
             shadow: DescShadow::new(mem.hwcc_mode()),
             remote: RemoteFreeBuffer::new(),
@@ -604,6 +606,18 @@ impl Cxlalloc {
     pub fn check_invariants(&self, via: CoreId) -> Result<(), String> {
         crate::invariants::check(self.mem(), via)
     }
+
+    /// Walks the whole heap and enumerates every allocated block (the
+    /// end-of-run zero-lost-blocks audit — see [`crate::audit`]). Call
+    /// only while the heap is quiescent, like
+    /// [`Cxlalloc::check_invariants`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn census(&self, via: CoreId) -> Result<crate::audit::BlockCensus, String> {
+        crate::audit::census(self.mem(), via)
+    }
 }
 
 /// Snapshot of heap-level statistics.
@@ -634,6 +648,13 @@ pub struct ThreadHandle {
     heap: Cxlalloc,
     tid: ThreadId,
     core: CoreId,
+    /// The lease epoch this incarnation owns, pinned at registration /
+    /// adoption time. Heartbeats renew only while the shared lease word
+    /// still carries this epoch; an adopter bumps the epoch, so a stale
+    /// owner's next heartbeat fails with
+    /// [`AllocError::LeaseStolen`](crate::AllocError::LeaseStolen)
+    /// instead of silently renewing a slot it no longer owns.
+    lease_epoch: u16,
     huge: HugeThread,
     /// Owner-side DRAM shadow of this thread's slab descriptors
     /// (paper §3.2: single-writer state the owner never needs to
@@ -786,6 +807,13 @@ impl ThreadHandle {
     ///
     /// # Errors
     ///
+    /// [`AllocError::LeaseStolen`] if the lease word's epoch is no
+    /// longer this incarnation's: a detector declared the thread dead
+    /// and an adopter bumped the epoch. The handle must stop touching
+    /// the heap — its slot now belongs to the adopter. The epoch is
+    /// checked *before* the CAS (a renewal CAS that raced a concurrent
+    /// steal would otherwise succeed against the stolen word and read
+    /// as a fresh heartbeat from the new owner's slot).
     /// [`AllocError::DeviceContention`] if the device kept bouncing the
     /// renewal past the retry budget (the lease simply stays un-renewed;
     /// the next heartbeat tries again).
@@ -793,14 +821,16 @@ impl ThreadHandle {
         let mem = self.heap.mem();
         let off = mem.layout().lease_at(self.tid.slot());
         let word = mem.load_u64(self.core, off);
-        registry_cas(mem, self.core, off, word, crate::liveness::lease::renew(word)).map_err(
-            |e| {
-                e.map_conflict(|_| AllocError::BadThreadState {
-                    thread: self.tid,
-                    state: "lease stolen",
-                })
-            },
-        )?;
+        let stolen = |found: u64| AllocError::LeaseStolen {
+            thread: self.tid,
+            held_epoch: self.lease_epoch,
+            found_epoch: lease::epoch(found),
+        };
+        if lease::epoch(word) != self.lease_epoch {
+            return Err(stolen(word));
+        }
+        registry_cas(mem, self.core, off, word, lease::renew(word))
+            .map_err(|e| e.map_conflict(stolen))?;
         mem.trace_op(self.core, TraceKind::LeaseRenew, off);
         Ok(())
     }

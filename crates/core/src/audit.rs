@@ -1,0 +1,343 @@
+//! Full-heap block census: the end-of-run "zero lost blocks" audit.
+//!
+//! [`census`] walks every slab of the small and large heaps plus every
+//! huge descriptor and enumerates the exact set of allocated block
+//! offsets, alongside per-heap counts and a counter-credit check
+//! (`free_count` vs bitset population for every sized slab). The serve
+//! harness compares the census against its workers' ledgers: a block
+//! the heap thinks is allocated but no ledger names is a *lost* block —
+//! memory leaked by a crash — and a ledger entry the heap thinks is
+//! free is a *phantom* (double-free / lost allocation record).
+//!
+//! Like [`crate::invariants::check`], the walk must run on a quiescent
+//! heap: concurrent allocation makes the bitsets a moving target. It
+//! reads durable state (flushing the auditing core's view first), so on
+//! software-coherent pods the owners must have flushed or crashed.
+//! Remote frees that were published to a slab's HWcc counter but not
+//! yet applied to its bitset by the owner still count as allocated —
+//! the block's bit is the ground truth the next owner recovers from.
+
+use crate::cell::{flags, SwccHeader};
+use crate::slab::SlabHeap;
+use cxl_pod::{CoreId, PodMemory};
+
+/// The result of a full-heap walk: every allocated block, by heap.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockCensus {
+    /// Segment offsets of every allocated small-heap block, ascending.
+    pub small: Vec<u64>,
+    /// Segment offsets of every allocated large-heap block, ascending.
+    pub large: Vec<u64>,
+    /// Segment offsets of every live huge allocation, ascending.
+    pub huge: Vec<u64>,
+    /// Mapped slabs walked (small heap).
+    pub small_slabs: u32,
+    /// Mapped slabs walked (large heap).
+    pub large_slabs: u32,
+}
+
+impl BlockCensus {
+    /// Total allocated blocks across all three heaps.
+    pub fn total(&self) -> usize {
+        self.small.len() + self.large.len() + self.huge.len()
+    }
+
+    /// All allocated offsets across all three heaps, ascending.
+    pub fn all_offsets(&self) -> Vec<u64> {
+        let mut all: Vec<u64> =
+            self.small.iter().chain(&self.large).chain(&self.huge).copied().collect();
+        all.sort_unstable();
+        all
+    }
+}
+
+/// The allocation state of a single block, as probed by
+/// [`block_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// The block's bitset bit is clear (small/large) or its huge
+    /// descriptor carries no free bit: the heap considers it allocated.
+    Allocated,
+    /// The heap considers the offset free (cleared bit, freed huge
+    /// descriptor, unsized slab, or no descriptor at all).
+    Free,
+}
+
+/// Probes whether the durable heap image considers `offset` allocated.
+///
+/// Used by crash adopters to reconcile an inherited allocation ledger:
+/// a ledger cell naming a [`BlockState::Free`] offset is a phantom left
+/// by a crash between a completed free and the ledger update, and must
+/// be cleared. The probe only reads the slab that owns `offset` (or the
+/// huge descriptor lists), so it is safe while *other* threads run —
+/// the caller must own (or have adopted) the blocks it probes.
+///
+/// # Errors
+///
+/// A description of why the offset cannot be probed (outside every
+/// heap, or a bogus descriptor on the way).
+pub fn block_state(mem: &dyn PodMemory, core: CoreId, offset: u64) -> Result<BlockState, String> {
+    let layout = mem.layout();
+    for heap in [SlabHeap::small(), SlabHeap::large()] {
+        let hl = heap.hl(mem);
+        if !hl.data.contains(offset) {
+            continue;
+        }
+        let Some(slab) = hl.slab_of(offset) else {
+            return Err(format!("{}: offset {offset:#x} maps to no slab", heap.kind));
+        };
+        mem.flush(core, hl.swcc_desc_at(slab), hl.swcc_desc_stride);
+        mem.fence(core);
+        let header = SwccHeader::unpack(mem.load_u64(core, hl.swcc_desc_at(slab)));
+        if header.flags & flags::SIZED == 0 {
+            return Ok(BlockState::Free);
+        }
+        let blocks = heap.classes.blocks_per_slab(header.class);
+        let size = heap.classes.block_size(header.class) as u64;
+        let within = offset - hl.slab_data_at(slab);
+        if !within.is_multiple_of(size) || (within / size) as u32 >= blocks {
+            return Ok(BlockState::Free);
+        }
+        let bits = crate::bitset::BlockBits::new(mem, hl.bitset_at(slab), blocks);
+        return Ok(if bits.get(core, (within / size) as u32) {
+            BlockState::Free
+        } else {
+            BlockState::Allocated
+        });
+    }
+    if layout.huge.data.contains(offset) {
+        let hl = &layout.huge;
+        for slot in 0..layout.max_threads {
+            mem.flush(core, hl.local_descs_at(slot), 8);
+            mem.fence(core);
+            let mut cursor = mem.load_u64(core, hl.local_descs_at(slot));
+            let mut hops = 0;
+            while cursor != 0 {
+                hops += 1;
+                if hops > hl.descs_per_thread {
+                    return Err(format!("huge: descriptor list of slot {slot} cycles"));
+                }
+                mem.flush(core, cursor, 32);
+                if mem.load_u64(core, cursor + 8) == offset {
+                    return Ok(if mem.load_u64(core, cursor + 24) == 0 {
+                        BlockState::Allocated
+                    } else {
+                        BlockState::Free
+                    });
+                }
+                cursor = mem.load_u64(core, cursor);
+            }
+        }
+        return Ok(BlockState::Free);
+    }
+    Err(format!("offset {offset:#x} is outside every heap"))
+}
+
+/// Walks the whole heap and enumerates every allocated block.
+///
+/// Also validates counter credit on the way: for every sized slab, the
+/// durable `free_count` must equal its bitset population.
+///
+/// # Errors
+///
+/// A human-readable description of the first inconsistency found.
+pub fn census(mem: &dyn PodMemory, core: CoreId) -> Result<BlockCensus, String> {
+    let mut out = BlockCensus::default();
+    for heap in [SlabHeap::small(), SlabHeap::large()] {
+        let offsets = match heap.kind {
+            crate::HeapKind::Small => &mut out.small,
+            _ => &mut out.large,
+        };
+        let slabs = census_slab_heap(mem, core, &heap, offsets)?;
+        match heap.kind {
+            crate::HeapKind::Small => out.small_slabs = slabs,
+            _ => out.large_slabs = slabs,
+        }
+    }
+    census_huge(mem, core, &mut out.huge)?;
+    out.small.sort_unstable();
+    out.large.sort_unstable();
+    out.huge.sort_unstable();
+    Ok(out)
+}
+
+fn census_slab_heap(
+    mem: &dyn PodMemory,
+    core: CoreId,
+    heap: &SlabHeap,
+    offsets: &mut Vec<u64>,
+) -> Result<u32, String> {
+    let hl = heap.hl(mem);
+    let kind = heap.kind;
+    let len = heap.len(mem, core);
+    for slab in 0..len {
+        // The auditor may run on any core; flush its (possibly stale)
+        // view of the whole descriptor before reading.
+        mem.flush(core, hl.swcc_desc_at(slab), hl.swcc_desc_stride);
+        mem.fence(core);
+        let header = SwccHeader::unpack(mem.load_u64(core, hl.swcc_desc_at(slab)));
+        if header.flags & flags::SIZED == 0 {
+            // Unsized (or never-initialized): no block structure, no
+            // allocated blocks. Its memory is wholly available.
+            continue;
+        }
+        let class = header.class;
+        let blocks = heap.classes.blocks_per_slab(class);
+        if blocks == 0 {
+            return Err(format!("{kind}: slab {slab} has bogus class {class}"));
+        }
+        let bits = crate::bitset::BlockBits::new(mem, hl.bitset_at(slab), blocks);
+        let free = bits.count_set(core);
+        let counted = mem.load_u64(core, hl.free_count_at(slab)) as u32;
+        // Counter credit: owners may cache the count, but the audit
+        // runs against the durable image, where the two must agree.
+        if counted != free {
+            return Err(format!(
+                "{kind}: slab {slab} free count {counted} != bitset population {free}"
+            ));
+        }
+        let base = hl.slab_data_at(slab);
+        let size = heap.classes.block_size(class) as u64;
+        for bit in 0..blocks {
+            if !bits.get(core, bit) {
+                offsets.push(base + bit as u64 * size);
+            }
+        }
+    }
+    Ok(len)
+}
+
+fn census_huge(mem: &dyn PodMemory, core: CoreId, offsets: &mut Vec<u64>) -> Result<(), String> {
+    let layout = mem.layout();
+    let hl = &layout.huge;
+    for slot in 0..layout.max_threads {
+        mem.flush(core, hl.local_descs_at(slot), 8);
+        mem.fence(core);
+        let mut cursor = mem.load_u64(core, hl.local_descs_at(slot));
+        let mut hops = 0;
+        while cursor != 0 {
+            hops += 1;
+            if hops > hl.descs_per_thread {
+                return Err(format!("huge: descriptor list of slot {slot} cycles"));
+            }
+            mem.flush(core, cursor, 32);
+            let offset = mem.load_u64(core, cursor + 8);
+            let size = mem.load_u64(core, cursor + 16);
+            if size == 0 || !hl.data.contains(offset) {
+                return Err(format!(
+                    "huge: descriptor {cursor:#x} covers bad range [{offset:#x}, +{size})"
+                ));
+            }
+            // Freed descriptors linger on the list until a cleanup pass
+            // recycles them; the free bit says the block is gone.
+            if mem.load_u64(core, cursor + 24) == 0 {
+                offsets.push(offset);
+            }
+            cursor = mem.load_u64(core, cursor);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AttachOptions, Cxlalloc};
+    use cxl_pod::{CoreId, Pod, PodConfig};
+
+    fn heap() -> Cxlalloc {
+        let pod = Pod::new(PodConfig::small_for_tests()).unwrap();
+        Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn empty_heap_has_empty_census() {
+        let heap = heap();
+        let census = heap.census(CoreId(0)).unwrap();
+        assert_eq!(census.total(), 0);
+    }
+
+    #[test]
+    fn census_counts_exactly_the_live_blocks() {
+        let heap = heap();
+        let mut t = heap.register_thread().unwrap();
+        let small: Vec<_> = (0..300).map(|_| t.alloc(64).unwrap()).collect();
+        let large: Vec<_> = (0..5).map(|_| t.alloc(8192).unwrap()).collect();
+        let huge = t.alloc(2 << 20).unwrap();
+        t.flush_cache();
+
+        let census = heap.census(t.core()).unwrap();
+        assert_eq!(census.small.len(), 300);
+        assert_eq!(census.large.len(), 5);
+        assert_eq!(census.huge, vec![huge.offset()]);
+        let mut want: Vec<u64> = small.iter().chain(&large).map(|p| p.offset()).collect();
+        want.push(huge.offset());
+        want.sort_unstable();
+        assert_eq!(census.all_offsets(), want);
+
+        // Free half; the census tracks exactly.
+        for p in &small[..150] {
+            t.dealloc(*p).unwrap();
+        }
+        t.dealloc(huge).unwrap();
+        t.flush_cache();
+        let census = heap.census(t.core()).unwrap();
+        assert_eq!(census.small.len(), 150);
+        assert_eq!(census.huge.len(), 0);
+        let survivors: std::collections::BTreeSet<u64> =
+            small[150..].iter().map(|p| p.offset()).collect();
+        assert_eq!(
+            census.small.iter().copied().collect::<std::collections::BTreeSet<u64>>(),
+            survivors
+        );
+    }
+
+    #[test]
+    fn block_state_tracks_alloc_and_free() {
+        use super::BlockState;
+        let heap = heap();
+        let mut t = heap.register_thread().unwrap();
+        let small = t.alloc(64).unwrap();
+        let large = t.alloc(8192).unwrap();
+        let huge = t.alloc(2 << 20).unwrap();
+        t.flush_cache();
+        let mem = || heap.process().memory().clone();
+        for p in [small, large, huge] {
+            assert_eq!(
+                super::block_state(mem().as_ref(), t.core(), p.offset()),
+                Ok(BlockState::Allocated),
+                "{p}"
+            );
+        }
+        t.dealloc(small).unwrap();
+        t.dealloc(huge).unwrap();
+        t.flush_cache();
+        assert_eq!(
+            super::block_state(mem().as_ref(), t.core(), small.offset()),
+            Ok(BlockState::Free)
+        );
+        assert_eq!(
+            super::block_state(mem().as_ref(), t.core(), huge.offset()),
+            Ok(BlockState::Free)
+        );
+        assert_eq!(
+            super::block_state(mem().as_ref(), t.core(), large.offset()),
+            Ok(BlockState::Allocated)
+        );
+        assert!(super::block_state(mem().as_ref(), t.core(), u64::MAX).is_err());
+    }
+
+    #[test]
+    fn census_spans_threads() {
+        let heap = heap();
+        let mut a = heap.register_thread().unwrap();
+        let mut b = heap.register_thread().unwrap();
+        let pa = a.alloc(64).unwrap();
+        let pb = b.alloc(900).unwrap();
+        a.flush_cache();
+        b.flush_cache();
+        let census = heap.census(a.core()).unwrap();
+        assert_eq!(census.small.len(), 2);
+        assert!(census.small.contains(&pa.offset()));
+        assert!(census.small.contains(&pb.offset()));
+    }
+}

@@ -75,6 +75,19 @@ pub enum AllocError {
         /// The contested thread slot.
         thread: crate::ThreadId,
     },
+    /// A heartbeat found the lease word carrying a different epoch: a
+    /// detector declared this thread dead and an adopter (possibly in
+    /// another process) re-incarnated the slot. The handle must stop
+    /// touching the heap — everything it owned now belongs to the
+    /// adopter.
+    LeaseStolen {
+        /// The slot that was stolen.
+        thread: crate::ThreadId,
+        /// The epoch this handle's incarnation held.
+        held_epoch: u16,
+        /// The epoch found in the lease word.
+        found_epoch: u16,
+    },
 }
 
 /// Which of the three heaps an error refers to.
@@ -130,6 +143,14 @@ impl fmt::Display for AllocError {
             AllocError::AdoptionRaced { thread } => {
                 write!(f, "another survivor is already adopting {thread}")
             }
+            AllocError::LeaseStolen {
+                thread,
+                held_epoch,
+                found_epoch,
+            } => write!(
+                f,
+                "lease of {thread} was stolen: held epoch {held_epoch}, found {found_epoch}"
+            ),
         }
     }
 }
@@ -167,6 +188,11 @@ mod tests {
             AllocError::DeviceContention { retries: 24 },
             AllocError::AdoptionRaced {
                 thread: crate::ThreadId::new(1).unwrap(),
+            },
+            AllocError::LeaseStolen {
+                thread: crate::ThreadId::new(1).unwrap(),
+                held_epoch: 1,
+                found_epoch: 2,
             },
         ];
         for e in errors {

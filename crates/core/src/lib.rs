@@ -60,6 +60,7 @@
 #![warn(missing_debug_implementations)]
 
 mod alloc;
+pub mod audit;
 pub mod backoff;
 pub mod bitset;
 pub mod cell;
@@ -82,6 +83,7 @@ mod shadow;
 pub mod slab;
 
 pub use alloc::{AttachOptions, Cxlalloc, HeapStats, ThreadHandle};
+pub use audit::BlockCensus;
 pub use error::{AllocError, HeapKind};
 pub use ptr::{OffsetPtr, ThreadId};
 pub use recovery::{Op, RecoveryReport};

@@ -396,9 +396,10 @@ fn recover_slab(
             refresh_slab_view(ctx, heap, slab);
             if dcas.detect(ctx.core, hl.global_free, ctx.tid, version) {
                 // The slab is on the global list; it must not also be on
-                // our private list (the pop precedes the CAS, but be
-                // defensive).
-                heap.remove_local(ctx, heap.unsized_head_off(ctx), slab);
+                // any of our private lists (the pop precedes the CAS,
+                // but be defensive — and a stale sized-list link from a
+                // lost cached epoch may still be durable).
+                unlink_local_everywhere(ctx, heap, slab);
                 report.outcome = "push completed";
             } else if heap.contains_local(ctx, heap.unsized_head_off(ctx), slab) {
                 // Crash before the pop: nothing happened.
@@ -411,7 +412,7 @@ fn recover_slab(
         }
         Op::InitSlab => {
             refresh_slab_view(ctx, heap, slab);
-            heap.remove_local(ctx, heap.unsized_head_off(ctx), slab);
+            unlink_local_everywhere(ctx, heap, slab);
             heap.init_slab_body(ctx, slab, entry.word.b);
             heap.flush_desc(ctx, slab);
             report.outcome = "init redone";
@@ -485,6 +486,9 @@ fn park_orphan(ctx: &Ctx<'_>, heap: &SlabHeap, slab: u32) {
     if heap.contains_local(ctx, heap.unsized_head_off(ctx), slab) {
         return;
     }
+    // A reacquired slab may still carry a stale sized-list link from a
+    // lost cached epoch of this same thread; clear it before parking.
+    unlink_local_everywhere(ctx, heap, slab);
     heap.set_header(ctx, slab, crate::cell::SwccHeader {
         next: 0,
         owner: ctx.tid.raw(),
@@ -496,6 +500,23 @@ fn park_orphan(ctx: &Ctx<'_>, heap: &SlabHeap, slab: u32) {
     heap.flush_desc(ctx, slab);
 }
 
+/// Unlinks `slab` from every one of the dead thread's local lists —
+/// all sized lists plus the unsized list.
+///
+/// The logged class alone does not say which list the slab durably sits
+/// on: the dead thread's cached relinks are lost with its cache, so a
+/// slab that migrated classes (sized A → unsized → sized B) can still
+/// be on the *old* class's list in the durable image while the pending
+/// log entry names the new class. Only the dead thread's own lists can
+/// be stale like this — ownership transfers flush + fence — so a scan
+/// of its private heads is exhaustive.
+fn unlink_local_everywhere(ctx: &Ctx<'_>, heap: &SlabHeap, slab: u32) {
+    for class in 0..heap.classes.len() {
+        heap.remove_local(ctx, heap.sized_head_off(ctx, class as u8), slab);
+    }
+    heap.remove_local(ctx, heap.unsized_head_off(ctx), slab);
+}
+
 /// Normalizes a slab after a block-level op: recompute the free count
 /// from the bitset (the durable ground truth) and place the slab on the
 /// list its state dictates (Figure 4).
@@ -503,36 +524,30 @@ fn normalize_slab(ctx: &Ctx<'_>, heap: &SlabHeap, slab: u32, class: u8) {
     let blocks = heap.classes.blocks_per_slab(class);
     let free = heap.bits(ctx, slab, class).count_set(ctx.core);
     heap.set_free_count(ctx, slab, free);
-    let sized_off = heap.sized_head_off(ctx, class);
     let unsized_off = heap.unsized_head_off(ctx);
     if free == 0 {
         // Full: must be unlinked, then detached or disowned.
-        heap.remove_local(ctx, sized_off, slab);
-        heap.remove_local(ctx, unsized_off, slab);
+        unlink_local_everywhere(ctx, heap, slab);
         heap.full_transition(ctx, slab, class);
     } else if free == blocks {
         // Empty: unsized.
-        heap.remove_local(ctx, sized_off, slab);
+        unlink_local_everywhere(ctx, heap, slab);
         let mut header = heap.header(ctx, slab);
         header.class = 0;
         header.flags = 0;
         header.owner = ctx.tid.raw();
         heap.set_header(ctx, slab, header);
-        if !heap.contains_local(ctx, unsized_off, slab) {
-            heap.push_local(ctx, unsized_off, slab);
-        }
+        heap.push_local(ctx, unsized_off, slab);
         heap.flush_desc(ctx, slab);
     } else {
-        // Non-full: on the sized list.
-        heap.remove_local(ctx, unsized_off, slab);
+        // Non-full: on (only) the logged class's sized list.
+        unlink_local_everywhere(ctx, heap, slab);
         let mut header = heap.header(ctx, slab);
         header.class = class;
         header.flags = crate::cell::flags::SIZED;
         header.owner = ctx.tid.raw();
         heap.set_header(ctx, slab, header);
-        if !heap.contains_local(ctx, sized_off, slab) {
-            heap.push_local(ctx, sized_off, slab);
-        }
+        heap.push_local(ctx, heap.sized_head_off(ctx, class), slab);
         heap.flush_desc(ctx, slab);
     }
 }

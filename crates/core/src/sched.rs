@@ -894,6 +894,24 @@ fn churn(handle: &mut ThreadHandle) -> Result<(), String> {
     for p in again {
         handle.dealloc(p).map_err(|e| format!("churn dealloc: {e}"))?;
     }
+    // A detectable round: the allocator delivers the pointer into a heap
+    // cell the application names, exercising the delivery crash window
+    // (`slab::alloc_block::after_deliver`).
+    match handle.alloc(8) {
+        Ok(cell) => {
+            let p = handle
+                .alloc_detectable(64, cell)
+                .map_err(|e| format!("churn detectable alloc: {e}"))?;
+            handle
+                .dealloc(p)
+                .map_err(|e| format!("churn dealloc: {e}"))?;
+            handle
+                .dealloc(cell)
+                .map_err(|e| format!("churn dealloc: {e}"))?;
+        }
+        Err(AllocError::OutOfMemory { .. }) => {}
+        Err(e) => return Err(format!("churn alloc: {e}")),
+    }
     match handle.alloc(1 << 20) {
         Ok(p) => {
             handle

@@ -50,6 +50,7 @@ use cxl_pod::{CoreId, HeapLayout, PodMemory};
 pub const CRASH_POINTS: &[&str] = &[
     "slab::alloc_block::after_log",
     "slab::alloc_block::after_clear",
+    "slab::alloc_block::after_deliver",
     "slab::alloc_block::after_unlink",
     "slab::alloc_block::after_transition",
     "slab::free_local::after_log",
@@ -587,8 +588,7 @@ impl SlabHeap {
             self.full_transition(ctx, slab, class);
             ctx.crash_point("slab::alloc_block::after_transition");
         }
-        ctx.log().clear_relaxed(ctx.core);
-        self.hl(ctx.mem).slab_data_at(slab) + bit as u64 * self.classes.block_size(class) as u64
+        self.finish_alloc(ctx, slab, class, bit, detect_dst)
     }
 
     /// Allocates the specific free block `bit` of owned, sized `slab` (a
@@ -627,8 +627,33 @@ impl SlabHeap {
             self.full_transition(ctx, slab, class);
             ctx.crash_point("slab::alloc_block::after_transition");
         }
+        self.finish_alloc(ctx, slab, class, bit, detect_dst)
+    }
+
+    /// Common allocation epilogue: deliver the pointer, retire the log
+    /// entry, return the block offset.
+    ///
+    /// When the caller asked for detectability (`detect_dst != 0`), the
+    /// block offset is stored into `*detect_dst` *before* the log entry
+    /// is cleared. The redo log's `AllocBlock` handler keeps the block
+    /// iff `*detect_dst` names it, so delivering here — rather than
+    /// trusting the application to store after we return — closes the
+    /// window where a crash between our return and the application's own
+    /// store would leak the block. The store goes straight to the
+    /// segment: `detect_dst` is application data, written exactly as the
+    /// caller would have written it.
+    fn finish_alloc(&self, ctx: &Ctx<'_>, slab: u32, class: u8, bit: u32, detect_dst: u64) -> u64 {
+        let block =
+            self.hl(ctx.mem).slab_data_at(slab) + bit as u64 * self.classes.block_size(class) as u64;
+        if detect_dst != 0 {
+            ctx.mem
+                .segment()
+                .atomic_u64(detect_dst)
+                .store(block, std::sync::atomic::Ordering::SeqCst);
+            ctx.crash_point("slab::alloc_block::after_deliver");
+        }
         ctx.log().clear_relaxed(ctx.core);
-        self.hl(ctx.mem).slab_data_at(slab) + bit as u64 * self.classes.block_size(class) as u64
+        block
     }
 
     /// Detaches or disowns a just-full slab, per its remote counter.

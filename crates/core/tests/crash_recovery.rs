@@ -89,6 +89,11 @@ fn every_slab_crash_point_recovers() {
                 for p in again {
                     t.dealloc(p).unwrap();
                 }
+                // A detectable alloc reaches the delivery crash point.
+                let cell = t.alloc(8).unwrap();
+                let p = t.alloc_detectable(64, cell).unwrap();
+                t.dealloc(p).unwrap();
+                t.dealloc(cell).unwrap();
             });
 
             // Remote-free points need a second thread; retry there below.
@@ -503,6 +508,11 @@ fn every_slab_crash_point_recovers_with_writeback_shadow() {
             for p in again {
                 t.dealloc(p).unwrap();
             }
+            // A detectable alloc reaches the delivery crash point.
+            let cell = t.alloc(8).unwrap();
+            let p = t.alloc_detectable(64, cell).unwrap();
+            t.dealloc(p).unwrap();
+            t.dealloc(cell).unwrap();
         });
 
         // Remote-free points need a second thread and are covered by

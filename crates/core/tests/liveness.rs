@@ -116,6 +116,48 @@ fn lease_detection_end_to_end() {
     cxl_core::invariants::check(pod.memory().as_ref(), CoreId(0)).unwrap();
 }
 
+/// A hung thread's slot is stolen (declared dead and adopted) while the
+/// original handle still exists. The stale incarnation's next heartbeat
+/// must fail with the typed [`AllocError::LeaseStolen`] — never
+/// silently renew the adopter's lease — while the adopter's own
+/// heartbeats keep working.
+#[test]
+fn heartbeat_after_steal_is_rejected() {
+    let pod = sim_pod(HwccMode::Limited);
+    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).unwrap();
+
+    let victim = heap.register_thread().unwrap();
+    let tid = victim.tid();
+    victim.heartbeat().unwrap();
+
+    // The victim "hangs" (keeps its handle, stops heartbeating); a
+    // detector declares it dead and a survivor adopts the slot.
+    assert!(heap.declare_dead(tid).unwrap());
+    let (adopted, _) = heap.try_adopt(tid, CoreId(3)).unwrap();
+
+    // The stale incarnation wakes up and heartbeats: typed rejection.
+    match victim.heartbeat() {
+        Err(AllocError::LeaseStolen {
+            thread,
+            held_epoch,
+            found_epoch,
+        }) => {
+            assert_eq!(thread, tid);
+            assert_ne!(held_epoch, found_epoch);
+        }
+        other => panic!("stale heartbeat must fail as stolen, got {other:?}"),
+    }
+    // Repeatedly: the rejection is stable, not a one-shot race artifact.
+    assert!(matches!(
+        victim.heartbeat(),
+        Err(AllocError::LeaseStolen { .. })
+    ));
+
+    // The new incarnation owns the lease and renews freely.
+    adopted.heartbeat().unwrap();
+    adopted.heartbeat().unwrap();
+}
+
 /// Satellite: persistent device faults trip the breaker into the
 /// software-fallback CAS path; allocation keeps working throughout, and
 /// the pod heals back to NMP once the faults clear. MemStats counters

@@ -213,11 +213,11 @@ fn golden_replay_fingerprints_are_pinned() {
     // change is intentional, re-run the example and update the values.
     let classic = Explorer::default();
     for (seed, want) in [
-        (3u64, 0x3d49082f08268904u64),
-        (11, 0x864da427604ef416),
-        (12, 0xbc77724b6861e953),
-        (17, 0x466f65b5e1cb16c6),
-        (91, 0x0315d02572d38cf8),
+        (3u64, 0xd450c595161085afu64),
+        (11, 0x4ac570d13856fa26),
+        (12, 0xe0dc6095a4fecd8e),
+        (17, 0xcdcf99b1698bfccb),
+        (91, 0x8897aa160b73a096),
     ] {
         let got = classic.run_seed(seed).unwrap().fingerprint;
         assert_eq!(got, want, "classic seed {seed}: {got:#018x} != {want:#018x}");
@@ -227,9 +227,9 @@ fn golden_replay_fingerprints_are_pinned() {
         ..Explorer::default()
     };
     for (seed, want) in [
-        (5u64, 0x8e6ba72300170e9c),
-        (23, 0xf498863cae132738),
-        (47, 0xc45085683a711a86),
+        (5u64, 0xbc20301dc9c44d48),
+        (23, 0xe1eeb5e647751cd9),
+        (47, 0xf5e7423594e87ab0),
     ] {
         let got = liveness.run_seed(seed).unwrap().fingerprint;
         assert_eq!(got, want, "liveness seed {seed}: {got:#018x} != {want:#018x}");
@@ -249,7 +249,7 @@ fn golden_replay_fingerprints_are_pinned() {
         },
         ..Explorer::default()
     };
-    for (seed, want) in [(23u64, 0x3c8ff5c119d8ed92), (47, 0x8e9563975c190714)] {
+    for (seed, want) in [(23u64, 0xabfd7e8659e00911), (47, 0xd1d60fbb584ae84a)] {
         let got = batched.run_seed(seed).unwrap().fingerprint;
         assert_eq!(got, want, "batched seed {seed}: {got:#018x} != {want:#018x}");
     }

@@ -23,6 +23,11 @@ pub enum PodError {
         /// Requested segment size in bytes.
         requested: u64,
     },
+    /// Creating, opening, or mapping a shared segment file failed.
+    SharedSegment {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PodError {
@@ -34,6 +39,9 @@ impl fmt::Display for PodError {
             }
             PodError::OutOfHostMemory { requested } => {
                 write!(f, "host allocation of {requested} bytes failed")
+            }
+            PodError::SharedSegment { reason } => {
+                write!(f, "shared segment: {reason}")
             }
         }
     }
@@ -85,6 +93,7 @@ mod tests {
                 max: 5,
             },
             PodError::OutOfHostMemory { requested: 10 },
+            PodError::SharedSegment { reason: "x".into() },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

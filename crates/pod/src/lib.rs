@@ -182,6 +182,76 @@ impl Pod {
         Ok(Self::assemble(config, layout, memory))
     }
 
+    /// Creates a pod over a *shared segment file*, creating (or
+    /// truncating) the file at `path`.
+    ///
+    /// This is the real-process substrate: every OS process that calls
+    /// [`Pod::open_shared`] on the same path with the same config maps
+    /// the same bytes, so the allocator's cross-process protocols run
+    /// against genuine shared memory instead of the in-process
+    /// simulation. The backend is [`RawMemory`] — a single coherent host
+    /// (or a fully HW-coherent pod), which matches what the OS page
+    /// cache actually provides.
+    ///
+    /// `tail_bytes` extra bytes are mapped *after* the heap layout
+    /// (rounded up to a page). The allocator never touches them; callers
+    /// use the tail for their own shared control structures — the serve
+    /// harness puts its coordinator↔worker rings there. The tail starts
+    /// at `layout().total_len`, which is page-aligned.
+    ///
+    /// # Errors
+    ///
+    /// Returns layout errors as [`Pod::new`] does, plus
+    /// [`PodError::SharedSegment`] for file/mapping failures.
+    #[cfg(unix)]
+    pub fn create_shared(
+        config: PodConfig,
+        path: &std::path::Path,
+        tail_bytes: u64,
+    ) -> Result<Self, PodError> {
+        Self::shared(config, path, tail_bytes, true)
+    }
+
+    /// Opens an existing shared segment file created by
+    /// [`Pod::create_shared`].
+    ///
+    /// The caller must pass the *same* `config` and `tail_bytes` the
+    /// creator used: the heap layout is a pure function of the config,
+    /// so identical configs give every process identical offsets with no
+    /// coordination (paper §4) — and a mismatched file size is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pod::create_shared`].
+    #[cfg(unix)]
+    pub fn open_shared(
+        config: PodConfig,
+        path: &std::path::Path,
+        tail_bytes: u64,
+    ) -> Result<Self, PodError> {
+        Self::shared(config, path, tail_bytes, false)
+    }
+
+    #[cfg(unix)]
+    fn shared(
+        config: PodConfig,
+        path: &std::path::Path,
+        tail_bytes: u64,
+        create: bool,
+    ) -> Result<Self, PodError> {
+        let layout = Layout::compute(&config)?;
+        let tail = tail_bytes
+            .checked_add(PAGE_SIZE - 1)
+            .map(|t| t / PAGE_SIZE * PAGE_SIZE)
+            .and_then(|t| layout.total_len.checked_add(t))
+            .ok_or_else(|| PodError::InvalidConfig {
+                reason: format!("control tail of {tail_bytes} bytes overflows"),
+            })?;
+        let segment = Arc::new(Segment::map_shared(path, tail, create)?);
+        let memory: Arc<dyn PodMemory> = Arc::new(RawMemory::new(segment, layout.clone()));
+        Ok(Self::assemble(config, layout, memory))
+    }
+
     /// Creates a pod from an explicit memory backend (for tests that need
     /// a custom latency model or a pre-populated segment).
     pub fn from_memory(config: PodConfig, memory: Arc<dyn PodMemory>) -> Self {
@@ -261,6 +331,34 @@ mod tests {
         let b = pod.spawn_process();
         assert_ne!(a.id(), b.id());
         assert_eq!(pod.process_count(), 2);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn shared_pods_share_the_heap_and_tail() {
+        let path =
+            std::env::temp_dir().join(format!("cxl-pod-shared-{}", std::process::id()));
+        let config = PodConfig::small_for_tests();
+        let a = Pod::create_shared(config.clone(), &path, 100).unwrap();
+        let b = Pod::open_shared(config, &path, 100).unwrap();
+
+        // Heap cells alias across the two pods.
+        let off = a.layout().small.global_len;
+        a.memory().store_u64(CoreId(0), off, 99);
+        assert_eq!(b.memory().load_u64(CoreId(1), off), 99);
+
+        // The control tail sits past the heap, page-rounded, and aliases
+        // too (accessed directly through the segment, not PodMemory).
+        let tail = a.layout().total_len;
+        assert_eq!(tail % 4096, 0);
+        assert_eq!(a.memory().segment().len(), tail + 4096);
+        a.memory().segment().atomic_u64(tail).store(
+            7,
+            std::sync::atomic::Ordering::SeqCst,
+        );
+        assert_eq!(b.memory().segment().peek_u64(tail), 7);
+        drop((a, b));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -20,19 +20,34 @@ const SEGMENT_ALIGN: usize = 4096;
 /// accessors hand out references to `AtomicU64` cells living inside the
 /// segment.
 ///
-/// Backing memory is requested with the allocator's *minimum* alignment
-/// and page-aligned manually. This matters: on Linux, `alloc_zeroed`
-/// with large alignment bypasses `calloc` and memsets the whole
-/// allocation, which would *touch* every page of a multi-GiB segment.
-/// With `calloc`, large requests come from fresh anonymous mappings and
-/// stay lazily committed — untouched heap capacity costs nothing, like
-/// an untouched shared memory file.
+/// Backing memory for the in-process variant is requested with the
+/// allocator's *minimum* alignment and page-aligned manually. This
+/// matters: on Linux, `alloc_zeroed` with large alignment bypasses
+/// `calloc` and memsets the whole allocation, which would *touch* every
+/// page of a multi-GiB segment. With `calloc`, large requests come from
+/// fresh anonymous mappings and stay lazily committed — untouched heap
+/// capacity costs nothing, like an untouched shared memory file.
+///
+/// The shared variant ([`Segment::map_shared`]) maps a sparse on-disk
+/// file with `MAP_SHARED`, so several OS processes opening the same path
+/// see one physical byte range — the real-process analogue of the CXL
+/// device memory every host in the pod maps.
 pub struct Segment {
-    /// The pointer returned by the allocator (freed on drop).
-    raw: *mut u8,
-    /// Page-aligned base within `raw`.
+    backing: Backing,
+    /// Page-aligned base of the usable range.
     base: *mut u8,
     len: u64,
+}
+
+/// How the segment's bytes are owned (and therefore released on drop).
+enum Backing {
+    /// In-process `alloc_zeroed` arena; `raw` is the unaligned pointer
+    /// the global allocator handed out, freed with the padded layout.
+    Heap { raw: *mut u8 },
+    /// `MAP_SHARED` file mapping; `base` itself is the mmap address and
+    /// is unmapped with `munmap(base, len)`.
+    #[cfg(unix)]
+    SharedFile,
 }
 
 // SAFETY: the segment is a plain byte arena; all mutation goes through
@@ -77,7 +92,96 @@ impl Segment {
         // SAFETY: adjust < SEGMENT_ALIGN and padded = len + SEGMENT_ALIGN,
         // so base..base+len stays within the allocation.
         let base = unsafe { raw.add(adjust) };
-        Ok(Segment { raw, base, len })
+        Ok(Segment {
+            backing: Backing::Heap { raw },
+            base,
+            len,
+        })
+    }
+
+    /// Maps a shared segment file of `len` bytes, visible to every OS
+    /// process that maps the same path.
+    ///
+    /// With `create`, the file is created (truncated if present) and
+    /// extended to `len` bytes with `set_len`, which leaves it sparse —
+    /// like [`Segment::zeroed`], untouched capacity costs nothing, and
+    /// the kernel zero-fills on first touch, preserving the "all-zero
+    /// memory is a valid heap" bootstrap property. Without `create`, the
+    /// file must already exist and be at least `len` bytes (a shorter
+    /// file means the two sides disagree on the pod layout, which would
+    /// turn every out-of-range access into `SIGBUS`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PodError::InvalidConfig`] for a zero-length segment and
+    /// [`PodError::SharedSegment`] for any file or mapping failure.
+    #[cfg(unix)]
+    pub fn map_shared(path: &std::path::Path, len: u64, create: bool) -> Result<Self, PodError> {
+        use std::os::unix::io::AsRawFd;
+
+        if len == 0 {
+            return Err(PodError::InvalidConfig {
+                reason: "segment length must be nonzero".into(),
+            });
+        }
+        let shared_err = |what: &str, e: std::io::Error| PodError::SharedSegment {
+            reason: format!("{what} {}: {e}", path.display()),
+        };
+        let file = if create {
+            let f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)
+                .map_err(|e| shared_err("create", e))?;
+            f.set_len(len).map_err(|e| shared_err("extend", e))?;
+            f
+        } else {
+            let f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(path)
+                .map_err(|e| shared_err("open", e))?;
+            let actual = f.metadata().map_err(|e| shared_err("stat", e))?.len();
+            if actual < len {
+                return Err(PodError::SharedSegment {
+                    reason: format!(
+                        "segment file {} is {actual} bytes, need {len} — \
+                         pod configs disagree?",
+                        path.display()
+                    ),
+                });
+            }
+            f
+        };
+        // SAFETY: fd is valid for the duration of the call; the mapping
+        // outlives the file handle by design (POSIX keeps MAP_SHARED
+        // mappings alive after close).
+        let addr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len as usize,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if addr == sys::MAP_FAILED {
+            return Err(PodError::SharedSegment {
+                reason: format!(
+                    "mmap of {len} bytes from {} failed: {}",
+                    path.display(),
+                    std::io::Error::last_os_error()
+                ),
+            });
+        }
+        Ok(Segment {
+            backing: Backing::SharedFile,
+            base: addr as *mut u8,
+            len,
+        })
     }
 
     /// Segment length in bytes.
@@ -166,10 +270,44 @@ impl Segment {
 
 impl Drop for Segment {
     fn drop(&mut self) {
-        let layout = AllocLayout::from_size_align(self.len as usize + SEGMENT_ALIGN, 8)
-            .expect("layout validated at construction");
-        // SAFETY: `raw` was allocated with the identical layout in `zeroed`.
-        unsafe { dealloc(self.raw, layout) }
+        match self.backing {
+            Backing::Heap { raw } => {
+                let layout = AllocLayout::from_size_align(self.len as usize + SEGMENT_ALIGN, 8)
+                    .expect("layout validated at construction");
+                // SAFETY: `raw` was allocated with the identical layout
+                // in `zeroed`.
+                unsafe { dealloc(raw, layout) }
+            }
+            #[cfg(unix)]
+            Backing::SharedFile => {
+                // SAFETY: `base`/`len` are exactly the mmap arguments.
+                unsafe { sys::munmap(self.base as *mut std::ffi::c_void, self.len as usize) };
+            }
+        }
+    }
+}
+
+/// Minimal libc surface for the shared-file mapping — declared here
+/// rather than pulled in as a crate dependency.
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const PROT_WRITE: c_int = 2;
+    pub const MAP_SHARED: c_int = 1;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
     }
 }
 
@@ -228,6 +366,44 @@ mod tests {
     #[test]
     fn zero_length_rejected() {
         assert!(Segment::zeroed(0).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn shared_file_mappings_alias() {
+        // Two mappings of the same file are one byte range — the
+        // in-process stand-in for two OS processes sharing the pod.
+        let path = std::env::temp_dir().join(format!("cxl-seg-alias-{}", std::process::id()));
+        let a = Segment::map_shared(&path, 8192, true).unwrap();
+        let b = Segment::map_shared(&path, 8192, false).unwrap();
+        assert_eq!(b.peek_u64(128), 0);
+        a.atomic_u64(128).store(0xBEEF, Ordering::SeqCst);
+        assert_eq!(b.atomic_u64(128).load(Ordering::SeqCst), 0xBEEF);
+        b.write_bytes(4096, b"pod");
+        let mut buf = [0u8; 3];
+        a.read_bytes(4096, &mut buf);
+        assert_eq!(&buf, b"pod");
+        drop(a);
+        drop(b);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn shared_file_size_mismatch_rejected() {
+        let path = std::env::temp_dir().join(format!("cxl-seg-short-{}", std::process::id()));
+        let _small = Segment::map_shared(&path, 4096, true).unwrap();
+        let err = Segment::map_shared(&path, 8192, false).unwrap_err();
+        assert!(matches!(err, PodError::SharedSegment { .. }), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn shared_file_missing_rejected() {
+        let path = std::env::temp_dir().join(format!("cxl-seg-missing-{}", std::process::id()));
+        let err = Segment::map_shared(&path, 4096, false).unwrap_err();
+        assert!(matches!(err, PodError::SharedSegment { .. }), "{err}");
     }
 
     #[test]

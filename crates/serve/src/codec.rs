@@ -1,0 +1,86 @@
+//! Compact `PodConfig` codec for worker command lines.
+//!
+//! The heap layout is a pure function of the config (paper §4), so the
+//! coordinator ships its exact config to every worker process as one
+//! argument; [`cxl_pod::Pod::open_shared`] then derives identical
+//! offsets with no further coordination.
+
+use cxl_pod::PodConfig;
+
+/// Renders `config` as `key=value` pairs (`mt=64,ss=2048,...`).
+pub fn format_config(c: &PodConfig) -> String {
+    format!(
+        "mt={},ss={},ls={},hc={},hr={},hd={},hz={},mb={}",
+        c.max_threads,
+        c.small_max_slabs,
+        c.large_max_slabs,
+        c.huge_capacity,
+        c.huge_regions,
+        c.huge_descs_per_thread,
+        c.hazards_per_thread,
+        c.max_segment_bytes,
+    )
+}
+
+/// Parses [`format_config`] output.
+///
+/// # Errors
+///
+/// A description of the malformed or missing field.
+pub fn parse_config(s: &str) -> Result<PodConfig, String> {
+    let mut c = PodConfig {
+        max_threads: 0,
+        small_max_slabs: 0,
+        large_max_slabs: 0,
+        huge_capacity: 0,
+        huge_regions: 0,
+        huge_descs_per_thread: 0,
+        hazards_per_thread: 0,
+        max_segment_bytes: 0,
+    };
+    for pair in s.split(',') {
+        let (key, value) = pair.split_once('=').ok_or_else(|| format!("bad pair {pair:?}"))?;
+        let num: u64 = value.parse().map_err(|_| format!("bad value in {pair:?}"))?;
+        let num32 = || u32::try_from(num).map_err(|_| format!("{pair:?} overflows u32"));
+        match key {
+            "mt" => c.max_threads = num32()?,
+            "ss" => c.small_max_slabs = num32()?,
+            "ls" => c.large_max_slabs = num32()?,
+            "hc" => c.huge_capacity = num,
+            "hr" => c.huge_regions = num32()?,
+            "hd" => c.huge_descs_per_thread = num32()?,
+            "hz" => c.hazards_per_thread = num32()?,
+            "mb" => c.max_segment_bytes = num,
+            other => return Err(format!("unknown config key {other:?}")),
+        }
+    }
+    if c.max_threads == 0 {
+        return Err("config is missing mt".into());
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_every_field() {
+        for config in [PodConfig::default(), PodConfig::small_for_tests()] {
+            let encoded = format_config(&config);
+            let decoded = parse_config(&encoded).unwrap();
+            assert_eq!(format_config(&decoded), encoded);
+            assert_eq!(decoded.max_threads, config.max_threads);
+            assert_eq!(decoded.max_segment_bytes, config.max_segment_bytes);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_config("").is_err());
+        assert!(parse_config("mt").is_err());
+        assert!(parse_config("mt=x").is_err());
+        assert!(parse_config("zz=1").is_err());
+        assert!(parse_config("ss=1").is_err(), "mt is mandatory");
+    }
+}

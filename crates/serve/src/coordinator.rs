@@ -1,0 +1,779 @@
+//! The serve coordinator: owns the shared segment, the worker fleet,
+//! the kill schedule, and the end-of-run crash audit.
+//!
+//! The coordinator creates the shared pod file, spawns N real OS
+//! worker processes, drives them through the ring control plane, and —
+//! mid-run — `kill -9`s victims on a seeded schedule, spawning
+//! replacement processes that detect the death by lease expiry and
+//! adopt the crashed thread slot. When traffic stops and every child
+//! is reaped, the heap is quiescent by construction, and the
+//! coordinator runs the zero-lost-blocks audit: a full-heap
+//! [`census`](cxl_core::audit::census) must name *exactly* the blocks
+//! the workers' ledgers name, and every invariant must hold.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use cxl_core::{AttachOptions, Cxlalloc};
+use cxl_pod::{CoreId, Pod, PodConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::rpc::{self, run_state, status, ControlPlane, Msg, HIST_BUCKETS};
+use crate::worker::{exit, WorkerArgs};
+
+/// A pod config sized for serving runs: plenty of small/large slabs,
+/// a token huge heap (the serve workload never allocates huge).
+pub fn serve_config() -> PodConfig {
+    PodConfig {
+        max_threads: 64,
+        small_max_slabs: 2048,  // 64 MiB of small data
+        large_max_slabs: 256,   // 128 MiB of large data
+        huge_capacity: 16 << 20,
+        huge_regions: 32,
+        huge_descs_per_thread: 64,
+        hazards_per_thread: 8,
+        max_segment_bytes: 4 << 30,
+    }
+}
+
+/// Parsed `serve run` arguments.
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Shared segment file (created, and removed afterwards unless
+    /// `keep_file`).
+    pub file: PathBuf,
+    /// Executable to spawn workers from (the serve binary itself).
+    pub worker_exe: PathBuf,
+    /// Pod configuration shared by every process.
+    pub config: PodConfig,
+    /// Worker count.
+    pub workers: u32,
+    /// Ledger cells (= key space) per worker.
+    pub ledger_cap: u64,
+    /// Traffic duration in seconds (ignored when `target_ops` > 0,
+    /// where it bounds the total wait instead).
+    pub secs: f64,
+    /// Per-worker op target; 0 means "run for `secs`".
+    pub target_ops: u64,
+    /// Seed for op streams and the kill schedule.
+    pub seed: u64,
+    /// Workload spec id (see [`crate::worker::spec_by_id`]).
+    pub spec: u8,
+    /// Worker heartbeat cadence in ops.
+    pub hb_every: u64,
+    /// Coordinator-scheduled `kill -9`s (time mode only).
+    pub kills: u32,
+    /// Deterministic self-kills: `(worker index, after ops)`.
+    pub self_kills: Vec<(u32, u64)>,
+    /// Spawn *two* replacements per crash and require exactly one
+    /// adoption winner.
+    pub race_adopt: bool,
+    /// Write the JSON report here as well as returning it.
+    pub json_out: Option<PathBuf>,
+    /// Keep the segment file for post-mortems.
+    pub keep_file: bool,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            file: std::env::temp_dir().join(format!("cxl-serve-{}.seg", std::process::id())),
+            worker_exe: std::env::current_exe().unwrap_or_else(|_| "serve".into()),
+            config: serve_config(),
+            workers: 4,
+            ledger_cap: 2048,
+            secs: 5.0,
+            target_ops: 0,
+            seed: 1,
+            spec: 0,
+            hb_every: 128,
+            kills: 0,
+            self_kills: Vec::new(),
+            race_adopt: false,
+            json_out: None,
+            keep_file: false,
+        }
+    }
+}
+
+impl RunArgs {
+    /// Parses `--flag value` pairs over the defaults.
+    ///
+    /// # Errors
+    ///
+    /// A usage string naming the offending flag.
+    pub fn parse(args: &[String]) -> Result<RunArgs, String> {
+        let mut out = RunArgs::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut val =
+                || it.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+            match flag.as_str() {
+                "--file" => out.file = PathBuf::from(val()?),
+                "--workers" => out.workers = num(flag, &val()?)?,
+                "--ledger-cap" => out.ledger_cap = num(flag, &val()?)?,
+                "--secs" => out.secs = num(flag, &val()?)?,
+                "--ops" => out.target_ops = num(flag, &val()?)?,
+                "--seed" => out.seed = num(flag, &val()?)?,
+                "--spec" => out.spec = num(flag, &val()?)?,
+                "--hb-every" => out.hb_every = num(flag, &val()?)?,
+                "--kills" => out.kills = num(flag, &val()?)?,
+                "--self-kill" => {
+                    let v = val()?;
+                    let (idx, ops) = v
+                        .split_once(':')
+                        .ok_or_else(|| format!("--self-kill wants INDEX:OPS, got {v:?}"))?;
+                    out.self_kills.push((num(flag, idx)?, num(flag, ops)?));
+                }
+                "--race-adopt" => out.race_adopt = true,
+                "--json" => out.json_out = Some(PathBuf::from(val()?)),
+                "--keep-file" => out.keep_file = true,
+                "--config" => out.config = crate::codec::parse_config(&val()?)?,
+                other => return Err(format!("unknown run flag {other}")),
+            }
+        }
+        if out.workers == 0 || out.ledger_cap == 0 {
+            return Err("--workers and --ledger-cap must be positive".into());
+        }
+        if out.kills > 0 && out.target_ops > 0 {
+            return Err("timed --kills need time mode; use --self-kill with --ops".into());
+        }
+        Ok(out)
+    }
+}
+
+fn num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: bad value {s:?}"))
+}
+
+/// The seed a given incarnation of a worker slot streams ops from.
+/// Exposed so crash-audit tests can replay the exact op sequence.
+pub fn incarnation_seed(base: u64, index: u32, incarnation: u32) -> u64 {
+    base ^ (index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ ((incarnation as u64) << 48)
+}
+
+/// Per-worker results in the final report.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Worker slot index.
+    pub index: u32,
+    /// Thread id serving the slot at the end (raw).
+    pub tid: u16,
+    /// Ops completed by the final incarnation.
+    pub ops: u64,
+    /// Blocks allocated across all incarnations.
+    pub allocs: u64,
+    /// Blocks freed across all incarnations.
+    pub frees: u64,
+    /// Live ledger entries at the end.
+    pub live: u64,
+    /// Latency histogram (log2-ns buckets, all incarnations).
+    pub hist: [u64; HIST_BUCKETS],
+}
+
+/// One crash + adoption episode.
+#[derive(Debug, Clone)]
+pub struct AdoptionRecord {
+    /// Worker slot.
+    pub index: u32,
+    /// The killed incarnation's thread id (raw).
+    pub victim_tid: u16,
+    /// Replacements reporting a won adoption race (must end at 1).
+    pub winners: u32,
+    /// Replacements reporting a lost race.
+    pub losers: u32,
+    /// Phantom ledger cells the winner reconciled away.
+    pub phantoms: u64,
+    /// Live blocks the winner inherited.
+    pub inherited: u64,
+}
+
+/// The zero-lost-blocks audit outcome.
+#[derive(Debug, Clone)]
+pub struct AuditOutcome {
+    /// Blocks the census found allocated.
+    pub census_live: u64,
+    /// Ledger entries across all workers.
+    pub ledger_live: u64,
+    /// Allocated blocks no ledger names (leaked by a crash).
+    pub lost: Vec<u64>,
+    /// Ledger entries naming free blocks.
+    pub phantom: Vec<u64>,
+    /// Offsets named by more than one ledger cell.
+    pub duplicates: Vec<u64>,
+    /// `sum(allocs) - sum(frees) - census_live` (0 when every kill hit
+    /// an op boundary).
+    pub counter_delta: i64,
+    /// `Cxlalloc::check_invariants` outcome (`"ok"` or the failure).
+    pub invariants: String,
+}
+
+impl AuditOutcome {
+    /// Whether the heap and ledgers agree exactly.
+    pub fn is_clean(&self) -> bool {
+        self.lost.is_empty()
+            && self.phantom.is_empty()
+            && self.duplicates.is_empty()
+            && self.invariants == "ok"
+    }
+}
+
+/// Everything a serving run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-worker stats.
+    pub workers: Vec<WorkerStats>,
+    /// Crash/adoption episodes, in kill order.
+    pub adoptions: Vec<AdoptionRecord>,
+    /// The final audit.
+    pub audit: AuditOutcome,
+    /// Threads that observed a stolen lease (raw tids).
+    pub stolen: Vec<u16>,
+    /// SIGKILLs delivered (scheduled + self-kills observed).
+    pub kills: u32,
+    /// Traffic-phase wall clock.
+    pub elapsed_secs: f64,
+    /// Ops across all workers and incarnations.
+    pub total_ops: u64,
+}
+
+impl RunReport {
+    /// Aggregate throughput.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.total_ops as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Merged latency quantile (upper bucket bound, ns).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let hists: Vec<_> = self.workers.iter().map(|w| w.hist).collect();
+        rpc::quantile_ns(&rpc::merge_hists(&hists), q)
+    }
+
+    /// Whether the run proved what it set out to prove: clean audit
+    /// and exactly one adoption winner per kill.
+    pub fn is_clean(&self) -> bool {
+        self.audit.is_clean() && self.adoptions.iter().all(|a| a.winners == 1)
+    }
+
+    /// Renders the report as JSON (schema `serve-run-v1`).
+    pub fn to_json(&self) -> String {
+        let workers: Vec<String> = self
+            .workers
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"index\":{},\"tid\":{},\"ops\":{},\"allocs\":{},\"frees\":{},\
+                     \"live\":{},\"hist\":{:?}}}",
+                    w.index,
+                    w.tid,
+                    w.ops,
+                    w.allocs,
+                    w.frees,
+                    w.live,
+                    w.hist.to_vec()
+                )
+            })
+            .collect();
+        let adoptions: Vec<String> = self
+            .adoptions
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"index\":{},\"victim_tid\":{},\"winners\":{},\"losers\":{},\
+                     \"phantoms\":{},\"inherited\":{}}}",
+                    a.index, a.victim_tid, a.winners, a.losers, a.phantoms, a.inherited
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"schema\": \"serve-run-v1\",\n  \"elapsed_secs\": {:.3},\n  \
+             \"total_ops\": {},\n  \"ops_per_sec\": {:.0},\n  \"p50_ns\": {},\n  \
+             \"p99_ns\": {},\n  \"kills\": {},\n  \"stolen\": {:?},\n  \
+             \"workers\": [{}],\n  \"adoptions\": [{}],\n  \"audit\": {{\"census_live\": {}, \
+             \"ledger_live\": {}, \"lost\": {}, \"phantom\": {}, \"duplicates\": {}, \
+             \"counter_delta\": {}, \"invariants\": {:?}, \"clean\": {}}}\n}}\n",
+            self.elapsed_secs,
+            self.total_ops,
+            self.ops_per_sec(),
+            self.quantile_ns(0.50),
+            self.quantile_ns(0.99),
+            self.kills,
+            self.stolen,
+            workers.join(","),
+            adoptions.join(","),
+            self.audit.census_live,
+            self.audit.ledger_live,
+            self.audit.lost.len(),
+            self.audit.phantom.len(),
+            self.audit.duplicates.len(),
+            self.audit.counter_delta,
+            self.audit.invariants,
+            self.is_clean(),
+        )
+    }
+}
+
+/// One worker slot's bookkeeping during the run.
+struct Slot {
+    child: Option<Child>,
+    /// Racing replacement children not yet identified as the winner.
+    racers: Vec<Child>,
+    tid: Option<u16>,
+    incarnation: u32,
+    started: bool,
+    finished: bool,
+    /// Index into `RunReport::adoptions` of the episode in flight.
+    adopting: Option<usize>,
+}
+
+/// Drives a full serving run and returns the report.
+///
+/// # Errors
+///
+/// Harness failures (spawn/IO/protocol); *audit* failures are returned
+/// in the report, not as errors, so callers can inspect them.
+pub fn run(args: &RunArgs) -> Result<RunReport, String> {
+    let _ = std::fs::remove_file(&args.file);
+    let tail = rpc::tail_bytes(args.workers, args.ledger_cap);
+    let pod = Pod::create_shared(args.config.clone(), &args.file, tail)
+        .map_err(|e| format!("create_shared: {e}"))?;
+    let plane = ControlPlane::new(
+        pod.memory().segment().clone(),
+        pod.layout().total_len,
+        args.workers,
+        args.ledger_cap,
+    );
+    plane.init();
+
+    let result = drive(args, &pod, &plane);
+    if !args.keep_file {
+        let _ = std::fs::remove_file(&args.file);
+    }
+    result
+}
+
+fn drive(args: &RunArgs, pod: &Pod, plane: &ControlPlane) -> Result<RunReport, String> {
+    let mut slots: Vec<Slot> = Vec::new();
+    let result = drive_slots(args, pod, plane, &mut slots);
+    if result.is_err() {
+        // Never leak orphan workers past a harness failure.
+        for slot in slots.iter_mut() {
+            for child in slot.child.iter_mut().chain(slot.racers.iter_mut()) {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+    result
+}
+
+fn drive_slots(
+    args: &RunArgs,
+    pod: &Pod,
+    plane: &ControlPlane,
+    slots: &mut Vec<Slot>,
+) -> Result<RunReport, String> {
+    for index in 0..args.workers {
+        slots.push(Slot {
+            child: Some(spawn_worker(args, index, None)?),
+            racers: Vec::new(),
+            tid: None,
+            incarnation: 0,
+            started: false,
+            finished: false,
+            adopting: None,
+        });
+    }
+    let mut adoptions: Vec<AdoptionRecord> = Vec::new();
+    let mut stolen: Vec<u16> = Vec::new();
+    let mut kills = 0u32;
+
+    // Seeded kill schedule: each hit picks a time in the middle of the
+    // run and a victim slot (possibly the same slot twice — the second
+    // kill then fells the replacement).
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x6b69_6c6c);
+    let mut schedule: Vec<(Duration, u32)> = (0..args.kills)
+        .map(|_| {
+            let at = args.secs * (0.25 + 0.4 * rng.gen::<f64>());
+            (Duration::from_secs_f64(at), rng.gen_range(0..args.workers))
+        })
+        .collect();
+    schedule.sort_by_key(|(at, _)| *at);
+
+    // Phase 1: wait for every initial Hello, then start traffic.
+    let setup_deadline = Instant::now() + Duration::from_secs(60);
+    while slots.iter().any(|s| s.tid.is_none()) {
+        pump(plane, slots, &mut adoptions, &mut stolen, args)?;
+        if Instant::now() > setup_deadline {
+            return Err("workers never all said hello".into());
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    plane.set_run_state(run_state::RUNNING);
+    let traffic_start = Instant::now();
+    for (index, slot) in slots.iter_mut().enumerate() {
+        start_slot(plane, args, index as u32, slot)?;
+    }
+
+    // Phase 2: traffic, kills, replacements.
+    let hard_deadline = traffic_start
+        + Duration::from_secs_f64(args.secs)
+        + if args.target_ops > 0 { Duration::from_secs(120) } else { Duration::ZERO };
+    loop {
+        pump(plane, slots, &mut adoptions, &mut stolen, args)?;
+        kills += reap_and_replace(args, slots, &mut adoptions)?;
+        while let Some(&(at, victim)) = schedule.first() {
+            if traffic_start.elapsed() < at {
+                break;
+            }
+            let slot = &mut slots[victim as usize];
+            if slot.started && slot.adopting.is_none() && slot.child.is_some() {
+                // A healthy target: kill -9, mid-traffic.
+                let mut child = slot.child.take().unwrap();
+                let _ = child.kill(); // SIGKILL on unix
+                let _ = child.wait();
+                slot.child = Some(child); // reap_and_replace sees the corpse
+                schedule.remove(0);
+            } else {
+                // Slot is mid-replacement; retry this kill shortly.
+                break;
+            }
+        }
+        let done = if args.target_ops > 0 {
+            slots.iter().all(|s| s.finished)
+        } else {
+            traffic_start.elapsed() >= Duration::from_secs_f64(args.secs)
+        };
+        if done {
+            break;
+        }
+        if Instant::now() > hard_deadline {
+            return Err("run overshot its hard deadline".into());
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let elapsed = traffic_start.elapsed().as_secs_f64();
+
+    // Phase 3: stop and reap everything.
+    plane.set_run_state(run_state::STOPPING);
+    for (index, slot) in slots.iter_mut().enumerate() {
+        // Also slots whose replacement is still mid-adoption: the Stop
+        // waits in the ring and the adoption winner drains it.
+        if (slot.child.is_some() || !slot.racers.is_empty()) && !slot.finished {
+            let _ = plane.worker(index as u32).cmd_ring().push(Msg::Stop);
+        }
+    }
+    let stop_deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        pump(plane, slots, &mut adoptions, &mut stolen, args)?;
+        let mut all_reaped = true;
+        for slot in slots.iter_mut() {
+            for child in slot.child.iter_mut().chain(slot.racers.iter_mut()) {
+                match child.try_wait() {
+                    Ok(Some(_)) => {}
+                    _ => all_reaped = false,
+                }
+            }
+        }
+        if all_reaped {
+            break;
+        }
+        if Instant::now() > stop_deadline {
+            for slot in slots.iter_mut() {
+                for child in slot.child.iter_mut().chain(slot.racers.iter_mut()) {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+            }
+            return Err("workers did not stop in time".into());
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Drain any Finished events that raced the final reap.
+    pump(plane, slots, &mut adoptions, &mut stolen, args)?;
+
+    // Phase 4: the heap is quiescent — audit it.
+    let audit = audit(pod, plane)?;
+    let workers: Vec<WorkerStats> = (0..args.workers)
+        .map(|index| {
+            let w = plane.worker(index);
+            WorkerStats {
+                index,
+                tid: w.status(status::TID) as u16,
+                ops: w.status(status::OPS),
+                allocs: w.status(status::ALLOCS),
+                frees: w.status(status::FREES),
+                live: w.ledger_live().len() as u64,
+                hist: w.histogram(),
+            }
+        })
+        .collect();
+    let total_ops = workers.iter().map(|w| w.ops).sum();
+    let report = RunReport {
+        workers,
+        adoptions,
+        audit,
+        stolen,
+        kills,
+        elapsed_secs: elapsed,
+        total_ops,
+    };
+    if let Some(path) = &args.json_out {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("write {path:?}: {e}"))?;
+    }
+    Ok(report)
+}
+
+/// Sends `Start` to a slot's current incarnation.
+fn start_slot(
+    plane: &ControlPlane,
+    args: &RunArgs,
+    index: u32,
+    slot: &mut Slot,
+) -> Result<(), String> {
+    plane
+        .worker(index)
+        .cmd_ring()
+        .push(Msg::Start {
+            seed: incarnation_seed(args.seed, index, slot.incarnation),
+            spec: args.spec,
+            hb_every: args.hb_every,
+            target_ops: args.target_ops,
+        })
+        .map_err(|_| format!("cmd ring of worker {index} full at start"))?;
+    slot.started = true;
+    Ok(())
+}
+
+/// Drains every event ring once.
+fn pump(
+    plane: &ControlPlane,
+    slots: &mut [Slot],
+    adoptions: &mut [AdoptionRecord],
+    stolen: &mut Vec<u16>,
+    args: &RunArgs,
+) -> Result<(), String> {
+    for (index, slot) in slots.iter_mut().enumerate() {
+        let index = index as u32;
+        let evt = plane.worker(index).evt_ring();
+        while let Some(msg) = evt.pop().map_err(|e| format!("evt ring {index}: {e}"))? {
+            match msg {
+                Msg::Hello { pid, tid } => {
+                    slot.tid = Some(tid);
+                    // A replacement's hello: promote the matching racer
+                    // to slot ownership and start it serving.
+                    if let Some(pos) =
+                        slot.racers.iter().position(|c| c.id() as u64 == pid)
+                    {
+                        slot.child = Some(slot.racers.remove(pos));
+                    }
+                    if plane.run_state() == run_state::RUNNING && !slot.started {
+                        start_slot(plane, args, index, slot)?;
+                    } else if plane.run_state() == run_state::STOPPING && !slot.started {
+                        // A straggler (late adoption winner) checking in
+                        // mid-shutdown: send it straight to Stop.
+                        let _ = plane.worker(index).cmd_ring().push(Msg::Stop);
+                    }
+                }
+                Msg::AdoptReport { victim, winner, phantoms, inherited } => {
+                    // The loser of a raced adoption may report after the
+                    // winner already resolved the episode — match by
+                    // victim, not only by the in-flight marker.
+                    let at = slot.adopting.or_else(|| {
+                        adoptions.iter().rposition(|a| a.index == index && a.victim_tid == victim)
+                    });
+                    let rec = at
+                        .and_then(|i| adoptions.get_mut(i))
+                        .ok_or_else(|| format!("unexpected adopt report for {victim}"))?;
+                    if winner {
+                        rec.winners += 1;
+                        rec.phantoms = phantoms;
+                        rec.inherited = inherited;
+                        slot.adopting = None;
+                    } else {
+                        rec.losers += 1;
+                    }
+                }
+                Msg::Finished { .. } => slot.finished = true,
+                Msg::Stolen { tid } => stolen.push(tid),
+                Msg::Progress { .. } => {}
+                other => return Err(format!("unexpected event {other:?}")),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Notices dead children and spawns replacements. Returns the number
+/// of crashes handled this pass.
+fn reap_and_replace(
+    args: &RunArgs,
+    slots: &mut [Slot],
+    adoptions: &mut Vec<AdoptionRecord>,
+) -> Result<u32, String> {
+    let mut crashes = 0;
+    for (index, slot) in slots.iter_mut().enumerate() {
+        let index = index as u32;
+        // Reap racers that lost (exit code RACED) — expected deaths.
+        slot.racers.retain_mut(|racer| {
+            !matches!(racer.try_wait(), Ok(Some(code)) if code.code() == Some(exit::RACED))
+        });
+        let Some(child) = slot.child.as_mut() else { continue };
+        let Ok(Some(exit_status)) = child.try_wait() else { continue };
+        if exit_status.success() {
+            continue; // clean exit (its Finished event may still be in flight)
+        }
+        if !slot.started || slot.adopting.is_some() {
+            continue; // not a traffic-phase crash we can attribute yet
+        }
+        // A crash (SIGKILL, steal, or fatal): replace and adopt.
+        crashes += 1;
+        let victim_tid = slot.tid.ok_or("crashed worker never said hello")?;
+        slot.child = None;
+        slot.started = false;
+        slot.finished = false;
+        slot.incarnation += 1;
+        slot.adopting = Some(adoptions.len());
+        adoptions.push(AdoptionRecord {
+            index,
+            victim_tid,
+            winners: 0,
+            losers: 0,
+            phantoms: 0,
+            inherited: 0,
+        });
+        let replacements = if args.race_adopt { 2 } else { 1 };
+        for _ in 0..replacements {
+            slot.racers.push(spawn_worker(args, index, Some(victim_tid))?);
+        }
+    }
+    Ok(crashes)
+}
+
+fn spawn_worker(args: &RunArgs, index: u32, adopt: Option<u16>) -> Result<Child, String> {
+    let kill_after_ops = if adopt.is_none() {
+        args.self_kills.iter().find(|(i, _)| *i == index).map(|(_, ops)| *ops)
+    } else {
+        None // replacements never re-arm the deterministic crash
+    };
+    let worker_args = WorkerArgs {
+        file: args.file.clone(),
+        config: args.config.clone(),
+        workers: args.workers,
+        ledger_cap: args.ledger_cap,
+        index,
+        adopt,
+        kill_after_ops,
+    };
+    Command::new(&args.worker_exe)
+        .arg("worker")
+        .args(worker_args.to_args())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn worker {index}: {e}"))
+}
+
+/// The zero-lost-blocks audit over a quiescent heap.
+fn audit(pod: &Pod, plane: &ControlPlane) -> Result<AuditOutcome, String> {
+    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default())
+        .map_err(|e| format!("audit attach: {e}"))?;
+    let census = heap.census(CoreId(0))?;
+    let invariants = match heap.check_invariants(CoreId(0)) {
+        Ok(()) => "ok".to_string(),
+        Err(e) => e,
+    };
+
+    let mut ledger: Vec<u64> = Vec::new();
+    let mut allocs = 0u64;
+    let mut frees = 0u64;
+    for index in 0..plane.workers() {
+        let w = plane.worker(index);
+        ledger.extend(w.ledger_live().into_iter().map(|(_, off)| off));
+        allocs += w.status(status::ALLOCS);
+        frees += w.status(status::FREES);
+    }
+    ledger.sort_unstable();
+    let mut duplicates: Vec<u64> = ledger.windows(2).filter(|w| w[0] == w[1]).map(|w| w[0]).collect();
+    duplicates.dedup();
+
+    let heap_side = census.all_offsets();
+    let lost = diff_sorted(&heap_side, &ledger);
+    let phantom = diff_sorted(&ledger, &heap_side);
+    Ok(AuditOutcome {
+        census_live: heap_side.len() as u64,
+        ledger_live: ledger.len() as u64,
+        lost,
+        phantom,
+        duplicates,
+        counter_delta: allocs as i64 - frees as i64 - heap_side.len() as i64,
+        invariants,
+    })
+}
+
+/// Elements of sorted `a` missing from sorted `b` (set difference).
+fn diff_sorted(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_args_parse_and_validate() {
+        let args = RunArgs::parse(&[
+            "--workers".into(),
+            "2".into(),
+            "--ops".into(),
+            "500".into(),
+            "--self-kill".into(),
+            "0:250".into(),
+            "--seed".into(),
+            "9".into(),
+        ])
+        .unwrap();
+        assert_eq!(args.workers, 2);
+        assert_eq!(args.target_ops, 500);
+        assert_eq!(args.self_kills, vec![(0, 250)]);
+        assert!(RunArgs::parse(&["--workers".into(), "0".into()]).is_err());
+        assert!(RunArgs::parse(&["--kills".into(), "1".into(), "--ops".into(), "5".into()])
+            .is_err());
+        assert!(RunArgs::parse(&["--self-kill".into(), "junk".into()]).is_err());
+    }
+
+    #[test]
+    fn incarnation_seeds_are_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for index in 0..8 {
+            for inc in 0..4 {
+                assert!(seen.insert(incarnation_seed(7, index, inc)));
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_diff_is_a_set_difference() {
+        assert_eq!(diff_sorted(&[1, 2, 3, 5], &[2, 3, 4]), vec![1, 5]);
+        assert_eq!(diff_sorted(&[], &[1]), Vec::<u64>::new());
+        assert_eq!(diff_sorted(&[7], &[]), vec![7]);
+    }
+}

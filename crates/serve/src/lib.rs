@@ -1,0 +1,85 @@
+//! # cxl-serve — the multi-process pod serving harness
+//!
+//! Everything else in this workspace proves allocator properties with
+//! *simulated* processes inside one address space. This crate is the
+//! other half of the story: a real coordinator process creates a real
+//! shared-memory segment (a `MAP_SHARED` file mapping), real OS worker
+//! processes attach to it with [`cxl_core::Cxlalloc::attach`] and serve
+//! sustained YCSB-style traffic, and the coordinator `kill -9`s workers
+//! mid-run. Replacements detect the death by lease expiry, win the
+//! adoption race, and keep serving the dead incarnation's data. At the
+//! end, a full-heap census must agree *exactly* with the workers'
+//! allocation ledgers: zero lost blocks, zero phantoms, across any
+//! number of crashes.
+//!
+//! The moving parts:
+//!
+//! - [`rpc`] — the shared-memory control plane: per-worker SPSC message
+//!   rings, status blocks, latency histograms, and the allocation
+//!   ledger whose cells double as `alloc_detectable` delivery slots.
+//! - [`worker`] — the worker process: attach, register/adopt, serve,
+//!   heartbeat, and (on request) SIGKILL itself at an exact op count.
+//! - [`coordinator`] — fleet management, the seeded kill schedule, and
+//!   the zero-lost-blocks audit.
+//! - [`codec`] — the `PodConfig` wire format workers receive on their
+//!   command line.
+//!
+//! Run a demo from the workspace root:
+//!
+//! ```text
+//! cargo run --release --bin serve -- run --workers 4 --secs 10 --kills 2
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codec;
+#[cfg(unix)]
+pub mod coordinator;
+pub mod rpc;
+pub mod worker;
+
+/// Entry point shared by the `serve` binary: dispatches to the
+/// coordinator (`run`) or a worker (`worker`), returning the process
+/// exit code.
+#[cfg(unix)]
+pub fn main_from_args(argv: &[String]) -> i32 {
+    match argv.first().map(String::as_str) {
+        Some("worker") => match worker::WorkerArgs::parse(&argv[1..]) {
+            Ok(args) => worker::run(&args),
+            Err(err) => {
+                eprintln!("serve worker: {err}");
+                worker::exit::FATAL
+            }
+        },
+        Some("run") => match coordinator::RunArgs::parse(&argv[1..]) {
+            Ok(args) => match coordinator::run(&args) {
+                Ok(report) => {
+                    print!("{}", report.to_json());
+                    if report.is_clean() {
+                        0
+                    } else {
+                        eprintln!("serve: audit failed");
+                        1
+                    }
+                }
+                Err(err) => {
+                    eprintln!("serve run: {err}");
+                    1
+                }
+            },
+            Err(err) => {
+                eprintln!("serve run: {err}");
+                2
+            }
+        },
+        _ => {
+            eprintln!(
+                "usage: serve run [--workers N] [--secs S | --ops N] [--kills K] \
+                 [--self-kill I:OPS] [--race-adopt] [--seed S] [--spec ID] [--json PATH]\n\
+                        serve worker ... (internal)"
+            );
+            2
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! The serve worker: one OS process, one allocator thread slot.
+//!
+//! A worker attaches to the coordinator's shared segment, registers a
+//! thread (or adopts a crashed one when spawned as a replacement), and
+//! serves a YCSB-style key-value workload against its slice of the
+//! allocation ledger. Every key maps to one ledger cell; an insert
+//! passes the cell itself as the `detect_dst` of
+//! [`alloc_detectable`](cxl_core::ThreadHandle::alloc_detectable), so
+//! the cell and the heap can disagree by at most the single in-flight
+//! operation no matter where a `kill -9` lands.
+//!
+//! Keys are partitioned per worker (each worker owns its ledger and
+//! never frees another worker's blocks), which keeps every slab's
+//! bitset single-writer and makes the end-of-run census exact.
+
+use std::time::{Duration, Instant};
+
+use cxl_core::audit::{block_state, BlockState};
+use cxl_core::liveness::LivenessDetector;
+use cxl_core::{AllocError, AttachOptions, Cxlalloc, OffsetPtr, ThreadHandle, ThreadId};
+use cxl_pod::{CoreId, Pod, PodConfig};
+use rand::{rngs::StdRng, SeedableRng};
+use workloads::{KvOp, OpStream, WorkloadSpec};
+
+use crate::rpc::{self, state, status, ControlPlane, Msg, WorkerPlane};
+
+/// Process exit codes a worker can produce (the coordinator keys off
+/// these to tell clean exits, race losses, and steals apart).
+pub mod exit {
+    /// Served and stopped cleanly.
+    pub const OK: i32 = 0;
+    /// Bad arguments or a fatal harness error.
+    pub const FATAL: i32 = 2;
+    /// Spawned as a replacement but lost the adoption race.
+    pub const RACED: i32 = 3;
+    /// A heartbeat found the lease stolen by another adopter.
+    pub const STOLEN: i32 = 4;
+}
+
+/// Workload spec ids carried in [`Msg::Start`].
+///
+/// The specs are serve-sized variants of the paper's Table 2 rows: the
+/// key space is clamped to the ledger capacity and value sizes stay in
+/// the small/large heaps (huge blocks would dwarf the ledger-sized
+/// runs the harness drives).
+pub fn spec_by_id(id: u8, key_space: u64) -> WorkloadSpec {
+    let mut spec = match id {
+        1 => WorkloadSpec {
+            name: "serve-mixed",
+            // Size-mixed churn: inserts span the small heap and spill
+            // into the large heap.
+            insert_pct: 40.0,
+            delete_pct: 20.0,
+            key_dist: workloads::KeyDist::Zipfian,
+            key_size: workloads::SizeDist::Fixed(8),
+            value_size: workloads::SizeDist::Uniform { min: 8, max: 4096 },
+            key_space,
+            preload: 0,
+        },
+        _ => {
+            // Default: the paper's modified YCSB-A (25 % insert, 25 %
+            // delete, 50 % read, Zipfian keys, 960 B values).
+            let mut a = WorkloadSpec::ycsb_a();
+            a.preload = 0;
+            a
+        }
+    };
+    spec.key_space = key_space;
+    spec
+}
+
+/// Parsed `serve worker` arguments.
+#[derive(Debug, Clone)]
+pub struct WorkerArgs {
+    /// Path of the shared segment file.
+    pub file: std::path::PathBuf,
+    /// Encoded pod config (see [`crate::codec`]).
+    pub config: PodConfig,
+    /// Worker-slot count the control plane was sized for.
+    pub workers: u32,
+    /// Ledger cells per worker.
+    pub ledger_cap: u64,
+    /// This worker's slot index.
+    pub index: u32,
+    /// Raw thread id of a crashed incarnation to adopt.
+    pub adopt: Option<u16>,
+    /// SIGKILL our own process just before completing this op count.
+    pub kill_after_ops: Option<u64>,
+}
+
+impl WorkerArgs {
+    /// Parses `--flag value` pairs.
+    ///
+    /// # Errors
+    ///
+    /// A usage string naming the offending flag.
+    pub fn parse(args: &[String]) -> Result<WorkerArgs, String> {
+        let mut file = None;
+        let mut config = None;
+        let mut workers = 0u32;
+        let mut ledger_cap = 0u64;
+        let mut index = None;
+        let mut adopt = None;
+        let mut kill_after_ops = None;
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut val = || {
+                it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--file" => file = Some(std::path::PathBuf::from(val()?)),
+                "--config" => config = Some(crate::codec::parse_config(&val()?)?),
+                "--workers" => workers = parse_num(flag, &val()?)?,
+                "--ledger-cap" => ledger_cap = parse_num(flag, &val()?)?,
+                "--index" => index = Some(parse_num(flag, &val()?)?),
+                "--adopt" => adopt = Some(parse_num(flag, &val()?)?),
+                "--kill-after-ops" => kill_after_ops = Some(parse_num(flag, &val()?)?),
+                other => return Err(format!("unknown worker flag {other}")),
+            }
+        }
+        Ok(WorkerArgs {
+            file: file.ok_or("--file is required")?,
+            config: config.ok_or("--config is required")?,
+            workers: if workers == 0 { return Err("--workers is required".into()) } else { workers },
+            ledger_cap: if ledger_cap == 0 {
+                return Err("--ledger-cap is required".into());
+            } else {
+                ledger_cap
+            },
+            index: index.ok_or("--index is required")?,
+            adopt,
+            kill_after_ops,
+        })
+    }
+
+    /// Renders back to the argument vector [`WorkerArgs::parse`] accepts.
+    pub fn to_args(&self) -> Vec<String> {
+        let mut v = vec![
+            "--file".into(),
+            self.file.display().to_string(),
+            "--config".into(),
+            crate::codec::format_config(&self.config),
+            "--workers".into(),
+            self.workers.to_string(),
+            "--ledger-cap".into(),
+            self.ledger_cap.to_string(),
+            "--index".into(),
+            self.index.to_string(),
+        ];
+        if let Some(tid) = self.adopt {
+            v.push("--adopt".into());
+            v.push(tid.to_string());
+        }
+        if let Some(n) = self.kill_after_ops {
+            v.push("--kill-after-ops".into());
+            v.push(n.to_string());
+        }
+        v
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: bad value {s:?}"))
+}
+
+/// Runs a worker process to completion; returns its exit code.
+///
+/// Only available on Unix (the shared segment is a file mapping).
+#[cfg(unix)]
+pub fn run(args: &WorkerArgs) -> i32 {
+    match run_inner(args) {
+        Ok(code) => code,
+        Err(err) => {
+            eprintln!("serve worker {}: {err}", args.index);
+            exit::FATAL
+        }
+    }
+}
+
+#[cfg(unix)]
+fn run_inner(args: &WorkerArgs) -> Result<i32, String> {
+    let tail = rpc::tail_bytes(args.workers, args.ledger_cap);
+    let pod = Pod::open_shared(args.config.clone(), &args.file, tail)
+        .map_err(|e| format!("open_shared: {e}"))?;
+    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default())
+        .map_err(|e| format!("attach: {e}"))?;
+    let plane = ControlPlane::new(
+        pod.memory().segment().clone(),
+        pod.layout().total_len,
+        args.workers,
+        args.ledger_cap,
+    );
+    plane.validate()?;
+    let me = plane.worker(args.index);
+    let evt = me.evt_ring();
+    let cmd = me.cmd_ring();
+
+    // Claim the slot: register fresh, or adopt the dead incarnation.
+    let handle = match args.adopt {
+        None => heap.register_thread().map_err(|e| format!("register: {e}"))?,
+        Some(raw) => {
+            let victim = ThreadId::new(raw).ok_or("--adopt 0 is not a thread id")?;
+            match adopt(&heap, &plane, &me, victim)? {
+                Some(handle) => handle,
+                None => {
+                    // Lost the race: report and bow out; the winner
+                    // serves this slot.
+                    let _ = evt.push(Msg::AdoptReport {
+                        victim: raw,
+                        winner: false,
+                        phantoms: 0,
+                        inherited: 0,
+                    });
+                    return Ok(exit::RACED);
+                }
+            }
+        }
+    };
+
+    me.set_status(status::PID, std::process::id() as u64);
+    me.set_status(status::TID, handle.tid().raw() as u64);
+    me.set_status(status::STATE, state::INIT);
+    evt.push(Msg::Hello { pid: std::process::id() as u64, tid: handle.tid().raw() })
+        .map_err(|_| "event ring full at hello")?;
+
+    // Wait for Start (heartbeating so detectors trust us), then serve.
+    let started = Instant::now();
+    let (seed, spec, hb_every, target_ops) = loop {
+        match cmd.pop().map_err(|e| format!("cmd ring: {e}"))? {
+            Some(Msg::Start { seed, spec, hb_every, target_ops }) => {
+                break (seed, spec, hb_every, target_ops)
+            }
+            Some(Msg::Stop) => {
+                finish(&me, &evt, &handle, 0);
+                return Ok(exit::OK);
+            }
+            Some(other) => return Err(format!("unexpected command {other:?}")),
+            None => {}
+        }
+        if let Err(code) = beat(&handle, &me, &evt) {
+            return Ok(code);
+        }
+        if started.elapsed() > Duration::from_secs(120) {
+            return Err("timed out waiting for Start".into());
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+
+    me.set_status(status::STATE, state::RUNNING);
+    let code = serve(ServeLoop {
+        handle,
+        me: &me,
+        evt: &evt,
+        cmd: &cmd,
+        seed,
+        spec,
+        hb_every: hb_every.max(1),
+        target_ops,
+        kill_after_ops: args.kill_after_ops,
+    })?;
+    Ok(code)
+}
+
+/// Detect the victim's death (ticking the lease detector) and race the
+/// DEAD→ADOPTING CAS. Returns `None` on a lost race.
+#[cfg(unix)]
+fn adopt(
+    heap: &Cxlalloc,
+    plane: &ControlPlane,
+    me: &WorkerPlane,
+    victim: ThreadId,
+) -> Result<Option<ThreadHandle>, String> {
+    // Generous expiry: live workers heartbeat every few hundred
+    // microseconds, so ~50 ticks x 2 ms of silence is unambiguous.
+    let mut detector = LivenessDetector::new(heap.process().memory().layout().max_threads, 50);
+    let via = CoreId(victim.slot() as u16);
+    let started = Instant::now();
+    let mut probe = false;
+    loop {
+        // The run is winding down: a slot whose winner already exited
+        // cleanly re-freezes its lease, and adopting it now would leave
+        // this process waiting for a Start that never comes. Bow out.
+        if plane.run_state() == rpc::run_state::STOPPING {
+            return Ok(None);
+        }
+        let report = detector.tick(heap, via).map_err(|e| format!("detector: {e}"))?;
+        // Once we (or anyone) could have flipped the slot DEAD, start
+        // probing; the registry CAS arbitrates the race.
+        probe = probe
+            || report.expired.contains(&victim)
+            || started.elapsed() > Duration::from_secs(5);
+        if probe {
+            match heap.try_adopt(victim, via) {
+                Ok((handle, _report)) => {
+                    let (phantoms, inherited) = reconcile_ledger(heap, me, &handle)?;
+                    let _ = me.evt_ring().push(Msg::AdoptReport {
+                        victim: victim.raw(),
+                        winner: true,
+                        phantoms,
+                        inherited,
+                    });
+                    return Ok(Some(handle));
+                }
+                Err(AllocError::AdoptionRaced { .. }) => return Ok(None),
+                Err(AllocError::BadThreadState { .. }) => {} // not DEAD yet
+                Err(e) => return Err(format!("try_adopt: {e}")),
+            }
+        }
+        if started.elapsed() > Duration::from_secs(30) {
+            return Err(format!("victim {victim} never became adoptable"));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Reconciles the inherited ledger against the recovered heap: a cell
+/// naming a block the heap considers free is the phantom left by a
+/// crash between a completed free and the cell clear. At most one per
+/// crash; cleared here so the end-of-run audit sees exact agreement.
+#[cfg(unix)]
+fn reconcile_ledger(
+    heap: &Cxlalloc,
+    me: &WorkerPlane,
+    handle: &ThreadHandle,
+) -> Result<(u64, u64), String> {
+    let mem = heap.process().memory().clone();
+    let mut phantoms = 0;
+    let mut inherited = 0;
+    for (key, offset) in me.ledger_live() {
+        match block_state(mem.as_ref(), handle.core(), offset)? {
+            BlockState::Allocated => inherited += 1,
+            BlockState::Free => {
+                me.ledger_set(key, 0);
+                // The free completed pre-crash but its ledger clear did
+                // not; account it so allocs - frees == live holds.
+                me.bump_status(status::FREES, 1);
+                phantoms += 1;
+            }
+        }
+    }
+    Ok((phantoms, inherited))
+}
+
+#[cfg(unix)]
+struct ServeLoop<'a> {
+    handle: ThreadHandle,
+    me: &'a WorkerPlane,
+    evt: &'a crate::rpc::Ring,
+    cmd: &'a crate::rpc::Ring,
+    seed: u64,
+    spec: u8,
+    hb_every: u64,
+    target_ops: u64,
+    kill_after_ops: Option<u64>,
+}
+
+#[cfg(unix)]
+fn serve(mut s: ServeLoop<'_>) -> Result<i32, String> {
+    let cap = s.me.ledger_cap();
+    let spec = spec_by_id(s.spec, cap);
+    let mut stream = OpStream::new(spec, StdRng::seed_from_u64(s.seed));
+    let mut ops = 0u64;
+    loop {
+        if s.kill_after_ops == Some(ops) {
+            // Simulate a host crash at an exact, replayable op
+            // boundary: no destructors, no flushes, no goodbyes.
+            self_sigkill();
+        }
+        if s.target_ops != 0 && ops >= s.target_ops {
+            break;
+        }
+        if ops.is_multiple_of(256) {
+            match s.cmd.pop().map_err(|e| format!("cmd ring: {e}"))? {
+                Some(Msg::Stop) => break,
+                Some(other) => return Err(format!("unexpected command {other:?}")),
+                None => {}
+            }
+        }
+        if ops.is_multiple_of(s.hb_every) {
+            if let Err(code) = beat(&s.handle, s.me, s.evt) {
+                return Ok(code);
+            }
+        }
+        let op = stream.next_op();
+        let t0 = Instant::now();
+        apply_op(&mut s.handle, s.me, &op, cap)?;
+        s.me.record_latency(t0.elapsed().as_nanos() as u64);
+        ops += 1;
+        s.me.set_status(status::OPS, ops);
+    }
+    finish(s.me, s.evt, &s.handle, ops);
+    Ok(exit::OK)
+}
+
+/// Applies one KV op to the worker's ledger slice.
+///
+/// The update protocol is crash-ordered: a free always clears its cell
+/// *after* the heap operation completes, and an insert's cell is
+/// written *by the allocator* before the redo log retires — so any
+/// crash leaves at most one cell (the in-flight op's) out of sync, in
+/// the phantom direction only.
+#[cfg(unix)]
+fn apply_op(
+    handle: &mut ThreadHandle,
+    me: &WorkerPlane,
+    op: &KvOp,
+    cap: u64,
+) -> Result<(), String> {
+    match *op {
+        KvOp::Read { key } => {
+            let cell = me.ledger_get(key % cap);
+            if let Some(ptr) = OffsetPtr::new(cell) {
+                let raw = handle.resolve(ptr, 8).map_err(|e| format!("resolve: {e}"))?;
+                // Touch the block so reads exercise PC-T mappings.
+                unsafe { std::ptr::read_volatile(raw) };
+            }
+        }
+        KvOp::Insert { key, key_len, value_len } => {
+            let k = key % cap;
+            free_cell(handle, me, k)?;
+            let size = (key_len as usize + value_len as usize).clamp(8, 64 << 10);
+            let dst = OffsetPtr::new(me.ledger_cell(k)).expect("ledger cells are never offset 0");
+            match handle.alloc_detectable(size, dst) {
+                Ok(ptr) => {
+                    me.bump_status(status::ALLOCS, 1);
+                    let raw =
+                        handle.resolve(ptr, 8).map_err(|e| format!("resolve: {e}"))?;
+                    unsafe { (raw as *mut u64).write_volatile(key) };
+                }
+                // Serving must degrade, not die, when a heap fills:
+                // treat the insert as rejected.
+                Err(AllocError::OutOfMemory { .. }) => {
+                    me.ledger_set(k, 0);
+                }
+                Err(e) => return Err(format!("alloc: {e}")),
+            }
+        }
+        KvOp::Delete { key } => free_cell(handle, me, key % cap)?,
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn free_cell(handle: &mut ThreadHandle, me: &WorkerPlane, k: u64) -> Result<(), String> {
+    if let Some(ptr) = OffsetPtr::new(me.ledger_get(k)) {
+        handle.dealloc(ptr).map_err(|e| format!("dealloc: {e}"))?;
+        me.bump_status(status::FREES, 1);
+        me.ledger_set(k, 0);
+    }
+    Ok(())
+}
+
+/// One heartbeat; on a stolen lease, publishes the steal and returns
+/// the exit code to die with.
+#[cfg(unix)]
+fn beat(handle: &ThreadHandle, me: &WorkerPlane, evt: &crate::rpc::Ring) -> Result<(), i32> {
+    match handle.heartbeat() {
+        Ok(()) => Ok(()),
+        Err(AllocError::LeaseStolen { thread, .. }) => {
+            me.set_status(status::STOLEN, 1);
+            let _ = evt.push(Msg::Stolen { tid: thread.raw() });
+            Err(exit::STOLEN)
+        }
+        // Transient device contention: skip this beat, renew next time.
+        Err(AllocError::DeviceContention { .. }) => Ok(()),
+        Err(_) => Err(exit::FATAL),
+    }
+}
+
+#[cfg(unix)]
+fn finish(me: &WorkerPlane, evt: &crate::rpc::Ring, handle: &ThreadHandle, ops: u64) {
+    handle.flush_cache();
+    let live = me.ledger_live().len() as u64;
+    me.set_status(status::STATE, state::DONE);
+    let _ = evt.push(Msg::Finished {
+        ops,
+        allocs: me.status(status::ALLOCS),
+        frees: me.status(status::FREES),
+        live,
+    });
+}
+
+/// `kill(getpid(), SIGKILL)` — the process vanishes mid-instruction,
+/// exactly like a crashed pod host.
+#[cfg(unix)]
+fn self_sigkill() -> ! {
+    extern "C" {
+        fn getpid() -> i32;
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(getpid(), 9);
+    }
+    unreachable!("survived SIGKILL");
+}
+
+/// Pure replay of the ledger effect of `ops` operations: the same
+/// stream, key mapping, and cell protocol as [`run`], minus the heap.
+/// Crash-audit tests use it to predict the exact live-block population
+/// a (deterministically killed) worker leaves behind.
+pub fn simulate_ledger(spec_id: u8, seed: u64, cap: u64, ops: u64, cells: &mut Vec<bool>) {
+    cells.resize(cap as usize, false);
+    let spec = spec_by_id(spec_id, cap);
+    let mut stream = OpStream::new(spec, StdRng::seed_from_u64(seed));
+    for _ in 0..ops {
+        match stream.next_op() {
+            KvOp::Read { .. } => {}
+            KvOp::Insert { key, .. } => cells[(key % cap) as usize] = true,
+            KvOp::Delete { key } => cells[(key % cap) as usize] = false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_roundtrip() {
+        let args = WorkerArgs {
+            file: "/tmp/x.seg".into(),
+            config: PodConfig::small_for_tests(),
+            workers: 4,
+            ledger_cap: 512,
+            index: 2,
+            adopt: Some(7),
+            kill_after_ops: Some(1000),
+        };
+        let rendered = args.to_args();
+        let parsed = WorkerArgs::parse(&rendered).unwrap();
+        assert_eq!(parsed.to_args(), rendered);
+        assert_eq!(parsed.adopt, Some(7));
+        assert_eq!(parsed.kill_after_ops, Some(1000));
+        assert!(WorkerArgs::parse(&["--bogus".into()]).is_err());
+        assert!(WorkerArgs::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn specs_stay_inside_slab_heaps() {
+        for id in [0u8, 1] {
+            let spec = spec_by_id(id, 512);
+            assert_eq!(spec.key_space, 512);
+            let worst = (spec.key_size.max() + spec.value_size.max()) as usize;
+            assert!(worst <= 64 << 10, "spec {id} can reach the huge heap");
+        }
+    }
+
+    #[test]
+    fn ledger_simulation_is_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        simulate_ledger(0, 42, 128, 5_000, &mut a);
+        simulate_ledger(0, 42, 128, 5_000, &mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x), "5000 YCSB-A ops never inserted");
+    }
+}

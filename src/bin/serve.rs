@@ -1,0 +1,16 @@
+//! The pod serving harness binary: `serve run` drives a multi-process
+//! coordinator/worker fleet with live `kill -9` crash testing and a
+//! zero-lost-blocks audit; `serve worker` is the internally-spawned
+//! worker process. See `cxl-serve` crate docs and DESIGN.md §11.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    #[cfg(unix)]
+    std::process::exit(cxlalloc::serve::main_from_args(&argv));
+    #[cfg(not(unix))]
+    {
+        let _ = argv;
+        eprintln!("serve: the multi-process harness needs unix shared-memory mappings");
+        std::process::exit(2);
+    }
+}

@@ -10,6 +10,7 @@
 
 pub use baselines;
 pub use cxl_core as core;
+pub use cxl_serve as serve;
 pub use cxl_pod as pod;
 pub use kvstore;
 pub use recoverable;

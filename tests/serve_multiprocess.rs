@@ -1,0 +1,227 @@
+//! True multi-process serving tests: a coordinator (this test process)
+//! drives real OS worker processes over a shared-memory pod segment,
+//! `kill -9`s some of them mid-run, and audits the recovered heap.
+//!
+//! These are the acceptance tests for the serving harness (DESIGN.md
+//! §11): every crash is adopted by exactly one winner, and the
+//! end-of-run census agrees exactly with the workers' allocation
+//! ledgers — zero lost blocks, zero phantoms.
+
+#![cfg(target_os = "linux")]
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use cxlalloc::core::{AttachOptions, Cxlalloc, ThreadId};
+use cxlalloc::pod::{CoreId, Pod};
+use cxlalloc::serve::coordinator::{self, RunArgs};
+use cxlalloc::serve::rpc::{self, status, ControlPlane, Msg};
+use cxlalloc::serve::worker::{self, WorkerArgs};
+
+/// The serve binary built alongside this test; workers are spawned
+/// from it so every worker is a genuinely separate OS process.
+fn serve_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_serve"))
+}
+
+fn seg_file(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cxl-serve-test-{}-{tag}.seg", std::process::id()))
+}
+
+fn base_args(tag: &str) -> RunArgs {
+    RunArgs {
+        file: seg_file(tag),
+        worker_exe: serve_exe(),
+        ledger_cap: 256,
+        ..RunArgs::default()
+    }
+}
+
+/// The ISSUE acceptance test: four workers serve timed traffic, the
+/// coordinator `kill -9`s two of them on a seeded schedule, and the
+/// replacements adopt the dead slots. The audit must come back exact.
+#[test]
+fn four_workers_two_kills_zero_lost_blocks() {
+    let args = RunArgs {
+        workers: 4,
+        secs: 4.0,
+        kills: 2,
+        seed: 42,
+        ..base_args("kills")
+    };
+    let report = coordinator::run(&args).expect("run");
+
+    assert_eq!(report.kills, 2, "both scheduled kills must fire");
+    assert!(
+        report.adoptions.len() >= 2,
+        "each kill needs an adoption, got {:?}",
+        report.adoptions
+    );
+    for adoption in &report.adoptions {
+        assert_eq!(
+            adoption.winners, 1,
+            "exactly one winner per dead slot: {adoption:?}"
+        );
+    }
+    let audit = &report.audit;
+    assert!(audit.lost.is_empty(), "lost blocks: {:?}", audit.lost);
+    assert!(audit.phantom.is_empty(), "phantom cells: {:?}", audit.phantom);
+    assert!(audit.duplicates.is_empty(), "duplicate cells: {:?}", audit.duplicates);
+    assert_eq!(audit.census_live, audit.ledger_live, "census must match ledgers");
+    assert_eq!(audit.counter_delta, 0, "allocs - frees must equal live blocks");
+    assert_eq!(audit.invariants, "ok");
+    assert!(report.is_clean());
+    assert!(report.total_ops > 0, "workers must actually serve traffic");
+    assert!(report.quantile_ns(0.5) > 0, "latency histograms must populate");
+}
+
+/// Raced adoption: two replacements per crash, and the registry CAS
+/// must arbitrate to exactly one winner and one loser — with the heap
+/// still exact afterwards.
+#[test]
+fn raced_adoption_has_exactly_one_winner() {
+    let args = RunArgs {
+        workers: 2,
+        secs: 3.0,
+        kills: 1,
+        race_adopt: true,
+        seed: 11,
+        ..base_args("race")
+    };
+    let report = coordinator::run(&args).expect("run");
+
+    assert_eq!(report.kills, 1);
+    assert_eq!(report.adoptions.len(), 1, "adoptions: {:?}", report.adoptions);
+    let adoption = &report.adoptions[0];
+    assert_eq!(adoption.winners, 1, "{adoption:?}");
+    assert_eq!(adoption.losers, 1, "the raced replacement must lose: {adoption:?}");
+    assert!(report.audit.is_clean(), "audit: {:?}", report.audit);
+    assert!(report.is_clean());
+}
+
+/// Deterministic crash audit: worker 0 SIGKILLs itself at an exact op
+/// boundary, so the post-recovery heap census must equal a pure replay
+/// of the op streams — an *exact block count*, not just "no loss".
+#[test]
+fn self_kill_census_matches_pure_replay() {
+    const SEED: u64 = 77;
+    const TARGET_OPS: u64 = 4000;
+    const KILL_AT: u64 = 1500;
+    const CAP: u64 = 256;
+
+    let args = RunArgs {
+        workers: 2,
+        secs: 0.0,
+        target_ops: TARGET_OPS,
+        self_kills: vec![(0, KILL_AT)],
+        seed: SEED,
+        spec: 0,
+        ..base_args("replay")
+    };
+    let report = coordinator::run(&args).expect("run");
+
+    assert_eq!(report.kills, 1, "the self-kill must register as a crash");
+    assert_eq!(report.adoptions.len(), 1);
+    assert_eq!(report.adoptions[0].winners, 1);
+    // The kill lands at a completed-op boundary, so not even the
+    // one-phantom allowance is needed: the ledger is exactly in sync.
+    assert_eq!(report.adoptions[0].phantoms, 0, "{:?}", report.adoptions[0]);
+    // Both incarnations of slot 0 plus slot 1 finish their full runs.
+    assert_eq!(report.total_ops, 2 * TARGET_OPS);
+
+    // Replay the exact op sequences: slot 0 runs incarnation 0 for
+    // KILL_AT ops, then its replacement (incarnation 1, fresh seed)
+    // continues over the same inherited ledger for TARGET_OPS more.
+    let mut cells0 = Vec::new();
+    worker::simulate_ledger(0, coordinator::incarnation_seed(SEED, 0, 0), CAP, KILL_AT, &mut cells0);
+    worker::simulate_ledger(0, coordinator::incarnation_seed(SEED, 0, 1), CAP, TARGET_OPS, &mut cells0);
+    let mut cells1 = Vec::new();
+    worker::simulate_ledger(0, coordinator::incarnation_seed(SEED, 1, 0), CAP, TARGET_OPS, &mut cells1);
+    let expected: u64 = [&cells0, &cells1]
+        .iter()
+        .map(|c| c.iter().filter(|live| **live).count() as u64)
+        .sum();
+
+    assert_eq!(
+        report.audit.census_live, expected,
+        "heap census must equal the replayed block count (audit: {:?})",
+        report.audit
+    );
+    assert_eq!(report.audit.ledger_live, expected);
+    assert_eq!(report.audit.counter_delta, 0);
+    assert!(report.is_clean());
+}
+
+/// Cross-process lease steal: another process declares a live worker
+/// dead and adopts its slot; the worker's very next heartbeat must see
+/// the stolen lease epoch and die with the dedicated exit code —
+/// proving steals are fatal *across address spaces*, not just in the
+/// single-process simulation.
+#[test]
+fn stolen_heartbeat_kills_worker_across_processes() {
+    let file = seg_file("steal");
+    let _ = std::fs::remove_file(&file);
+    let config = coordinator::serve_config();
+    let (workers, cap) = (1u32, 64u64);
+    let tail = rpc::tail_bytes(workers, cap);
+    let pod = Pod::create_shared(config.clone(), &file, tail).expect("create segment");
+    let plane = ControlPlane::new(
+        pod.memory().segment().clone(),
+        pod.layout().total_len,
+        workers,
+        cap,
+    );
+    plane.init();
+
+    let worker_args = WorkerArgs {
+        file: file.clone(),
+        config: config.clone(),
+        workers,
+        ledger_cap: cap,
+        index: 0,
+        adopt: None,
+        kill_after_ops: None,
+    };
+    let mut child = Command::new(serve_exe())
+        .arg("worker")
+        .args(worker_args.to_args())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn worker");
+
+    // Wait for the worker's Hello; it then sits in its pre-Start loop,
+    // heartbeating every millisecond.
+    let me = plane.worker(0);
+    let evt = me.evt_ring();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let victim_tid = loop {
+        match evt.pop().expect("evt ring") {
+            Some(Msg::Hello { tid, .. }) => break tid,
+            Some(other) => panic!("unexpected event before hello: {other:?}"),
+            None => {}
+        }
+        assert!(Instant::now() < deadline, "worker never said hello");
+        std::thread::sleep(Duration::from_millis(2));
+    };
+
+    // Steal the slot from this (separate) process: declare the live
+    // worker dead and win the adoption, which bumps the lease epoch.
+    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default()).expect("attach");
+    let victim = ThreadId::new(victim_tid).expect("worker tid");
+    assert!(heap.declare_dead(victim).expect("declare_dead"));
+    let (_stolen_handle, _report) =
+        heap.try_adopt(victim, CoreId(0)).expect("adopt the live worker's slot");
+
+    // The worker's next beat must observe the foreign epoch and exit
+    // with the dedicated STOLEN code.
+    let exit = child.wait().expect("wait worker");
+    assert_eq!(exit.code(), Some(worker::exit::STOLEN), "exit: {exit:?}");
+    assert_eq!(me.status(status::STOLEN), 1, "stolen flag must be raised");
+    let stole_evt = std::iter::from_fn(|| evt.pop().expect("evt ring"))
+        .find(|m| matches!(m, Msg::Stolen { .. }));
+    assert_eq!(stole_evt, Some(Msg::Stolen { tid: victim_tid }));
+
+    let _ = std::fs::remove_file(&file);
+}
