@@ -835,6 +835,35 @@ impl ThreadHandle {
         Ok(())
     }
 
+    /// Freezes this thread's lease for a graceful drain: writes the
+    /// [`lease::FROZEN`](crate::liveness::lease::FROZEN) counter
+    /// sentinel under the current epoch, telling every
+    /// [`LivenessDetector`](crate::liveness::LivenessDetector) that the
+    /// thread exited *on purpose* with its heap state fully settled.
+    /// Frozen slots are skipped by the detector forever: they stay LIVE
+    /// and never become adoptable, which is exactly right because a
+    /// drained thread has nothing left to recover — call
+    /// [`flush_cache`](Self::flush_cache) first so every buffered
+    /// remote free and shadow store is durable before the freeze lands.
+    ///
+    /// If the lease was already stolen (epoch moved on), the freeze is
+    /// silently skipped: the slot belongs to the adopter now and its
+    /// lease discipline is the adopter's to run.
+    pub fn freeze_lease(&self) {
+        let mem = self.heap.mem();
+        let off = mem.layout().lease_at(self.tid.slot());
+        let word = mem.load_u64(self.core, off);
+        if lease::epoch(word) != self.lease_epoch {
+            return;
+        }
+        // Plain store + flush, like registration's epoch bump: while the
+        // epoch is ours we are the word's only writer, and a racing
+        // steal bumps the epoch so our frozen image reads as stale.
+        mem.store_u64(self.core, off, lease::pack(self.lease_epoch, lease::FROZEN));
+        mem.flush(self.core, off, 8);
+        mem.fence(self.core);
+    }
+
     /// Runs one huge-heap cleanup pass (hazard scan + descriptor
     /// reclamation); returns the number of allocations reclaimed.
     pub fn cleanup(&mut self) -> u32 {

@@ -16,10 +16,70 @@
 //! Remote frees that were published to a slab's HWcc counter but not
 //! yet applied to its bitset by the owner still count as allocated —
 //! the block's bit is the ground truth the next owner recovers from.
+//!
+//! That last rule means a census over a heap with cross-thread frees
+//! *over-counts* live blocks, by an amount the audit can compute
+//! exactly: a sized slab's HWcc payload starts at `blocks` and is
+//! decremented once per published-but-unapplied remote free, so
+//! `blocks - payload` ([`SlabAudit::remote_pending`]) is precisely the
+//! number of census-"allocated" blocks in that slab that are in fact
+//! freed and merely awaiting the owner (or a crashed owner's heir).
+//! [`remote_buffered`] adds the third population: frees a thread
+//! batched in its durable [`Layout::remote_buf`](cxl_pod::Layout)
+//! line that were never published at all — visible after a crash that
+//! lands mid-batch. A ledger-vs-census audit that credits both terms
+//! stays exact under any mix of remote frees and kills.
 
-use crate::cell::{flags, SwccHeader};
+use crate::cell::{flags, Detect, SwccHeader};
 use crate::slab::SlabHeap;
 use cxl_pod::{CoreId, PodMemory};
+
+/// Per-slab detail of one sized slab the census walked: where its
+/// blocks live and how many of its census-"allocated" blocks are in
+/// fact remotely freed but not yet applied by the owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlabAudit {
+    /// Which sized heap the slab belongs to.
+    pub kind: crate::HeapKind,
+    /// Slab index within its heap.
+    pub slab: u32,
+    /// Segment offset of the slab's first block.
+    pub base: u64,
+    /// Block size in bytes.
+    pub block_size: u64,
+    /// Blocks per slab for the slab's size class.
+    pub blocks: u32,
+    /// Blocks whose bitset bit is clear (census counts them allocated).
+    pub open: u32,
+    /// Published-but-unapplied remote frees: `blocks - HWcc payload`.
+    /// Exactly this many of the slab's `open` blocks are actually free.
+    pub remote_pending: u32,
+}
+
+impl SlabAudit {
+    /// Whether `offset` falls inside this slab's block range.
+    pub fn contains(&self, offset: u64) -> bool {
+        offset >= self.base && offset < self.base + self.blocks as u64 * self.block_size
+    }
+}
+
+/// One batch of remote frees found in a thread's durable
+/// [`Layout::remote_buf`](cxl_pod::Layout) line: recorded against a
+/// slab but never published to its HWcc counter. After a crash these
+/// are frees the heap does not know about yet; a recovery pass
+/// republishes them, and an audit must credit them like
+/// [`SlabAudit::remote_pending`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferedBatch {
+    /// Thread slot whose durable line holds the batch.
+    pub slot: u32,
+    /// Which sized heap the batch targets.
+    pub kind: crate::HeapKind,
+    /// Target slab index.
+    pub slab: u32,
+    /// Frees in the batch.
+    pub pending: u32,
+}
 
 /// The result of a full-heap walk: every allocated block, by heap.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -34,6 +94,10 @@ pub struct BlockCensus {
     pub small_slabs: u32,
     /// Mapped slabs walked (large heap).
     pub large_slabs: u32,
+    /// Per-slab audit detail for every *sized* slab, in walk order
+    /// (small heap first). Slabs with `open == 0 && remote_pending == 0`
+    /// are omitted — only slabs that matter to an audit appear.
+    pub slabs: Vec<SlabAudit>,
 }
 
 impl BlockCensus {
@@ -48,6 +112,12 @@ impl BlockCensus {
             self.small.iter().chain(&self.large).chain(&self.huge).copied().collect();
         all.sort_unstable();
         all
+    }
+
+    /// Total published-but-unapplied remote frees across every slab:
+    /// how many census-"allocated" blocks are actually free.
+    pub fn remote_pending_total(&self) -> u64 {
+        self.slabs.iter().map(|s| s.remote_pending as u64).sum()
     }
 }
 
@@ -148,10 +218,10 @@ pub fn census(mem: &dyn PodMemory, core: CoreId) -> Result<BlockCensus, String> 
             crate::HeapKind::Small => &mut out.small,
             _ => &mut out.large,
         };
-        let slabs = census_slab_heap(mem, core, &heap, offsets)?;
+        let walked = census_slab_heap(mem, core, &heap, offsets, &mut out.slabs)?;
         match heap.kind {
-            crate::HeapKind::Small => out.small_slabs = slabs,
-            _ => out.large_slabs = slabs,
+            crate::HeapKind::Small => out.small_slabs = walked,
+            _ => out.large_slabs = walked,
         }
     }
     census_huge(mem, core, &mut out.huge)?;
@@ -166,6 +236,7 @@ fn census_slab_heap(
     core: CoreId,
     heap: &SlabHeap,
     offsets: &mut Vec<u64>,
+    slabs: &mut Vec<SlabAudit>,
 ) -> Result<u32, String> {
     let hl = heap.hl(mem);
     let kind = heap.kind;
@@ -203,8 +274,68 @@ fn census_slab_heap(
                 offsets.push(base + bit as u64 * size);
             }
         }
+        // The HWcc payload (hardware-coherent, no flush needed) starts
+        // at `blocks` and loses one per published remote free the owner
+        // has not applied — so `blocks - payload` of this slab's open
+        // blocks are actually free.
+        let payload = Detect::unpack(mem.load_u64(core, hl.hwcc_desc_at(slab))).payload;
+        if payload > blocks {
+            return Err(format!(
+                "{kind}: slab {slab} HWcc payload {payload} exceeds {blocks} blocks"
+            ));
+        }
+        let open = blocks - free;
+        let remote_pending = blocks - payload;
+        if remote_pending > open {
+            return Err(format!(
+                "{kind}: slab {slab} has {remote_pending} pending remote frees \
+                 but only {open} open blocks"
+            ));
+        }
+        if open > 0 || remote_pending > 0 {
+            slabs.push(SlabAudit {
+                kind,
+                slab,
+                base,
+                block_size: size,
+                blocks,
+                open,
+                remote_pending,
+            });
+        }
     }
     Ok(len)
+}
+
+/// Scans every thread slot's durable remote-free line and returns the
+/// batches recorded there: frees buffered against a slab but never
+/// published to its HWcc counter. On a quiesced heap of *live* threads
+/// this is empty (quiesce points drain the buffers); after a crash it
+/// holds exactly the batches the kill caught in flight, which a
+/// ledger-vs-census audit must credit as already-freed.
+///
+/// Batches double-counted against a logged `RemoteFree*` redo are the
+/// recovery scanner's concern ([`crate::recovery`]), not this one's:
+/// by the time an audit runs, recovery has already republished or
+/// cleared every line belonging to an adopted slot, so whatever this
+/// scan still sees is genuinely unpublished.
+pub fn remote_buffered(mem: &dyn PodMemory, core: CoreId) -> Vec<BufferedBatch> {
+    let layout = mem.layout();
+    let mut out = Vec::new();
+    for slot in 0..layout.max_threads {
+        for i in 0..crate::remote::durable::WORDS {
+            let off = layout.remote_buf_word_at(slot, i);
+            mem.flush(core, off, 8);
+            mem.fence(core);
+            let word = mem.load_u64(core, off);
+            if let Some((kind, slab, pending)) = crate::remote::durable::unpack(word) {
+                if pending > 0 {
+                    out.push(BufferedBatch { slot, kind, slab, pending });
+                }
+            }
+        }
+    }
+    out
 }
 
 fn census_huge(mem: &dyn PodMemory, core: CoreId, offsets: &mut Vec<u64>) -> Result<(), String> {
@@ -324,6 +455,82 @@ mod tests {
             Ok(BlockState::Allocated)
         );
         assert!(super::block_state(mem().as_ref(), t.core(), u64::MAX).is_err());
+    }
+
+    fn heap_with(options: AttachOptions) -> Cxlalloc {
+        let pod = Pod::new(PodConfig::small_for_tests()).unwrap();
+        Cxlalloc::attach(pod.spawn_process(), options).unwrap()
+    }
+
+    #[test]
+    fn census_accounts_for_pending_remote_frees() {
+        let heap = heap();
+        let mut a = heap.register_thread().unwrap();
+        let mut b = heap.register_thread().unwrap();
+        let blocks: Vec<_> = (0..20).map(|_| a.alloc(64).unwrap()).collect();
+        a.flush_cache();
+
+        // b frees 7 of a's blocks: owner mismatch takes the remote path,
+        // and the default batch width of 1 publishes each immediately.
+        for p in &blocks[..7] {
+            b.dealloc(*p).unwrap();
+        }
+        b.flush_cache();
+        a.flush_cache();
+
+        let census = heap.census(a.core()).unwrap();
+        // The bits stay clear until the payload drains, so the census
+        // still "sees" all 20 — but the pending arithmetic knows 7 of
+        // them are already free.
+        assert_eq!(census.small.len(), 20);
+        assert_eq!(census.remote_pending_total(), 7);
+        let slab = census.slabs.iter().find(|s| s.remote_pending > 0).unwrap();
+        assert_eq!(slab.kind, crate::HeapKind::Small);
+        assert!(slab.open >= slab.remote_pending);
+        for p in &blocks {
+            assert!(slab.contains(p.offset()), "{p}");
+        }
+        assert_eq!(
+            census.small.len() as u64 - census.remote_pending_total(),
+            13,
+            "effective live population must credit the pending frees"
+        );
+    }
+
+    #[test]
+    fn remote_buffered_sees_mid_batch_frees() {
+        let heap = heap_with(AttachOptions {
+            remote_free_batch: 8,
+            ..AttachOptions::default()
+        });
+        let mut a = heap.register_thread().unwrap();
+        let mut b = heap.register_thread().unwrap();
+        let blocks: Vec<_> = (0..20).map(|_| a.alloc(64).unwrap()).collect();
+        a.flush_cache();
+
+        // 3 frees sit below the batch threshold of 8: buffered in DRAM,
+        // mirrored in b's durable remote_buf line, unpublished.
+        for p in &blocks[..3] {
+            b.dealloc(*p).unwrap();
+        }
+        let mem = heap.process().memory().clone();
+        let batches = super::remote_buffered(mem.as_ref(), a.core());
+        assert_eq!(batches.len(), 1, "{batches:?}");
+        assert_eq!(batches[0].slot, b.tid().slot());
+        assert_eq!(batches[0].kind, crate::HeapKind::Small);
+        assert_eq!(batches[0].pending, 3);
+        // Unpublished means the payload has not moved yet.
+        let census = heap.census(a.core()).unwrap();
+        assert_eq!(census.remote_pending_total(), 0);
+        assert_eq!(census.small.len(), 20);
+
+        // The quiesce point publishes the batch: buffer empty, pending
+        // arithmetic takes over.
+        b.flush_cache();
+        assert!(super::remote_buffered(mem.as_ref(), a.core()).is_empty());
+        let census = heap.census(a.core()).unwrap();
+        assert_eq!(census.remote_pending_total(), 3);
+        assert_eq!(census.small.len(), 20);
     }
 
     #[test]

@@ -89,6 +89,20 @@ pub mod lease {
     pub fn next_epoch(word: u64) -> u64 {
         pack(epoch(word).wrapping_add(1), 0)
     }
+
+    /// Counter sentinel marking a *frozen* lease: the thread drained
+    /// cleanly (flushed its buffers, published every free) and will
+    /// never renew again, but its registry slot stays LIVE so its heap
+    /// structures remain owned rather than adoptable. A heartbeat
+    /// counter can never legitimately reach this value — it would take
+    /// 2^48 renewals — so the sentinel is unambiguous.
+    pub const FROZEN: u64 = COUNTER_MASK;
+
+    /// Whether a lease word carries the frozen-counter sentinel.
+    #[inline]
+    pub fn is_frozen(word: u64) -> bool {
+        counter(word) == FROZEN
+    }
 }
 
 /// What one detector tick found.
@@ -170,6 +184,15 @@ impl LivenessDetector {
                 continue;
             }
             let word = self.words[slot as usize];
+            if lease::is_frozen(word) {
+                // Cleanly-drained slot: it will never heartbeat again by
+                // design, and its heap state was flushed before the
+                // freeze. Declaring it dead would hand a fully-settled
+                // heap to an adopter for no reason.
+                self.last[slot as usize] = word;
+                self.stale[slot as usize] = 0;
+                continue;
+            }
             if word != self.last[slot as usize] {
                 self.last[slot as usize] = word;
                 self.stale[slot as usize] = 0;
@@ -279,6 +302,38 @@ mod tests {
         let rb = b.tick(&heap, via).unwrap();
         assert_eq!(ra.expired, vec![tid]);
         assert!(rb.expired.is_empty(), "second detector must observe DEAD, not flip");
+    }
+
+    #[test]
+    fn frozen_lease_never_expires() {
+        let (pod, heap) = setup();
+        let t = heap.register_thread().unwrap();
+        let tid = t.tid();
+        t.freeze_lease();
+        let word = pod.memory().load_u64(CoreId(0), pod.layout().lease_at(tid.slot()));
+        assert!(lease::is_frozen(word), "freeze must write the sentinel counter");
+        assert_eq!(lease::epoch(word), 1, "freeze keeps the incarnation epoch");
+        let mut det = LivenessDetector::new(pod.layout().max_threads, 1);
+        let via = CoreId(5);
+        for _ in 0..10 {
+            let report = det.tick(&heap, via).unwrap();
+            assert!(report.expired.is_empty(), "frozen lease must never expire");
+        }
+        let off = pod.layout().registry_at(tid.slot());
+        assert_eq!(pod.memory().load_u64(via, off), registry::LIVE);
+    }
+
+    #[test]
+    fn frozen_sentinel_is_distinct_from_live_counters() {
+        // A renewing lease can never read as frozen short of 2^48 beats.
+        let w = lease::pack(3, lease::FROZEN - 1);
+        assert!(!lease::is_frozen(w));
+        assert!(lease::is_frozen(lease::renew(w)), "renew of MAX-1 hits the sentinel");
+        assert!(lease::is_frozen(lease::pack(9, lease::FROZEN)));
+        // A frozen word still yields a clean next incarnation.
+        let n = lease::next_epoch(lease::pack(9, lease::FROZEN));
+        assert_eq!(lease::epoch(n), 10);
+        assert_eq!(lease::counter(n), 0);
     }
 
     #[test]

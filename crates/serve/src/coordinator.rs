@@ -1,27 +1,46 @@
 //! The serve coordinator: owns the shared segment, the worker fleet,
-//! the kill schedule, and the end-of-run crash audit.
+//! the chaos schedule, and the end-of-run crash audit.
 //!
 //! The coordinator creates the shared pod file, spawns N real OS
 //! worker processes, drives them through the ring control plane, and —
-//! mid-run — `kill -9`s victims on a seeded schedule, spawning
-//! replacement processes that detect the death by lease expiry and
-//! adopt the crashed thread slot. When traffic stops and every child
-//! is reaped, the heap is quiescent by construction, and the
-//! coordinator runs the zero-lost-blocks audit: a full-heap
-//! [`census`](cxl_core::audit::census) must name *exactly* the blocks
-//! the workers' ledgers name, and every invariant must hold.
+//! mid-run — throws the full scheduler repertoire at them on seeded
+//! schedules:
+//!
+//! - **`kill -9`** (timed `--kills` or op-exact `--self-kill`): the
+//!   victim vanishes mid-traffic; a replacement detects the death by
+//!   lease expiry and adopts the crashed thread slot.
+//! - **SIGTERM drains** (timed `--drains`, rolling `--rolling N:PERIOD`,
+//!   or op-exact `--self-drain`): the victim finishes its in-flight op,
+//!   executes queued forwarded frees, flushes every buffer, freezes its
+//!   lease, and exits [`exit::DRAINED`]; the coordinator spawns a
+//!   *fresh* replacement — no adoption, no recovery.
+//! - **SIGSTOP stalls** (timed `--stalls` or op-exact `--self-stall`):
+//!   the victim simply stops scheduling. The coordinator's watchdog
+//!   notices the frozen lease counter, probes with SIGCONT (revival),
+//!   and — if the worker stays wedged past the probe ladder — escalates
+//!   to SIGKILL and lets the adoption machinery take over.
+//!
+//! When traffic stops and every child is reaped, the heap is quiescent
+//! by construction, and the coordinator runs the zero-lost-blocks
+//! audit: a full-heap [`census`](cxl_core::audit::census) must name
+//! *exactly* the blocks the workers' ledgers name — and where
+//! `--shared-keys` cross-process frees are in flight, the audit credits
+//! each slab's remote-pending counter and the durable remote-free
+//! buffer lines, so the books balance even when a kill lands mid-batch.
 
 #![cfg(unix)]
 
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use cxl_core::{AttachOptions, Cxlalloc};
+use cxl_core::liveness::lease;
+use cxl_core::{AttachOptions, Cxlalloc, OffsetPtr, ThreadId};
 use cxl_pod::{CoreId, Pod, PodConfig};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
-use crate::rpc::{self, run_state, status, ControlPlane, Msg, HIST_BUCKETS};
+use crate::rpc::{self, run_state, state, status, ControlPlane, Msg, HIST_BUCKETS};
 use crate::worker::{exit, WorkerArgs};
 
 /// A pod config sized for serving runs: plenty of small/large slabs,
@@ -58,7 +77,7 @@ pub struct RunArgs {
     pub secs: f64,
     /// Per-worker op target; 0 means "run for `secs`".
     pub target_ops: u64,
-    /// Seed for op streams and the kill schedule.
+    /// Seed for op streams and every chaos schedule.
     pub seed: u64,
     /// Workload spec id (see [`crate::worker::spec_by_id`]).
     pub spec: u8,
@@ -66,8 +85,39 @@ pub struct RunArgs {
     pub hb_every: u64,
     /// Coordinator-scheduled `kill -9`s (time mode only).
     pub kills: u32,
+    /// Coordinator-scheduled SIGTERM drains (time mode only).
+    pub drains: u32,
+    /// Coordinator-scheduled SIGSTOP stalls (time mode only); the
+    /// watchdog's SIGCONT probe is the only thing that revives them.
+    pub stalls: u32,
+    /// Rolling restart: `N` SIGTERM drains, one every `PERIOD` seconds,
+    /// round-robin over the slots (time mode only).
+    pub rolling: Option<(u32, f64)>,
     /// Deterministic self-kills: `(worker index, after ops)`.
     pub self_kills: Vec<(u32, u64)>,
+    /// Deterministic self-drains: the worker raises SIGTERM on itself
+    /// at the exact op count, so the drain is replayable.
+    pub self_drains: Vec<(u32, u64)>,
+    /// Deterministic self-stalls: the worker SIGSTOPs itself at the
+    /// exact op count and waits for the watchdog's SIGCONT.
+    pub self_stalls: Vec<(u32, u64)>,
+    /// Watchdog: milliseconds of lease-counter silence before a RUNNING
+    /// worker counts as stalled.
+    pub stall_ms: u64,
+    /// Watchdog: grace after a SIGCONT probe before the next rung of
+    /// the ladder (doubles per probe).
+    pub probe_grace_ms: u64,
+    /// Watchdog: SIGCONT probes before escalating to SIGKILL. 0 means
+    /// "escalate immediately" (steal-test mode).
+    pub max_probes: u32,
+    /// Percentage (0–100) of each worker's key range whose frees are
+    /// forwarded to peer workers (the Zipf-hot head); 0 = partitioned.
+    pub shared_pct: u8,
+    /// Remote-free batch width workers attach with (> 1 exercises the
+    /// durable `remote_buf` batching under crashes).
+    pub remote_batch: u32,
+    /// Soak mode: progress lines on stderr every few seconds.
+    pub soak: bool,
     /// Spawn *two* replacements per crash and require exactly one
     /// adoption winner.
     pub race_adopt: bool,
@@ -91,7 +141,18 @@ impl Default for RunArgs {
             spec: 0,
             hb_every: 128,
             kills: 0,
+            drains: 0,
+            stalls: 0,
+            rolling: None,
             self_kills: Vec::new(),
+            self_drains: Vec::new(),
+            self_stalls: Vec::new(),
+            stall_ms: 2000,
+            probe_grace_ms: 500,
+            max_probes: 3,
+            shared_pct: 0,
+            remote_batch: 1,
+            soak: false,
             race_adopt: false,
             json_out: None,
             keep_file: false,
@@ -121,12 +182,27 @@ impl RunArgs {
                 "--spec" => out.spec = num(flag, &val()?)?,
                 "--hb-every" => out.hb_every = num(flag, &val()?)?,
                 "--kills" => out.kills = num(flag, &val()?)?,
-                "--self-kill" => {
+                "--drains" => out.drains = num(flag, &val()?)?,
+                "--stalls" => out.stalls = num(flag, &val()?)?,
+                "--rolling" => {
                     let v = val()?;
-                    let (idx, ops) = v
+                    let (n, period) = v
                         .split_once(':')
-                        .ok_or_else(|| format!("--self-kill wants INDEX:OPS, got {v:?}"))?;
-                    out.self_kills.push((num(flag, idx)?, num(flag, ops)?));
+                        .ok_or_else(|| format!("--rolling wants N:PERIOD, got {v:?}"))?;
+                    out.rolling = Some((num(flag, n)?, num(flag, period)?));
+                }
+                "--self-kill" => out.self_kills.push(pair(flag, &val()?)?),
+                "--self-drain" => out.self_drains.push(pair(flag, &val()?)?),
+                "--self-stall" => out.self_stalls.push(pair(flag, &val()?)?),
+                "--stall-ms" => out.stall_ms = num(flag, &val()?)?,
+                "--probe-grace-ms" => out.probe_grace_ms = num(flag, &val()?)?,
+                "--max-probes" => out.max_probes = num(flag, &val()?)?,
+                "--shared-keys" => out.shared_pct = 50,
+                "--shared-pct" => out.shared_pct = num(flag, &val()?)?,
+                "--remote-batch" => out.remote_batch = num(flag, &val()?)?,
+                "--soak" => {
+                    out.secs = num(flag, &val()?)?;
+                    out.soak = true;
                 }
                 "--race-adopt" => out.race_adopt = true,
                 "--json" => out.json_out = Some(PathBuf::from(val()?)),
@@ -135,18 +211,71 @@ impl RunArgs {
                 other => return Err(format!("unknown run flag {other}")),
             }
         }
-        if out.workers == 0 || out.ledger_cap == 0 {
+        out.validate()?;
+        Ok(out)
+    }
+
+    /// Cross-flag validation shared by CLI and programmatic callers.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the inconsistent flags.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 || self.ledger_cap == 0 {
             return Err("--workers and --ledger-cap must be positive".into());
         }
-        if out.kills > 0 && out.target_ops > 0 {
-            return Err("timed --kills need time mode; use --self-kill with --ops".into());
+        if self.target_ops > 0
+            && (self.kills > 0 || self.drains > 0 || self.stalls > 0 || self.rolling.is_some())
+        {
+            return Err(
+                "timed --kills/--drains/--stalls/--rolling need time mode; \
+                 use --self-kill/--self-drain/--self-stall with --ops"
+                    .into(),
+            );
         }
-        Ok(out)
+        if let Some((n, period)) = self.rolling {
+            if n == 0 || period <= 0.0 {
+                return Err("--rolling wants N >= 1 and PERIOD > 0".into());
+            }
+        }
+        if self.shared_pct > 100 {
+            return Err("--shared-pct must be 0-100".into());
+        }
+        for (name, events) in [
+            ("--self-kill", &self.self_kills),
+            ("--self-drain", &self.self_drains),
+            ("--self-stall", &self.self_stalls),
+        ] {
+            if let Some((i, _)) = events.iter().find(|(i, _)| *i >= self.workers) {
+                return Err(format!("{name} index {i} >= --workers {}", self.workers));
+            }
+        }
+        // Every drain permanently freezes a thread slot and its fresh
+        // replacement registers a new one; budget against max_threads
+        // (plus the audit's own registration and one slot of slack).
+        let planned_drains = self.drains as u64
+            + self.rolling.map_or(0, |(n, _)| n as u64)
+            + self.self_drains.len() as u64;
+        if self.workers as u64 + planned_drains + 2 > self.config.max_threads as u64 {
+            return Err(format!(
+                "{} workers + {planned_drains} drains (+2 audit slots) exceed \
+                 max_threads {}",
+                self.workers, self.config.max_threads
+            ));
+        }
+        Ok(())
     }
 }
 
 fn num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("{flag}: bad value {s:?}"))
+}
+
+fn pair(flag: &str, s: &str) -> Result<(u32, u64), String> {
+    let (idx, ops) = s
+        .split_once(':')
+        .ok_or_else(|| format!("{flag} wants INDEX:OPS, got {s:?}"))?;
+    Ok((num(flag, idx)?, num(flag, ops)?))
 }
 
 /// The seed a given incarnation of a worker slot streams ops from.
@@ -171,6 +300,13 @@ pub struct WorkerStats {
     pub frees: u64,
     /// Live ledger entries at the end.
     pub live: u64,
+    /// FNV-1a over the sorted live ledger *keys* (offsets are
+    /// placement-dependent; keys are replay-deterministic).
+    pub ledger_hash: u64,
+    /// Forwarded frees this slot executed for its peers.
+    pub forwarded: u64,
+    /// Control-plane deadline expiries this slot observed.
+    pub timeouts: u64,
     /// Latency histogram (log2-ns buckets, all incarnations).
     pub hist: [u64; HIST_BUCKETS],
 }
@@ -192,21 +328,68 @@ pub struct AdoptionRecord {
     pub inherited: u64,
 }
 
+/// One graceful-drain episode (SIGTERM, rolling restart, or
+/// `--self-drain`).
+#[derive(Debug, Clone)]
+pub struct DrainRecord {
+    /// Worker slot.
+    pub index: u32,
+    /// The drained incarnation's thread id (raw); its lease stays
+    /// frozen for the rest of the pod's life.
+    pub tid: u16,
+    /// Ops the incarnation completed before draining.
+    pub ops: u64,
+    /// Live ledger entries it handed to its fresh replacement.
+    pub live: u64,
+}
+
+/// One watchdog stall episode: a RUNNING worker whose lease counter
+/// went silent past the deadline.
+#[derive(Debug, Clone)]
+pub struct StallRecord {
+    /// Worker slot.
+    pub index: u32,
+    /// SIGCONT probes sent before the episode resolved.
+    pub probes: u32,
+    /// `true` when the ladder ran out and the worker was SIGKILLed
+    /// (adoption follows); `false` when a probe revived it.
+    pub escalated: bool,
+}
+
 /// The zero-lost-blocks audit outcome.
 #[derive(Debug, Clone)]
 pub struct AuditOutcome {
-    /// Blocks the census found allocated.
+    /// Blocks the census found allocated (bit-clear), *including*
+    /// remotely-freed blocks awaiting their slab steal.
     pub census_live: u64,
     /// Ledger entries across all workers.
     pub ledger_live: u64,
-    /// Allocated blocks no ledger names (leaked by a crash).
+    /// `census_live` minus every remote-free credit: the blocks that
+    /// are genuinely live. This — not `census_live` — is the
+    /// replay-deterministic figure.
+    pub effective_live: u64,
+    /// Executed remote frees awaiting their slab steal (per-slab
+    /// `blocks - payload`, summed).
+    pub remote_pending: u64,
+    /// Remote frees parked in durable `remote_buf` lines, not yet
+    /// published (a kill mid-batch leaves these; recovery republishes
+    /// them when the slot is adopted).
+    pub remote_buffered: u64,
+    /// Forwarded frees stranded in forward lanes (dead/stopped
+    /// consumers) that the audit executed itself.
+    pub stranded_forwards: u64,
+    /// Remote-free credits that matched no unattributed block — must be
+    /// zero, or the remote accounting itself is broken.
+    pub credit_excess: u64,
+    /// Allocated blocks no ledger names after remote credits (leaked by
+    /// a crash).
     pub lost: Vec<u64>,
     /// Ledger entries naming free blocks.
     pub phantom: Vec<u64>,
     /// Offsets named by more than one ledger cell.
     pub duplicates: Vec<u64>,
-    /// `sum(allocs) - sum(frees) - census_live` (0 when every kill hit
-    /// an op boundary).
+    /// `sum(allocs) - sum(frees) - effective_live` (0 when every kill
+    /// hit an op boundary).
     pub counter_delta: i64,
     /// `Cxlalloc::check_invariants` outcome (`"ok"` or the failure).
     pub invariants: String,
@@ -218,6 +401,7 @@ impl AuditOutcome {
         self.lost.is_empty()
             && self.phantom.is_empty()
             && self.duplicates.is_empty()
+            && self.credit_excess == 0
             && self.invariants == "ok"
     }
 }
@@ -229,16 +413,34 @@ pub struct RunReport {
     pub workers: Vec<WorkerStats>,
     /// Crash/adoption episodes, in kill order.
     pub adoptions: Vec<AdoptionRecord>,
+    /// Graceful-drain episodes, in drain order.
+    pub drains: Vec<DrainRecord>,
+    /// Watchdog stall episodes (revivals and escalations).
+    pub stalls: Vec<StallRecord>,
     /// The final audit.
     pub audit: AuditOutcome,
     /// Threads that observed a stolen lease (raw tids).
     pub stolen: Vec<u16>,
-    /// SIGKILLs delivered (scheduled + self-kills observed).
+    /// SIGKILL deaths handled (scheduled, self-kills, and watchdog
+    /// escalations observed as crashes).
     pub kills: u32,
+    /// Forwarded frees executed across all workers.
+    pub forwarded: u64,
+    /// Control-plane deadline expiries across all workers.
+    pub timeouts: u64,
     /// Traffic-phase wall clock.
     pub elapsed_secs: f64,
     /// Ops across all workers and incarnations.
     pub total_ops: u64,
+}
+
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 impl RunReport {
@@ -263,7 +465,33 @@ impl RunReport {
         self.audit.is_clean() && self.adoptions.iter().all(|a| a.winners == 1)
     }
 
-    /// Renders the report as JSON (schema `serve-run-v1`).
+    /// FNV-1a digest of the run's *deterministic projection*: the data
+    /// an identical-seed replay must reproduce bit-for-bit. Ledger
+    /// keys, live counts, audit emptiness, and op-exact event counts
+    /// are in; raw `census_live` (the forward-vs-local-fallback free
+    /// split is timing-dependent — only `effective_live` is invariant),
+    /// placement-dependent offsets, stall episodes (wall-clock), and
+    /// latency are out.
+    pub fn digest(&self) -> u64 {
+        let mut h = FNV_BASIS;
+        for w in &self.workers {
+            h = fnv1a(h, w.index as u64);
+            h = fnv1a(h, w.ledger_hash);
+            h = fnv1a(h, w.live);
+        }
+        h = fnv1a(h, self.audit.ledger_live);
+        h = fnv1a(h, self.audit.effective_live);
+        h = fnv1a(h, self.audit.lost.len() as u64);
+        h = fnv1a(h, self.audit.phantom.len() as u64);
+        h = fnv1a(h, self.audit.duplicates.len() as u64);
+        h = fnv1a(h, self.audit.credit_excess);
+        h = fnv1a(h, self.audit.counter_delta as u64);
+        h = fnv1a(h, self.kills as u64);
+        h = fnv1a(h, self.drains.len() as u64);
+        h
+    }
+
+    /// Renders the report as JSON (schema `serve-run-v2`).
     pub fn to_json(&self) -> String {
         let workers: Vec<String> = self
             .workers
@@ -271,13 +499,15 @@ impl RunReport {
             .map(|w| {
                 format!(
                     "{{\"index\":{},\"tid\":{},\"ops\":{},\"allocs\":{},\"frees\":{},\
-                     \"live\":{},\"hist\":{:?}}}",
+                     \"live\":{},\"forwarded\":{},\"timeouts\":{},\"hist\":{:?}}}",
                     w.index,
                     w.tid,
                     w.ops,
                     w.allocs,
                     w.frees,
                     w.live,
+                    w.forwarded,
+                    w.timeouts,
                     w.hist.to_vec()
                 )
             })
@@ -293,12 +523,36 @@ impl RunReport {
                 )
             })
             .collect();
+        let drains: Vec<String> = self
+            .drains
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"index\":{},\"tid\":{},\"ops\":{},\"live\":{}}}",
+                    d.index, d.tid, d.ops, d.live
+                )
+            })
+            .collect();
+        let stalls: Vec<String> = self
+            .stalls
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"index\":{},\"probes\":{},\"escalated\":{}}}",
+                    s.index, s.probes, s.escalated
+                )
+            })
+            .collect();
         format!(
-            "{{\n  \"schema\": \"serve-run-v1\",\n  \"elapsed_secs\": {:.3},\n  \
+            "{{\n  \"schema\": \"serve-run-v2\",\n  \"elapsed_secs\": {:.3},\n  \
              \"total_ops\": {},\n  \"ops_per_sec\": {:.0},\n  \"p50_ns\": {},\n  \
-             \"p99_ns\": {},\n  \"kills\": {},\n  \"stolen\": {:?},\n  \
-             \"workers\": [{}],\n  \"adoptions\": [{}],\n  \"audit\": {{\"census_live\": {}, \
-             \"ledger_live\": {}, \"lost\": {}, \"phantom\": {}, \"duplicates\": {}, \
+             \"p99_ns\": {},\n  \"kills\": {},\n  \"forwarded\": {},\n  \
+             \"timeouts\": {},\n  \"stolen\": {:?},\n  \"digest\": \"{:016x}\",\n  \
+             \"workers\": [{}],\n  \"adoptions\": [{}],\n  \"drains\": [{}],\n  \
+             \"stalls\": [{}],\n  \"audit\": {{\"census_live\": {}, \
+             \"ledger_live\": {}, \"effective_live\": {}, \"remote_pending\": {}, \
+             \"remote_buffered\": {}, \"stranded_forwards\": {}, \"credit_excess\": {}, \
+             \"lost\": {}, \"phantom\": {}, \"duplicates\": {}, \
              \"counter_delta\": {}, \"invariants\": {:?}, \"clean\": {}}}\n}}\n",
             self.elapsed_secs,
             self.total_ops,
@@ -306,11 +560,21 @@ impl RunReport {
             self.quantile_ns(0.50),
             self.quantile_ns(0.99),
             self.kills,
+            self.forwarded,
+            self.timeouts,
             self.stolen,
+            self.digest(),
             workers.join(","),
             adoptions.join(","),
+            drains.join(","),
+            stalls.join(","),
             self.audit.census_live,
             self.audit.ledger_live,
+            self.audit.effective_live,
+            self.audit.remote_pending,
+            self.audit.remote_buffered,
+            self.audit.stranded_forwards,
+            self.audit.credit_excess,
             self.audit.lost.len(),
             self.audit.phantom.len(),
             self.audit.duplicates.len(),
@@ -330,8 +594,217 @@ struct Slot {
     incarnation: u32,
     started: bool,
     finished: bool,
-    /// Index into `RunReport::adoptions` of the episode in flight.
+    /// Index into the adoptions vec of the episode in flight.
     adopting: Option<usize>,
+}
+
+/// RAII guard over the whole fleet: when dropped — on success, error,
+/// or panic alike — it SIGKILLs and reaps every child still attached,
+/// so no exit path can leak orphan worker processes. (Already-reaped
+/// children are no-ops: `kill` fails harmlessly and `wait` returns the
+/// cached status.)
+struct Fleet {
+    slots: Vec<Slot>,
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for slot in self.slots.iter_mut() {
+            for child in slot.child.iter_mut().chain(slot.racers.iter_mut()) {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Per-slot queues of op-exact chaos events, armed one of each kind per
+/// *fresh* spawn (initial worker or post-drain replacement). Adoption
+/// replacements never arm events: an adopter continues a crashed
+/// incarnation, it doesn't open a new chapter of the schedule.
+struct SelfEvents {
+    kills: Vec<VecDeque<u64>>,
+    drains: Vec<VecDeque<u64>>,
+    stalls: Vec<VecDeque<u64>>,
+}
+
+impl SelfEvents {
+    fn new(args: &RunArgs) -> SelfEvents {
+        let queue = |events: &[(u32, u64)]| {
+            let mut q = vec![VecDeque::new(); args.workers as usize];
+            for &(index, ops) in events {
+                q[index as usize].push_back(ops);
+            }
+            q
+        };
+        SelfEvents {
+            kills: queue(&args.self_kills),
+            drains: queue(&args.self_drains),
+            stalls: queue(&args.self_stalls),
+        }
+    }
+
+    fn arm(&mut self, index: u32) -> (Option<u64>, Option<u64>, Option<u64>) {
+        let i = index as usize;
+        (
+            self.kills[i].pop_front(),
+            self.drains[i].pop_front(),
+            self.stalls[i].pop_front(),
+        )
+    }
+}
+
+const SIGTERM: i32 = 15;
+const SIGCONT: i32 = 18;
+const SIGSTOP: i32 = 19;
+
+/// Sends a raw signal to a child pid (`Child::kill` only speaks
+/// SIGKILL).
+fn send_signal(pid: u32, sig: i32) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(pid as i32, sig);
+    }
+}
+
+/// Whether a slot is a healthy chaos target: started, not
+/// mid-adoption, its worker past Start and not draining (state
+/// RUNNING), and its child alive.
+fn healthy(plane: &ControlPlane, index: u32, slot: &mut Slot) -> bool {
+    slot.started
+        && slot.adopting.is_none()
+        && plane.worker(index).status(status::STATE) == state::RUNNING
+        && slot
+            .child
+            .as_mut()
+            .is_some_and(|c| matches!(c.try_wait(), Ok(None)))
+}
+
+/// Per-slot lease-movement tracking for the watchdog.
+struct Lane {
+    last_word: u64,
+    moved_at: Instant,
+    probes: u32,
+    probe_at: Instant,
+    /// Index into the run's stall records of the episode in flight.
+    /// The record is created at *detection* time and updated in place —
+    /// a revived worker may exit (self-kill, drain) before the next
+    /// tick can observe its lease moving, so resolution can't be the
+    /// moment the episode is recorded.
+    episode: Option<usize>,
+}
+
+impl Lane {
+    fn reset(&mut self, word: u64, now: Instant) {
+        self.last_word = word;
+        self.moved_at = now;
+        self.probes = 0;
+        self.probe_at = now;
+        self.episode = None;
+    }
+}
+
+/// The stuck-worker watchdog: reads each monitored worker's lease word
+/// straight from pod memory (leases move on every heartbeat, so a
+/// static counter means the process isn't scheduling). On a stall it
+/// climbs a ladder — SIGCONT probe, exponentially-backed-off re-probes,
+/// then SIGKILL — so a SIGSTOPped worker is revived in one rung while a
+/// truly wedged one is fed to the adoption machinery.
+struct Watchdog {
+    stall: Duration,
+    grace: Duration,
+    max_probes: u32,
+    lanes: Vec<Lane>,
+}
+
+impl Watchdog {
+    fn new(args: &RunArgs) -> Watchdog {
+        let now = Instant::now();
+        Watchdog {
+            stall: Duration::from_millis(args.stall_ms.max(1)),
+            grace: Duration::from_millis(args.probe_grace_ms.max(1)),
+            max_probes: args.max_probes,
+            lanes: (0..args.workers)
+                .map(|_| Lane {
+                    last_word: 0,
+                    moved_at: now,
+                    probes: 0,
+                    probe_at: now,
+                    episode: None,
+                })
+                .collect(),
+        }
+    }
+
+    fn tick(
+        &mut self,
+        pod: &Pod,
+        plane: &ControlPlane,
+        slots: &mut [Slot],
+        stalls: &mut Vec<StallRecord>,
+    ) {
+        let now = Instant::now();
+        for (index, slot) in slots.iter_mut().enumerate() {
+            let lane = &mut self.lanes[index];
+            if slot.finished || !healthy(plane, index as u32, slot) {
+                lane.reset(0, now);
+                continue;
+            }
+            let Some(tslot) = slot.tid.and_then(ThreadId::new).map(|t| t.slot()) else {
+                lane.reset(0, now);
+                continue;
+            };
+            let word = pod
+                .memory()
+                .load_u64(CoreId(0), pod.layout().lease_at(tslot));
+            if lease::is_frozen(word) {
+                // Draining (or drained): silence is the protocol here.
+                lane.reset(word, now);
+                continue;
+            }
+            if word != lane.last_word {
+                lane.reset(word, now);
+                continue;
+            }
+            if now.duration_since(lane.moved_at) < self.stall {
+                continue;
+            }
+            if lane.episode.is_none() {
+                lane.episode = Some(stalls.len());
+                stalls.push(StallRecord {
+                    index: index as u32,
+                    probes: 0,
+                    escalated: false,
+                });
+                lane.probes = 0;
+                lane.probe_at = now;
+            }
+            if now < lane.probe_at {
+                continue;
+            }
+            let episode = lane.episode.expect("episode opened above");
+            if lane.probes >= self.max_probes {
+                // Ladder exhausted. SIGKILL works on stopped processes
+                // too; reap_and_replace turns the corpse into an
+                // adoption.
+                if let Some(child) = slot.child.as_mut() {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                stalls[episode].escalated = true;
+                lane.reset(word, now);
+            } else {
+                if let Some(child) = slot.child.as_ref() {
+                    send_signal(child.id(), SIGCONT);
+                }
+                lane.probes += 1;
+                stalls[episode].probes = lane.probes;
+                lane.probe_at = now + self.grace * (1u32 << (lane.probes - 1).min(6));
+            }
+        }
+    }
 }
 
 /// Drives a full serving run and returns the report.
@@ -341,6 +814,7 @@ struct Slot {
 /// Harness failures (spawn/IO/protocol); *audit* failures are returned
 /// in the report, not as errors, so callers can inspect them.
 pub fn run(args: &RunArgs) -> Result<RunReport, String> {
+    args.validate()?;
     let _ = std::fs::remove_file(&args.file);
     let tail = rpc::tail_bytes(args.workers, args.ledger_cap);
     let pod = Pod::create_shared(args.config.clone(), &args.file, tail)
@@ -361,18 +835,11 @@ pub fn run(args: &RunArgs) -> Result<RunReport, String> {
 }
 
 fn drive(args: &RunArgs, pod: &Pod, plane: &ControlPlane) -> Result<RunReport, String> {
-    let mut slots: Vec<Slot> = Vec::new();
-    let result = drive_slots(args, pod, plane, &mut slots);
-    if result.is_err() {
-        // Never leak orphan workers past a harness failure.
-        for slot in slots.iter_mut() {
-            for child in slot.child.iter_mut().chain(slot.racers.iter_mut()) {
-                let _ = child.kill();
-                let _ = child.wait();
-            }
-        }
-    }
-    result
+    // The Fleet guard reaps every child on *any* exit — including a
+    // panic inside the drive loop, which an error-path-only cleanup
+    // would miss.
+    let mut fleet = Fleet { slots: Vec::new() };
+    drive_slots(args, pod, plane, &mut fleet.slots)
 }
 
 fn drive_slots(
@@ -381,9 +848,10 @@ fn drive_slots(
     plane: &ControlPlane,
     slots: &mut Vec<Slot>,
 ) -> Result<RunReport, String> {
+    let mut events = SelfEvents::new(args);
     for index in 0..args.workers {
         slots.push(Slot {
-            child: Some(spawn_worker(args, index, None)?),
+            child: Some(spawn_worker(args, index, None, &mut events)?),
             racers: Vec::new(),
             tid: None,
             incarnation: 0,
@@ -393,25 +861,60 @@ fn drive_slots(
         });
     }
     let mut adoptions: Vec<AdoptionRecord> = Vec::new();
+    let mut drains: Vec<DrainRecord> = Vec::new();
+    let mut stalls: Vec<StallRecord> = Vec::new();
     let mut stolen: Vec<u16> = Vec::new();
     let mut kills = 0u32;
+    let mut watchdog = Watchdog::new(args);
 
-    // Seeded kill schedule: each hit picks a time in the middle of the
-    // run and a victim slot (possibly the same slot twice — the second
-    // kill then fells the replacement).
-    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x6b69_6c6c);
-    let mut schedule: Vec<(Duration, u32)> = (0..args.kills)
-        .map(|_| {
-            let at = args.secs * (0.25 + 0.4 * rng.gen::<f64>());
-            (Duration::from_secs_f64(at), rng.gen_range(0..args.workers))
-        })
-        .collect();
-    schedule.sort_by_key(|(at, _)| *at);
+    // Seeded chaos schedules (time mode). Each family streams from its
+    // own tagged seed so adding drains never perturbs the kill times.
+    let mut kill_sched: Vec<(Duration, u32)> = {
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0x6b69_6c6c); // "kill"
+        let mut v: Vec<_> = (0..args.kills)
+            .map(|_| {
+                let at = args.secs * (0.25 + 0.4 * rng.gen::<f64>());
+                (Duration::from_secs_f64(at), rng.gen_range(0..args.workers))
+            })
+            .collect();
+        v.sort_by_key(|(at, _)| *at);
+        v
+    };
+    let mut drain_sched: Vec<(Duration, u32)> = {
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0x64_7261_696e); // "drain"
+        let mut v: Vec<_> = (0..args.drains)
+            .map(|_| {
+                let at = args.secs * (0.20 + 0.45 * rng.gen::<f64>());
+                (Duration::from_secs_f64(at), rng.gen_range(0..args.workers))
+            })
+            .collect();
+        if let Some((n, period)) = args.rolling {
+            for i in 0..n {
+                v.push((
+                    Duration::from_secs_f64(period * (i + 1) as f64),
+                    i % args.workers,
+                ));
+            }
+        }
+        v.sort_by_key(|(at, _)| *at);
+        v
+    };
+    let mut stall_sched: Vec<(Duration, u32)> = {
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0x73_7461_6c6c); // "stall"
+        let mut v: Vec<_> = (0..args.stalls)
+            .map(|_| {
+                let at = args.secs * (0.15 + 0.5 * rng.gen::<f64>());
+                (Duration::from_secs_f64(at), rng.gen_range(0..args.workers))
+            })
+            .collect();
+        v.sort_by_key(|(at, _)| *at);
+        v
+    };
 
     // Phase 1: wait for every initial Hello, then start traffic.
     let setup_deadline = Instant::now() + Duration::from_secs(60);
     while slots.iter().any(|s| s.tid.is_none()) {
-        pump(plane, slots, &mut adoptions, &mut stolen, args)?;
+        pump(plane, slots, &mut adoptions, &mut drains, &mut stolen, args)?;
         if Instant::now() > setup_deadline {
             return Err("workers never all said hello".into());
         }
@@ -423,29 +926,68 @@ fn drive_slots(
         start_slot(plane, args, index as u32, slot)?;
     }
 
-    // Phase 2: traffic, kills, replacements.
+    // Phase 2: traffic, chaos, replacements.
     let hard_deadline = traffic_start
         + Duration::from_secs_f64(args.secs)
         + if args.target_ops > 0 { Duration::from_secs(120) } else { Duration::ZERO };
+    let mut soak_log = Instant::now();
     loop {
-        pump(plane, slots, &mut adoptions, &mut stolen, args)?;
-        kills += reap_and_replace(args, slots, &mut adoptions)?;
-        while let Some(&(at, victim)) = schedule.first() {
+        pump(plane, slots, &mut adoptions, &mut drains, &mut stolen, args)?;
+        kills += reap_and_replace(args, pod, slots, &mut adoptions, &mut events)?;
+        watchdog.tick(pod, plane, slots, &mut stalls);
+        while let Some(&(at, victim)) = kill_sched.first() {
             if traffic_start.elapsed() < at {
                 break;
             }
             let slot = &mut slots[victim as usize];
-            if slot.started && slot.adopting.is_none() && slot.child.is_some() {
-                // A healthy target: kill -9, mid-traffic.
+            if healthy(plane, victim, slot) {
                 let mut child = slot.child.take().unwrap();
                 let _ = child.kill(); // SIGKILL on unix
                 let _ = child.wait();
                 slot.child = Some(child); // reap_and_replace sees the corpse
-                schedule.remove(0);
+                kill_sched.remove(0);
             } else {
                 // Slot is mid-replacement; retry this kill shortly.
                 break;
             }
+        }
+        while let Some(&(at, victim)) = drain_sched.first() {
+            if traffic_start.elapsed() < at {
+                break;
+            }
+            let slot = &mut slots[victim as usize];
+            if healthy(plane, victim, slot) {
+                send_signal(slot.child.as_ref().unwrap().id(), SIGTERM);
+                drain_sched.remove(0);
+            } else {
+                break;
+            }
+        }
+        while let Some(&(at, victim)) = stall_sched.first() {
+            if traffic_start.elapsed() < at {
+                break;
+            }
+            let slot = &mut slots[victim as usize];
+            if healthy(plane, victim, slot) {
+                // The injector never CONTs: the watchdog's probe is the
+                // only revival path, so every episode exercises it.
+                send_signal(slot.child.as_ref().unwrap().id(), SIGSTOP);
+                stall_sched.remove(0);
+            } else {
+                break;
+            }
+        }
+        if args.soak && soak_log.elapsed() >= Duration::from_secs(5) {
+            let ops: u64 =
+                (0..args.workers).map(|i| plane.worker(i).status(status::OPS)).sum();
+            eprintln!(
+                "soak {:>6.0}s: ops {ops}, kills {kills}, drains {}, stalls {}, adoptions {}",
+                traffic_start.elapsed().as_secs_f64(),
+                drains.len(),
+                stalls.len(),
+                adoptions.len(),
+            );
+            soak_log = Instant::now();
         }
         let done = if args.target_ops > 0 {
             slots.iter().all(|s| s.finished)
@@ -473,7 +1015,10 @@ fn drive_slots(
     }
     let stop_deadline = Instant::now() + Duration::from_secs(30);
     loop {
-        pump(plane, slots, &mut adoptions, &mut stolen, args)?;
+        pump(plane, slots, &mut adoptions, &mut drains, &mut stolen, args)?;
+        // Keep the watchdog running: a worker stalled moments before
+        // STOPPING still needs its SIGCONT to ever see the Stop.
+        watchdog.tick(pod, plane, slots, &mut stalls);
         let mut all_reaped = true;
         for slot in slots.iter_mut() {
             for child in slot.child.iter_mut().chain(slot.racers.iter_mut()) {
@@ -487,42 +1032,48 @@ fn drive_slots(
             break;
         }
         if Instant::now() > stop_deadline {
-            for slot in slots.iter_mut() {
-                for child in slot.child.iter_mut().chain(slot.racers.iter_mut()) {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                }
-            }
             return Err("workers did not stop in time".into());
         }
         std::thread::sleep(Duration::from_millis(2));
     }
-    // Drain any Finished events that raced the final reap.
-    pump(plane, slots, &mut adoptions, &mut stolen, args)?;
+    // Drain any Finished/Drained events that raced the final reap.
+    pump(plane, slots, &mut adoptions, &mut drains, &mut stolen, args)?;
 
     // Phase 4: the heap is quiescent — audit it.
     let audit = audit(pod, plane)?;
     let workers: Vec<WorkerStats> = (0..args.workers)
         .map(|index| {
             let w = plane.worker(index);
+            let mut keys: Vec<u64> = w.ledger_live().into_iter().map(|(k, _)| k).collect();
+            keys.sort_unstable();
+            let ledger_hash = keys.iter().fold(FNV_BASIS, |h, &k| fnv1a(h, k));
             WorkerStats {
                 index,
                 tid: w.status(status::TID) as u16,
                 ops: w.status(status::OPS),
                 allocs: w.status(status::ALLOCS),
                 frees: w.status(status::FREES),
-                live: w.ledger_live().len() as u64,
+                live: keys.len() as u64,
+                ledger_hash,
+                forwarded: w.status(status::FORWARDED),
+                timeouts: w.status(status::TIMEOUTS),
                 hist: w.histogram(),
             }
         })
         .collect();
     let total_ops = workers.iter().map(|w| w.ops).sum();
+    let forwarded = workers.iter().map(|w| w.forwarded).sum();
+    let timeouts = workers.iter().map(|w| w.timeouts).sum();
     let report = RunReport {
         workers,
         adoptions,
+        drains,
+        stalls,
         audit,
         stolen,
         kills,
+        forwarded,
+        timeouts,
         elapsed_secs: elapsed,
         total_ops,
     };
@@ -558,6 +1109,7 @@ fn pump(
     plane: &ControlPlane,
     slots: &mut [Slot],
     adoptions: &mut [AdoptionRecord],
+    drains: &mut Vec<DrainRecord>,
     stolen: &mut Vec<u16>,
     args: &RunArgs,
 ) -> Result<(), String> {
@@ -578,7 +1130,7 @@ fn pump(
                     if plane.run_state() == run_state::RUNNING && !slot.started {
                         start_slot(plane, args, index, slot)?;
                     } else if plane.run_state() == run_state::STOPPING && !slot.started {
-                        // A straggler (late adoption winner) checking in
+                        // A straggler (late replacement) checking in
                         // mid-shutdown: send it straight to Stop.
                         let _ = plane.worker(index).cmd_ring().push(Msg::Stop);
                     }
@@ -588,7 +1140,9 @@ fn pump(
                     // winner already resolved the episode — match by
                     // victim, not only by the in-flight marker.
                     let at = slot.adopting.or_else(|| {
-                        adoptions.iter().rposition(|a| a.index == index && a.victim_tid == victim)
+                        adoptions
+                            .iter()
+                            .rposition(|a| a.index == index && a.victim_tid == victim)
                     });
                     let rec = at
                         .and_then(|i| adoptions.get_mut(i))
@@ -602,6 +1156,18 @@ fn pump(
                         rec.losers += 1;
                     }
                 }
+                Msg::Drained { ops, live, .. } => {
+                    // pump() always runs before reap_and_replace() in
+                    // the same pass, so `slot.tid` is still the
+                    // draining incarnation's — its replacement can't
+                    // have said hello yet.
+                    drains.push(DrainRecord {
+                        index,
+                        tid: slot.tid.unwrap_or(0),
+                        ops,
+                        live,
+                    });
+                }
                 Msg::Finished { .. } => slot.finished = true,
                 Msg::Stolen { tid } => stolen.push(tid),
                 Msg::Progress { .. } => {}
@@ -612,12 +1178,15 @@ fn pump(
     Ok(())
 }
 
-/// Notices dead children and spawns replacements. Returns the number
-/// of crashes handled this pass.
+/// Notices dead children and spawns replacements — adopters for
+/// crashes, fresh registrations for completed drains. Returns the
+/// number of SIGKILL-style deaths handled this pass.
 fn reap_and_replace(
     args: &RunArgs,
+    pod: &Pod,
     slots: &mut [Slot],
     adoptions: &mut Vec<AdoptionRecord>,
+    events: &mut SelfEvents,
 ) -> Result<u32, String> {
     let mut crashes = 0;
     for (index, slot) in slots.iter_mut().enumerate() {
@@ -632,11 +1201,37 @@ fn reap_and_replace(
             continue; // clean exit (its Finished event may still be in flight)
         }
         if !slot.started || slot.adopting.is_some() {
-            continue; // not a traffic-phase crash we can attribute yet
+            continue; // not a traffic-phase death we can attribute yet
+        }
+        let victim_tid = slot.tid.ok_or("dead worker never said hello")?;
+        let drained = exit_status.code() == Some(exit::DRAINED);
+        // A kill can land *after* the victim froze its lease (the last
+        // instants of a drain). The frozen lease is the durable truth:
+        // the flush completed, so nothing is adoptable — or needs to be.
+        let froze = drained || {
+            let tslot = ThreadId::new(victim_tid)
+                .ok_or("worker reported tid 0")?
+                .slot();
+            lease::is_frozen(
+                pod.memory().load_u64(CoreId(0), pod.layout().lease_at(tslot)),
+            )
+        };
+        if froze {
+            if !drained {
+                crashes += 1; // a SIGKILL did land, just too late to matter
+            }
+            // Graceful drain: frozen lease, flushed buffers. The slot's
+            // traffic share restarts in a *fresh* registration.
+            slot.child = None;
+            slot.tid = None;
+            slot.started = false;
+            slot.finished = false;
+            slot.incarnation += 1;
+            slot.child = Some(spawn_worker(args, index, None, events)?);
+            continue;
         }
         // A crash (SIGKILL, steal, or fatal): replace and adopt.
         crashes += 1;
-        let victim_tid = slot.tid.ok_or("crashed worker never said hello")?;
         slot.child = None;
         slot.started = false;
         slot.finished = false;
@@ -652,17 +1247,22 @@ fn reap_and_replace(
         });
         let replacements = if args.race_adopt { 2 } else { 1 };
         for _ in 0..replacements {
-            slot.racers.push(spawn_worker(args, index, Some(victim_tid))?);
+            slot.racers.push(spawn_worker(args, index, Some(victim_tid), events)?);
         }
     }
     Ok(crashes)
 }
 
-fn spawn_worker(args: &RunArgs, index: u32, adopt: Option<u16>) -> Result<Child, String> {
-    let kill_after_ops = if adopt.is_none() {
-        args.self_kills.iter().find(|(i, _)| *i == index).map(|(_, ops)| *ops)
+fn spawn_worker(
+    args: &RunArgs,
+    index: u32,
+    adopt: Option<u16>,
+    events: &mut SelfEvents,
+) -> Result<Child, String> {
+    let (kill_after_ops, drain_after_ops, stall_after_ops) = if adopt.is_none() {
+        events.arm(index)
     } else {
-        None // replacements never re-arm the deterministic crash
+        (None, None, None) // adopters never re-arm the deterministic schedule
     };
     let worker_args = WorkerArgs {
         file: args.file.clone(),
@@ -672,6 +1272,10 @@ fn spawn_worker(args: &RunArgs, index: u32, adopt: Option<u16>) -> Result<Child,
         index,
         adopt,
         kill_after_ops,
+        drain_after_ops,
+        stall_after_ops,
+        shared_pct: args.shared_pct,
+        remote_batch: args.remote_batch,
     };
     Command::new(&args.worker_exe)
         .arg("worker")
@@ -682,15 +1286,52 @@ fn spawn_worker(args: &RunArgs, index: u32, adopt: Option<u16>) -> Result<Child,
         .map_err(|e| format!("spawn worker {index}: {e}"))
 }
 
-/// The zero-lost-blocks audit over a quiescent heap.
+/// The zero-lost-blocks audit over a quiescent heap, extended for
+/// shared-key traffic: forwarded frees stranded in lanes are executed
+/// first, then every unattributed census block must be covered by a
+/// remote-free credit — a slab's executed-but-unstolen `remote_pending`
+/// or a durable-buffered batch a kill left mid-flight.
 fn audit(pod: &Pod, plane: &ControlPlane) -> Result<AuditOutcome, String> {
     let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default())
         .map_err(|e| format!("audit attach: {e}"))?;
+
+    // Stranded forwarded frees: a dead or stopped consumer left them
+    // queued. Their home workers already counted the free and cleared
+    // the ledger cell at forward time, so executing them here — through
+    // an audit-owned thread, via the eager remote-free path — is what
+    // makes the books balance. No status counters move.
+    let mut reaper =
+        heap.register_thread().map_err(|e| format!("audit register: {e}"))?;
+    let mut stranded = 0u64;
+    for consumer in 0..plane.workers() {
+        for producer in 0..plane.workers() {
+            if producer == consumer {
+                continue;
+            }
+            let lane = plane.worker(consumer).forward_ring(producer);
+            while let Some(msg) = lane.pop().map_err(|e| format!("forward lane: {e}"))? {
+                let Msg::FreeBlock { offset, home, key } = msg else {
+                    return Err(format!("unexpected forward-lane entry {msg:?}"));
+                };
+                let ptr = OffsetPtr::new(offset).ok_or_else(|| {
+                    format!("stranded null forward (home {home} key {key})")
+                })?;
+                reaper
+                    .dealloc(ptr)
+                    .map_err(|e| format!("stranded dealloc (home {home} key {key}): {e}"))?;
+                stranded += 1;
+            }
+        }
+    }
+    reaper.flush_cache();
+
     let census = heap.census(CoreId(0))?;
     let invariants = match heap.check_invariants(CoreId(0)) {
         Ok(()) => "ok".to_string(),
         Err(e) => e,
     };
+    let buffered = cxl_core::audit::remote_buffered(pod.memory().as_ref(), CoreId(0));
+    let buffered_total: u64 = buffered.iter().map(|b| b.pending as u64).sum();
 
     let mut ledger: Vec<u64> = Vec::new();
     let mut allocs = 0u64;
@@ -702,19 +1343,54 @@ fn audit(pod: &Pod, plane: &ControlPlane) -> Result<AuditOutcome, String> {
         frees += w.status(status::FREES);
     }
     ledger.sort_unstable();
-    let mut duplicates: Vec<u64> = ledger.windows(2).filter(|w| w[0] == w[1]).map(|w| w[0]).collect();
+    let mut duplicates: Vec<u64> =
+        ledger.windows(2).filter(|w| w[0] == w[1]).map(|w| w[0]).collect();
     duplicates.dedup();
 
     let heap_side = census.all_offsets();
-    let lost = diff_sorted(&heap_side, &ledger);
+    let raw_lost = diff_sorted(&heap_side, &ledger);
     let phantom = diff_sorted(&ledger, &heap_side);
+
+    // Credit unattributed blocks against per-slab remote-free debt:
+    // executed-but-unstolen frees (`remote_pending`) plus durable-
+    // buffered unpublished decrements. Whatever no credit covers is
+    // genuinely lost; credits that cover nothing mean the remote
+    // accounting itself is broken and fail the audit the other way.
+    let mut credits: Vec<(&cxl_core::audit::SlabAudit, u64)> = census
+        .slabs
+        .iter()
+        .map(|sa| {
+            let buf: u64 = buffered
+                .iter()
+                .filter(|b| b.kind == sa.kind && b.slab == sa.slab)
+                .map(|b| b.pending as u64)
+                .sum();
+            (sa, sa.remote_pending as u64 + buf)
+        })
+        .collect();
+    let mut lost = Vec::new();
+    for off in raw_lost {
+        match credits.iter_mut().find(|(sa, c)| *c > 0 && sa.contains(off)) {
+            Some((_, c)) => *c -= 1,
+            None => lost.push(off),
+        }
+    }
+    let credit_excess: u64 = credits.iter().map(|(_, c)| *c).sum();
+    let remote_pending = census.remote_pending_total();
+    let effective_live =
+        (heap_side.len() as u64).saturating_sub(remote_pending + buffered_total);
     Ok(AuditOutcome {
         census_live: heap_side.len() as u64,
         ledger_live: ledger.len() as u64,
+        effective_live,
+        remote_pending,
+        remote_buffered: buffered_total,
+        stranded_forwards: stranded,
+        credit_excess,
         lost,
         phantom,
         duplicates,
-        counter_delta: allocs as i64 - frees as i64 - heap_side.len() as i64,
+        counter_delta: allocs as i64 - frees as i64 - effective_live as i64,
         invariants,
     })
 }
@@ -755,9 +1431,67 @@ mod tests {
         assert_eq!(args.target_ops, 500);
         assert_eq!(args.self_kills, vec![(0, 250)]);
         assert!(RunArgs::parse(&["--workers".into(), "0".into()]).is_err());
-        assert!(RunArgs::parse(&["--kills".into(), "1".into(), "--ops".into(), "5".into()])
-            .is_err());
+        assert!(
+            RunArgs::parse(&["--kills".into(), "1".into(), "--ops".into(), "5".into()])
+                .is_err()
+        );
         assert!(RunArgs::parse(&["--self-kill".into(), "junk".into()]).is_err());
+    }
+
+    #[test]
+    fn chaos_flags_parse_and_validate() {
+        let args = RunArgs::parse(&[
+            "--workers".into(),
+            "4".into(),
+            "--rolling".into(),
+            "3:1.5".into(),
+            "--drains".into(),
+            "1".into(),
+            "--stalls".into(),
+            "2".into(),
+            "--shared-keys".into(),
+            "--remote-batch".into(),
+            "8".into(),
+            "--stall-ms".into(),
+            "400".into(),
+            "--max-probes".into(),
+            "0".into(),
+        ])
+        .unwrap();
+        assert_eq!(args.rolling, Some((3, 1.5)));
+        assert_eq!(args.drains, 1);
+        assert_eq!(args.stalls, 2);
+        assert_eq!(args.shared_pct, 50);
+        assert_eq!(args.remote_batch, 8);
+        assert_eq!(args.stall_ms, 400);
+        assert_eq!(args.max_probes, 0);
+
+        let soak = RunArgs::parse(&["--soak".into(), "30".into()]).unwrap();
+        assert!(soak.soak);
+        assert_eq!(soak.secs, 30.0);
+
+        // Timed chaos needs time mode.
+        for flag in [
+            vec!["--rolling".to_string(), "1:1".into()],
+            vec!["--drains".to_string(), "1".into()],
+            vec!["--stalls".to_string(), "1".into()],
+        ] {
+            let mut v = vec!["--ops".to_string(), "100".into()];
+            v.extend(flag);
+            assert!(RunArgs::parse(&v).is_err(), "{v:?} must be rejected");
+        }
+        // Self-event indices must address real slots.
+        assert!(RunArgs::parse(&[
+            "--workers".into(),
+            "2".into(),
+            "--self-drain".into(),
+            "2:100".into()
+        ])
+        .is_err());
+        // The drain budget is bounded by max_threads.
+        assert!(RunArgs::parse(&["--rolling".into(), "100:0.5".into()]).is_err());
+        assert!(RunArgs::parse(&["--rolling".into(), "0:1".into()]).is_err());
+        assert!(RunArgs::parse(&["--shared-pct".into(), "101".into()]).is_err());
     }
 
     #[test]
@@ -775,5 +1509,109 @@ mod tests {
         assert_eq!(diff_sorted(&[1, 2, 3, 5], &[2, 3, 4]), vec![1, 5]);
         assert_eq!(diff_sorted(&[], &[1]), Vec::<u64>::new());
         assert_eq!(diff_sorted(&[7], &[]), vec![7]);
+    }
+
+    #[test]
+    fn self_events_arm_per_fresh_spawn_in_flag_order() {
+        let args = RunArgs {
+            workers: 2,
+            self_kills: vec![(0, 100)],
+            self_drains: vec![(1, 50), (1, 75)],
+            ..RunArgs::default()
+        };
+        let mut events = SelfEvents::new(&args);
+        assert_eq!(events.arm(0), (Some(100), None, None));
+        assert_eq!(events.arm(0), (None, None, None));
+        assert_eq!(events.arm(1), (None, Some(50), None));
+        // The drained slot's *next* fresh spawn arms the next drain.
+        assert_eq!(events.arm(1), (None, Some(75), None));
+        assert_eq!(events.arm(1), (None, None, None));
+    }
+
+    fn report_fixture() -> RunReport {
+        RunReport {
+            workers: vec![WorkerStats {
+                index: 0,
+                tid: 1,
+                ops: 100,
+                allocs: 40,
+                frees: 30,
+                live: 10,
+                ledger_hash: 0xabcd,
+                forwarded: 5,
+                timeouts: 0,
+                hist: [0; HIST_BUCKETS],
+            }],
+            adoptions: Vec::new(),
+            drains: vec![DrainRecord { index: 0, tid: 1, ops: 60, live: 7 }],
+            stalls: vec![StallRecord { index: 0, probes: 1, escalated: false }],
+            audit: AuditOutcome {
+                census_live: 12,
+                ledger_live: 10,
+                effective_live: 10,
+                remote_pending: 2,
+                remote_buffered: 0,
+                stranded_forwards: 1,
+                credit_excess: 0,
+                lost: Vec::new(),
+                phantom: Vec::new(),
+                duplicates: Vec::new(),
+                counter_delta: 0,
+                invariants: "ok".into(),
+            },
+            stolen: Vec::new(),
+            kills: 1,
+            forwarded: 5,
+            timeouts: 0,
+            elapsed_secs: 1.0,
+            total_ops: 100,
+        }
+    }
+
+    #[test]
+    fn digest_covers_the_deterministic_projection_only() {
+        let a = report_fixture();
+        let mut b = report_fixture();
+        assert_eq!(a.digest(), b.digest());
+        // Timing-dependent fields must not move the digest...
+        b.stalls.push(StallRecord { index: 0, probes: 2, escalated: false });
+        b.audit.census_live = 14;
+        b.audit.remote_pending = 4;
+        b.elapsed_secs = 2.0;
+        assert_eq!(a.digest(), b.digest());
+        // ...while replay-visible ones must.
+        b.workers[0].ledger_hash ^= 1;
+        assert_ne!(a.digest(), b.digest());
+        let mut c = report_fixture();
+        c.drains.clear();
+        assert_ne!(a.digest(), c.digest());
+        let mut d = report_fixture();
+        d.audit.counter_delta = 1;
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn report_json_is_v2_with_chaos_fields() {
+        let json = report_fixture().to_json();
+        for needle in [
+            "\"schema\": \"serve-run-v2\"",
+            "\"drains\": [",
+            "\"stalls\": [",
+            "\"remote_pending\": 2",
+            "\"effective_live\": 10",
+            "\"stranded_forwards\": 1",
+            "\"digest\": \"",
+            "\"forwarded\": 5",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn dirty_audit_flags_credit_excess() {
+        let mut audit = report_fixture().audit;
+        assert!(audit.is_clean());
+        audit.credit_excess = 1;
+        assert!(!audit.is_clean());
     }
 }

@@ -18,9 +18,12 @@
 //!   rings, status blocks, latency histograms, and the allocation
 //!   ledger whose cells double as `alloc_detectable` delivery slots.
 //! - [`worker`] — the worker process: attach, register/adopt, serve,
-//!   heartbeat, and (on request) SIGKILL itself at an exact op count.
-//! - [`coordinator`] — fleet management, the seeded kill schedule, and
-//!   the zero-lost-blocks audit.
+//!   heartbeat, forward shared-key frees to peers, drain gracefully on
+//!   SIGTERM, and (on request) SIGKILL or SIGSTOP itself at an exact
+//!   op count.
+//! - [`coordinator`] — fleet management, the seeded chaos schedules
+//!   (kills, drains, stalls, rolling restarts), the stuck-worker
+//!   watchdog, and the zero-lost-blocks audit.
 //! - [`codec`] — the `PodConfig` wire format workers receive on their
 //!   command line.
 //!
@@ -75,8 +78,12 @@ pub fn main_from_args(argv: &[String]) -> i32 {
         },
         _ => {
             eprintln!(
-                "usage: serve run [--workers N] [--secs S | --ops N] [--kills K] \
-                 [--self-kill I:OPS] [--race-adopt] [--seed S] [--spec ID] [--json PATH]\n\
+                "usage: serve run [--workers N] [--secs S | --ops N | --soak S] \
+                 [--kills K] [--drains D] [--stalls T] [--rolling N:PERIOD] \
+                 [--self-kill I:OPS] [--self-drain I:OPS] [--self-stall I:OPS] \
+                 [--shared-keys | --shared-pct P] [--remote-batch B] \
+                 [--stall-ms MS] [--probe-grace-ms MS] [--max-probes N] \
+                 [--race-adopt] [--seed S] [--spec ID] [--json PATH]\n\
                         serve worker ... (internal)"
             );
             2

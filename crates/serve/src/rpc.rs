@@ -15,11 +15,14 @@
 //! ```text
 //! ctrl+0        header: magic/version, workers, ledger_cap, run_state
 //! per worker w at ctrl + 64 + w*stride:
-//!   +0    status block (64 B): state, pid, tid, ops, allocs, frees, stolen
-//!   +64   latency histogram: 64 log2-ns buckets
-//!   +576  cmd ring  (coordinator -> worker): 64 B header + 32 x 64 B slots
-//!   +2688 evt ring  (worker -> coordinator): same shape
-//!   +4800 allocation ledger: ledger_cap x 8 B cells
+//!   +0    status block (128 B): state, pid, tid, ops, allocs, frees,
+//!         stolen, forwarded, timeouts
+//!   +128  latency histogram: 64 log2-ns buckets
+//!   +640  cmd ring  (coordinator -> worker): 64 B header + 32 x 64 B slots
+//!   +2752 evt ring  (worker -> coordinator): same shape
+//!   +4864 forward rings (worker p -> worker w), one per producer p:
+//!         shared-key frees routed to w, `workers` rings of the same shape
+//!   +...  allocation ledger: ledger_cap x 8 B cells
 //! ```
 //!
 //! The ledger is the crash-audit ground truth: cell `k` of worker `w`
@@ -33,12 +36,14 @@
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use cxl_pod::Segment;
 
 /// Identifies a serve control plane (and its version) in the tail:
-/// ASCII `CXLSRV` plus a format version byte.
-pub const MAGIC: u64 = 0x4358_4c53_5256_0001;
+/// ASCII `CXLSRV` plus a format version byte (bumped for the chaos
+/// layer: wider status block, per-producer forward rings).
+pub const MAGIC: u64 = 0x4358_4c53_5256_0002;
 /// Ring capacity in slots. Power of two; deep enough that a worker
 /// emitting one event per phase never fills it between coordinator
 /// polls.
@@ -49,7 +54,7 @@ pub const SLOT_BYTES: u64 = 64;
 pub const HIST_BUCKETS: usize = 64;
 
 const HEADER_BYTES: u64 = 64;
-const STATUS_BYTES: u64 = 64;
+const STATUS_BYTES: u64 = 128;
 const HIST_BYTES: u64 = HIST_BUCKETS as u64 * 8;
 const RING_BYTES: u64 = 64 + RING_SLOTS * SLOT_BYTES;
 
@@ -61,6 +66,11 @@ pub mod state {
     pub const RUNNING: u64 = 1;
     /// Exited cleanly after `Finished`.
     pub const DONE: u64 = 2;
+    /// Draining (or drained): the worker stopped taking ops and is
+    /// flushing its buffers toward a frozen-lease exit. Published at
+    /// drain *start* so the watchdog stops expecting heartbeats while
+    /// the flush runs.
+    pub const DRAINED: u64 = 3;
 }
 
 /// Run states published in the control-plane header.
@@ -76,11 +86,12 @@ pub mod run_state {
 /// Total control-tail bytes needed for `workers` workers with
 /// `ledger_cap` ledger cells each.
 pub fn tail_bytes(workers: u32, ledger_cap: u64) -> u64 {
-    HEADER_BYTES + workers as u64 * worker_stride(ledger_cap)
+    HEADER_BYTES + workers as u64 * worker_stride(workers, ledger_cap)
 }
 
-fn worker_stride(ledger_cap: u64) -> u64 {
-    let raw = STATUS_BYTES + HIST_BYTES + 2 * RING_BYTES + ledger_cap * 8;
+fn worker_stride(workers: u32, ledger_cap: u64) -> u64 {
+    let raw =
+        STATUS_BYTES + HIST_BYTES + (2 + workers as u64) * RING_BYTES + ledger_cap * 8;
     raw.next_multiple_of(64)
 }
 
@@ -150,7 +161,10 @@ impl ControlPlane {
         assert!(index < self.workers, "worker index out of range");
         WorkerPlane {
             seg: self.seg.clone(),
-            base: self.base + HEADER_BYTES + index as u64 * worker_stride(self.ledger_cap),
+            base: self.base
+                + HEADER_BYTES
+                + index as u64 * worker_stride(self.workers, self.ledger_cap),
+            workers: self.workers,
             ledger_cap: self.ledger_cap,
         }
     }
@@ -176,6 +190,7 @@ impl ControlPlane {
 pub struct WorkerPlane {
     seg: Arc<Segment>,
     base: u64,
+    workers: u32,
     ledger_cap: u64,
 }
 
@@ -195,6 +210,13 @@ pub mod status {
     pub const FREES: u64 = 40;
     /// Set to 1 when a heartbeat came back [`cxl_core::AllocError::LeaseStolen`].
     pub const STOLEN: u64 = 48;
+    /// Shared-key frees this worker executed *for other workers* —
+    /// entries consumed from its inbound forward rings. (The home
+    /// worker counts the free in its own [`FREES`] when it forwards.)
+    pub const FORWARDED: u64 = 56;
+    /// Deadline-bounded control-plane waits that expired
+    /// ([`super::ControlPlaneTimeout`]s observed by this worker).
+    pub const TIMEOUTS: u64 = 64;
 }
 
 impl WorkerPlane {
@@ -244,11 +266,34 @@ impl WorkerPlane {
         Ring { seg: self.seg.clone(), base: self.base + STATUS_BYTES + HIST_BYTES + RING_BYTES }
     }
 
+    /// The shared-key forward ring *into* this worker written by worker
+    /// `producer`: an SPSC lane carrying [`Msg::FreeBlock`] requests —
+    /// frees of blocks this worker's slot owns that another worker's
+    /// key routing landed on. Each (producer, consumer) pair gets its
+    /// own ring, so every lane stays single-producer single-consumer.
+    /// The `producer == self` diagonal exists but is never used (a
+    /// worker frees its own keys directly).
+    pub fn forward_ring(&self, producer: u32) -> Ring {
+        assert!(producer < self.workers, "producer index out of range");
+        Ring {
+            seg: self.seg.clone(),
+            base: self.base
+                + STATUS_BYTES
+                + HIST_BYTES
+                + (2 + producer as u64) * RING_BYTES,
+        }
+    }
+
+    /// Number of worker slots (and therefore of forward-ring lanes).
+    pub fn workers(&self) -> u32 {
+        self.workers
+    }
+
     /// Segment offset of ledger cell `k` — the word passed as
     /// `detect_dst` so the allocator itself publishes into the ledger.
     pub fn ledger_cell(&self, k: u64) -> u64 {
         assert!(k < self.ledger_cap, "ledger key out of range");
-        self.base + STATUS_BYTES + HIST_BYTES + 2 * RING_BYTES + k * 8
+        self.base + STATUS_BYTES + HIST_BYTES + (2 + self.workers as u64) * RING_BYTES + k * 8
     }
 
     /// Reads ledger cell `k` (0 = no block).
@@ -334,6 +379,37 @@ pub enum Msg {
         /// The stolen thread id (raw).
         tid: u16,
     },
+    /// Coordinator: drain gracefully — finish the current op, flush
+    /// magazines and remote-free buffers, freeze the lease, and exit
+    /// with the `DRAINED` code. Equivalent to SIGTERM, for schedulers
+    /// that prefer the control plane over signals.
+    Drain,
+    /// Worker: drain complete; same summary shape as `Finished` but the
+    /// slot's lease is now frozen and a *re-registering* replacement
+    /// (not an adopter) should take over the traffic share.
+    Drained {
+        /// Ops completed before the drain took effect.
+        ops: u64,
+        /// Blocks allocated.
+        allocs: u64,
+        /// Blocks freed.
+        frees: u64,
+        /// Live blocks left in the ledger for the replacement.
+        live: u64,
+    },
+    /// Worker→worker (forward rings only): free the block backing a
+    /// shared key on behalf of its home worker. The home worker already
+    /// cleared its ledger cell and counted the free; the consumer just
+    /// executes the `dealloc` — which lands as a *remote free* because
+    /// the block's slab belongs to the home worker's thread slot.
+    FreeBlock {
+        /// Worker index that owns the key (for diagnostics).
+        home: u32,
+        /// The shared key being freed (for diagnostics).
+        key: u64,
+        /// Segment offset of the block to free.
+        offset: u64,
+    },
 }
 
 const KIND_HELLO: u8 = 1;
@@ -343,6 +419,9 @@ const KIND_STOP: u8 = 4;
 const KIND_PROGRESS: u8 = 5;
 const KIND_FINISHED: u8 = 6;
 const KIND_STOLEN: u8 = 7;
+const KIND_DRAIN: u8 = 8;
+const KIND_DRAINED: u8 = 9;
+const KIND_FREE_BLOCK: u8 = 10;
 
 /// A malformed ring slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -414,6 +493,20 @@ pub fn encode(msg: &Msg, seq: u64) -> [u64; 8] {
             w[1] = *tid as u64;
             KIND_STOLEN
         }
+        Msg::Drain => KIND_DRAIN,
+        Msg::Drained { ops, allocs, frees, live } => {
+            w[1] = *ops;
+            w[2] = *allocs;
+            w[3] = *frees;
+            w[4] = *live;
+            KIND_DRAINED
+        }
+        Msg::FreeBlock { home, key, offset } => {
+            w[1] = *home as u64;
+            w[2] = *key;
+            w[3] = *offset;
+            KIND_FREE_BLOCK
+        }
     };
     w[0] = kind as u64 | (seq << 8);
     w
@@ -452,6 +545,18 @@ pub fn decode(w: &[u64; 8], seq: u64) -> Result<Msg, FrameError> {
             live: w[4],
         }),
         KIND_STOLEN => Ok(Msg::Stolen { tid: w[1] as u16 }),
+        KIND_DRAIN => Ok(Msg::Drain),
+        KIND_DRAINED => Ok(Msg::Drained {
+            ops: w[1],
+            allocs: w[2],
+            frees: w[3],
+            live: w[4],
+        }),
+        KIND_FREE_BLOCK => Ok(Msg::FreeBlock {
+            home: w[1] as u32,
+            key: w[2],
+            offset: w[3],
+        }),
         k => Err(FrameError::BadKind(k)),
     }
 }
@@ -536,7 +641,105 @@ impl Ring {
         self.head().store(head + 1, Ordering::Release);
         decoded.map(Some)
     }
+
+    /// Producer: appends `msg`, waiting up to `timeout` for ring space.
+    ///
+    /// This is the deadline-bounded form every cross-process control
+    /// call must use: a peer that is SIGSTOPped (or dead without its
+    /// slot reaped yet) stops draining its ring, and an unbounded spin
+    /// here would wedge the caller for as long as the peer stays
+    /// wedged. The wait spins with short sleeps so a healthy peer costs
+    /// at most one scheduling quantum.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlPlaneTimeout`] naming `op` if the ring still has no
+    /// space at the deadline; the message is *not* enqueued.
+    pub fn push_wait(
+        &self,
+        msg: Msg,
+        op: &'static str,
+        timeout: Duration,
+    ) -> Result<(), ControlPlaneTimeout> {
+        let start = Instant::now();
+        let mut msg = msg;
+        loop {
+            match self.push(msg) {
+                Ok(()) => return Ok(()),
+                Err(back) => msg = back,
+            }
+            let waited = start.elapsed();
+            if waited >= timeout {
+                return Err(ControlPlaneTimeout { op, waited });
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    /// Consumer: takes the oldest message, waiting up to `timeout` for
+    /// one to arrive. The deadline-bounded dual of [`Ring::push_wait`].
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::Timeout`] naming `op` if nothing arrived by the
+    /// deadline; [`WaitError::Frame`] if the slot that arrived fails
+    /// validation (the poisoned slot is dropped, as with [`Ring::pop`]).
+    pub fn pop_wait(&self, op: &'static str, timeout: Duration) -> Result<Msg, WaitError> {
+        let start = Instant::now();
+        loop {
+            match self.pop() {
+                Ok(Some(msg)) => return Ok(msg),
+                Ok(None) => {}
+                Err(e) => return Err(WaitError::Frame(e)),
+            }
+            let waited = start.elapsed();
+            if waited >= timeout {
+                return Err(WaitError::Timeout(ControlPlaneTimeout { op, waited }));
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
 }
+
+/// A deadline-bounded control-plane wait expired: the peer did not
+/// drain (or fill) the ring in time. Carries enough to say *which*
+/// call gave up, so a wedged run reports "start push to worker 3 timed
+/// out" instead of hanging forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlPlaneTimeout {
+    /// The control-plane call that gave up (e.g. `"hello"`, `"start"`).
+    pub op: &'static str,
+    /// How long the caller actually waited.
+    pub waited: Duration,
+}
+
+impl std::fmt::Display for ControlPlaneTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "control-plane {} timed out after {:?}", self.op, self.waited)
+    }
+}
+
+impl std::error::Error for ControlPlaneTimeout {}
+
+/// Why a [`Ring::pop_wait`] failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitError {
+    /// Nothing arrived before the deadline.
+    Timeout(ControlPlaneTimeout),
+    /// A slot arrived but failed framing validation.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitError::Timeout(t) => t.fmt(f),
+            WaitError::Frame(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
 
 /// Merges per-worker histograms and extracts a quantile (0.0–1.0) as
 /// the upper latency bound (in ns) of the bucket containing it.
@@ -665,6 +868,70 @@ mod tests {
     }
 
     #[test]
+    fn forward_rings_are_distinct_spsc_lanes() {
+        let plane = plane();
+        let a = plane.worker(0);
+        let b = plane.worker(1);
+        assert_eq!(a.workers(), 2);
+        // Every (producer, consumer) lane, plus cmd/evt, plus the first
+        // ledger cell: no two bases may alias.
+        let mut bases: Vec<u64> = [&a, &b]
+            .iter()
+            .flat_map(|w| {
+                let mut v: Vec<u64> =
+                    (0..2).map(|p| w.forward_ring(p).base).collect();
+                v.push(w.cmd_ring().base);
+                v.push(w.evt_ring().base);
+                v.push(w.ledger_cell(0));
+                v
+            })
+            .collect();
+        bases.sort_unstable();
+        bases.dedup();
+        assert_eq!(bases.len(), 10, "rings and ledger must not alias");
+
+        // A forward from 0 into 1 is visible only on 1's lane for
+        // producer 0.
+        let msg = Msg::FreeBlock { home: 0, key: 42, offset: 0xbeef00 };
+        b.forward_ring(0).push(msg).unwrap();
+        assert!(b.forward_ring(1).is_empty());
+        assert!(a.forward_ring(0).is_empty());
+        assert_eq!(b.forward_ring(0).pop().unwrap(), Some(msg));
+    }
+
+    #[test]
+    fn waits_carry_deadlines_not_spins() {
+        let plane = plane();
+        let ring = plane.worker(0).cmd_ring();
+        // Empty ring: pop_wait must give up with the typed error.
+        let err = ring.pop_wait("unit-pop", Duration::from_millis(5)).unwrap_err();
+        match err {
+            WaitError::Timeout(t) => {
+                assert_eq!(t.op, "unit-pop");
+                assert!(t.waited >= Duration::from_millis(5));
+                assert!(t.to_string().contains("unit-pop"), "{t}");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // Full ring with no consumer: push_wait must give up too.
+        for _ in 0..RING_SLOTS {
+            ring.push(Msg::Stop).unwrap();
+        }
+        let err = ring
+            .push_wait(Msg::Stop, "unit-push", Duration::from_millis(5))
+            .unwrap_err();
+        assert_eq!(err.op, "unit-push");
+        // A draining consumer unblocks the producer within the deadline.
+        ring.pop().unwrap();
+        ring.push_wait(Msg::Stop, "unit-push", Duration::from_millis(100)).unwrap();
+        // And pop_wait returns promptly when data is already there.
+        assert_eq!(
+            ring.pop_wait("unit-pop", Duration::from_secs(1)).unwrap(),
+            Msg::Stop
+        );
+    }
+
+    #[test]
     fn status_and_histogram_roundtrip() {
         let plane = plane();
         let w = plane.worker(0);
@@ -719,6 +986,13 @@ mod tests {
                 |(ops, allocs, frees, live)| Msg::Finished { ops, allocs, frees, live }
             ),
             any::<u16>().prop_map(|tid| Msg::Stolen { tid }),
+            Just(Msg::Drain),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+                |(ops, allocs, frees, live)| Msg::Drained { ops, allocs, frees, live }
+            ),
+            (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(
+                |(home, key, offset)| Msg::FreeBlock { home, key, offset }
+            ),
         ]
     }
 

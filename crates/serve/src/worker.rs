@@ -9,10 +9,25 @@
 //! the cell and the heap can disagree by at most the single in-flight
 //! operation no matter where a `kill -9` lands.
 //!
-//! Keys are partitioned per worker (each worker owns its ledger and
-//! never frees another worker's blocks), which keeps every slab's
-//! bitset single-writer and makes the end-of-run census exact.
+//! Keys are partitioned per worker by default (each worker owns its
+//! ledger and never frees another worker's blocks), which keeps every
+//! slab's bitset single-writer and makes the end-of-run census exact.
+//! In `--shared-keys` mode the Zipf-hot head of every worker's key
+//! range is *shared*: frees of those keys are forwarded over per-pair
+//! SPSC rings to a peer worker, whose `dealloc` then takes the
+//! allocator's remote-free path (batched through the durable
+//! `remote_buf` lines) — so crashes land in the middle of cross-process
+//! free traffic, which is exactly what the chaos audit must survive.
+//!
+//! A worker can also *drain*: on SIGTERM, a [`Msg::Drain`] command, or
+//! a scheduled `--drain-after-ops` boundary it finishes the current op,
+//! executes the forwarded frees already queued to it, flushes
+//! magazines and remote-free buffers, freezes its lease
+//! ([`ThreadHandle::freeze_lease`]), and exits with
+//! [`exit::DRAINED`] — leaving a heap so settled that its replacement
+//! registers fresh instead of running recovery.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use cxl_core::audit::{block_state, BlockState};
@@ -35,6 +50,9 @@ pub mod exit {
     pub const RACED: i32 = 3;
     /// A heartbeat found the lease stolen by another adopter.
     pub const STOLEN: i32 = 4;
+    /// Drained gracefully: buffers flushed, lease frozen. The slot's
+    /// traffic share needs a *fresh registration*, not an adoption.
+    pub const DRAINED: i32 = 5;
 }
 
 /// Workload spec ids carried in [`Msg::Start`].
@@ -86,6 +104,20 @@ pub struct WorkerArgs {
     pub adopt: Option<u16>,
     /// SIGKILL our own process just before completing this op count.
     pub kill_after_ops: Option<u64>,
+    /// Drain gracefully just before completing this op count (the
+    /// deterministic, ops-mode twin of SIGTERM).
+    pub drain_after_ops: Option<u64>,
+    /// SIGSTOP our own process at this op count (the deterministic
+    /// twin of a scheduler stall); the coordinator's watchdog SIGCONT
+    /// probe — or its SIGKILL escalation — is the only way forward.
+    pub stall_after_ops: Option<u64>,
+    /// Percentage (0–100) of each worker's key range that is *shared*:
+    /// frees of keys below the cut are forwarded to a peer worker so
+    /// they land as remote frees. 0 = fully partitioned (PR 6 mode).
+    pub shared_pct: u8,
+    /// Remote-free batch width passed to [`AttachOptions`]; widths > 1
+    /// buffer forwarded frees through the durable `remote_buf` lines.
+    pub remote_batch: u32,
 }
 
 impl WorkerArgs {
@@ -102,6 +134,10 @@ impl WorkerArgs {
         let mut index = None;
         let mut adopt = None;
         let mut kill_after_ops = None;
+        let mut drain_after_ops = None;
+        let mut stall_after_ops = None;
+        let mut shared_pct = 0u8;
+        let mut remote_batch = 1u32;
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let mut val = || {
@@ -115,6 +151,10 @@ impl WorkerArgs {
                 "--index" => index = Some(parse_num(flag, &val()?)?),
                 "--adopt" => adopt = Some(parse_num(flag, &val()?)?),
                 "--kill-after-ops" => kill_after_ops = Some(parse_num(flag, &val()?)?),
+                "--drain-after-ops" => drain_after_ops = Some(parse_num(flag, &val()?)?),
+                "--stall-after-ops" => stall_after_ops = Some(parse_num(flag, &val()?)?),
+                "--shared-pct" => shared_pct = parse_num(flag, &val()?)?,
+                "--remote-batch" => remote_batch = parse_num(flag, &val()?)?,
                 other => return Err(format!("unknown worker flag {other}")),
             }
         }
@@ -130,6 +170,14 @@ impl WorkerArgs {
             index: index.ok_or("--index is required")?,
             adopt,
             kill_after_ops,
+            drain_after_ops,
+            stall_after_ops,
+            shared_pct: if shared_pct > 100 {
+                return Err("--shared-pct must be 0-100".into());
+            } else {
+                shared_pct
+            },
+            remote_batch: remote_batch.max(1),
         })
     }
 
@@ -155,6 +203,22 @@ impl WorkerArgs {
             v.push("--kill-after-ops".into());
             v.push(n.to_string());
         }
+        if let Some(n) = self.drain_after_ops {
+            v.push("--drain-after-ops".into());
+            v.push(n.to_string());
+        }
+        if let Some(n) = self.stall_after_ops {
+            v.push("--stall-after-ops".into());
+            v.push(n.to_string());
+        }
+        if self.shared_pct > 0 {
+            v.push("--shared-pct".into());
+            v.push(self.shared_pct.to_string());
+        }
+        if self.remote_batch > 1 {
+            v.push("--remote-batch".into());
+            v.push(self.remote_batch.to_string());
+        }
         v
     }
 }
@@ -179,11 +243,18 @@ pub fn run(args: &WorkerArgs) -> i32 {
 
 #[cfg(unix)]
 fn run_inner(args: &WorkerArgs) -> Result<i32, String> {
+    install_sigterm_handler();
     let tail = rpc::tail_bytes(args.workers, args.ledger_cap);
     let pod = Pod::open_shared(args.config.clone(), &args.file, tail)
         .map_err(|e| format!("open_shared: {e}"))?;
-    let heap = Cxlalloc::attach(pod.spawn_process(), AttachOptions::default())
-        .map_err(|e| format!("attach: {e}"))?;
+    let heap = Cxlalloc::attach(
+        pod.spawn_process(),
+        AttachOptions {
+            remote_free_batch: args.remote_batch.max(1),
+            ..AttachOptions::default()
+        },
+    )
+    .map_err(|e| format!("attach: {e}"))?;
     let plane = ControlPlane::new(
         pod.memory().segment().clone(),
         pod.layout().total_len,
@@ -194,6 +265,7 @@ fn run_inner(args: &WorkerArgs) -> Result<i32, String> {
     let me = plane.worker(args.index);
     let evt = me.evt_ring();
     let cmd = me.cmd_ring();
+    let forwards = Forwards::new(&plane, args);
 
     // Claim the slot: register fresh, or adopt the dead incarnation.
     let handle = match args.adopt {
@@ -220,10 +292,18 @@ fn run_inner(args: &WorkerArgs) -> Result<i32, String> {
     me.set_status(status::PID, std::process::id() as u64);
     me.set_status(status::TID, handle.tid().raw() as u64);
     me.set_status(status::STATE, state::INIT);
-    evt.push(Msg::Hello { pid: std::process::id() as u64, tid: handle.tid().raw() })
-        .map_err(|_| "event ring full at hello")?;
+    if let Err(t) = evt.push_wait(
+        Msg::Hello { pid: std::process::id() as u64, tid: handle.tid().raw() },
+        "hello",
+        Duration::from_secs(5),
+    ) {
+        me.bump_status(status::TIMEOUTS, 1);
+        return Err(t.to_string());
+    }
 
     // Wait for Start (heartbeating so detectors trust us), then serve.
+    // The poll stays manual rather than a single `pop_wait` so beats
+    // interleave, but the overall wait carries the same typed deadline.
     let started = Instant::now();
     let (seed, spec, hb_every, target_ops) = loop {
         match cmd.pop().map_err(|e| format!("cmd ring: {e}"))? {
@@ -231,17 +311,29 @@ fn run_inner(args: &WorkerArgs) -> Result<i32, String> {
                 break (seed, spec, hb_every, target_ops)
             }
             Some(Msg::Stop) => {
+                let mut handle = handle;
+                drain_inbound(&mut handle, &me, &forwards)?;
                 finish(&me, &evt, &handle, 0);
                 return Ok(exit::OK);
             }
+            Some(Msg::Drain) => {
+                let mut handle = handle;
+                return drain_exit(&mut handle, &me, &evt, &forwards, 0);
+            }
             Some(other) => return Err(format!("unexpected command {other:?}")),
             None => {}
+        }
+        if DRAIN_SIGNAL.load(Ordering::Relaxed) {
+            let mut handle = handle;
+            return drain_exit(&mut handle, &me, &evt, &forwards, 0);
         }
         if let Err(code) = beat(&handle, &me, &evt) {
             return Ok(code);
         }
         if started.elapsed() > Duration::from_secs(120) {
-            return Err("timed out waiting for Start".into());
+            me.bump_status(status::TIMEOUTS, 1);
+            let t = rpc::ControlPlaneTimeout { op: "start-wait", waited: started.elapsed() };
+            return Err(t.to_string());
         }
         std::thread::sleep(Duration::from_millis(1));
     };
@@ -252,13 +344,37 @@ fn run_inner(args: &WorkerArgs) -> Result<i32, String> {
         me: &me,
         evt: &evt,
         cmd: &cmd,
+        forwards: &forwards,
         seed,
         spec,
         hb_every: hb_every.max(1),
         target_ops,
         kill_after_ops: args.kill_after_ops,
+        drain_after_ops: args.drain_after_ops,
+        stall_after_ops: args.stall_after_ops,
     })?;
     Ok(code)
+}
+
+/// Set by the SIGTERM handler; polled at op boundaries so the drain
+/// always lands between ops, never mid-allocation.
+static DRAIN_SIGNAL: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    // A relaxed store is async-signal-safe; everything else waits for
+    // the serve loop to notice.
+    DRAIN_SIGNAL.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
 }
 
 /// Detect the victim's death (ticking the lease detector) and race the
@@ -341,18 +457,173 @@ fn reconcile_ledger(
     Ok((phantoms, inherited))
 }
 
+/// The shared-key forwarding fabric, from one worker's point of view:
+/// its outbound lane into every peer and every peer's lane into it.
+///
+/// Key routing is pure arithmetic so replacements (fresh registrations
+/// and adopters alike) route identically: key `k` of home worker `h`
+/// is shared iff `k < shared_keys`, and its frees are executed by peer
+/// `(h + 1 + (k mod (workers-1))) mod workers`. Because the workload's
+/// key distribution is Zipfian with rank 0 hottest, the shared cut is
+/// exactly the Zipf-skewed *hot head* of every worker's key range.
+#[cfg(unix)]
+struct Forwards {
+    index: u32,
+    workers: u32,
+    /// Keys below this per-worker cut are shared (0 = partitioned).
+    shared_keys: u64,
+    /// `outbound[w]` = the lane into worker `w` this worker produces
+    /// into; `None` on the self diagonal.
+    outbound: Vec<Option<crate::rpc::Ring>>,
+    /// Lanes into this worker, one per producing peer.
+    inbound: Vec<crate::rpc::Ring>,
+}
+
+#[cfg(unix)]
+impl Forwards {
+    fn new(plane: &ControlPlane, args: &WorkerArgs) -> Forwards {
+        let shared_keys = if args.workers > 1 {
+            args.ledger_cap * args.shared_pct as u64 / 100
+        } else {
+            0
+        };
+        let outbound = (0..args.workers)
+            .map(|w| (w != args.index).then(|| plane.worker(w).forward_ring(args.index)))
+            .collect();
+        let inbound = (0..args.workers)
+            .filter(|p| *p != args.index)
+            .map(|p| plane.worker(args.index).forward_ring(p))
+            .collect();
+        Forwards { index: args.index, workers: args.workers, shared_keys, outbound, inbound }
+    }
+
+    /// Whether any key is shared at all.
+    fn active(&self) -> bool {
+        self.shared_keys > 0
+    }
+
+    /// The outbound lane that must execute key `k`'s free, or `None`
+    /// when the key is partitioned (freed locally).
+    fn route(&self, k: u64) -> Option<&crate::rpc::Ring> {
+        if k >= self.shared_keys {
+            return None;
+        }
+        let peer = (self.index as u64 + 1 + k % (self.workers as u64 - 1))
+            % self.workers as u64;
+        self.outbound[peer as usize].as_ref()
+    }
+}
+
+/// Executes forwarded frees queued to this worker, consuming at most
+/// `budget` entries. Each one deallocates a block whose slab belongs to
+/// the *producing* worker's thread slot, so it takes the allocator's
+/// remote-free path — buffered and batched when `--remote-batch` > 1.
+#[cfg(unix)]
+fn drain_inbound_burst(
+    handle: &mut ThreadHandle,
+    me: &WorkerPlane,
+    forwards: &Forwards,
+    mut budget: usize,
+) -> Result<(), String> {
+    for ring in &forwards.inbound {
+        loop {
+            if budget == 0 {
+                return Ok(());
+            }
+            match ring.pop().map_err(|e| format!("forward ring: {e}"))? {
+                Some(Msg::FreeBlock { offset, home, key }) => {
+                    let ptr = OffsetPtr::new(offset)
+                        .ok_or_else(|| format!("forwarded null offset (home {home} key {key})"))?;
+                    handle
+                        .dealloc(ptr)
+                        .map_err(|e| format!("forwarded dealloc (home {home} key {key}): {e}"))?;
+                    me.bump_status(status::FORWARDED, 1);
+                    budget -= 1;
+                }
+                Some(other) => return Err(format!("unexpected forward message {other:?}")),
+                None => break,
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fully drains every inbound forward lane (bounded by ring capacity —
+/// the producers may refill behind us, but each call clears what was
+/// visible, which is all a drain boundary needs).
+#[cfg(unix)]
+fn drain_inbound(
+    handle: &mut ThreadHandle,
+    me: &WorkerPlane,
+    forwards: &Forwards,
+) -> Result<(), String> {
+    drain_inbound_burst(handle, me, forwards, usize::MAX)
+}
+
+/// The graceful-drain exit path (SIGTERM / `Msg::Drain` /
+/// `--drain-after-ops`): publish the DRAINED state first so the
+/// watchdog stops expecting heartbeats, execute the forwarded frees
+/// already queued here, flush magazines + remote-free buffers + shadow
+/// ([`ThreadHandle::flush_cache`]), freeze the lease, report, and exit
+/// with the dedicated code.
+#[cfg(unix)]
+fn drain_exit(
+    handle: &mut ThreadHandle,
+    me: &WorkerPlane,
+    evt: &crate::rpc::Ring,
+    forwards: &Forwards,
+    ops: u64,
+) -> Result<i32, String> {
+    me.set_status(status::STATE, state::DRAINED);
+    drain_inbound(handle, me, forwards)?;
+    handle.flush_cache();
+    handle.freeze_lease();
+    let live = me.ledger_live().len() as u64;
+    if evt
+        .push_wait(
+            Msg::Drained {
+                ops,
+                allocs: me.status(status::ALLOCS),
+                frees: me.status(status::FREES),
+                live,
+            },
+            "drained",
+            Duration::from_secs(2),
+        )
+        .is_err()
+    {
+        // Best-effort: the coordinator also keys off the exit code.
+        me.bump_status(status::TIMEOUTS, 1);
+    }
+    Ok(exit::DRAINED)
+}
+
 #[cfg(unix)]
 struct ServeLoop<'a> {
     handle: ThreadHandle,
     me: &'a WorkerPlane,
     evt: &'a crate::rpc::Ring,
     cmd: &'a crate::rpc::Ring,
+    forwards: &'a Forwards,
     seed: u64,
     spec: u8,
     hb_every: u64,
     target_ops: u64,
     kill_after_ops: Option<u64>,
+    drain_after_ops: Option<u64>,
+    stall_after_ops: Option<u64>,
 }
+
+/// How often (in ops) a shared-keys worker sweeps its inbound forward
+/// lanes, and how many entries one sweep may consume. Consumption
+/// capacity (16 per 8 ops) comfortably exceeds the worst-case forward
+/// production rate (< 1 per producer op), so lanes never back up in
+/// steady state — the ring-full fallback in [`free_cell`] is for
+/// stalled or dead consumers only.
+#[cfg(unix)]
+const FORWARD_SWEEP_EVERY: u64 = 8;
+#[cfg(unix)]
+const FORWARD_SWEEP_BUDGET: usize = 16;
 
 #[cfg(unix)]
 fn serve(mut s: ServeLoop<'_>) -> Result<i32, String> {
@@ -366,12 +637,32 @@ fn serve(mut s: ServeLoop<'_>) -> Result<i32, String> {
             // boundary: no destructors, no flushes, no goodbyes.
             self_sigkill();
         }
+        if s.drain_after_ops == Some(ops) && !DRAIN_SIGNAL.load(Ordering::Relaxed) {
+            // The deterministic twin raises a *real* SIGTERM at the op
+            // boundary, so the drain still flows through the genuine
+            // signal-delivery path.
+            self_sigterm();
+        }
+        if DRAIN_SIGNAL.load(Ordering::Relaxed) {
+            return drain_exit(&mut s.handle, s.me, s.evt, s.forwards, ops);
+        }
+        if s.stall_after_ops == Some(ops) {
+            // The deterministic twin of a scheduler stall: stop dead at
+            // the op boundary. Only the watchdog's SIGCONT (or SIGKILL)
+            // moves us again; `ops` hasn't advanced, so after a SIGCONT
+            // revival this branch would re-fire — clear it first.
+            s.stall_after_ops = None;
+            self_sigstop();
+        }
         if s.target_ops != 0 && ops >= s.target_ops {
             break;
         }
         if ops.is_multiple_of(256) {
             match s.cmd.pop().map_err(|e| format!("cmd ring: {e}"))? {
                 Some(Msg::Stop) => break,
+                Some(Msg::Drain) => {
+                    return drain_exit(&mut s.handle, s.me, s.evt, s.forwards, ops)
+                }
                 Some(other) => return Err(format!("unexpected command {other:?}")),
                 None => {}
             }
@@ -381,13 +672,21 @@ fn serve(mut s: ServeLoop<'_>) -> Result<i32, String> {
                 return Ok(code);
             }
         }
+        if s.forwards.active() && ops.is_multiple_of(FORWARD_SWEEP_EVERY) {
+            drain_inbound_burst(&mut s.handle, s.me, s.forwards, FORWARD_SWEEP_BUDGET)?;
+        }
         let op = stream.next_op();
         let t0 = Instant::now();
-        apply_op(&mut s.handle, s.me, &op, cap)?;
+        apply_op(&mut s.handle, s.me, s.forwards, &op, cap)?;
         s.me.record_latency(t0.elapsed().as_nanos() as u64);
         ops += 1;
         s.me.set_status(status::OPS, ops);
     }
+    // Final sweep: forwarded frees already queued here are executed
+    // before the flush so their (possibly buffered) remote decrements
+    // publish. Whatever producers enqueue after this sweep is reaped by
+    // the coordinator's audit drain.
+    drain_inbound(&mut s.handle, s.me, s.forwards)?;
     finish(s.me, s.evt, &s.handle, ops);
     Ok(exit::OK)
 }
@@ -403,6 +702,7 @@ fn serve(mut s: ServeLoop<'_>) -> Result<i32, String> {
 fn apply_op(
     handle: &mut ThreadHandle,
     me: &WorkerPlane,
+    forwards: &Forwards,
     op: &KvOp,
     cap: u64,
 ) -> Result<(), String> {
@@ -417,7 +717,7 @@ fn apply_op(
         }
         KvOp::Insert { key, key_len, value_len } => {
             let k = key % cap;
-            free_cell(handle, me, k)?;
+            free_cell(handle, me, forwards, k)?;
             let size = (key_len as usize + value_len as usize).clamp(8, 64 << 10);
             let dst = OffsetPtr::new(me.ledger_cell(k)).expect("ledger cells are never offset 0");
             match handle.alloc_detectable(size, dst) {
@@ -435,18 +735,40 @@ fn apply_op(
                 Err(e) => return Err(format!("alloc: {e}")),
             }
         }
-        KvOp::Delete { key } => free_cell(handle, me, key % cap)?,
+        KvOp::Delete { key } => free_cell(handle, me, forwards, key % cap)?,
     }
     Ok(())
 }
 
+/// Frees the block backing ledger cell `k`, if any.
+///
+/// Shared keys are *forwarded*: the home worker pushes a
+/// [`Msg::FreeBlock`] to the routed peer, counts the free, and clears
+/// the cell immediately — the block itself stays allocated until the
+/// peer executes the dealloc, a gap the audit's remote-pending
+/// arithmetic accounts for. A full lane (stalled or dead peer) falls
+/// back to a local free, which is always correct — just not remote.
 #[cfg(unix)]
-fn free_cell(handle: &mut ThreadHandle, me: &WorkerPlane, k: u64) -> Result<(), String> {
-    if let Some(ptr) = OffsetPtr::new(me.ledger_get(k)) {
-        handle.dealloc(ptr).map_err(|e| format!("dealloc: {e}"))?;
-        me.bump_status(status::FREES, 1);
-        me.ledger_set(k, 0);
+fn free_cell(
+    handle: &mut ThreadHandle,
+    me: &WorkerPlane,
+    forwards: &Forwards,
+    k: u64,
+) -> Result<(), String> {
+    let Some(ptr) = OffsetPtr::new(me.ledger_get(k)) else {
+        return Ok(());
+    };
+    if let Some(lane) = forwards.route(k) {
+        let msg = Msg::FreeBlock { home: forwards.index, key: k, offset: ptr.offset() };
+        if lane.push(msg).is_ok() {
+            me.bump_status(status::FREES, 1);
+            me.ledger_set(k, 0);
+            return Ok(());
+        }
     }
+    handle.dealloc(ptr).map_err(|e| format!("dealloc: {e}"))?;
+    me.bump_status(status::FREES, 1);
+    me.ledger_set(k, 0);
     Ok(())
 }
 
@@ -470,14 +792,26 @@ fn beat(handle: &ThreadHandle, me: &WorkerPlane, evt: &crate::rpc::Ring) -> Resu
 #[cfg(unix)]
 fn finish(me: &WorkerPlane, evt: &crate::rpc::Ring, handle: &ThreadHandle, ops: u64) {
     handle.flush_cache();
+    // A finished worker never beats again; freeze the lease so no
+    // detector mistakes the silence for a crash during a long teardown.
+    handle.freeze_lease();
     let live = me.ledger_live().len() as u64;
     me.set_status(status::STATE, state::DONE);
-    let _ = evt.push(Msg::Finished {
-        ops,
-        allocs: me.status(status::ALLOCS),
-        frees: me.status(status::FREES),
-        live,
-    });
+    if evt
+        .push_wait(
+            Msg::Finished {
+                ops,
+                allocs: me.status(status::ALLOCS),
+                frees: me.status(status::FREES),
+                live,
+            },
+            "finished",
+            Duration::from_secs(2),
+        )
+        .is_err()
+    {
+        me.bump_status(status::TIMEOUTS, 1);
+    }
 }
 
 /// `kill(getpid(), SIGKILL)` — the process vanishes mid-instruction,
@@ -492,6 +826,36 @@ fn self_sigkill() -> ! {
         kill(getpid(), 9);
     }
     unreachable!("survived SIGKILL");
+}
+
+/// `kill(getpid(), SIGTERM)`, then spin until the handler's flag is
+/// visible — the deterministic drain flows through the same signal
+/// delivery as a coordinator-sent SIGTERM.
+#[cfg(unix)]
+fn self_sigterm() {
+    extern "C" {
+        fn getpid() -> i32;
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(getpid(), 15);
+    }
+    while !DRAIN_SIGNAL.load(Ordering::Relaxed) {
+        std::hint::spin_loop();
+    }
+}
+
+/// `kill(getpid(), SIGSTOP)` — the process stops dead, as if the
+/// scheduler wedged it; execution resumes here only on SIGCONT.
+#[cfg(unix)]
+fn self_sigstop() {
+    extern "C" {
+        fn getpid() -> i32;
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(getpid(), 19);
+    }
 }
 
 /// Pure replay of the ledger effect of `ops` operations: the same
@@ -525,14 +889,45 @@ mod tests {
             index: 2,
             adopt: Some(7),
             kill_after_ops: Some(1000),
+            drain_after_ops: Some(2000),
+            stall_after_ops: Some(1500),
+            shared_pct: 50,
+            remote_batch: 8,
         };
         let rendered = args.to_args();
         let parsed = WorkerArgs::parse(&rendered).unwrap();
         assert_eq!(parsed.to_args(), rendered);
         assert_eq!(parsed.adopt, Some(7));
         assert_eq!(parsed.kill_after_ops, Some(1000));
+        assert_eq!(parsed.drain_after_ops, Some(2000));
+        assert_eq!(parsed.stall_after_ops, Some(1500));
+        assert_eq!(parsed.shared_pct, 50);
+        assert_eq!(parsed.remote_batch, 8);
         assert!(WorkerArgs::parse(&["--bogus".into()]).is_err());
         assert!(WorkerArgs::parse(&[]).is_err());
+        let mut over = rendered.clone();
+        let pct = over.iter().position(|a| a == "--shared-pct").unwrap();
+        over[pct + 1] = "101".into();
+        assert!(WorkerArgs::parse(&over).is_err(), "--shared-pct caps at 100");
+    }
+
+    #[test]
+    fn shared_routing_is_deterministic_and_never_self() {
+        // Pure arithmetic mirror of Forwards::route — the property the
+        // audit relies on: stable peers, never the home worker.
+        let (workers, cap, pct) = (4u64, 256u64, 50u64);
+        let shared = cap * pct / 100;
+        for home in 0..workers {
+            for k in 0..cap {
+                if k >= shared {
+                    continue;
+                }
+                let peer = (home + 1 + k % (workers - 1)) % workers;
+                assert_ne!(peer, home, "key {k} of worker {home} routed to itself");
+                let again = (home + 1 + k % (workers - 1)) % workers;
+                assert_eq!(peer, again);
+            }
+        }
     }
 
     #[test]

@@ -69,7 +69,18 @@ fn four_workers_two_kills_zero_lost_blocks() {
     assert!(audit.phantom.is_empty(), "phantom cells: {:?}", audit.phantom);
     assert!(audit.duplicates.is_empty(), "duplicate cells: {:?}", audit.duplicates);
     assert_eq!(audit.census_live, audit.ledger_live, "census must match ledgers");
-    assert_eq!(audit.counter_delta, 0, "allocs - frees must equal live blocks");
+    // Timed kills land at arbitrary instruction boundaries, so each one
+    // may separate a heap operation from its status-counter bump (the
+    // *block* accounting stays exact — the ledger cell is published by
+    // the allocator's redo retirement, not the worker). Only op-exact
+    // --self-kill runs guarantee a zero delta; see
+    // chaos_mix_is_clean_and_replayable for that assertion.
+    assert!(
+        audit.counter_delta.unsigned_abs() <= report.kills as u64,
+        "counter delta {} exceeds the {} mid-op kills",
+        audit.counter_delta,
+        report.kills
+    );
     assert_eq!(audit.invariants, "ok");
     assert!(report.is_clean());
     assert!(report.total_ops > 0, "workers must actually serve traffic");
@@ -182,6 +193,10 @@ fn stolen_heartbeat_kills_worker_across_processes() {
         index: 0,
         adopt: None,
         kill_after_ops: None,
+        drain_after_ops: None,
+        stall_after_ops: None,
+        shared_pct: 0,
+        remote_batch: 1,
     };
     let mut child = Command::new(serve_exe())
         .arg("worker")
@@ -224,4 +239,156 @@ fn stolen_heartbeat_kills_worker_across_processes() {
     assert_eq!(stole_evt, Some(Msg::Stolen { tid: victim_tid }));
 
     let _ = std::fs::remove_file(&file);
+}
+
+/// Graceful drain: a rolling restart SIGTERMs a worker mid-run. The
+/// worker must exit `DRAINED` (no adoption, no recovery), hand its
+/// traffic share to a fresh replacement, and leave its lease *frozen*
+/// in the segment — permanently unadoptable — with the audit exact.
+#[test]
+fn sigterm_drain_freezes_lease_and_stays_clean() {
+    let args = RunArgs {
+        workers: 2,
+        secs: 3.0,
+        rolling: Some((1, 1.0)),
+        seed: 5,
+        keep_file: true,
+        ..base_args("drain")
+    };
+    let report = coordinator::run(&args).expect("run");
+
+    assert_eq!(report.kills, 0, "a drain is not a crash");
+    assert!(report.adoptions.is_empty(), "drains must not trigger adoption");
+    assert_eq!(report.drains.len(), 1, "drains: {:?}", report.drains);
+    let drain = &report.drains[0];
+    assert_eq!(drain.index, 0, "rolling starts at slot 0");
+    assert!(drain.ops > 0, "the drained incarnation must have served");
+    assert!(report.audit.is_clean(), "audit: {:?}", report.audit);
+    assert!(report.is_clean());
+
+    // Reopen the kept segment: the drained tid's lease must carry the
+    // frozen sentinel, which survives the process and the run.
+    let tail = rpc::tail_bytes(args.workers, args.ledger_cap);
+    let pod = Pod::open_shared(args.config.clone(), &args.file, tail).expect("reopen");
+    let slot = ThreadId::new(drain.tid).expect("drained tid").slot();
+    let word = pod.memory().load_u64(CoreId(0), pod.layout().lease_at(slot));
+    assert!(
+        cxlalloc::core::liveness::lease::is_frozen(word),
+        "drained lease must stay frozen, got {word:#x}"
+    );
+    drop(pod);
+    let _ = std::fs::remove_file(&args.file);
+}
+
+/// Stuck-worker steal: a worker SIGSTOPs itself at an exact op count;
+/// with a zero-probe watchdog ladder the coordinator escalates straight
+/// to SIGKILL, and exactly one replacement adopts the wedged slot.
+#[test]
+fn stalled_worker_is_stolen_after_escalation() {
+    let args = RunArgs {
+        workers: 2,
+        secs: 0.0,
+        target_ops: 2000,
+        self_stalls: vec![(0, 800)],
+        stall_ms: 400,
+        probe_grace_ms: 200,
+        max_probes: 0,
+        seed: 13,
+        ..base_args("stall")
+    };
+    let report = coordinator::run(&args).expect("run");
+
+    assert!(
+        report.stalls.iter().any(|s| s.index == 0 && s.escalated),
+        "the watchdog must escalate the wedged slot: {:?}",
+        report.stalls
+    );
+    assert_eq!(report.kills, 1, "escalation is a SIGKILL death");
+    assert_eq!(report.adoptions.len(), 1, "adoptions: {:?}", report.adoptions);
+    assert_eq!(report.adoptions[0].winners, 1);
+    assert!(report.audit.is_clean(), "audit: {:?}", report.audit);
+    assert!(report.is_clean());
+}
+
+/// Shared-key crash audit: half of every worker's keys free remotely
+/// (forwarded to peers, batched 8-wide through the durable remote
+/// buffers), and a worker SIGKILLs itself mid-stream — very likely
+/// mid-batch. The audit's remote-free credits must still balance the
+/// books to exactly zero lost and zero phantom blocks.
+#[test]
+fn shared_key_crash_mid_batch_stays_exact() {
+    let args = RunArgs {
+        workers: 4,
+        secs: 0.0,
+        target_ops: 2500,
+        shared_pct: 50,
+        remote_batch: 8,
+        self_kills: vec![(1, 900)],
+        seed: 23,
+        ..base_args("shared")
+    };
+    let report = coordinator::run(&args).expect("run");
+
+    assert_eq!(report.kills, 1);
+    assert_eq!(report.adoptions.len(), 1);
+    assert_eq!(report.adoptions[0].winners, 1);
+    assert!(report.forwarded > 0, "shared keys must actually forward frees");
+    let audit = &report.audit;
+    assert!(audit.lost.is_empty(), "lost blocks: {:?}", audit.lost);
+    assert!(audit.phantom.is_empty(), "phantom cells: {:?}", audit.phantom);
+    assert_eq!(audit.credit_excess, 0, "audit: {audit:?}");
+    assert_eq!(audit.counter_delta, 0, "audit: {audit:?}");
+    assert!(report.is_clean());
+}
+
+/// The ISSUE acceptance scenario: a seeded chaos mix of 2 kill -9s,
+/// 2 SIGSTOP stalls (revived by watchdog SIGCONT probes), and 2 SIGTERM
+/// drains over 4 workers in shared-keys mode. The run must end with a
+/// clean audit and a zero counter delta — and be byte-replayable: the
+/// same seed must reproduce the same report digest.
+#[test]
+fn chaos_mix_is_clean_and_replayable() {
+    let run_once = |tag: &str| {
+        let args = RunArgs {
+            workers: 4,
+            secs: 0.0,
+            target_ops: 2500,
+            shared_pct: 50,
+            remote_batch: 8,
+            self_kills: vec![(0, 500), (1, 900)],
+            self_drains: vec![(2, 700), (3, 1100)],
+            // Stalls land *before* the slots' kill/drain ops so every
+            // event fires; the watchdog's SIGCONT probes revive them.
+            self_stalls: vec![(0, 300), (2, 400)],
+            stall_ms: 400,
+            probe_grace_ms: 300,
+            max_probes: 3,
+            seed: 4242,
+            ..base_args(tag)
+        };
+        coordinator::run(&args).expect("run")
+    };
+    let a = run_once("chaos-a");
+
+    assert_eq!(a.kills, 2, "both self-kills must fire");
+    assert_eq!(a.drains.len(), 2, "both self-drains must fire: {:?}", a.drains);
+    assert_eq!(
+        a.stalls.iter().filter(|s| !s.escalated).count(),
+        2,
+        "both stalls must be revived by probes: {:?}",
+        a.stalls
+    );
+    assert_eq!(a.adoptions.len(), 2);
+    for adoption in &a.adoptions {
+        assert_eq!(adoption.winners, 1, "{adoption:?}");
+    }
+    assert!(a.forwarded > 0);
+    assert_eq!(a.audit.counter_delta, 0, "audit: {:?}", a.audit);
+    assert!(a.audit.is_clean(), "audit: {:?}", a.audit);
+    assert!(a.is_clean());
+
+    // Replay: the deterministic projection must match bit-for-bit.
+    let b = run_once("chaos-b");
+    assert!(b.is_clean());
+    assert_eq!(a.digest(), b.digest(), "replay diverged:\n{a:#?}\nvs\n{b:#?}");
 }
