@@ -95,6 +95,18 @@ impl AllocatorKind {
 /// small, 3/8 large, plus huge address space), optionally over a
 /// simulated-coherence backend.
 pub fn cxlalloc_pod(capacity: u64, max_threads: u32, mode: Option<HwccMode>) -> Pod {
+    cxlalloc_pod_striped(capacity, max_threads, 1, mode)
+}
+
+/// Like [`cxlalloc_pod`], with the global free list split into
+/// `stripes` per-host-stripe freelists (the host-scaling sweep's
+/// sharded configuration; 1 reproduces the legacy single-head layout).
+pub fn cxlalloc_pod_striped(
+    capacity: u64,
+    max_threads: u32,
+    stripes: u32,
+    mode: Option<HwccMode>,
+) -> Pod {
     let config = PodConfig {
         max_threads: max_threads.max(8),
         small_max_slabs: ((capacity / 2) / (32 << 10)).clamp(64, 1 << 20) as u32,
@@ -104,6 +116,7 @@ pub fn cxlalloc_pod(capacity: u64, max_threads: u32, mode: Option<HwccMode>) -> 
         huge_descs_per_thread: 512,
         hazards_per_thread: 64,
         max_segment_bytes: 256 << 30,
+        global_stripes: stripes,
     };
     match mode {
         None => Pod::new(config).expect("pod"),
@@ -133,6 +146,7 @@ pub fn cxlalloc_pod_with_mode(
         huge_descs_per_thread: 512,
         hazards_per_thread: 64,
         max_segment_bytes: 256 << 30,
+        global_stripes: 1,
     };
     let mut model = LatencyModel::paper_calibrated();
     if local_dram {
@@ -168,6 +182,7 @@ pub fn huge_pod(huge_capacity: u64, max_threads: u32) -> Pod {
         huge_descs_per_thread: 256,
         hazards_per_thread: 128,
         max_segment_bytes: 1 << 40,
+        global_stripes: 1,
     };
     Pod::new(config).expect("huge pod")
 }

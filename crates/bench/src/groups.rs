@@ -6,7 +6,7 @@
 //! additionally post-processes the [`criterion::BenchRecord`]s into
 //! `BENCH_hotpath.json`.
 
-use crate::allocators::cxlalloc_pod;
+use crate::allocators::{cxlalloc_pod, cxlalloc_pod_striped};
 use baselines::{CxlallocAdapter, PodAlloc, PodAllocThread};
 use criterion::{Criterion, Throughput};
 use cxl_core::cell::Detect;
@@ -476,6 +476,242 @@ pub fn bench_workloads(c: &mut Criterion) {
     });
     let mut stream = OpStream::new(WorkloadSpec::mc12(), StdRng::seed_from_u64(2));
     group.bench_function("mc12_next_op", |b| b.iter(|| stream.next_op()));
+    group.finish();
+}
+
+/// Blocks per host per round of the remote-free host-scaling kernel:
+/// one full small slab, so every round cycles each host's slab through
+/// remote-free counters, slab stealing, and the global free list.
+const HOST_SCALING_BLOCKS: usize = 512;
+
+/// Insert/replace ops per host per round of the kvstore host-scaling
+/// kernel.
+const HOST_SCALING_KV_OPS: usize = 256;
+
+/// Stripe count of the sharded configuration (one stripe per possible
+/// host at the sweep's widest point).
+const HOST_SCALING_STRIPES: u32 = 64;
+
+/// The two swept configurations: the unsharded baseline (single global
+/// free-list head, the paper's eager §3.2.1 publish protocol) vs the
+/// sharded heap (64 per-host-stripe freelists) with batched publishes
+/// and contention-adaptive flat combining on top.
+fn host_scaling_variants() -> [(&'static str, u32, AttachOptions); 2] {
+    // `unsized_limit: 0` on both sides: every emptied slab overflows to
+    // the global free list instead of parking on the thread-local
+    // unsized list, so the sweep actually exercises the stripe layer
+    // rather than the local cache in front of it.
+    [
+        (
+            "unsharded",
+            1,
+            AttachOptions {
+                unsized_limit: 0,
+                ..AttachOptions::default()
+            },
+        ),
+        (
+            "sharded",
+            HOST_SCALING_STRIPES,
+            AttachOptions {
+                unsized_limit: 0,
+                remote_free_batch: 64,
+                magazine_capacity: 32,
+                coalesce_fences: true,
+                combining: true,
+                ..AttachOptions::default()
+            },
+        ),
+    ]
+}
+
+/// One round of the remote-free host-scaling kernel: every host
+/// allocates a slab's worth of 64B blocks and scatters them round-robin
+/// over its peers, then every host frees what it received. With more
+/// than one host every free is a remote free (a publish CAS into the
+/// owner slab's counter line, touched by every peer core in turn), and
+/// every emptied slab is stolen and crosses the global free list.
+fn host_scaling_round(
+    team: &mut [cxl_core::ThreadHandle],
+    routed: &mut [Vec<cxl_core::OffsetPtr>],
+    per_host: usize,
+) {
+    let hosts = team.len();
+    for (i, t) in team.iter_mut().enumerate() {
+        for j in 0..per_host {
+            let p = t.alloc(64).unwrap();
+            let dst = if hosts == 1 { 0 } else { (i + 1 + j % (hosts - 1)) % hosts };
+            routed[dst].push(p);
+        }
+    }
+    for (t, received) in team.iter_mut().zip(routed.iter_mut()) {
+        for p in received.drain(..) {
+            t.dealloc(p).unwrap();
+        }
+    }
+}
+
+/// Latest virtual time across every simulated core — the sweep's
+/// makespan clock. The wall clock of a round-robin driver charges a
+/// 357 ns line fill and a 4 ns cache hit the same bookkeeping cost, so
+/// host-scaling throughput is read from the substrate's modeled time
+/// (per-core clocks, with contended CAS lines serialized through the
+/// per-line resource clocks), not from wall time.
+fn sim_now_ns(mem: &dyn cxl_pod::PodMemory) -> u64 {
+    let sim = mem
+        .as_any()
+        .downcast_ref::<cxl_pod::SimMemory>()
+        .expect("host-scaling sweep runs on the simulated substrate");
+    let clocks = sim.clocks();
+    (0..clocks.len()).map(|c| clocks.now(c)).max().unwrap_or(0)
+}
+
+/// Attaches the sweep's per-point counters (modeled ns/op, CAS retries
+/// with per-site attribution, line-contention traffic, combining
+/// activity) to the record just produced, normalized per block op /
+/// per 1k block ops.
+fn annotate_host_scaling(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    delta: &cxl_pod::stats::MemStatsSnapshot,
+    sim_ns: u64,
+    ops: u64,
+) {
+    let per_kop = |n: u64| n as f64 * 1000.0 / ops.max(1) as f64;
+    group.annotate_last("sim_ns_per_op", sim_ns as f64 / ops.max(1) as f64);
+    group.annotate_last("cas_retries_per_kop", per_kop(delta.cas_retries));
+    group.annotate_last(
+        "pop_global_retries_per_kop",
+        per_kop(delta.cas_retries_pop_global),
+    );
+    group.annotate_last(
+        "publish_retries_per_kop",
+        per_kop(delta.cas_retries_remote_publish),
+    );
+    group.annotate_last(
+        "line_transfers_per_kop",
+        per_kop(delta.line_fills + delta.writebacks),
+    );
+    group.annotate_last("comb_wins_per_kop", per_kop(delta.comb_wins));
+}
+
+/// Host-scaling sweep (PR 8): 1–64 simulated hosts over the remote-free
+/// and kvstore paths, unsharded vs sharded+combining. Hosts are
+/// registered handles on distinct simulated cores driven round-robin on
+/// one OS thread over the `HwccMode::Limited` substrate: on the
+/// wall-clock backend a CI box's scheduler would drown the coherence
+/// signal, while here every cross-host line transfer and publish CAS is
+/// real measured work and also shows up in the `MemStats` counters
+/// attached to each record.
+pub fn bench_host_scaling(c: &mut Criterion) {
+    host_scaling_sweep(c, &[1, 2, 4, 8, 16, 32, 64], true);
+}
+
+/// CI smoke variant of [`bench_host_scaling`]: just the 1- and 32-host
+/// endpoints of the remote-free sweep — the points the
+/// `bench-snapshot --check` scaling gate reads.
+pub fn bench_host_scaling_smoke(c: &mut Criterion) {
+    host_scaling_sweep(c, &[1, 32], false);
+}
+
+fn host_scaling_sweep(c: &mut Criterion, host_counts: &[u32], with_kvstore: bool) {
+    use cxl_core::{Cxlalloc, OffsetPtr, ThreadHandle};
+    use kvstore::KvStore;
+
+    let mut group = c.benchmark_group("host_scaling");
+    for &hosts in host_counts {
+        for (variant, stripes, options) in host_scaling_variants() {
+            let pod = cxlalloc_pod_striped(64 << 20, 80, stripes, Some(HwccMode::Limited));
+            let mem = pod.memory().clone();
+            let heap = Cxlalloc::attach(pod.spawn_process(), options).unwrap();
+            let mut team: Vec<ThreadHandle> =
+                (0..hosts).map(|_| heap.register_thread().unwrap()).collect();
+            if stripes > 1 && hosts > 2 {
+                // The governor engages combining from the observed CAS
+                // retry rate, but a round-robin schedule on one OS
+                // thread never loses a CAS, so the sweep pins the
+                // combiner at the boost the governor would converge to
+                // under real multi-host contention (DESIGN.md §13).
+                for t in &team {
+                    t.force_combining(4);
+                }
+            }
+            let mut routed: Vec<Vec<OffsetPtr>> = (0..hosts)
+                .map(|_| Vec::with_capacity(2 * HOST_SCALING_BLOCKS))
+                .collect();
+            let mut rounds = 0u64;
+            group.throughput(Throughput::Elements(
+                hosts as u64 * HOST_SCALING_BLOCKS as u64,
+            ));
+            let before = mem.stats();
+            let sim_before = sim_now_ns(mem.as_ref());
+            group.bench_function(format!("remote_free_h{hosts}_{variant}"), |b| {
+                b.iter(|| {
+                    host_scaling_round(&mut team, &mut routed, HOST_SCALING_BLOCKS);
+                    rounds += 1;
+                })
+            });
+            let delta = mem.stats().since(&before);
+            annotate_host_scaling(
+                &mut group,
+                &delta,
+                sim_now_ns(mem.as_ref()) - sim_before,
+                rounds * hosts as u64 * HOST_SCALING_BLOCKS as u64,
+            );
+        }
+    }
+
+    if with_kvstore {
+        // The same sweep at the kvstore layer: hosts share one key
+        // space, so each replace retires a value some *other* host
+        // allocated and the EBR-deferred free follows the remote-free
+        // path; allocator-side contention is diluted by the (DRAM-side)
+        // table walk, which is the point of measuring it separately.
+        const KV_KEYS: u64 = 4096;
+        for &hosts in host_counts {
+            for (variant, stripes, options) in host_scaling_variants() {
+                let pod = cxlalloc_pod_striped(64 << 20, 80, stripes, Some(HwccMode::Limited));
+                let mem = pod.memory().clone();
+                let alloc = CxlallocAdapter::new(pod, 1, options);
+                let store = KvStore::new(1 << 12, hosts as usize + 1);
+                let mut workers: Vec<_> = (0..hosts)
+                    .map(|_| store.worker(alloc.thread().unwrap()))
+                    .collect();
+                for key in 0..KV_KEYS {
+                    workers[0].insert(key, 8, 64).unwrap();
+                }
+                let mut cursor = 0u64;
+                let mut rounds = 0u64;
+                group.throughput(Throughput::Elements(
+                    hosts as u64 * HOST_SCALING_KV_OPS as u64,
+                ));
+                let before = mem.stats();
+                let sim_before = sim_now_ns(mem.as_ref());
+                group.bench_function(format!("kvstore_h{hosts}_{variant}"), |b| {
+                    b.iter(|| {
+                        for (i, w) in workers.iter_mut().enumerate() {
+                            for _ in 0..HOST_SCALING_KV_OPS {
+                                cursor = cursor.wrapping_add(1);
+                                let key = cursor
+                                    .wrapping_mul(2654435761)
+                                    .wrapping_add(i as u64 * 97)
+                                    % KV_KEYS;
+                                w.insert(key, 8, 64).unwrap();
+                            }
+                            w.drain_retired();
+                        }
+                        rounds += 1;
+                    })
+                });
+                let delta = mem.stats().since(&before);
+                annotate_host_scaling(
+                    &mut group,
+                    &delta,
+                    sim_now_ns(mem.as_ref()) - sim_before,
+                    rounds * hosts as u64 * HOST_SCALING_KV_OPS as u64,
+                );
+            }
+        }
+    }
     group.finish();
 }
 

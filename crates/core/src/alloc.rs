@@ -77,7 +77,7 @@ fn registry_cas(
         match mem.cas_u64(core, offset, current, new) {
             Ok(_) => return Ok(()),
             Err(actual) if actual == current => {
-                mem.note_cas_retry();
+                mem.note_cas_retry_at(cxl_pod::stats::CasRetrySite::Lease);
                 mem.trace_op(core, TraceKind::CasRetry, offset);
                 match backoff.step() {
                     Some(spins) => Backoff::pause(spins),
@@ -134,6 +134,16 @@ pub struct AttachOptions {
     /// durable log then names the last *completed* op, whose redo is
     /// idempotent (DESIGN.md §9.3).
     pub coalesce_fences: bool,
+    /// Permit contention-adaptive flat-combining of remote-free
+    /// publications (DESIGN.md §13): when the per-thread governor
+    /// observes a high CAS-retry rate on the publish path, batched
+    /// publishes are posted to the thread's combiner-request word and
+    /// merged by a claim winner into one detectable CAS, and the
+    /// effective batch width widens beyond `remote_free_batch`. Quiet
+    /// threads keep the direct path, so uncontended latency is
+    /// unchanged. Requires `recoverable` (the request words are
+    /// resolved by crash recovery); ignored otherwise.
+    pub combining: bool,
 }
 
 impl Default for AttachOptions {
@@ -144,6 +154,7 @@ impl Default for AttachOptions {
             remote_free_batch: 1,
             magazine_capacity: 0,
             coalesce_fences: false,
+            combining: false,
         }
     }
 }
@@ -276,7 +287,7 @@ impl Cxlalloc {
     }
 
     fn ctx(&self, tid: ThreadId, core: CoreId) -> Ctx<'_> {
-        self.ctx_with(tid, core, None, None, None)
+        self.ctx_with(tid, core, None, None, None, None)
     }
 
     fn ctx_with<'a>(
@@ -286,7 +297,9 @@ impl Cxlalloc {
         shadow: Option<&'a DescShadow>,
         remote: Option<&'a RemoteFreeBuffer>,
         magazines: Option<&'a Magazines>,
+        comb: Option<&'a crate::comb::Combiner>,
     ) -> Ctx<'a> {
+        let configured_batch = self.inner.options.remote_free_batch.clamp(1, 255);
         Ctx {
             mem: self.mem(),
             core,
@@ -296,8 +309,12 @@ impl Cxlalloc {
             recoverable: self.inner.options.recoverable,
             shadow,
             remote,
-            remote_free_batch: self.inner.options.remote_free_batch.clamp(1, 255),
+            // The governor may widen the configured batch while the
+            // publish path is contended (narrowing again when quiet).
+            remote_free_batch: comb
+                .map_or(configured_batch, |c| c.effective_batch(configured_batch)),
             magazines,
+            comb,
             coalesce_fences: self.inner.options.coalesce_fences,
         }
     }
@@ -356,6 +373,9 @@ impl Cxlalloc {
             shadow: DescShadow::new(mem.hwcc_mode()),
             remote: RemoteFreeBuffer::new(),
             magazines: Magazines::new(self.inner.options.magazine_capacity),
+            comb: crate::comb::Combiner::new(
+                self.inner.options.combining && self.inner.options.recoverable,
+            ),
         }
     }
 
@@ -570,7 +590,7 @@ impl Cxlalloc {
                         registry::ADOPTING,
                         "slot {tid} changed under its adopter"
                     );
-                    mem.note_cas_retry();
+                    mem.note_cas_retry_at(cxl_pod::stats::CasRetrySite::Fallback);
                     mem.trace_op(via, TraceKind::CasRetry, off);
                     Backoff::pause(backoff.step_saturating());
                 }
@@ -666,6 +686,9 @@ pub struct ThreadHandle {
     /// Volatile per-class magazines of recently freed local blocks.
     /// Inert unless `AttachOptions::magazine_capacity > 0`.
     magazines: Magazines,
+    /// Flat-combining governor and request-word mirror. Inert unless
+    /// `AttachOptions::combining` is set.
+    comb: crate::comb::Combiner,
 }
 
 impl ThreadHandle {
@@ -691,6 +714,7 @@ impl ThreadHandle {
             Some(&self.shadow),
             Some(&self.remote),
             Some(&self.magazines),
+            Some(&self.comb),
         )
     }
 
@@ -729,6 +753,7 @@ impl ThreadHandle {
             Some(&self.shadow),
             Some(&self.remote),
             Some(&self.magazines),
+            Some(&self.comb),
         );
         let result = if size <= inner.small.classes.max_size() as usize {
             inner.small.alloc(&ctx, size, dst)
@@ -765,6 +790,7 @@ impl ThreadHandle {
             Some(&self.shadow),
             Some(&self.remote),
             Some(&self.magazines),
+            Some(&self.comb),
         );
         let result = if layout.small.data.contains(offset) {
             inner.small.dealloc(&ctx, offset)
@@ -873,6 +899,7 @@ impl ThreadHandle {
             Some(&self.shadow),
             Some(&self.remote),
             Some(&self.magazines),
+            Some(&self.comb),
         );
         self.heap.inner.huge.cleanup(&ctx, &mut self.huge)
     }
@@ -919,6 +946,15 @@ impl ThreadHandle {
     /// Huge-heap volatile state (inspection for tests).
     pub fn huge_state(&self) -> &HugeThread {
         &self.huge
+    }
+
+    /// Pins this thread's flat-combining governor: `boost > 0` engages
+    /// combining at that batch boost, `0` disengages. A deterministic
+    /// knob for tests and benchmarks; requires
+    /// [`AttachOptions::combining`] (ignored otherwise). The governor
+    /// keeps adapting from subsequent retry-rate windows as usual.
+    pub fn force_combining(&self, boost: u32) {
+        self.comb.force(boost);
     }
 }
 

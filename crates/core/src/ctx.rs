@@ -37,6 +37,9 @@ pub(crate) struct Ctx<'m> {
     /// The calling thread's free-block magazines (`None` for
     /// foreign-thread contexts).
     pub magazines: Option<&'m Magazines>,
+    /// The calling thread's flat-combining state (`None` for
+    /// foreign-thread contexts, which always publish directly).
+    pub comb: Option<&'m crate::comb::Combiner>,
     /// Whether log clears may defer their durability to the next
     /// operation's `begin` flush (fence coalescing).
     pub coalesce_fences: bool,

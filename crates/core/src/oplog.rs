@@ -100,7 +100,11 @@ impl<'m> OpLog<'m> {
                 .store_u64(core, layout.log_aux_at(self.slot, i as u32 + 2), value);
         }
         self.mem.store_u64(core, self.word_off(), word.pack());
-        self.mem.flush(core, self.word_off(), 64);
+        // clwb, not clflush: the log line is single-writer and the very
+        // next operation rewrites it, so durability must not cost the
+        // owner a refill (the version counter on the same line is read
+        // again by the next `bump_version`).
+        self.mem.writeback(core, self.word_off(), 64);
         self.mem.fence(core);
     }
 
@@ -110,7 +114,7 @@ impl<'m> OpLog<'m> {
             return;
         }
         self.mem.store_u64(core, self.word_off(), LogWord::IDLE.pack());
-        self.mem.flush(core, self.word_off(), 8);
+        self.mem.writeback(core, self.word_off(), 8);
         self.mem.fence(core);
     }
 

@@ -54,6 +54,13 @@ pub enum Op {
     /// Remote free reaching zero (steal): `a` = slab, `b` = batch
     /// width as above, `c` = version.
     RemoteFreeLast = 8,
+    /// Flat-combined remote free (not reaching zero): `a` = slab, `b` =
+    /// combined batch width, `c` = version, aux0 = the claimed
+    /// combiner-request slots packed as four 16-bit `slot + 1` fields.
+    RemoteFreeComb = 9,
+    /// Flat-combined remote free reaching zero (steal): fields as
+    /// [`Op::RemoteFreeComb`].
+    RemoteFreeCombLast = 10,
     /// Huge allocation: aux = `[desc_off, data_off, size]`.
     HugeAlloc = 13,
     /// Huge free: aux = `[desc_off]`.
@@ -93,6 +100,8 @@ impl Op {
             6 => Op::FreeLocal,
             7 => Op::RemoteFree,
             8 => Op::RemoteFreeLast,
+            9 => Op::RemoteFreeComb,
+            10 => Op::RemoteFreeCombLast,
             13 => Op::HugeAlloc,
             14 => Op::HugeFree,
             15 => Op::HugeClaim,
@@ -148,27 +157,45 @@ pub(crate) fn recover(ctx: &Ctx<'_>) -> RecoveryReport {
     sanitize_slab_lists(ctx, &SlabHeap::large());
     let log = ctx.log();
     let entry = log.read(ctx.core);
+    // The durable-buffer scan must skip batches another durable
+    // representation already covers, evaluated *before* any redo
+    // mutates that state:
+    //
+    // * The dead thread's own combiner-request word, when non-EMPTY,
+    //   names a batch that superseded the slab's `remote_buf` word (the
+    //   post precedes the durable clear; a crash in between leaves
+    //   both). The request word wins; the scan must not double-publish.
+    // * A `RemoteFree*` record whose CAS never landed is applied by the
+    //   logged redo. The detect must run before the redo reruns the CAS
+    //   with a newer version (which makes the logged version
+    //   undetectable).
+    let mut scan_skips: Vec<(HeapKind, u32)> = Vec::new();
+    if ctx.recoverable {
+        let own = crate::comb::read_word(ctx.mem, ctx.tid.slot());
+        if crate::comb::state_nonempty(own) {
+            if let Some(kind) = crate::comb::kind_of(own) {
+                scan_skips.push((kind, crate::comb::slab_of(own)));
+            }
+        }
+    }
     let Some((op, kind)) = Op::decode(entry.word.op) else {
         log.clear(ctx.core);
-        republish_remote_buffer(ctx, None);
+        resolve_combiner_claims(ctx);
+        republish_remote_buffer(ctx, &scan_skips);
         flush_thread_lines(ctx);
         return RecoveryReport::clean("unknown op cleared");
     };
     if op == Op::Idle {
-        republish_remote_buffer(ctx, None);
+        resolve_combiner_claims(ctx);
+        republish_remote_buffer(ctx, &scan_skips);
         flush_thread_lines(ctx);
         return RecoveryReport::clean("idle");
     }
-    // The durable-buffer scan must skip the one batch the logged redo
-    // already applies: a `RemoteFree*` record whose CAS never landed.
-    // Evaluate the detect *before* the redo reruns the CAS with a newer
-    // version (which makes the logged version undetectable).
-    let mut scan_skip = None;
     if matches!(op, Op::RemoteFree | Op::RemoteFreeLast) && kind != HeapKind::Huge {
         let heap = SlabHeap::of(kind);
         let cell = heap.hl(ctx.mem).hwcc_desc_at(entry.word.a);
         if !ctx.dcas().detect(ctx.core, cell, ctx.tid, entry.word.c) {
-            scan_skip = Some((kind, entry.word.a));
+            scan_skips.push((kind, entry.word.a));
         }
     }
     let mut report = RecoveryReport {
@@ -187,11 +214,14 @@ pub(crate) fn recover(ctx: &Ctx<'_>) -> RecoveryReport {
         }
         HeapKind::Huge => recover_huge(ctx, op, &entry, &mut report),
     }
-    // Republish batched remote frees the dead thread had buffered but
-    // not yet published (this runs its own logged publishes, so it must
+    // Resolve combiner-request words the logged redo did not cover
+    // (unlogged claims, posted-but-unclaimed batches), then republish
+    // batched remote frees the dead thread had buffered but not yet
+    // published. Both run their own logged publishes, so they must
     // precede the final log clear only in program order — each publish
-    // leaves the log idle again).
-    republish_remote_buffer(ctx, scan_skip);
+    // leaves the log idle again.
+    resolve_combiner_claims(ctx);
+    republish_remote_buffer(ctx, &scan_skips);
     log.clear(ctx.core);
     // Everything recovery wrote must be durable before the slot is
     // reused: flush the thread's local-head lines.
@@ -199,14 +229,76 @@ pub(crate) fn recover(ctx: &Ctx<'_>) -> RecoveryReport {
     report
 }
 
+/// Resolves the flat-combining protocol's durable request words after a
+/// crash (idempotent; a re-run recovery finds released words and does
+/// nothing):
+///
+/// * The dead thread's **own word** still POSTED: no winner claimed the
+///   batch. Atomically take it back (CAS, because a live winner may
+///   claim concurrently) and publish it directly.
+/// * Own word CLAIMED **by the dead thread itself**: it won its own
+///   claim but crashed before logging the combined publish (a logged
+///   publish releases the word in its redo arm). Publish directly.
+/// * Own word CLAIMED by **another** thread: the batch is in that
+///   winner's custody — leave it; the winner (or its recovery) both
+///   publishes and DONE-marks it.
+/// * Own word DONE: already published by its winner; just release it.
+/// * **Another slot's word** CLAIMED by the dead thread without a
+///   logged combined record: the dead thread took custody but the
+///   combined CAS demonstrably never happened (a logged one is redone
+///   and released by [`recover_slab`] before this scan). Publish the
+///   contributor's batch directly and DONE-mark their word so their
+///   wait loop completes.
+fn resolve_combiner_claims(ctx: &Ctx<'_>) {
+    use crate::comb;
+    if !ctx.recoverable {
+        return;
+    }
+    let me = ctx.tid.slot();
+    let me_raw = ctx.tid.raw();
+    let own = comb::read_word(ctx.mem, me);
+    if comb::is_posted(own) {
+        // A live winner may race this take-back; the CAS arbitrates.
+        if comb::take_posted(ctx.mem, me, own) {
+            if let Some(kind) = comb::kind_of(own) {
+                SlabHeap::of(kind).publish_remote_frees(ctx, comb::slab_of(own), comb::k_of(own));
+            }
+        }
+    } else if comb::is_claimed_by(own, me_raw) {
+        if let Some(kind) = comb::kind_of(own) {
+            SlabHeap::of(kind).publish_remote_frees(ctx, comb::slab_of(own), comb::k_of(own));
+        }
+        comb::write_word(ctx.mem, me, comb::EMPTY_WORD);
+    } else if comb::state(own) == comb::DONE_STATE {
+        comb::write_word(ctx.mem, me, comb::EMPTY_WORD);
+    }
+    for slot in 0..ctx.mem.layout().max_threads {
+        if slot == me {
+            continue;
+        }
+        let w = comb::read_word(ctx.mem, slot);
+        if !comb::is_claimed_by(w, me_raw) {
+            continue;
+        }
+        if let Some(kind) = comb::kind_of(w) {
+            SlabHeap::of(kind).publish_remote_frees(ctx, comb::slab_of(w), comb::k_of(w));
+        }
+        // Only the claim winner writes a CLAIMED word, and the winner is
+        // dead: a plain DONE-mark store cannot race the contributor's
+        // read-only wait loop.
+        comb::write_word(ctx.mem, slot, comb::done_word(w, me_raw));
+    }
+}
+
 /// Scans the dead thread's durable remote-free header line and
 /// republishes every batch whose decrement never reached its HWcc
-/// counter. `skip` names the batch covered by the thread's logged
-/// `RemoteFree*` redo: its word is cleared without republishing (the
-/// redo already applied the decrement; publishing again would
-/// double-decrement the counter). Closes the pre-PR-5
-/// `SLOTS × (batch − 1)` leak of buffered-but-unpublished frees.
-fn republish_remote_buffer(ctx: &Ctx<'_>, skip: Option<(HeapKind, u32)>) {
+/// counter. `skips` names batches another durable representation
+/// already covers — the thread's logged `RemoteFree*` redo, or its own
+/// combiner-request word: those words are cleared without republishing
+/// (publishing again would double-decrement the counter). Closes the
+/// pre-PR-5 `SLOTS × (batch − 1)` leak of buffered-but-unpublished
+/// frees.
+fn republish_remote_buffer(ctx: &Ctx<'_>, skips: &[(HeapKind, u32)]) {
     use crate::remote::durable;
     if !ctx.recoverable {
         return;
@@ -223,7 +315,7 @@ fn republish_remote_buffer(ctx: &Ctx<'_>, skip: Option<(HeapKind, u32)>) {
         let Some((kind, slab, pending)) = durable::unpack(word) else {
             continue;
         };
-        if skip == Some((kind, slab)) || pending == 0 {
+        if skips.contains(&(kind, slab)) || pending == 0 {
             durable::clear_word(ctx, off);
             continue;
         }
@@ -384,7 +476,11 @@ fn recover_slab(
             }
         }
         Op::PopGlobal => {
-            if dcas.detect(ctx.core, hl.global_free, ctx.tid, version) {
+            // The stripe the crashed CAS targeted travels in `b`; the
+            // modulo tolerates a record written under a different
+            // stripe count (impossible within one pod, but cheap).
+            let head = hl.global_free_at(entry.word.b as u32 % hl.global_stripes);
+            if dcas.detect(ctx.core, head, ctx.tid, version) {
                 refresh_slab_view(ctx, heap, slab);
                 park_orphan(ctx, heap, slab);
                 report.outcome = "pop completed; slab parked on unsized list";
@@ -394,7 +490,8 @@ fn recover_slab(
         }
         Op::PushGlobal => {
             refresh_slab_view(ctx, heap, slab);
-            if dcas.detect(ctx.core, hl.global_free, ctx.tid, version) {
+            let head = hl.global_free_at(entry.word.b as u32 % hl.global_stripes);
+            if dcas.detect(ctx.core, head, ctx.tid, version) {
                 // The slab is on the global list; it must not also be on
                 // any of our private lists (the pop precedes the CAS,
                 // but be defensive — and a stale sized-list link from a
@@ -476,7 +573,55 @@ fn recover_slab(
                 report.outcome = "remote free redone";
             }
         }
+        Op::RemoteFreeComb | Op::RemoteFreeCombLast => {
+            let cell = hl.hwcc_desc_at(slab);
+            if dcas.detect(ctx.core, cell, ctx.tid, version) {
+                if op == Op::RemoteFreeCombLast {
+                    refresh_slab_view(ctx, heap, slab);
+                    if !heap.contains_local(ctx, heap.unsized_head_off(ctx), slab) {
+                        heap.steal(ctx, slab);
+                    }
+                    heap.flush_desc(ctx, slab);
+                }
+                report.outcome = "combined remote free completed";
+            } else {
+                // The combined decrement never landed: redo it by the
+                // logged combined width (steals internally on last).
+                redo_remote_free(ctx, heap, slab, (entry.word.b as u32).max(1));
+                report.outcome = "combined remote free redone";
+            }
+            // Either way the logged batch is fully applied: release
+            // every contributor word the record claimed (DONE-mark
+            // theirs, clear our own) so no later scan republishes them.
+            release_logged_claims(ctx, entry.aux[0]);
+        }
         _ => unreachable!("huge ops dispatched separately"),
+    }
+}
+
+/// Releases the combiner-request words a redone `RemoteFreeComb*`
+/// record claimed: `packed` holds up to four 16-bit `slot + 1` fields
+/// (0 = unused). Idempotent — a word that is no longer CLAIMED by the
+/// dead thread (a previous recovery pass already released it, or the
+/// contributor reclaimed theirs) is left alone.
+fn release_logged_claims(ctx: &Ctx<'_>, packed: u64) {
+    use crate::comb;
+    let me = ctx.tid.slot();
+    let me_raw = ctx.tid.raw();
+    for i in 0..comb::MAX_CLAIM {
+        let field = (packed >> (i * 16)) & 0xFFFF;
+        let Some(slot) = (field as u32).checked_sub(1) else {
+            continue;
+        };
+        let w = comb::read_word(ctx.mem, slot);
+        if !comb::is_claimed_by(w, me_raw) {
+            continue;
+        }
+        if slot == me {
+            comb::write_word(ctx.mem, slot, comb::EMPTY_WORD);
+        } else {
+            comb::write_word(ctx.mem, slot, comb::done_word(w, me_raw));
+        }
     }
 }
 
@@ -655,6 +800,8 @@ mod tests {
             Op::FreeLocal,
             Op::RemoteFree,
             Op::RemoteFreeLast,
+            Op::RemoteFreeComb,
+            Op::RemoteFreeCombLast,
         ] {
             for kind in [HeapKind::Small, HeapKind::Large] {
                 let raw = op.encode(kind);

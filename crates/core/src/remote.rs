@@ -223,7 +223,11 @@ pub(crate) mod durable {
     pub(crate) fn record(ctx: &Ctx<'_>, kind: HeapKind, slab: u32, pending: u32) {
         let off = slot_for(ctx, key_of(kind, slab));
         ctx.mem.store_u64(ctx.core, off, pack(kind, slab, pending));
-        ctx.mem.flush(ctx.core, off, 8);
+        // clwb: this is the thread's own durable line, rewritten on
+        // every buffered free — retaining it keeps `slot_for`'s scan of
+        // the line's words hitting in cache. Recovery (the only other
+        // reader) flushes its own copy before reading.
+        ctx.mem.writeback(ctx.core, off, 8);
         ctx.mem.fence(ctx.core);
     }
 
@@ -243,7 +247,7 @@ pub(crate) mod durable {
     /// Durably zeroes the word at `off`.
     pub(crate) fn clear_word(ctx: &Ctx<'_>, off: u64) {
         ctx.mem.store_u64(ctx.core, off, 0);
-        ctx.mem.flush(ctx.core, off, 8);
+        ctx.mem.writeback(ctx.core, off, 8);
         ctx.mem.fence(ctx.core);
     }
 

@@ -360,13 +360,39 @@ impl SlabHeap {
         }
     }
 
-    /// Pops a slab from the global free list (paper §3.2.2's
-    /// flush-before-load discipline on `next`).
+    /// The stripe of the global free list `ctx.tid` homes to. Stripe 0
+    /// is the legacy head cell; the rest live in their own cachelines
+    /// at the segment tail, so threads on different stripes never
+    /// contend on the same line.
+    pub(crate) fn home_stripe(&self, ctx: &Ctx<'_>) -> u32 {
+        ctx.tid.slot() % self.hl(ctx.mem).global_stripes
+    }
+
+    /// Pops a slab from the striped global free list: the home stripe
+    /// first, then deterministic round-robin work-stealing over the
+    /// remaining stripes when the home stripe is empty.
     fn pop_global(&self, ctx: &Ctx<'_>) -> Option<u32> {
+        let stripes = self.hl(ctx.mem).global_stripes;
+        let home = self.home_stripe(ctx);
+        for probe in 0..stripes {
+            let stripe = (home + probe) % stripes;
+            if let Some(slab) = self.pop_global_stripe(ctx, stripe) {
+                return Some(slab);
+            }
+        }
+        None
+    }
+
+    /// Pops from one stripe's head cell (paper §3.2.2's
+    /// flush-before-load discipline on `next`). Returns `None` when the
+    /// stripe is empty; CAS contention retries the *same* stripe — the
+    /// head changed, so it is non-empty and progress is someone's.
+    fn pop_global_stripe(&self, ctx: &Ctx<'_>, stripe: u32) -> Option<u32> {
         let hl = self.hl(ctx.mem);
+        let head_cell = hl.global_free_at(stripe);
         let dcas = ctx.dcas();
         loop {
-            let head = dcas.read(ctx.core, hl.global_free);
+            let head = dcas.read(ctx.core, head_cell);
             let slab = head.payload.checked_sub(1)?;
             // Readers flush before loading SWccDesc.next; a stale load is
             // caught by the CAS on the head (version mismatch). The
@@ -383,29 +409,37 @@ impl SlabHeap {
                 LogWord {
                     op: self.op(Op::PopGlobal),
                     a: slab,
-                    b: 0,
+                    b: stripe as u8,
                     c: version,
                 },
                 &[],
             );
             ctx.crash_point("slab::pop_global::after_log");
             if dcas
-                .attempt(ctx.core, hl.global_free, head, next, ctx.tid, version)
+                .attempt(ctx.core, head_cell, head, next, ctx.tid, version)
                 .is_ok()
             {
                 ctx.crash_point("slab::pop_global::after_cas");
                 return Some(slab);
             }
             ctx.log().clear_relaxed(ctx.core);
+            ctx.mem
+                .note_cas_retry_at(cxl_pod::stats::CasRetrySite::PopGlobal);
+            ctx.mem.trace_op(ctx.core, TraceKind::CasRetry, head_cell);
         }
     }
 
-    /// Pushes `slab` (owned, unlinked, empty) onto the global free list.
+    /// Pushes `slab` (owned, unlinked, empty) onto the calling thread's
+    /// home stripe of the global free list. The stripe index travels in
+    /// the oplog record's `b` byte so recovery detects against the
+    /// right head cell.
     pub(crate) fn push_global(&self, ctx: &Ctx<'_>, slab: u32) {
         let hl = self.hl(ctx.mem);
+        let stripe = self.home_stripe(ctx);
+        let head_cell = hl.global_free_at(stripe);
         let dcas = ctx.dcas();
         loop {
-            let head = dcas.read(ctx.core, hl.global_free);
+            let head = dcas.read(ctx.core, head_cell);
             // Slabs on the global list are unowned and unsized.
             self.set_header(ctx, slab, SwccHeader {
                 next: head.payload,
@@ -422,14 +456,14 @@ impl SlabHeap {
                 LogWord {
                     op: self.op(Op::PushGlobal),
                     a: slab,
-                    b: 0,
+                    b: stripe as u8,
                     c: version,
                 },
                 &[],
             );
             ctx.crash_point("slab::push_global::after_log");
             if dcas
-                .attempt(ctx.core, hl.global_free, head, slab + 1, ctx.tid, version)
+                .attempt(ctx.core, head_cell, head, slab + 1, ctx.tid, version)
                 .is_ok()
             {
                 ctx.crash_point("slab::push_global::after_cas");
@@ -437,6 +471,9 @@ impl SlabHeap {
                 return;
             }
             ctx.log().clear_relaxed(ctx.core);
+            ctx.mem
+                .note_cas_retry_at(cxl_pod::stats::CasRetrySite::PopGlobal);
+            ctx.mem.trace_op(ctx.core, TraceKind::CasRetry, head_cell);
         }
     }
 
@@ -785,7 +822,14 @@ impl SlabHeap {
     /// The remote-free path: decrement the HWcc counter with detectable
     /// (m)CAS; steal the slab if we reach zero.
     fn free_remote(&self, ctx: &Ctx<'_>, slab: u32, offset: u64) -> Result<(), AllocError> {
-        if ctx.remote_free_batch > 1 {
+        // While this thread's combiner-request word names `slab`, frees
+        // against it must bypass buffering: a durable `remote_buf`
+        // record for the same slab would give the slab two durable batch
+        // representations and recovery's dedup rule would double-count.
+        let buffering_blocked = ctx
+            .comb
+            .is_some_and(|c| c.blocks_buffering(self.kind, slab));
+        if ctx.remote_free_batch > 1 && !buffering_blocked {
             if let Some(buf) = ctx.remote {
                 return self.free_remote_buffered(ctx, buf, slab, offset);
             }
@@ -829,6 +873,9 @@ impl SlabHeap {
             {
                 ctx.crash_point("slab::remote_free::after_cas");
                 ctx.mem.trace_op(ctx.core, TraceKind::RemoteFreePublish, 1);
+                if let Some(comb) = ctx.comb {
+                    comb.note_publish();
+                }
                 if last {
                     self.steal(ctx, slab);
                 }
@@ -839,6 +886,13 @@ impl SlabHeap {
                 return Ok(());
             }
             ctx.log().clear_relaxed(ctx.core);
+            ctx.mem
+                .note_cas_retry_at(cxl_pod::stats::CasRetrySite::RemotePublish);
+            ctx.mem
+                .trace_op(ctx.core, TraceKind::CasRetry, hl.hwcc_desc_at(slab));
+            if let Some(comb) = ctx.comb {
+                comb.note_retry();
+            }
         }
     }
 
@@ -871,6 +925,16 @@ impl SlabHeap {
         }
         if count >= ctx.remote_free_batch {
             let k = buf.take(self.kind, slab);
+            // The contention governor routes hot publishes through the
+            // flat-combining path; quiet threads keep the direct CAS.
+            // Combining needs recovery machinery (the request word is
+            // resolved by crash recovery), so the nonrecoverable
+            // ablation always publishes directly.
+            if let Some(comb) = ctx.comb {
+                if ctx.recoverable && comb.should_combine() {
+                    return crate::comb::publish_combined(ctx, self, comb, slab, k);
+                }
+            }
             self.publish_remote_frees(ctx, slab, k);
         } else if ctx.recoverable {
             // Mirror the new pending count into the durable header line
@@ -944,6 +1008,9 @@ impl SlabHeap {
                 ctx.mem.note_remote_free_batched(k_eff as u64);
                 ctx.mem
                     .trace_op(ctx.core, TraceKind::RemoteFreePublish, k_eff as u64);
+                if let Some(comb) = ctx.comb {
+                    comb.note_publish();
+                }
                 if last {
                     self.steal(ctx, slab);
                 }
@@ -954,6 +1021,13 @@ impl SlabHeap {
                 return;
             }
             ctx.log().clear_relaxed(ctx.core);
+            ctx.mem
+                .note_cas_retry_at(cxl_pod::stats::CasRetrySite::RemotePublish);
+            ctx.mem
+                .trace_op(ctx.core, TraceKind::CasRetry, hl.hwcc_desc_at(slab));
+            if let Some(comb) = ctx.comb {
+                comb.note_retry();
+            }
         }
     }
 

@@ -67,11 +67,11 @@ fn traced_replays_are_byte_identical() {
 #[test]
 fn trace_fingerprint_is_pinned() {
     let (_, fp, _) = traced_run();
-    // Re-pinned when recovery gained the stale-local-list unlink pass
-    // (`recovery::unlink_local_everywhere`) and detectable allocation
-    // delivery moved ahead of redo-log retirement — both alter the
-    // recovery/alloc memory-op sequence deterministically.
-    assert_eq!(fp, 0x37c8f36722586dd4, "got {fp:#018x}");
+    // Re-pinned when writer-side durability flushes (oplog `begin` /
+    // `clear`, remote-buffer `record`) moved from evicting clflush to
+    // line-retaining clwb (`PodMemory::writeback`): the flush/refill
+    // pairs on those single-writer lines left the event stream.
+    assert_eq!(fp, 0xa2e0a5a882f7aeaf, "got {fp:#018x}");
 }
 
 /// Disarmed (the default), the tracer records nothing — the same

@@ -390,6 +390,41 @@ impl CacheModel {
         written
     }
 
+    /// Writes back every dirty line intersecting `[offset, offset + len)`
+    /// from `core`'s cache *without* evicting it — clwb semantics: the
+    /// line stays resident and clean, so the owner's next touch hits
+    /// instead of refilling from CXL. For single-writer lines (a
+    /// thread's own oplog or remote-free buffer) this is exactly as
+    /// durable as [`CacheModel::flush`]; readers that need to drop a
+    /// stale copy of a *shared* line must still use `flush`.
+    ///
+    /// Returns the number of lines written back.
+    pub fn writeback(&self, core: usize, segment: &Segment, offset: u64, len: u64, stats: &MemStats) -> usize {
+        let first = offset & !(LINE - 1);
+        let last = (offset + len.max(1) - 1) & !(LINE - 1);
+        let mut cache = self.caches[core].lock();
+        let mut written = 0;
+        let mut line_addr = first;
+        loop {
+            if let Some(i) = cache.find(line_addr | 1) {
+                if cache.slots[i].dirty != 0 {
+                    let slot = cache.slots[i];
+                    Self::write_back(segment, line_addr, &slot);
+                    stats.writeback();
+                    self.tracer.emit_here(core, TraceKind::Writeback, line_addr);
+                    cache.slots[i].dirty = 0;
+                    written += 1;
+                }
+            }
+            if line_addr == last {
+                break;
+            }
+            line_addr += LINE;
+        }
+        stats.flush();
+        written
+    }
+
     /// Writes back and drops every line in `core`'s cache (a full
     /// quiesce — used before validating the heap from another core).
     pub fn flush_all(&self, core: usize, segment: &Segment, stats: &MemStats) {
@@ -569,6 +604,38 @@ pub mod oracle {
                                     .store(w, Ordering::Release);
                             }
                         }
+                        stats.writeback();
+                        written += 1;
+                    }
+                }
+                if line_addr == last {
+                    break;
+                }
+                line_addr += LINE;
+            }
+            stats.flush();
+            written
+        }
+
+        /// Writes back dirty lines in the range without evicting them
+        /// (clwb semantics); returns lines written back.
+        pub fn writeback(&self, core: usize, segment: &Segment, offset: u64, len: u64, stats: &MemStats) -> usize {
+            let first = offset & !(LINE - 1);
+            let last = (offset + len.max(1) - 1) & !(LINE - 1);
+            let mut cache = self.caches[core].lock();
+            let mut written = 0;
+            let mut line_addr = first;
+            loop {
+                if let Some(line) = cache.lines.get_mut(&line_addr) {
+                    if line.dirty != 0 {
+                        for (i, &w) in line.words.iter().enumerate() {
+                            if line.dirty & (1 << i) != 0 {
+                                segment
+                                    .atomic_u64(line_addr + i as u64 * 8)
+                                    .store(w, Ordering::Release);
+                            }
+                        }
+                        line.dirty = 0;
                         stats.writeback();
                         written += 1;
                     }

@@ -76,9 +76,29 @@ pub struct HeapLayout {
     pub max_slabs: u32,
     /// Number of size classes (length of `SmallLocal.sized`).
     pub num_classes: u32,
+    /// Number of global free-list stripes (≥ 1). Stripe 0 is the legacy
+    /// `global_free` cell; the rest live in [`Self::stripe_heads`].
+    pub global_stripes: u32,
+    /// Detectable-CAS head cells for stripes 1..`global_stripes`, one
+    /// cacheline each so contending hosts never share a line. Empty when
+    /// unstriped. Lives at the segment tail (offset stability).
+    pub stripe_heads: Region,
 }
 
 impl HeapLayout {
+    /// Offset of global free-list stripe `stripe`'s head cell. Stripe 0
+    /// is the legacy `global_free` cell so an unstriped layout is
+    /// byte-identical to the pre-stripe one.
+    #[inline]
+    pub fn global_free_at(&self, stripe: u32) -> u64 {
+        debug_assert!(stripe < self.global_stripes);
+        if stripe == 0 {
+            self.global_free
+        } else {
+            self.stripe_heads.start + (stripe as u64 - 1) * crate::config::CACHELINE
+        }
+    }
+
     /// Offset of slab `index`'s HWcc descriptor.
     #[inline]
     pub fn hwcc_desc_at(&self, index: u32) -> u64 {
@@ -273,6 +293,13 @@ pub struct Layout {
     /// remote frees survive crashes. Lives at the segment tail so adding
     /// it never shifts existing offsets.
     pub remote_buf: Region,
+    /// Per-thread flat-combining request lines: one cacheline per thread
+    /// whose first word is the thread's combiner request cell (state,
+    /// heap kind, slab, batch width, winner). Threads post contended
+    /// remote-free batches here; one winner publishes the combined
+    /// decrement. Tail region, same offset-stability rule as
+    /// `remote_buf`.
+    pub comb: Region,
     /// Total segment length in bytes.
     pub total_len: u64,
     /// Thread slots.
@@ -385,6 +412,15 @@ impl Layout {
         // pins replay fingerprints across versions.
         let remote_buf = region(threads * CACHELINE, CACHELINE, &mut cursor);
 
+        // Global free-list stripes 1..N (stripe 0 reuses the legacy
+        // `global_free` cell) and the flat-combining request lines also
+        // append at the tail: both are empty/new regions under the
+        // default config, so unstriped layouts stay byte-identical.
+        let extra_stripes = config.global_stripes as u64 - 1;
+        let small_stripes = region(extra_stripes * CACHELINE, CACHELINE, &mut cursor);
+        let large_stripes = region(extra_stripes * CACHELINE, CACHELINE, &mut cursor);
+        let comb = region(threads * CACHELINE, CACHELINE, &mut cursor);
+
         let total_len = align_up(cursor, 4096);
         if total_len > config.max_segment_bytes {
             return Err(PodError::SegmentTooLarge {
@@ -411,6 +447,8 @@ impl Layout {
                 slab_size: SMALL_SLAB_SIZE,
                 max_slabs: config.small_max_slabs,
                 num_classes: SMALL_CLASSES,
+                global_stripes: config.global_stripes,
+                stripe_heads: small_stripes,
             },
             large: HeapLayout {
                 global_len: large_global.start,
@@ -424,6 +462,8 @@ impl Layout {
                 slab_size: LARGE_SLAB_SIZE,
                 max_slabs: config.large_max_slabs,
                 num_classes: LARGE_CLASSES,
+                global_stripes: config.global_stripes,
+                stripe_heads: large_stripes,
             },
             huge: HugeLayout {
                 reservations,
@@ -438,6 +478,7 @@ impl Layout {
             },
             log,
             remote_buf,
+            comb,
             total_len,
             max_threads: config.max_threads,
         })
@@ -493,10 +534,23 @@ impl Layout {
         self.remote_buf_at(slot) + i as u64 * 8
     }
 
-    /// Whether `offset` is inside the HWcc metadata region.
+    /// Offset of thread `slot`'s flat-combining request line (word 0 is
+    /// the request cell).
+    #[inline]
+    pub fn comb_at(&self, slot: u32) -> u64 {
+        debug_assert!(slot < self.max_threads);
+        self.comb.start + slot as u64 * CACHELINE
+    }
+
+    /// Whether `offset` is inside the HWcc metadata region. The global
+    /// free-list stripe heads are HWcc cells too (they are detectable-CAS
+    /// targets exactly like the legacy `global_free` cell); they live at
+    /// the tail for offset stability, so they are checked explicitly.
     #[inline]
     pub fn is_hwcc(&self, offset: u64) -> bool {
         self.hwcc.contains(offset)
+            || self.small.stripe_heads.contains(offset)
+            || self.large.stripe_heads.contains(offset)
     }
 
     /// Whether `offset` is inside any data region (application memory,
@@ -547,6 +601,7 @@ mod tests {
             ("large.data", l.large.data),
             ("huge.data", l.huge.data),
             ("remote_buf", l.remote_buf),
+            ("comb", l.comb),
         ];
         for w in regions.windows(2) {
             let (name_a, a) = w[0];
@@ -560,7 +615,50 @@ mod tests {
                 b.end()
             );
         }
-        assert!(l.remote_buf.end() <= l.total_len);
+        assert!(l.comb.end() <= l.total_len);
+    }
+
+    #[test]
+    fn striping_appends_at_tail_without_shifting_offsets() {
+        let base = layout();
+        let striped = Layout::compute(&PodConfig {
+            global_stripes: 8,
+            ..PodConfig::small_for_tests()
+        })
+        .unwrap();
+        // Every pre-stripe offset is unchanged (fingerprint stability).
+        assert_eq!(base.small.global_free, striped.small.global_free);
+        assert_eq!(base.small.data, striped.small.data);
+        assert_eq!(base.large.swcc_desc, striped.large.swcc_desc);
+        assert_eq!(base.log, striped.log);
+        assert_eq!(base.remote_buf, striped.remote_buf);
+        // Stripe 0 is the legacy cell; the rest get a cacheline each.
+        assert_eq!(striped.small.global_free_at(0), striped.small.global_free);
+        assert_eq!(striped.small.stripe_heads.len, 7 * CACHELINE);
+        for s in 1..8 {
+            assert!(striped.small.global_free_at(s) >= striped.remote_buf.end());
+            assert_eq!(striped.small.global_free_at(s) % CACHELINE, 0);
+        }
+        assert!(striped.large.global_free_at(7) < striped.comb.start);
+        // Unstriped layouts expose an empty stripe region.
+        assert_eq!(base.small.stripe_heads.len, 0);
+        assert_eq!(base.small.global_free_at(0), base.small.global_free);
+    }
+
+    #[test]
+    fn stripe_heads_are_hwcc_and_comb_is_not() {
+        let l = Layout::compute(&PodConfig {
+            global_stripes: 4,
+            ..PodConfig::small_for_tests()
+        })
+        .unwrap();
+        for s in 0..4 {
+            assert!(l.is_hwcc(l.small.global_free_at(s)), "small stripe {s}");
+            assert!(l.is_hwcc(l.large.global_free_at(s)), "large stripe {s}");
+        }
+        assert!(!l.is_hwcc(l.comb_at(0)));
+        assert!(!l.is_data(l.comb_at(0)));
+        assert!(!l.is_data(l.small.global_free_at(3)));
     }
 
     #[test]

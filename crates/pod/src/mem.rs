@@ -90,6 +90,16 @@ pub trait PodMemory: Send + Sync + std::fmt::Debug {
     /// transient contention result (statistics only; see
     /// [`MemStatsSnapshot::cas_retries`](crate::stats::MemStatsSnapshot::cas_retries)).
     fn note_cas_retry(&self) {}
+    /// Records a CAS retry attributed to `site` (per-site contention
+    /// attribution; also counts toward the aggregate `cas_retries`).
+    fn note_cas_retry_at(&self, _site: crate::stats::CasRetrySite) {
+        self.note_cas_retry();
+    }
+    /// Records a flat-combining election win (statistics only).
+    fn note_comb_win(&self) {}
+    /// Records a flat-combining request handed over to another thread's
+    /// publish (statistics only).
+    fn note_comb_wait(&self) {}
     /// Records a fence elided by epoch coalescing (statistics only).
     fn note_fence_elided(&self) {}
     /// Records a flush coalesced into a later flush of the same line
@@ -113,6 +123,16 @@ pub trait PodMemory: Send + Sync + std::fmt::Debug {
     /// Flushes (writes back and evicts) `[offset, offset+len)` from
     /// `core`'s cache.
     fn flush(&self, core: CoreId, offset: u64, len: u64);
+    /// Writes back dirty cached words of `[offset, offset+len)` without
+    /// dropping the calling core's copy — clwb semantics, vs `flush`'s
+    /// evicting clflush. Equally durable for the writer's own
+    /// single-writer lines (oplog, remote-free buffer), but keeps them
+    /// hot in cache; a reader invalidating its stale copy of a *shared*
+    /// line must still use [`PodMemory::flush`]. Defaults to `flush` on
+    /// backends without a cache model.
+    fn writeback(&self, core: CoreId, offset: u64, len: u64) {
+        self.flush(core, offset, len);
+    }
     /// Store fence.
     fn fence(&self, core: CoreId);
     /// Writes back and drops `core`'s entire cache (quiesce before
@@ -197,6 +217,21 @@ impl PodMemory for RawMemory {
     #[inline]
     fn note_cas_retry(&self) {
         self.stats.cas_retry();
+    }
+
+    #[inline]
+    fn note_cas_retry_at(&self, site: crate::stats::CasRetrySite) {
+        self.stats.cas_retry_at(site);
+    }
+
+    #[inline]
+    fn note_comb_win(&self) {
+        self.stats.comb_win();
+    }
+
+    #[inline]
+    fn note_comb_wait(&self) {
+        self.stats.comb_wait();
     }
 
     // note_fence_elided / note_flush_coalesced stay no-ops here for the
@@ -705,6 +740,75 @@ impl PodMemory for SimMemory {
         }
     }
 
+    fn writeback(&self, core: CoreId, offset: u64, len: u64) {
+        // Same fault surface as `flush`: a dropped clwb retires at the
+        // CPU but the device loses it, so the line simply stays dirty.
+        let mut extra = 0u64;
+        if self.faults.enabled() {
+            match self.faults.check(FaultSite::Flush, core.index(), offset, len) {
+                Some(FaultKind::DropFlush) => {
+                    self.stats.fault();
+                    let cost = self
+                        .clocks
+                        .advance(core.index(), self.model.flush_ns, &self.model);
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            core.index(),
+                            TraceKind::FlushDropped,
+                            offset,
+                            cost,
+                            self.clocks.now(core.index()),
+                        );
+                    }
+                    return;
+                }
+                Some(FaultKind::DelayFlush(ns)) => {
+                    self.stats.fault();
+                    extra += self.clocks.advance(core.index(), ns, &self.model);
+                }
+                Some(FaultKind::AbandonCache) => {
+                    self.cache.discard_all(core.index());
+                    self.stats.fault();
+                    self.tracer
+                        .emit_here(core.index(), TraceKind::CacheAbandon, offset);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        let mut written = 0;
+        if self.is_cached_region(offset) {
+            written = self
+                .cache
+                .writeback(core.index(), &self.segment, offset, len, &self.stats);
+            if written > 0 && self.faults.enabled() {
+                if let Some(FaultKind::DelayWriteback(ns)) =
+                    self.faults.check(FaultSite::Writeback, core.index(), offset, len)
+                {
+                    self.stats.fault();
+                    extra += self
+                        .clocks
+                        .advance(core.index(), ns * written as u64, &self.model);
+                }
+            }
+        } else {
+            self.stats.flush();
+        }
+        let cost = extra
+            + self
+                .clocks
+                .advance(core.index(), self.model.flush_ns, &self.model);
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                core.index(),
+                TraceKind::WritebackKept,
+                written as u64,
+                cost,
+                self.clocks.now(core.index()),
+            );
+        }
+    }
+
     fn fence(&self, core: CoreId) {
         self.stats.fence();
         let cost = self.clocks.advance(core.index(), self.model.fence_ns, &self.model);
@@ -727,6 +831,18 @@ impl PodMemory for SimMemory {
 
     fn note_cas_retry(&self) {
         self.stats.cas_retry();
+    }
+
+    fn note_cas_retry_at(&self, site: crate::stats::CasRetrySite) {
+        self.stats.cas_retry_at(site);
+    }
+
+    fn note_comb_win(&self) {
+        self.stats.comb_win();
+    }
+
+    fn note_comb_wait(&self) {
+        self.stats.comb_wait();
     }
 
     fn trace_op(&self, core: CoreId, kind: TraceKind, arg: u64) {

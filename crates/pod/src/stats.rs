@@ -39,6 +39,26 @@ struct Shard {
     fences_elided: AtomicU64,
     flushes_coalesced: AtomicU64,
     remote_free_batched: AtomicU64,
+    cas_retries_pop_global: AtomicU64,
+    cas_retries_remote_publish: AtomicU64,
+    cas_retries_lease: AtomicU64,
+    cas_retries_fallback: AtomicU64,
+    comb_wins: AtomicU64,
+    comb_waits: AtomicU64,
+}
+
+/// Call site of a contention-driven CAS retry, for per-site attribution
+/// of the aggregate [`MemStatsSnapshot::cas_retries`] counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CasRetrySite {
+    /// Global free-list pop (`slab::pop_global`, per stripe).
+    PopGlobal,
+    /// Remote-free counter publish (eager, batched, or combined).
+    RemotePublish,
+    /// Registry / lease heartbeat CAS.
+    Lease,
+    /// Software-fallback CAS path (NMP breaker open).
+    Fallback,
 }
 
 /// Round-robin shard assignment, fixed per thread on first use. A
@@ -183,6 +203,32 @@ impl MemStats {
     pub fn cas_retry(&self) {
         bump!(self.cas_retries);
     }
+    /// Records a contention-driven CAS retry attributed to `site`. The
+    /// aggregate `cas_retries` counter is bumped too, so the per-site
+    /// counters partition (a subset of) the aggregate.
+    #[inline]
+    pub fn cas_retry_at(&self, site: CasRetrySite) {
+        let shard = self.shard();
+        shard.cas_retries.fetch_add(1, Ordering::Relaxed);
+        let counter = match site {
+            CasRetrySite::PopGlobal => &shard.cas_retries_pop_global,
+            CasRetrySite::RemotePublish => &shard.cas_retries_remote_publish,
+            CasRetrySite::Lease => &shard.cas_retries_lease,
+            CasRetrySite::Fallback => &shard.cas_retries_fallback,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Records a flat-combining election win delivering `k` frees.
+    #[inline]
+    pub fn comb_win(&self) {
+        bump!(self.comb_wins);
+    }
+    /// Records a flat-combining request handed to another thread's
+    /// publish (the poster did not publish itself).
+    #[inline]
+    pub fn comb_wait(&self) {
+        bump!(self.comb_waits);
+    }
     /// Records a breaker trip into fallback mode.
     #[inline]
     pub fn breaker_trip(&self) {
@@ -239,6 +285,12 @@ impl MemStats {
             fences_elided: sum!(self.fences_elided),
             flushes_coalesced: sum!(self.flushes_coalesced),
             remote_free_batched: sum!(self.remote_free_batched),
+            cas_retries_pop_global: sum!(self.cas_retries_pop_global),
+            cas_retries_remote_publish: sum!(self.cas_retries_remote_publish),
+            cas_retries_lease: sum!(self.cas_retries_lease),
+            cas_retries_fallback: sum!(self.cas_retries_fallback),
+            comb_wins: sum!(self.comb_wins),
+            comb_waits: sum!(self.comb_waits),
         }
     }
 }
@@ -286,6 +338,18 @@ pub struct MemStatsSnapshot {
     pub flushes_coalesced: u64,
     /// Remote frees delivered through batched decrements.
     pub remote_free_batched: u64,
+    /// CAS retries attributed to global free-list pops.
+    pub cas_retries_pop_global: u64,
+    /// CAS retries attributed to remote-free counter publishes.
+    pub cas_retries_remote_publish: u64,
+    /// CAS retries attributed to registry / lease heartbeats.
+    pub cas_retries_lease: u64,
+    /// CAS retries attributed to the software-fallback CAS path.
+    pub cas_retries_fallback: u64,
+    /// Flat-combining election wins (combined publishes issued).
+    pub comb_wins: u64,
+    /// Flat-combining requests handed over to another thread's publish.
+    pub comb_waits: u64,
 }
 
 impl MemStatsSnapshot {
@@ -321,6 +385,20 @@ impl MemStatsSnapshot {
             remote_free_batched: self
                 .remote_free_batched
                 .saturating_sub(earlier.remote_free_batched),
+            cas_retries_pop_global: self
+                .cas_retries_pop_global
+                .saturating_sub(earlier.cas_retries_pop_global),
+            cas_retries_remote_publish: self
+                .cas_retries_remote_publish
+                .saturating_sub(earlier.cas_retries_remote_publish),
+            cas_retries_lease: self
+                .cas_retries_lease
+                .saturating_sub(earlier.cas_retries_lease),
+            cas_retries_fallback: self
+                .cas_retries_fallback
+                .saturating_sub(earlier.cas_retries_fallback),
+            comb_wins: self.comb_wins.saturating_sub(earlier.comb_wins),
+            comb_waits: self.comb_waits.saturating_sub(earlier.comb_waits),
         }
     }
 }
@@ -380,6 +458,35 @@ mod tests {
         assert_eq!(snap.fences_elided, 2);
         assert_eq!(snap.flushes_coalesced, 1);
         assert_eq!(snap.remote_free_batched, 10);
+    }
+
+    #[test]
+    fn per_site_retries_partition_the_aggregate() {
+        let stats = MemStats::new();
+        stats.cas_retry_at(CasRetrySite::PopGlobal);
+        stats.cas_retry_at(CasRetrySite::PopGlobal);
+        stats.cas_retry_at(CasRetrySite::RemotePublish);
+        stats.cas_retry_at(CasRetrySite::Lease);
+        stats.cas_retry_at(CasRetrySite::Fallback);
+        stats.cas_retry(); // unattributed
+        stats.comb_win();
+        stats.comb_wait();
+        stats.comb_wait();
+        let snap = stats.snapshot();
+        assert_eq!(snap.cas_retries, 6);
+        assert_eq!(snap.cas_retries_pop_global, 2);
+        assert_eq!(snap.cas_retries_remote_publish, 1);
+        assert_eq!(snap.cas_retries_lease, 1);
+        assert_eq!(snap.cas_retries_fallback, 1);
+        assert_eq!(snap.comb_wins, 1);
+        assert_eq!(snap.comb_waits, 2);
+        assert!(
+            snap.cas_retries_pop_global
+                + snap.cas_retries_remote_publish
+                + snap.cas_retries_lease
+                + snap.cas_retries_fallback
+                <= snap.cas_retries
+        );
     }
 
     #[test]

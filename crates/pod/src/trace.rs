@@ -117,10 +117,21 @@ pub enum TraceKind {
     RemoteFreePublish = 22,
     /// Liveness lease renewal (heartbeat).
     LeaseRenew = 23,
+    /// Flat-combining election won: this thread published a combined
+    /// remote-free decrement (`arg` = combined batch width).
+    CombinerWin = 24,
+    /// Flat-combining request claimed by another thread: this thread's
+    /// batch was (or is being) published by the combiner (`arg` = batch
+    /// width handed over).
+    CombinerWait = 25,
+    /// Explicit write-back of a span with the line *retained* in the
+    /// core's cache — clwb semantics, vs [`TraceKind::Flush`]'s
+    /// evicting clflush (`arg` = dirty lines written back).
+    WritebackKept = 26,
 }
 
 /// Number of event kinds (one past the highest discriminant).
-pub const KIND_COUNT: usize = 24;
+pub const KIND_COUNT: usize = 27;
 
 /// All kinds, in discriminant order.
 pub const ALL_KINDS: [TraceKind; KIND_COUNT] = [
@@ -148,6 +159,9 @@ pub const ALL_KINDS: [TraceKind; KIND_COUNT] = [
     TraceKind::SlabFree,
     TraceKind::RemoteFreePublish,
     TraceKind::LeaseRenew,
+    TraceKind::CombinerWin,
+    TraceKind::CombinerWait,
+    TraceKind::WritebackKept,
 ];
 
 impl TraceKind {
@@ -183,6 +197,9 @@ impl TraceKind {
             TraceKind::SlabFree => "slab_free",
             TraceKind::RemoteFreePublish => "remote_free_publish",
             TraceKind::LeaseRenew => "lease_renew",
+            TraceKind::CombinerWin => "combiner_win",
+            TraceKind::CombinerWait => "combiner_wait",
+            TraceKind::WritebackKept => "clwb",
         }
     }
 
@@ -199,11 +216,16 @@ impl TraceKind {
             TraceKind::CasAttempt | TraceKind::CasRetry | TraceKind::CasFallback => "cas",
             TraceKind::McasAttempt | TraceKind::McasRetry | TraceKind::McasDelay => "nmp",
             TraceKind::LineFill | TraceKind::Writeback | TraceKind::CacheAbandon => "cache",
-            TraceKind::Flush | TraceKind::FlushDropped | TraceKind::Fence => "ordering",
+            TraceKind::Flush
+            | TraceKind::FlushDropped
+            | TraceKind::Fence
+            | TraceKind::WritebackKept => "ordering",
             TraceKind::SlabAlloc
             | TraceKind::SlabFree
             | TraceKind::RemoteFreePublish
-            | TraceKind::LeaseRenew => "alloc",
+            | TraceKind::LeaseRenew
+            | TraceKind::CombinerWin
+            | TraceKind::CombinerWait => "alloc",
         }
     }
 }

@@ -10,7 +10,7 @@ use cxl_pod::PodConfig;
 /// Renders `config` as `key=value` pairs (`mt=64,ss=2048,...`).
 pub fn format_config(c: &PodConfig) -> String {
     format!(
-        "mt={},ss={},ls={},hc={},hr={},hd={},hz={},mb={}",
+        "mt={},ss={},ls={},hc={},hr={},hd={},hz={},mb={},gs={}",
         c.max_threads,
         c.small_max_slabs,
         c.large_max_slabs,
@@ -19,6 +19,7 @@ pub fn format_config(c: &PodConfig) -> String {
         c.huge_descs_per_thread,
         c.hazards_per_thread,
         c.max_segment_bytes,
+        c.global_stripes,
     )
 }
 
@@ -37,6 +38,7 @@ pub fn parse_config(s: &str) -> Result<PodConfig, String> {
         huge_descs_per_thread: 0,
         hazards_per_thread: 0,
         max_segment_bytes: 0,
+        global_stripes: 1,
     };
     for pair in s.split(',') {
         let (key, value) = pair.split_once('=').ok_or_else(|| format!("bad pair {pair:?}"))?;
@@ -51,6 +53,7 @@ pub fn parse_config(s: &str) -> Result<PodConfig, String> {
             "hd" => c.huge_descs_per_thread = num32()?,
             "hz" => c.hazards_per_thread = num32()?,
             "mb" => c.max_segment_bytes = num,
+            "gs" => c.global_stripes = num32()?,
             other => return Err(format!("unknown config key {other:?}")),
         }
     }
@@ -72,6 +75,7 @@ mod tests {
             assert_eq!(format_config(&decoded), encoded);
             assert_eq!(decoded.max_threads, config.max_threads);
             assert_eq!(decoded.max_segment_bytes, config.max_segment_bytes);
+            assert_eq!(decoded.global_stripes, config.global_stripes);
         }
     }
 

@@ -55,6 +55,7 @@ pub fn serve_config() -> PodConfig {
         huge_descs_per_thread: 64,
         hazards_per_thread: 8,
         max_segment_bytes: 4 << 30,
+        global_stripes: 8,
     }
 }
 
@@ -116,6 +117,15 @@ pub struct RunArgs {
     /// Remote-free batch width workers attach with (> 1 exercises the
     /// durable `remote_buf` batching under crashes).
     pub remote_batch: u32,
+    /// Zipf skew θ ∈ (0,1) workers overlay on their key streams: every
+    /// op's key is re-drawn rank-Zipfian over the ledger (rank 0
+    /// hottest), concentrating traffic — and forwarded frees — on the
+    /// shared hot head. `None` keeps each spec's own distribution.
+    pub shared_skew: Option<f64>,
+    /// Workers publish contended remote frees through the
+    /// flat-combining path (and re-pin its governor each window so the
+    /// combined path stays engaged deterministically).
+    pub combining: bool,
     /// Soak mode: progress lines on stderr every few seconds.
     pub soak: bool,
     /// Spawn *two* replacements per crash and require exactly one
@@ -152,6 +162,8 @@ impl Default for RunArgs {
             max_probes: 3,
             shared_pct: 0,
             remote_batch: 1,
+            shared_skew: None,
+            combining: false,
             soak: false,
             race_adopt: false,
             json_out: None,
@@ -200,6 +212,8 @@ impl RunArgs {
                 "--shared-keys" => out.shared_pct = 50,
                 "--shared-pct" => out.shared_pct = num(flag, &val()?)?,
                 "--remote-batch" => out.remote_batch = num(flag, &val()?)?,
+                "--shared-skew" => out.shared_skew = Some(num(flag, &val()?)?),
+                "--combining" => out.combining = true,
                 "--soak" => {
                     out.secs = num(flag, &val()?)?;
                     out.soak = true;
@@ -240,6 +254,11 @@ impl RunArgs {
         }
         if self.shared_pct > 100 {
             return Err("--shared-pct must be 0-100".into());
+        }
+        if let Some(theta) = self.shared_skew {
+            if !(theta > 0.0 && theta < 1.0) {
+                return Err("--shared-skew must be in (0, 1)".into());
+            }
         }
         for (name, events) in [
             ("--self-kill", &self.self_kills),
@@ -375,6 +394,11 @@ pub struct AuditOutcome {
     /// published (a kill mid-batch leaves these; recovery republishes
     /// them when the slot is adopted).
     pub remote_buffered: u64,
+    /// Remote frees parked in POSTED/CLAIMED flat-combining request
+    /// words — a kill caught a combiner mid-protocol and no recovery
+    /// has run for the custodian yet. The batches are durable and
+    /// credited like buffered frees.
+    pub comb_pending: u64,
     /// Forwarded frees stranded in forward lanes (dead/stopped
     /// consumers) that the audit executed itself.
     pub stranded_forwards: u64,
@@ -551,7 +575,8 @@ impl RunReport {
              \"workers\": [{}],\n  \"adoptions\": [{}],\n  \"drains\": [{}],\n  \
              \"stalls\": [{}],\n  \"audit\": {{\"census_live\": {}, \
              \"ledger_live\": {}, \"effective_live\": {}, \"remote_pending\": {}, \
-             \"remote_buffered\": {}, \"stranded_forwards\": {}, \"credit_excess\": {}, \
+             \"remote_buffered\": {}, \"comb_pending\": {}, \"stranded_forwards\": {}, \
+             \"credit_excess\": {}, \
              \"lost\": {}, \"phantom\": {}, \"duplicates\": {}, \
              \"counter_delta\": {}, \"invariants\": {:?}, \"clean\": {}}}\n}}\n",
             self.elapsed_secs,
@@ -573,6 +598,7 @@ impl RunReport {
             self.audit.effective_live,
             self.audit.remote_pending,
             self.audit.remote_buffered,
+            self.audit.comb_pending,
             self.audit.stranded_forwards,
             self.audit.credit_excess,
             self.audit.lost.len(),
@@ -1276,6 +1302,8 @@ fn spawn_worker(
         stall_after_ops,
         shared_pct: args.shared_pct,
         remote_batch: args.remote_batch,
+        shared_skew: args.shared_skew,
+        combining: args.combining,
     };
     Command::new(&args.worker_exe)
         .arg("worker")
@@ -1332,6 +1360,13 @@ fn audit(pod: &Pod, plane: &ControlPlane) -> Result<AuditOutcome, String> {
     };
     let buffered = cxl_core::audit::remote_buffered(pod.memory().as_ref(), CoreId(0));
     let buffered_total: u64 = buffered.iter().map(|b| b.pending as u64).sum();
+    // Combined batches still parked in request words are the third
+    // durable home a remote free can wait in (after the slab counter
+    // and the remote_buf lines): a kill that caught a combiner between
+    // post and publish leaves them, and the custodian's recovery has
+    // not necessarily run by audit time.
+    let comb = cxl_core::audit::comb_pending(pod.memory().as_ref(), CoreId(0));
+    let comb_total: u64 = comb.iter().map(|b| b.pending as u64).sum();
 
     let mut ledger: Vec<u64> = Vec::new();
     let mut allocs = 0u64;
@@ -1365,7 +1400,12 @@ fn audit(pod: &Pod, plane: &ControlPlane) -> Result<AuditOutcome, String> {
                 .filter(|b| b.kind == sa.kind && b.slab == sa.slab)
                 .map(|b| b.pending as u64)
                 .sum();
-            (sa, sa.remote_pending as u64 + buf)
+            let parked: u64 = comb
+                .iter()
+                .filter(|b| b.kind == sa.kind && b.slab == sa.slab)
+                .map(|b| b.pending as u64)
+                .sum();
+            (sa, sa.remote_pending as u64 + buf + parked)
         })
         .collect();
     let mut lost = Vec::new();
@@ -1377,14 +1417,15 @@ fn audit(pod: &Pod, plane: &ControlPlane) -> Result<AuditOutcome, String> {
     }
     let credit_excess: u64 = credits.iter().map(|(_, c)| *c).sum();
     let remote_pending = census.remote_pending_total();
-    let effective_live =
-        (heap_side.len() as u64).saturating_sub(remote_pending + buffered_total);
+    let effective_live = (heap_side.len() as u64)
+        .saturating_sub(remote_pending + buffered_total + comb_total);
     Ok(AuditOutcome {
         census_live: heap_side.len() as u64,
         ledger_live: ledger.len() as u64,
         effective_live,
         remote_pending,
         remote_buffered: buffered_total,
+        comb_pending: comb_total,
         stranded_forwards: stranded,
         credit_excess,
         lost,
@@ -1452,6 +1493,9 @@ mod tests {
             "--shared-keys".into(),
             "--remote-batch".into(),
             "8".into(),
+            "--shared-skew".into(),
+            "0.9".into(),
+            "--combining".into(),
             "--stall-ms".into(),
             "400".into(),
             "--max-probes".into(),
@@ -1463,6 +1507,8 @@ mod tests {
         assert_eq!(args.stalls, 2);
         assert_eq!(args.shared_pct, 50);
         assert_eq!(args.remote_batch, 8);
+        assert_eq!(args.shared_skew, Some(0.9));
+        assert!(args.combining);
         assert_eq!(args.stall_ms, 400);
         assert_eq!(args.max_probes, 0);
 
@@ -1492,6 +1538,8 @@ mod tests {
         assert!(RunArgs::parse(&["--rolling".into(), "100:0.5".into()]).is_err());
         assert!(RunArgs::parse(&["--rolling".into(), "0:1".into()]).is_err());
         assert!(RunArgs::parse(&["--shared-pct".into(), "101".into()]).is_err());
+        assert!(RunArgs::parse(&["--shared-skew".into(), "1.0".into()]).is_err());
+        assert!(RunArgs::parse(&["--shared-skew".into(), "0".into()]).is_err());
     }
 
     #[test]
@@ -1551,6 +1599,7 @@ mod tests {
                 effective_live: 10,
                 remote_pending: 2,
                 remote_buffered: 0,
+                comb_pending: 0,
                 stranded_forwards: 1,
                 credit_excess: 0,
                 lost: Vec::new(),
@@ -1599,6 +1648,7 @@ mod tests {
             "\"stalls\": [",
             "\"remote_pending\": 2",
             "\"effective_live\": 10",
+            "\"comb_pending\": 0",
             "\"stranded_forwards\": 1",
             "\"digest\": \"",
             "\"forwarded\": 5",

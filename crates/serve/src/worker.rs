@@ -34,8 +34,8 @@ use cxl_core::audit::{block_state, BlockState};
 use cxl_core::liveness::LivenessDetector;
 use cxl_core::{AllocError, AttachOptions, Cxlalloc, OffsetPtr, ThreadHandle, ThreadId};
 use cxl_pod::{CoreId, Pod, PodConfig};
-use rand::{rngs::StdRng, SeedableRng};
-use workloads::{KvOp, OpStream, WorkloadSpec};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use workloads::{KvOp, OpStream, WorkloadSpec, Zipfian};
 
 use crate::rpc::{self, state, status, ControlPlane, Msg, WorkerPlane};
 
@@ -118,6 +118,17 @@ pub struct WorkerArgs {
     /// Remote-free batch width passed to [`AttachOptions`]; widths > 1
     /// buffer forwarded frees through the durable `remote_buf` lines.
     pub remote_batch: u32,
+    /// Zipf skew θ ∈ (0,1) re-applied on top of the spec's key choice:
+    /// every op's key is re-drawn as a rank-Zipfian over the ledger
+    /// (rank 0 hottest), so the *shared hot head* soaks up most of the
+    /// traffic and forwarded frees pile onto a few contended slabs.
+    /// `None` keeps the spec's own distribution.
+    pub shared_skew: Option<f64>,
+    /// Enables the flat-combining remote-free publication path
+    /// ([`AttachOptions`]'s `combining`); the serve loop re-pins the
+    /// governor each window so contended runs stay on the combined path
+    /// deterministically instead of depending on observed retry rates.
+    pub combining: bool,
 }
 
 impl WorkerArgs {
@@ -138,6 +149,8 @@ impl WorkerArgs {
         let mut stall_after_ops = None;
         let mut shared_pct = 0u8;
         let mut remote_batch = 1u32;
+        let mut shared_skew = None;
+        let mut combining = false;
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let mut val = || {
@@ -155,6 +168,8 @@ impl WorkerArgs {
                 "--stall-after-ops" => stall_after_ops = Some(parse_num(flag, &val()?)?),
                 "--shared-pct" => shared_pct = parse_num(flag, &val()?)?,
                 "--remote-batch" => remote_batch = parse_num(flag, &val()?)?,
+                "--shared-skew" => shared_skew = Some(parse_num(flag, &val()?)?),
+                "--combining" => combining = true,
                 other => return Err(format!("unknown worker flag {other}")),
             }
         }
@@ -178,6 +193,13 @@ impl WorkerArgs {
                 shared_pct
             },
             remote_batch: remote_batch.max(1),
+            shared_skew: match shared_skew {
+                Some(theta) if !(theta > 0.0 && theta < 1.0) => {
+                    return Err("--shared-skew must be in (0, 1)".into());
+                }
+                other => other,
+            },
+            combining,
         })
     }
 
@@ -219,6 +241,13 @@ impl WorkerArgs {
             v.push("--remote-batch".into());
             v.push(self.remote_batch.to_string());
         }
+        if let Some(theta) = self.shared_skew {
+            v.push("--shared-skew".into());
+            v.push(theta.to_string());
+        }
+        if self.combining {
+            v.push("--combining".into());
+        }
         v
     }
 }
@@ -251,6 +280,7 @@ fn run_inner(args: &WorkerArgs) -> Result<i32, String> {
         pod.spawn_process(),
         AttachOptions {
             remote_free_batch: args.remote_batch.max(1),
+            combining: args.combining,
             ..AttachOptions::default()
         },
     )
@@ -352,6 +382,8 @@ fn run_inner(args: &WorkerArgs) -> Result<i32, String> {
         kill_after_ops: args.kill_after_ops,
         drain_after_ops: args.drain_after_ops,
         stall_after_ops: args.stall_after_ops,
+        shared_skew: args.shared_skew,
+        combining: args.combining.then(|| args.remote_batch.max(1)),
     })?;
     Ok(code)
 }
@@ -534,9 +566,22 @@ fn drain_inbound_burst(
                 Some(Msg::FreeBlock { offset, home, key }) => {
                     let ptr = OffsetPtr::new(offset)
                         .ok_or_else(|| format!("forwarded null offset (home {home} key {key})"))?;
-                    handle
-                        .dealloc(ptr)
-                        .map_err(|e| format!("forwarded dealloc (home {home} key {key}): {e}"))?;
+                    match handle.dealloc(ptr) {
+                        Ok(()) => {}
+                        // The combined batch holding this decrement is
+                        // durably parked in our request word under a
+                        // stalled winner's custody; the winner (or its
+                        // recovery) publishes it. Republishing here
+                        // would double-free — count the stall, move on.
+                        Err(AllocError::CombinerStalled { .. }) => {
+                            me.bump_status(status::COMBINER_STALLS, 1);
+                        }
+                        Err(e) => {
+                            return Err(format!(
+                                "forwarded dealloc (home {home} key {key}): {e}"
+                            ));
+                        }
+                    }
                     me.bump_status(status::FORWARDED, 1);
                     budget -= 1;
                 }
@@ -612,6 +657,10 @@ struct ServeLoop<'a> {
     kill_after_ops: Option<u64>,
     drain_after_ops: Option<u64>,
     stall_after_ops: Option<u64>,
+    shared_skew: Option<f64>,
+    /// Batch width to re-pin the combining governor with, when the
+    /// combined publication path is enabled.
+    combining: Option<u32>,
 }
 
 /// How often (in ops) a shared-keys worker sweeps its inbound forward
@@ -625,11 +674,25 @@ const FORWARD_SWEEP_EVERY: u64 = 8;
 #[cfg(unix)]
 const FORWARD_SWEEP_BUDGET: usize = 16;
 
+/// How often (in ops) a `--combining` worker re-pins the governor. The
+/// governor's own windows would disengage the combined path whenever
+/// contention momentarily drops, making kill-at-combine schedules
+/// non-replayable; the periodic re-pin keeps it engaged for the run.
+#[cfg(unix)]
+const COMBINE_REPIN_EVERY: u64 = 64;
+
+/// Salt mixing the worker seed into the skew RNG so the Zipf overlay
+/// draws independently of the op stream (which consumes the raw seed).
+const SKEW_SEED_SALT: u64 = 0x5a1f_5eed_0c0d_e5a1;
+
 #[cfg(unix)]
 fn serve(mut s: ServeLoop<'_>) -> Result<i32, String> {
     let cap = s.me.ledger_cap();
     let spec = spec_by_id(s.spec, cap);
     let mut stream = OpStream::new(spec, StdRng::seed_from_u64(s.seed));
+    let mut skew = s
+        .shared_skew
+        .map(|theta| (Zipfian::new(cap, theta), StdRng::seed_from_u64(s.seed ^ SKEW_SEED_SALT)));
     let mut ops = 0u64;
     loop {
         if s.kill_after_ops == Some(ops) {
@@ -675,7 +738,15 @@ fn serve(mut s: ServeLoop<'_>) -> Result<i32, String> {
         if s.forwards.active() && ops.is_multiple_of(FORWARD_SWEEP_EVERY) {
             drain_inbound_burst(&mut s.handle, s.me, s.forwards, FORWARD_SWEEP_BUDGET)?;
         }
-        let op = stream.next_op();
+        if let Some(batch) = s.combining {
+            if ops.is_multiple_of(COMBINE_REPIN_EVERY) {
+                s.handle.force_combining(batch);
+            }
+        }
+        let mut op = stream.next_op();
+        if let Some((zipf, rng)) = skew.as_mut() {
+            skew_op(&mut op, zipf.rank(rng.gen::<f64>()));
+        }
         let t0 = Instant::now();
         apply_op(&mut s.handle, s.me, s.forwards, &op, cap)?;
         s.me.record_latency(t0.elapsed().as_nanos() as u64);
@@ -766,7 +837,17 @@ fn free_cell(
             return Ok(());
         }
     }
-    handle.dealloc(ptr).map_err(|e| format!("dealloc: {e}"))?;
+    match handle.dealloc(ptr) {
+        Ok(()) => {}
+        // Stalled-winner custody: the batch (this free included) is
+        // durably named by our combiner-request word and will be
+        // published by the winner or its recovery — the block is as
+        // good as freed, so the ledger clear below stays correct.
+        Err(AllocError::CombinerStalled { .. }) => {
+            me.bump_status(status::COMBINER_STALLS, 1);
+        }
+        Err(e) => return Err(format!("dealloc: {e}")),
+    }
     me.bump_status(status::FREES, 1);
     me.ledger_set(k, 0);
     Ok(())
@@ -858,16 +939,39 @@ fn self_sigstop() {
     }
 }
 
+/// Replaces an op's key with the skew-sampled Zipf rank: rank 0 is the
+/// hottest key and maps to key 0 — the head of the shared cut — so
+/// `--shared-skew` concentrates traffic exactly where frees forward.
+fn skew_op(op: &mut KvOp, rank: u64) {
+    match op {
+        KvOp::Read { key } | KvOp::Delete { key } | KvOp::Insert { key, .. } => *key = rank,
+    }
+}
+
 /// Pure replay of the ledger effect of `ops` operations: the same
-/// stream, key mapping, and cell protocol as [`run`], minus the heap.
-/// Crash-audit tests use it to predict the exact live-block population
-/// a (deterministically killed) worker leaves behind.
-pub fn simulate_ledger(spec_id: u8, seed: u64, cap: u64, ops: u64, cells: &mut Vec<bool>) {
+/// stream, key mapping (including the `--shared-skew` overlay), and
+/// cell protocol as [`run`], minus the heap. Crash-audit tests use it
+/// to predict the exact live-block population a (deterministically
+/// killed) worker leaves behind.
+pub fn simulate_ledger(
+    spec_id: u8,
+    seed: u64,
+    cap: u64,
+    ops: u64,
+    shared_skew: Option<f64>,
+    cells: &mut Vec<bool>,
+) {
     cells.resize(cap as usize, false);
     let spec = spec_by_id(spec_id, cap);
     let mut stream = OpStream::new(spec, StdRng::seed_from_u64(seed));
+    let mut skew = shared_skew
+        .map(|theta| (Zipfian::new(cap, theta), StdRng::seed_from_u64(seed ^ SKEW_SEED_SALT)));
     for _ in 0..ops {
-        match stream.next_op() {
+        let mut op = stream.next_op();
+        if let Some((zipf, rng)) = skew.as_mut() {
+            skew_op(&mut op, zipf.rank(rng.gen::<f64>()));
+        }
+        match op {
             KvOp::Read { .. } => {}
             KvOp::Insert { key, .. } => cells[(key % cap) as usize] = true,
             KvOp::Delete { key } => cells[(key % cap) as usize] = false,
@@ -893,6 +997,8 @@ mod tests {
             stall_after_ops: Some(1500),
             shared_pct: 50,
             remote_batch: 8,
+            shared_skew: Some(0.9),
+            combining: true,
         };
         let rendered = args.to_args();
         let parsed = WorkerArgs::parse(&rendered).unwrap();
@@ -903,12 +1009,20 @@ mod tests {
         assert_eq!(parsed.stall_after_ops, Some(1500));
         assert_eq!(parsed.shared_pct, 50);
         assert_eq!(parsed.remote_batch, 8);
+        assert_eq!(parsed.shared_skew, Some(0.9));
+        assert!(parsed.combining);
         assert!(WorkerArgs::parse(&["--bogus".into()]).is_err());
         assert!(WorkerArgs::parse(&[]).is_err());
         let mut over = rendered.clone();
         let pct = over.iter().position(|a| a == "--shared-pct").unwrap();
         over[pct + 1] = "101".into();
         assert!(WorkerArgs::parse(&over).is_err(), "--shared-pct caps at 100");
+        let mut theta = rendered.clone();
+        let sk = theta.iter().position(|a| a == "--shared-skew").unwrap();
+        theta[sk + 1] = "1.0".into();
+        assert!(WorkerArgs::parse(&theta).is_err(), "--shared-skew is open (0,1)");
+        theta[sk + 1] = "0".into();
+        assert!(WorkerArgs::parse(&theta).is_err(), "--shared-skew is open (0,1)");
     }
 
     #[test]
@@ -944,9 +1058,29 @@ mod tests {
     fn ledger_simulation_is_deterministic() {
         let mut a = Vec::new();
         let mut b = Vec::new();
-        simulate_ledger(0, 42, 128, 5_000, &mut a);
-        simulate_ledger(0, 42, 128, 5_000, &mut b);
+        simulate_ledger(0, 42, 128, 5_000, None, &mut a);
+        simulate_ledger(0, 42, 128, 5_000, None, &mut b);
         assert_eq!(a, b);
         assert!(a.iter().any(|&x| x), "5000 YCSB-A ops never inserted");
+    }
+
+    #[test]
+    fn skewed_simulation_is_deterministic_and_concentrated() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        simulate_ledger(0, 42, 128, 5_000, Some(0.9), &mut a);
+        simulate_ledger(0, 42, 128, 5_000, Some(0.9), &mut b);
+        assert_eq!(a, b, "the skew overlay must replay bit-for-bit");
+        let mut plain = Vec::new();
+        simulate_ledger(0, 42, 128, 5_000, None, &mut plain);
+        assert_ne!(a, plain, "theta 0.9 must actually reshape the key stream");
+        // The overlay samples *unscrambled* ranks (rank 0 = key 0), so
+        // traffic concentrates on the head of the key range — where the
+        // shared cut lives — unlike the spec's scrambled distribution.
+        let head_touched = a[..8].iter().filter(|x| **x).count();
+        assert!(
+            head_touched > 0 || a.iter().filter(|x| **x).count() == 0,
+            "the hot head must see traffic under the skew overlay"
+        );
     }
 }

@@ -42,6 +42,11 @@ pub struct BenchRecord {
     pub max_ns: f64,
     /// The group's throughput annotation, if any.
     pub throughput: Option<Throughput>,
+    /// Auxiliary counters attached after measurement via
+    /// [`BenchmarkGroup::annotate_last`] (e.g. per-op memory-traffic
+    /// rates observed while the samples ran), serialized by
+    /// `bench-snapshot` alongside the timing fields.
+    pub counters: Vec<(String, f64)>,
 }
 
 impl BenchRecord {
@@ -133,6 +138,15 @@ impl BenchmarkGroup<'_> {
         }
     }
 
+    /// Attaches an auxiliary counter to the most recently recorded
+    /// benchmark. No-op when the last `bench_function` produced no
+    /// record (its routine never called [`Bencher::iter`]).
+    pub fn annotate_last(&mut self, key: impl Into<String>, value: f64) {
+        if let Some(record) = self.criterion.records.last_mut() {
+            record.counters.push((key.into(), value));
+        }
+    }
+
     /// Ends the group (printing is incremental; nothing to flush).
     pub fn finish(self) {}
 }
@@ -200,6 +214,7 @@ impl Bencher {
             min_ns: min,
             max_ns: max,
             throughput,
+            counters: Vec::new(),
         })
     }
 }

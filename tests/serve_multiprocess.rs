@@ -145,10 +145,10 @@ fn self_kill_census_matches_pure_replay() {
     // KILL_AT ops, then its replacement (incarnation 1, fresh seed)
     // continues over the same inherited ledger for TARGET_OPS more.
     let mut cells0 = Vec::new();
-    worker::simulate_ledger(0, coordinator::incarnation_seed(SEED, 0, 0), CAP, KILL_AT, &mut cells0);
-    worker::simulate_ledger(0, coordinator::incarnation_seed(SEED, 0, 1), CAP, TARGET_OPS, &mut cells0);
+    worker::simulate_ledger(0, coordinator::incarnation_seed(SEED, 0, 0), CAP, KILL_AT, None, &mut cells0);
+    worker::simulate_ledger(0, coordinator::incarnation_seed(SEED, 0, 1), CAP, TARGET_OPS, None, &mut cells0);
     let mut cells1 = Vec::new();
-    worker::simulate_ledger(0, coordinator::incarnation_seed(SEED, 1, 0), CAP, TARGET_OPS, &mut cells1);
+    worker::simulate_ledger(0, coordinator::incarnation_seed(SEED, 1, 0), CAP, TARGET_OPS, None, &mut cells1);
     let expected: u64 = [&cells0, &cells1]
         .iter()
         .map(|c| c.iter().filter(|live| **live).count() as u64)
@@ -197,6 +197,8 @@ fn stolen_heartbeat_kills_worker_across_processes() {
         stall_after_ops: None,
         shared_pct: 0,
         remote_batch: 1,
+        shared_skew: None,
+        combining: false,
     };
     let mut child = Command::new(serve_exe())
         .arg("worker")
@@ -338,6 +340,100 @@ fn shared_key_crash_mid_batch_stays_exact() {
     assert!(audit.phantom.is_empty(), "phantom cells: {:?}", audit.phantom);
     assert_eq!(audit.credit_excess, 0, "audit: {audit:?}");
     assert_eq!(audit.counter_delta, 0, "audit: {audit:?}");
+    assert!(report.is_clean());
+}
+
+/// Kill-at-combine chaos: workers publish their contended remote frees
+/// through the flat-combining path (`--combining`, re-pinned each
+/// governor window so it stays engaged), a Zipf θ=0.9 skew overlay
+/// concentrates traffic — and forwarded frees — on the shared hot
+/// head, and two workers SIGKILL themselves mid-stream, very likely
+/// mid-combine. The audit's credits (per-slab remote-pending, durable
+/// remote buffers, *and* batches parked in combiner-request words)
+/// must still balance the books to exactly zero lost and zero phantom
+/// blocks with a zero counter delta.
+#[test]
+fn kill_at_combine_with_skew_stays_exact() {
+    let args = RunArgs {
+        workers: 4,
+        secs: 0.0,
+        target_ops: 2500,
+        shared_pct: 50,
+        remote_batch: 8,
+        shared_skew: Some(0.9),
+        combining: true,
+        self_kills: vec![(1, 900), (2, 1300)],
+        seed: 31,
+        ..base_args("combine")
+    };
+    let report = coordinator::run(&args).expect("run");
+
+    assert_eq!(report.kills, 2, "both self-kills must fire");
+    assert_eq!(report.adoptions.len(), 2, "adoptions: {:?}", report.adoptions);
+    for adoption in &report.adoptions {
+        assert_eq!(adoption.winners, 1, "{adoption:?}");
+    }
+    assert!(report.forwarded > 0, "skewed shared keys must forward frees");
+    let audit = &report.audit;
+    assert!(audit.lost.is_empty(), "lost blocks: {:?}", audit.lost);
+    assert!(audit.phantom.is_empty(), "phantom cells: {:?}", audit.phantom);
+    assert!(audit.duplicates.is_empty(), "duplicates: {:?}", audit.duplicates);
+    assert_eq!(audit.credit_excess, 0, "audit: {audit:?}");
+    assert_eq!(audit.counter_delta, 0, "audit: {audit:?}");
+    assert!(report.is_clean());
+}
+
+/// The `--shared-skew` overlay must be mirrored *exactly* by the pure
+/// replay: partitioned keys (no forwarding), θ=0.9, an op-exact
+/// self-kill — the post-recovery census must equal `simulate_ledger`
+/// run with the same θ, block for block.
+#[test]
+fn skewed_census_matches_pure_replay() {
+    const SEED: u64 = 53;
+    const TARGET_OPS: u64 = 3000;
+    const KILL_AT: u64 = 1100;
+    const CAP: u64 = 256;
+    const THETA: f64 = 0.9;
+
+    let args = RunArgs {
+        workers: 2,
+        secs: 0.0,
+        target_ops: TARGET_OPS,
+        shared_skew: Some(THETA),
+        self_kills: vec![(0, KILL_AT)],
+        seed: SEED,
+        spec: 0,
+        ..base_args("skew-replay")
+    };
+    let report = coordinator::run(&args).expect("run");
+
+    assert_eq!(report.kills, 1);
+    assert_eq!(report.adoptions.len(), 1);
+    assert_eq!(report.adoptions[0].winners, 1);
+
+    let mut cells0 = Vec::new();
+    worker::simulate_ledger(
+        0, coordinator::incarnation_seed(SEED, 0, 0), CAP, KILL_AT, Some(THETA), &mut cells0,
+    );
+    worker::simulate_ledger(
+        0, coordinator::incarnation_seed(SEED, 0, 1), CAP, TARGET_OPS, Some(THETA), &mut cells0,
+    );
+    let mut cells1 = Vec::new();
+    worker::simulate_ledger(
+        0, coordinator::incarnation_seed(SEED, 1, 0), CAP, TARGET_OPS, Some(THETA), &mut cells1,
+    );
+    let expected: u64 = [&cells0, &cells1]
+        .iter()
+        .map(|c| c.iter().filter(|live| **live).count() as u64)
+        .sum();
+
+    assert_eq!(
+        report.audit.census_live, expected,
+        "skewed census must equal the skewed replay (audit: {:?})",
+        report.audit
+    );
+    assert_eq!(report.audit.ledger_live, expected);
+    assert_eq!(report.audit.counter_delta, 0);
     assert!(report.is_clean());
 }
 
