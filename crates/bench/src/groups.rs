@@ -43,6 +43,41 @@ pub fn bench_local_paths(c: &mut Criterion) {
             })
         });
     }
+    // Fragmentation-adversarial shape: hold the low 480 of the slab's
+    // 512 blocks so every free bit lives in the top bitset words, then
+    // churn. A scan-from-zero `find_set` walks ~7 dead words per alloc
+    // here; the first-fit rover sits right on the free bit. (The held
+    // blocks also pin the slab sized, so the churn never pays the
+    // slab-reinit path. An 8-word bitmap is short, so most of the win
+    // lives in the 8B variant below.)
+    let mut t = thread(true);
+    let held: Vec<_> = (0..480).map(|_| t.alloc(64).unwrap()).collect();
+    group.bench_function("fragmented_small_64B", |b| {
+        b.iter(|| {
+            let p = t.alloc(64).unwrap();
+            t.dealloc(p).unwrap();
+        })
+    });
+    for p in held {
+        t.dealloc(p).unwrap();
+    }
+    // The same shape on the 8-byte class, whose slab bitmap is 64 words
+    // (4096 blocks) instead of 8: hold all but the top six blocks, so a
+    // scan-from-zero alloc walks ~63 dead words while the rover (pulled
+    // back to the freed bit on every dealloc) lands exactly on the free
+    // bit. This is where first-fit-with-hint pays for itself — the 64B
+    // bitmap is too short for the scan to dominate.
+    let mut t = thread(true);
+    let held: Vec<_> = (0..4090).map(|_| t.alloc(8).unwrap()).collect();
+    group.bench_function("fragmented_small_8B", |b| {
+        b.iter(|| {
+            let p = t.alloc(8).unwrap();
+            t.dealloc(p).unwrap();
+        })
+    });
+    for p in held {
+        t.dealloc(p).unwrap();
+    }
     // The cxlalloc-nonrecoverable ablation (paper §5.2.1: ~0.3–5 %
     // difference on real hardware; higher here because the log flush is
     // a larger fraction of a simulated op).
@@ -254,6 +289,51 @@ pub fn bench_huge(c: &mut Criterion) {
             let p = t.alloc(4 << 20).unwrap();
             t.dealloc(p).unwrap();
             t.maintain();
+        })
+    });
+    group.finish();
+}
+
+/// The slab free-bit scan in isolation, on the shape a long-lived
+/// fragmented slab presents: one free bit high in an 8B-class bitmap
+/// (4096 bits), 63 all-zero words before it. `find_set_sparse` runs
+/// the allocator's strategy for that shape — `find_set_from` with a
+/// carried rover hint, so only the first probe pays the full walk —
+/// and is pinned by the CI `bench-snapshot --check` gate, so a change
+/// that silently reintroduces the full rescan fails loudly;
+/// `find_set_sparse_scan0` keeps the scan-from-zero cost visible for
+/// attribution across PRs.
+pub fn bench_bitset(c: &mut Criterion) {
+    use cxl_core::bitset::BlockBits;
+    let mut group = c.benchmark_group("bitset");
+    const PROBES: u64 = 64;
+    const NBITS: u32 = 4096;
+    const FREE_BIT: u32 = 4090;
+    group.throughput(Throughput::Elements(PROBES));
+    let pod = Pod::new(PodConfig::small_for_tests()).unwrap();
+    let mem = pod.memory().clone();
+    let core = CoreId(0);
+    let bits = BlockBits::new(mem.as_ref(), pod.layout().small.bitset_at(0), NBITS);
+    bits.set(core, FREE_BIT);
+    group.bench_function("find_set_sparse", |b| {
+        let mut hint = 0u32;
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..PROBES {
+                let bit = bits.find_set_from(core, hint).unwrap();
+                hint = bit;
+                acc = acc.wrapping_add(bit);
+            }
+            acc
+        })
+    });
+    group.bench_function("find_set_sparse_scan0", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..PROBES {
+                acc = acc.wrapping_add(bits.find_set(core).unwrap());
+            }
+            acc
         })
     });
     group.finish();
@@ -726,6 +806,7 @@ pub fn alloc_paths(c: &mut Criterion) {
 
 /// Every group of the `substrate` harness.
 pub fn substrate(c: &mut Criterion) {
+    bench_bitset(c);
     bench_cas(c);
     bench_nmp(c);
     bench_swcc_substrate(c);

@@ -1,28 +1,100 @@
-//! Prints replay fingerprints for a fixed set of seeds (classic and
-//! liveness schedule profiles). Used to confirm that substrate changes
-//! keep `sched` replay byte-identical.
+//! Recomputes every pinned golden fingerprint and, with `--bless` (or
+//! `CXL_BLESS_FINGERPRINTS=1`), rewrites
+//! `tests/common/golden_fingerprints.rs` in one pass.
+//!
+//! ```text
+//! cargo run -p cxl-core --release --example print_fingerprints
+//! cargo run -p cxl-core --release --example print_fingerprints -- --bless
+//! ```
+//!
+//! Always prints an old-vs-new diff summary, so a re-pin is a reviewed,
+//! deliberate act: every changed line names the profile and seed whose
+//! observable behaviour moved. See EXPERIMENTS.md for the protocol.
 
 use cxl_core::explore::Explorer;
-use cxl_core::sched::SimConfig;
+use cxl_core::sched::{self, FaultPlan, Schedule, SimConfig, Step};
+use cxl_pod::Pod;
+use std::fmt::Write as _;
+
+// The currently-pinned values, compiled in from the same file the
+// tests include — the diff below is exact, not parsed.
+mod golden {
+    include!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/common/golden_fingerprints.rs"
+    ));
+}
+
+/// The scripted schedule `trace_determinism.rs` pins (kept in sync
+/// with that file by hand; the pinned value moving unexpectedly is the
+/// signal that they diverged).
+fn trace_schedule() -> Schedule {
+    Schedule {
+        seed: 42,
+        hosts: 3,
+        steps: vec![
+            Step::Alloc { host: 0, size: 128 },
+            Step::Alloc { host: 1, size: 128 },
+            Step::Alloc { host: 2, size: 128 },
+            Step::Crash {
+                host: 2,
+                at: "slab::push_global::after_cas",
+                skip: 3,
+            },
+            Step::Alloc { host: 0, size: 64 },
+            Step::Recover { host: 2, via: 0 },
+            Step::Alloc { host: 2, size: 64 },
+        ],
+    }
+}
+
+fn trace_fingerprint() -> u64 {
+    let config = SimConfig {
+        hosts: 3,
+        ..SimConfig::default()
+    };
+    let pod = Pod::with_simulation(config.pod_config(), config.mode).unwrap();
+    let tracer = pod.memory().tracer().expect("sim pods carry a tracer");
+    tracer.arm();
+    sched::run_on(&pod, &config, &trace_schedule(), &FaultPlan::none()).unwrap();
+    tracer.fingerprint()
+}
+
+fn recompute(explorer: &Explorer, pinned: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    pinned
+        .iter()
+        .map(|&(seed, _)| {
+            let fp = explorer
+                .run_seed(seed)
+                .unwrap_or_else(|e| panic!("pinned seed {seed} fails outright: {e:?}"))
+                .fingerprint;
+            (seed, fp)
+        })
+        .collect()
+}
+
+fn diff(label: &str, old: &[(u64, u64)], new: &[(u64, u64)], changed: &mut usize) {
+    for (&(seed, was), &(_, now)) in old.iter().zip(new) {
+        if was == now {
+            println!("  {label:<8} seed {seed:>3}  {now:#018x}  (unchanged)");
+        } else {
+            println!("  {label:<8} seed {seed:>3}  {was:#018x} -> {now:#018x}");
+            *changed += 1;
+        }
+    }
+}
 
 fn main() {
-    let classic = Explorer::default();
-    for seed in [3u64, 11, 12, 17, 91] {
-        let r = classic.run_seed(seed).unwrap();
-        println!("classic {seed} {:#018x}", r.fingerprint);
-    }
-    let liveness = Explorer {
+    let bless = std::env::args().any(|a| a == "--bless")
+        || std::env::var("CXL_BLESS_FINGERPRINTS").is_ok_and(|v| v == "1");
+
+    let classic = recompute(&Explorer::default(), golden::CLASSIC);
+    let liveness_explorer = Explorer {
         liveness: true,
         ..Explorer::default()
     };
-    for seed in [5u64, 23, 47] {
-        let r = liveness.run_seed(seed).unwrap();
-        println!("liveness {seed} {:#018x}", r.fingerprint);
-    }
-    // The liveness profile with every PR-4 amortization enabled
-    // (batched remote frees, magazines, fence coalescing) — pins that
-    // the batched paths stay deterministic under crashes + adoption.
-    let batched = Explorer {
+    let liveness = recompute(&liveness_explorer, golden::LIVENESS);
+    let batched_explorer = Explorer {
         liveness: true,
         config: SimConfig {
             remote_free_batch: 8,
@@ -32,8 +104,81 @@ fn main() {
         },
         ..Explorer::default()
     };
-    for seed in [23u64, 47] {
-        let r = batched.run_seed(seed).unwrap();
-        println!("batched {seed} {:#018x}", r.fingerprint);
+    let batched = recompute(&batched_explorer, golden::BATCHED);
+    let trace = trace_fingerprint();
+
+    let mut changed = 0;
+    println!("golden fingerprints (old -> new):");
+    diff("classic", golden::CLASSIC, &classic, &mut changed);
+    diff("liveness", golden::LIVENESS, &liveness, &mut changed);
+    diff("batched", golden::BATCHED, &batched, &mut changed);
+    if trace == golden::TRACE_SCRIPTED {
+        println!("  trace    scripted  {trace:#018x}  (unchanged)");
+    } else {
+        println!(
+            "  trace    scripted  {:#018x} -> {trace:#018x}",
+            golden::TRACE_SCRIPTED
+        );
+        changed += 1;
     }
+    let total = classic.len() + liveness.len() + batched.len() + 1;
+    println!("{changed} of {total} pins changed");
+
+    if !bless {
+        if changed > 0 {
+            println!("run again with --bless to rewrite tests/common/golden_fingerprints.rs");
+        }
+        return;
+    }
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "// Golden replay fingerprints, pinned.\n//\n\
+         // GENERATED — regenerate with `cargo run -p cxl-core --release\n\
+         // --example print_fingerprints -- --bless` (or set\n\
+         // CXL_BLESS_FINGERPRINTS=1), which re-runs every pinned schedule,\n\
+         // prints an old-vs-new diff summary, and rewrites this file. See\n\
+         // EXPERIMENTS.md (\"Golden-fingerprint re-pin protocol\") for when a\n\
+         // re-pin is legitimate.\n//\n\
+         // A fingerprint mixes every step outcome, allocated offset, live-set\n\
+         // length, and recovery outcome of a run — so these constants change\n\
+         // only when the allocator's *observable* behaviour changes, never from\n\
+         // pure substrate optimizations (caches, shadows, counters).\n\n\
+         /// Classic explorer profile (`Explorer::default()`): (seed, fingerprint).\n\
+         pub const CLASSIC: &[(u64, u64)] = &[\n"
+    );
+    for (seed, fp) in &classic {
+        let _ = writeln!(out, "    ({seed}, {fp:#018x}),");
+    }
+    let _ = write!(
+        out,
+        "];\n\n/// Liveness profile (`liveness: true`): (seed, fingerprint).\n\
+         pub const LIVENESS: &[(u64, u64)] = &[\n"
+    );
+    for (seed, fp) in &liveness {
+        let _ = writeln!(out, "    ({seed}, {fp:#018x}),");
+    }
+    let _ = write!(
+        out,
+        "];\n\n/// Liveness profile with batched remote frees, magazines, and fence\n\
+         /// coalescing (PR 4): (seed, fingerprint).\n\
+         pub const BATCHED: &[(u64, u64)] = &[\n"
+    );
+    for (seed, fp) in &batched {
+        let _ = writeln!(out, "    ({seed}, {fp:#018x}),");
+    }
+    let _ = write!(
+        out,
+        "];\n\n/// Trace-stream fingerprint of the scripted crash/recovery schedule in\n\
+         /// `trace_determinism.rs` (tracer armed, 3 hosts, seed 42).\n\
+         pub const TRACE_SCRIPTED: u64 = {trace:#018x};\n"
+    );
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/common/golden_fingerprints.rs"
+    );
+    std::fs::write(path, out).expect("write golden_fingerprints.rs");
+    println!("blessed {path}");
 }

@@ -134,6 +134,30 @@ pub struct AttachOptions {
     /// durable log then names the last *completed* op, whose redo is
     /// idempotent (DESIGN.md §9.3).
     pub coalesce_fences: bool,
+    /// Start each slab's allocation scan from its first-fit rover — a
+    /// volatile per-slab hint in the owner's descriptor shadow,
+    /// advanced past each allocation and pulled back to each locally
+    /// freed bit — instead of rescanning the bitmap from word zero.
+    /// Any hint value is safe (the scan
+    /// re-validates every word against the durable bitset, wrapping
+    /// around), and recovery is unaffected: the `AllocBlock` oplog word
+    /// records the *chosen* bit, so redo never depends on scan order.
+    /// `false` reproduces the scan-from-zero behavior of earlier
+    /// rounds, for differential testing and ablation benches.
+    pub rover: bool,
+    /// Empty-slab hysteresis: when a local free empties a slab that is
+    /// the *only* slab on its sized list, keep it there (sized, fully
+    /// free) instead of moving it to the unsized list. The next
+    /// same-class allocation then takes a block directly, skipping the
+    /// unsized-pop + full slab re-init (header, count, bitset,
+    /// remote-counter rewrite) that dominates tight alloc/free cycles.
+    /// Bounded: at most one empty slab per (thread, class) is retained,
+    /// and only while its list would otherwise go empty. An empty sized
+    /// slab is a valid Figure-4 state for every checker; crash recovery
+    /// still normalizes empty slabs to the unsized list (the paper's
+    /// transition), so the hysteresis is purely a live-path policy.
+    /// `false` reproduces the paper's eager empty transition.
+    pub retain_empty: bool,
     /// Permit contention-adaptive flat-combining of remote-free
     /// publications (DESIGN.md §13): when the per-thread governor
     /// observes a high CAS-retry rate on the publish path, batched
@@ -154,6 +178,8 @@ impl Default for AttachOptions {
             remote_free_batch: 1,
             magazine_capacity: 0,
             coalesce_fences: false,
+            rover: true,
+            retain_empty: true,
             combining: false,
         }
     }
@@ -316,6 +342,8 @@ impl Cxlalloc {
             magazines,
             comb,
             coalesce_fences: self.inner.options.coalesce_fences,
+            rover: self.inner.options.rover,
+            retain_empty: self.inner.options.retain_empty,
         }
     }
 
@@ -946,6 +974,27 @@ impl ThreadHandle {
     /// Huge-heap volatile state (inspection for tests).
     pub fn huge_state(&self) -> &HugeThread {
         &self.huge
+    }
+
+    /// Test hook: clobbers the volatile first-fit rover of the slab
+    /// containing `ptr` with an arbitrary value. The rover is advisory
+    /// — `find_set_from` revalidates every word against the durable
+    /// bitset and wraps to zero — so no value can make an allocation
+    /// incorrect; tests use this hook to prove exactly that.
+    #[doc(hidden)]
+    pub fn debug_set_rover(&self, ptr: OffsetPtr, rover: u32) {
+        let mem = self.heap.mem();
+        let layout = mem.layout();
+        let offset = ptr.offset();
+        let (heap, hl) = if layout.small.data.contains(offset) {
+            (&self.heap.inner.small, &layout.small)
+        } else if layout.large.data.contains(offset) {
+            (&self.heap.inner.large, &layout.large)
+        } else {
+            panic!("debug_set_rover: {offset:#x} is not a slab-heap pointer");
+        };
+        let slab = hl.slab_of(offset).expect("offset is in the data region");
+        self.shadow.set_rover(mem, self.core, heap.kind, slab, rover);
     }
 
     /// Pins this thread's flat-combining governor: `boost > 0` engages

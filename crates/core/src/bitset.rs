@@ -91,10 +91,41 @@ impl<'m> BlockBits<'m> {
 
     /// Finds the lowest set (free) bit, if any.
     pub fn find_set(&self, core: CoreId) -> Option<u32> {
-        for w in 0..self.words() {
+        self.find_set_from(core, 0)
+    }
+
+    /// Finds the next set (free) bit at or after `start`, wrapping to the
+    /// bits below `start` when the tail holds none — the rover scan. `start` is a *hint*: any value (even out of range, which is
+    /// treated as 0) yields a correct answer, because every candidate
+    /// word is re-read from the durable bitset; only the scan order —
+    /// never the result's validity — depends on it.
+    ///
+    /// With `start == 0` the word loads are exactly those of the classic
+    /// scan-from-zero, so paths that do not carry a rover are
+    /// byte-identical in the simulated-traffic model.
+    pub fn find_set_from(&self, core: CoreId, start: u32) -> Option<u32> {
+        let words = self.words();
+        if words == 0 {
+            return None;
+        }
+        let (w0, bit0) = if start < self.nbits {
+            (start / 64, start % 64)
+        } else {
+            (0, 0)
+        };
+        // When the scan starts mid-word, the first word is visited twice:
+        // high bits first, then (after a full wrap) its low bits.
+        let extra = (bit0 != 0) as u32;
+        for i in 0..words + extra {
+            let w = (w0 + i) % words;
             let mut word = self.mem.load_u64(core, self.word_offset(w));
-            if w == self.words() - 1 && !self.nbits.is_multiple_of(64) {
+            if w == words - 1 && !self.nbits.is_multiple_of(64) {
                 word &= (1u64 << (self.nbits % 64)) - 1;
+            }
+            if i == 0 {
+                word &= !0u64 << bit0;
+            } else if i == words {
+                word &= (1u64 << bit0) - 1;
             }
             if word != 0 {
                 return Some(w * 64 + word.trailing_zeros());
@@ -104,30 +135,50 @@ impl<'m> BlockBits<'m> {
     }
 
     /// Sets all `nbits` bits (slab initialization: every block free) and
-    /// zeroes any tail bits of the last word.
+    /// zeroes any tail bits of the last word. Full words go through the
+    /// backend's bulk span store, so simulated backends charge one
+    /// contiguous traversal instead of per-word round trips.
     pub fn set_all(&self, core: CoreId) {
-        for w in 0..self.words() {
-            let mut word = u64::MAX;
-            if w == self.words() - 1 && !self.nbits.is_multiple_of(64) {
-                word = (1u64 << (self.nbits % 64)) - 1;
-            }
-            self.mem.store_u64(core, self.word_offset(w), word);
+        const ONES: [u64; SPAN_WORDS] = [u64::MAX; SPAN_WORDS];
+        let full = self.nbits / 64;
+        let mut w = 0;
+        while w < full {
+            let n = ((full - w) as usize).min(SPAN_WORDS);
+            self.mem.store_u64_span(core, self.word_offset(w), &ONES[..n]);
+            w += n as u32;
+        }
+        if !self.nbits.is_multiple_of(64) {
+            self.mem
+                .store_u64(core, self.word_offset(full), (1u64 << (self.nbits % 64)) - 1);
         }
     }
 
-    /// Counts set (free) bits.
+    /// Counts set (free) bits. Full words are read through the backend's
+    /// bulk span load (the `detector_tick` fast path); the masked tail
+    /// word stays a scalar load.
     pub fn count_set(&self, core: CoreId) -> u32 {
+        let mut buf = [0u64; SPAN_WORDS];
+        let full = self.nbits / 64;
         let mut count = 0;
-        for w in 0..self.words() {
-            let mut word = self.mem.load_u64(core, self.word_offset(w));
-            if w == self.words() - 1 && !self.nbits.is_multiple_of(64) {
-                word &= (1u64 << (self.nbits % 64)) - 1;
-            }
-            count += word.count_ones();
+        let mut w = 0;
+        while w < full {
+            let n = ((full - w) as usize).min(SPAN_WORDS);
+            let dst = &mut buf[..n];
+            self.mem.load_u64_span(core, self.word_offset(w), dst);
+            count += dst.iter().map(|x| x.count_ones()).sum::<u32>();
+            w += n as u32;
+        }
+        if !self.nbits.is_multiple_of(64) {
+            let word = self.mem.load_u64(core, self.word_offset(full));
+            count += (word & ((1u64 << (self.nbits % 64)) - 1)).count_ones();
         }
         count
     }
 }
+
+/// Stack-buffer width for bulk span transfers: covers the deepest slab
+/// bitset (the 8-byte class, 4096 blocks = 64 words) in one span.
+const SPAN_WORDS: usize = 64;
 
 #[cfg(test)]
 mod tests {
@@ -192,6 +243,73 @@ mod tests {
             narrow.clear(core, bit);
         }
         assert_eq!(narrow.find_set(core), None, "tail bits must be masked");
+    }
+
+    #[test]
+    fn find_set_from_wraps_and_matches_scan(){
+        let (pod, base) = fixture();
+        let core = CoreId(0);
+        for nbits in [1u32, 63, 64, 65, 130, 512, 4096] {
+            let bits = BlockBits::new(pod.memory().as_ref(), base, nbits);
+            // A sparse pattern: a few set bits scattered over the range.
+            let set: Vec<u32> = [0u32, 1, 62, 63, 64, 100, 511, 4090]
+                .iter()
+                .copied()
+                .filter(|&b| b < nbits)
+                .collect();
+            for bit in 0..nbits {
+                bits.clear(core, bit);
+            }
+            for &b in &set {
+                bits.set(core, b);
+            }
+            for start in 0..nbits.min(200) {
+                // Reference: first set bit >= start, else wrap to lowest.
+                let expected = set
+                    .iter()
+                    .copied()
+                    .find(|&b| b >= start)
+                    .or_else(|| set.first().copied());
+                assert_eq!(
+                    bits.find_set_from(core, start),
+                    expected,
+                    "nbits={nbits} start={start}"
+                );
+            }
+            // Out-of-range hints degrade to scan-from-zero.
+            assert_eq!(bits.find_set_from(core, nbits + 7), set.first().copied());
+            assert_eq!(bits.find_set_from(core, u32::MAX), set.first().copied());
+        }
+    }
+
+    #[test]
+    fn find_set_from_empty_bitset() {
+        let (pod, base) = fixture();
+        let core = CoreId(0);
+        let bits = BlockBits::new(pod.memory().as_ref(), base, 130);
+        for bit in 0..130 {
+            bits.clear(core, bit);
+        }
+        for start in [0u32, 1, 63, 64, 129, 500] {
+            assert_eq!(bits.find_set_from(core, start), None);
+        }
+    }
+
+    #[test]
+    fn find_set_from_tail_bits_masked() {
+        let (pod, base) = fixture();
+        let core = CoreId(0);
+        // Pollute the word beyond nbits, then check the narrow view
+        // never reports a tail bit no matter where the rover starts.
+        let wide = BlockBits::new(pod.memory().as_ref(), base, 128);
+        wide.set_all(core);
+        let narrow = BlockBits::new(pod.memory().as_ref(), base, 70);
+        for bit in 0..70 {
+            narrow.clear(core, bit);
+        }
+        for start in 0..70 {
+            assert_eq!(narrow.find_set_from(core, start), None, "start={start}");
+        }
     }
 
     #[test]

@@ -43,6 +43,14 @@ pub(crate) struct Ctx<'m> {
     /// Whether log clears may defer their durability to the next
     /// operation's `begin` flush (fence coalescing).
     pub coalesce_fences: bool,
+    /// Whether allocation scans start from the per-slab first-fit
+    /// rover hint in the shadow (`false` reproduces scan-from-zero, for the
+    /// rover differential tests and ablation benches).
+    pub rover: bool,
+    /// Whether a thread's last emptied slab may stay on its sized list
+    /// (empty-slab hysteresis) instead of cycling through the unsized
+    /// list and a full re-init on the next same-class allocation.
+    pub retain_empty: bool,
 }
 
 impl<'m> Ctx<'m> {

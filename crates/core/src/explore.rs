@@ -231,9 +231,10 @@ mod tests {
             ..Explorer::default()
         };
         // Find a failing seed (with list sanitization in recovery the
-        // allocator shrugs off most dropped flushes, so scan wide —
-        // roughly 2% of seeds fail under this plan).
-        let seed = (0..100u64)
+        // allocator shrugs off most dropped flushes — and empty-slab
+        // hysteresis removed most descriptor-rewrite flushes from the
+        // local path — so scan wide; under 1% of seeds fail now).
+        let seed = (0..300u64)
             .find(|&s| explorer.run_seed(s).is_err())
             .expect("dropping all core-0 flushes must corrupt some schedule");
         let schedule = explorer.schedule_for(seed);

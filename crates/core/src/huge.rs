@@ -54,6 +54,12 @@ pub struct HugeThread {
     pub free: IntervalTree,
     /// Free descriptor slots in this thread's pool.
     pub desc_slots: Vec<u32>,
+    /// Next-fit rover for the reservation-array scan: the region after
+    /// this thread's most recent successful claim. Volatile (rebuilt as
+    /// 0 by recovery) and advisory — `claim_regions` falls back to a
+    /// scan from region 0 before reporting exhaustion, so a stale hint
+    /// never hides a free run.
+    pub region_rover: u32,
 }
 
 /// A decoded `HugeDesc`.
@@ -134,22 +140,39 @@ impl HugeHeap {
         let hl = self.hl(ctx.mem);
         let dcas = ctx.dcas();
         'scan: loop {
-            // Find a candidate run of unowned regions.
+            // Find a candidate run of unowned regions, starting at the
+            // thread's region rover (next-fit over the reservation
+            // array). Runs cannot wrap — regions in a run must be
+            // virtually contiguous — so a failed pass from the hint
+            // falls back to one full pass from region 0 before we
+            // report exhaustion.
+            let start_hint = if ctx.rover {
+                st.region_rover.min(hl.num_regions)
+            } else {
+                0
+            };
             let mut run_start = None;
             let mut run_len = 0;
-            for r in 0..hl.num_regions {
-                if self.region_owner(ctx.mem, ctx.core, r) == 0 {
-                    if run_start.is_none() {
-                        run_start = Some(r);
+            'passes: for pass in [start_hint, 0] {
+                run_start = None;
+                run_len = 0;
+                for r in pass..hl.num_regions {
+                    if self.region_owner(ctx.mem, ctx.core, r) == 0 {
+                        if run_start.is_none() {
+                            run_start = Some(r);
+                            run_len = 0;
+                        }
+                        run_len += 1;
+                        if run_len == count {
+                            break 'passes;
+                        }
+                    } else {
+                        run_start = None;
                         run_len = 0;
                     }
-                    run_len += 1;
-                    if run_len == count {
-                        break;
-                    }
-                } else {
-                    run_start = None;
-                    run_len = 0;
+                }
+                if pass == 0 {
+                    break;
                 }
             }
             let Some(start) = run_start else {
@@ -197,6 +220,7 @@ impl HugeHeap {
                 ctx.log().clear(ctx.core);
                 st.free.insert(hl.region_data_at(r), hl.region_size);
             }
+            st.region_rover = start + count;
             return true;
         }
     }

@@ -861,10 +861,14 @@ fn exec_step(
 /// the global list) plus one huge alloc/free/cleanup round, so every
 /// `CRASH_POINTS` label is reachable.
 fn churn(handle: &mut ThreadHandle) -> Result<(), String> {
-    let mut scratch = Vec::with_capacity(760);
-    // A same-size batch large enough to fill (and detach/unlink) whole
-    // slabs, so the slab-full paths are reachable too.
-    for _ in 0..600usize {
+    let mut scratch = Vec::with_capacity(2560);
+    // A same-size batch large enough to fill (and detach/unlink) several
+    // whole slabs, so the slab-full paths are reachable and — with
+    // empty-slab hysteresis retaining the last emptied slab per class —
+    // multiple emptied slabs still reach the unsized list and overflow
+    // it (tight limit), keeping the `push_global` labels live at the
+    // deeper skip counts schedules ask for.
+    for _ in 0..2400usize {
         match handle.alloc(64) {
             Ok(p) => scratch.push(p),
             Err(AllocError::OutOfMemory { .. }) => break,
@@ -882,9 +886,10 @@ fn churn(handle: &mut ThreadHandle) -> Result<(), String> {
         handle.dealloc(p).map_err(|e| format!("churn dealloc: {e}"))?;
     }
     // Everything is free: surplus slabs overflowed to the global list
-    // (tight unsized limit). A second wave pops them back off it.
-    let mut again = Vec::with_capacity(600);
-    for _ in 0..600usize {
+    // (tight unsized limit). A second wave — deep enough to outgrow the
+    // retained slab plus the unsized list — pops them back off it.
+    let mut again = Vec::with_capacity(2560);
+    for _ in 0..2400usize {
         match handle.alloc(64) {
             Ok(p) => again.push(p),
             Err(AllocError::OutOfMemory { .. }) => break,

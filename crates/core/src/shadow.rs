@@ -61,6 +61,16 @@ struct Entry {
     header: u64,
     count: u64,
     flags: u8,
+    /// First-fit rover: where the next `find_set_from` scan starts.
+    /// Allocation advances it past the chosen bit; a local free pulls
+    /// it back to the freed bit, so on the owner's local path no free
+    /// bit lies below it and the scan finds the first free block at
+    /// one-word cost. Purely volatile — a *hint*, never written back,
+    /// dropped with the entry — because any start value yields a
+    /// correct scan (the durable bitset is re-validated word by word,
+    /// wrapping to zero) and the `AllocBlock` oplog word records the
+    /// chosen bit, so recovery never depends on scan order.
+    rover: u32,
 }
 
 const EMPTY: Entry = Entry {
@@ -68,6 +78,7 @@ const EMPTY: Entry = Entry {
     header: 0,
     count: 0,
     flags: 0,
+    rover: 0,
 };
 
 fn kind_tag(kind: HeapKind) -> u64 {
@@ -212,6 +223,27 @@ impl DescShadow {
         self.write_back
     }
 
+    /// The cached first-fit rover for `(kind, slab)`: 0 (scan from the
+    /// bottom) when the entry is absent — a cold shadow just degrades to
+    /// the classic scan.
+    pub fn rover(&self, kind: HeapKind, slab: u32) -> u32 {
+        let entry = self.slots[slot_of(kind, slab)].get();
+        if entry.key == key_of(kind, slab) {
+            entry.rover
+        } else {
+            0
+        }
+    }
+
+    /// Records the first-fit rover for `(kind, slab)`. Volatile: never
+    /// marks the entry dirty and is never written back — see
+    /// [`Entry::rover`].
+    pub fn set_rover(&self, mem: &dyn PodMemory, core: CoreId, kind: HeapKind, slab: u32, rover: u32) {
+        let mut entry = self.entry_for(mem, core, kind, slab);
+        entry.rover = rover;
+        self.slots[slot_of(kind, slab)].set(entry);
+    }
+
     /// Records a free-count store; as [`DescShadow::store_header`].
     pub fn store_count(&self, mem: &dyn PodMemory, core: CoreId, kind: HeapKind, slab: u32, count: u64) -> bool {
         let mut entry = self.entry_for(mem, core, kind, slab);
@@ -342,6 +374,26 @@ mod tests {
     fn small_and_large_do_not_collide() {
         assert_ne!(slot_of(HeapKind::Small, 0), slot_of(HeapKind::Large, 0));
         assert_ne!(slot_of(HeapKind::Small, 7), slot_of(HeapKind::Large, 7));
+    }
+
+    #[test]
+    fn rover_is_volatile_and_dies_with_the_entry() {
+        let pod = raw_mem();
+        let mem = pod.memory().as_ref();
+        let core = CoreId(0);
+        let shadow = DescShadow::new(HwccMode::Full);
+        assert_eq!(shadow.rover(HeapKind::Small, 9), 0, "cold shadow scans from 0");
+        shadow.set_rover(mem, core, HeapKind::Small, 9, 137);
+        assert_eq!(shadow.rover(HeapKind::Small, 9), 137);
+        // Dropping the entry forgets the hint without touching memory.
+        shadow.drop_entry(mem, core, HeapKind::Small, 9);
+        assert_eq!(shadow.rover(HeapKind::Small, 9), 0);
+        // A conflicting resident evicts the hint along with the entry.
+        shadow.set_rover(mem, core, HeapKind::Small, 9, 23);
+        let conflicting = 9 + (SLOTS / 2) as u32;
+        shadow.set_rover(mem, core, HeapKind::Small, conflicting, 5);
+        assert_eq!(shadow.rover(HeapKind::Small, 9), 0);
+        assert_eq!(shadow.rover(HeapKind::Small, conflicting), 5);
     }
 
     #[test]

@@ -48,6 +48,7 @@ use cxl_pod::{CoreId, HeapLayout, PodMemory};
 /// Crash-point labels compiled into this module (white-box failure
 /// tests iterate these).
 pub const CRASH_POINTS: &[&str] = &[
+    "slab::alloc_block::rover",
     "slab::alloc_block::after_log",
     "slab::alloc_block::after_clear",
     "slab::alloc_block::after_deliver",
@@ -599,9 +600,24 @@ impl SlabHeap {
     /// list for `class`), handling the full-slab transition.
     fn alloc_block(&self, ctx: &Ctx<'_>, slab: u32, class: u8, detect_dst: u64) -> u64 {
         let bits = self.bits(ctx, slab, class);
+        // Next-fit: start the scan at the volatile per-slab rover hint.
+        // Any hint value is safe — the scan re-validates the durable
+        // bitset word by word and wraps — and the log word below records
+        // the *chosen* bit, so recovery never depends on scan order. A
+        // crash here loses only the hint.
+        let hint = match ctx.shadow {
+            Some(shadow) if ctx.rover => shadow.rover(self.kind, slab),
+            _ => 0,
+        };
         let bit = bits
-            .find_set(ctx.core)
+            .find_set_from(ctx.core, hint)
             .expect("sized-list invariant: slabs on sized lists are non-full");
+        ctx.crash_point("slab::alloc_block::rover");
+        if let Some(shadow) = ctx.shadow {
+            if ctx.rover {
+                shadow.set_rover(ctx.mem, ctx.core, self.kind, slab, bit + 1);
+            }
+        }
         ctx.log().begin(
             ctx.core,
             LogWord {
@@ -643,6 +659,13 @@ impl SlabHeap {
         detect_dst: u64,
     ) -> u64 {
         let bits = self.bits(ctx, slab, class);
+        // Keep the first-fit rover moving even on the magazine path, so
+        // a later scan resumes past the block the hint just consumed.
+        if let Some(shadow) = ctx.shadow {
+            if ctx.rover {
+                shadow.set_rover(ctx.mem, ctx.core, self.kind, slab, bit + 1);
+            }
+        }
         ctx.log().begin(
             ctx.core,
             LogWord {
@@ -782,24 +805,58 @@ impl SlabHeap {
             // It was detached (full + owned + unlinked): re-link it.
             self.push_local(ctx, self.sized_head_off(ctx, class), slab);
         }
+        let mut stayed_sized = true;
         if now_free == self.classes.blocks_per_slab(class) {
-            // Fully empty: move from the sized list to the unsized list.
-            self.remove_local(ctx, self.sized_head_off(ctx, class), slab);
-            let mut h = self.header(ctx, slab);
-            h.class = 0;
-            h.flags = 0;
-            self.set_header(ctx, slab, h);
-            self.push_local(ctx, self.unsized_head_off(ctx), slab);
+            // Fully empty. Hysteresis: when this is the *only* slab on
+            // the thread's sized list for its class, keep it sized — the
+            // next same-class allocation reuses it directly instead of
+            // paying the unsized-push + full re-init cycle (header,
+            // count, bitset `set_all`, HWcc counter, `InitSlab` log
+            // record). Retention is bounded to one empty slab per
+            // (thread, class): keeping requires a singleton list, and no
+            // second slab joins while the retained one still has free
+            // blocks. Recovery is untouched — `normalize_slab` still
+            // maps a crashed empty slab to the unsized list, which is a
+            // valid (paper Figure-4) state the next allocation handles.
+            let alone = ctx.retain_empty
+                && self.head_of(ctx, self.sized_head_off(ctx, class)) == Some(slab)
+                && self.header(ctx, slab).next == 0;
+            if !alone {
+                // Move from the sized list to the unsized list.
+                self.remove_local(ctx, self.sized_head_off(ctx, class), slab);
+                let mut h = self.header(ctx, slab);
+                h.class = 0;
+                h.flags = 0;
+                self.set_header(ctx, slab, h);
+                self.push_local(ctx, self.unsized_head_off(ctx), slab);
+                stayed_sized = false;
+            }
         }
         ctx.crash_point("slab::free_local::after_relink");
         ctx.log().clear_relaxed(ctx.core);
-        if now_free != self.classes.blocks_per_slab(class) {
+        if stayed_sized {
             // The slab stayed sized and owned: hint the freed block to
             // the magazine so the next same-class alloc can skip the
-            // bitset scan. (An emptied slab moved to the unsized list;
-            // hinting it would only produce a stale, discarded hint.)
+            // bitset scan. (A slab demoted to the unsized list would
+            // only produce a stale, discarded hint.)
             if let Some(mags) = ctx.magazines {
                 mags.push(self.kind, class, slab, bit);
+            }
+            // Pull the rover back to the freed bit. Without this the
+            // hint is pure next-fit: it marches past freed-behind
+            // blocks until it falls off the end of the bitmap and the
+            // wrap pass pays a full scan-from-zero — on a
+            // fragmentation-adversarial shape that is every few
+            // operations. With the pull-back the owner maintains
+            // "no free bit below the rover" across *local* frees, so
+            // `find_set_from` degenerates to exact first-fit at
+            // one-word cost. Remote frees don't update the hint (the
+            // freer doesn't own the shadow); the wrap pass in
+            // `find_set_from` keeps those reachable.
+            if let Some(shadow) = ctx.shadow {
+                if ctx.rover && bit < shadow.rover(self.kind, slab) {
+                    shadow.set_rover(ctx.mem, ctx.core, self.kind, slab, bit);
+                }
             }
         }
         self.release_overflow(ctx);

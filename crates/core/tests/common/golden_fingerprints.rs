@@ -1,0 +1,40 @@
+// Golden replay fingerprints, pinned.
+//
+// GENERATED — regenerate with `cargo run -p cxl-core --release
+// --example print_fingerprints -- --bless` (or set
+// CXL_BLESS_FINGERPRINTS=1), which re-runs every pinned schedule,
+// prints an old-vs-new diff summary, and rewrites this file. See
+// EXPERIMENTS.md ("Golden-fingerprint re-pin protocol") for when a
+// re-pin is legitimate.
+//
+// A fingerprint mixes every step outcome, allocated offset, live-set
+// length, and recovery outcome of a run — so these constants change
+// only when the allocator's *observable* behaviour changes, never from
+// pure substrate optimizations (caches, shadows, counters).
+
+/// Classic explorer profile (`Explorer::default()`): (seed, fingerprint).
+pub const CLASSIC: &[(u64, u64)] = &[
+    (3, 0xe07ff893a929d366),
+    (11, 0x36f865dd1093456b),
+    (12, 0x078e3b534aaae6df),
+    (17, 0x1a24f90193625841),
+    (91, 0x18c983f23fa04836),
+];
+
+/// Liveness profile (`liveness: true`): (seed, fingerprint).
+pub const LIVENESS: &[(u64, u64)] = &[
+    (5, 0x3e653b5093fbfb23),
+    (23, 0xbd3d5b821137b186),
+    (47, 0x19293bac26aebed6),
+];
+
+/// Liveness profile with batched remote frees, magazines, and fence
+/// coalescing (PR 4): (seed, fingerprint).
+pub const BATCHED: &[(u64, u64)] = &[
+    (23, 0x55b495b7daa34c14),
+    (47, 0x1234099ff258b1e4),
+];
+
+/// Trace-stream fingerprint of the scripted crash/recovery schedule in
+/// `trace_determinism.rs` (tracer armed, 3 hosts, seed 42).
+pub const TRACE_SCRIPTED: u64 = 0x51c9a9d296a92ea4;

@@ -81,6 +81,91 @@ proptest! {
     }
 
     #[test]
+    fn rover_and_scan_from_zero_allocate_equivalently(
+        ops in proptest::collection::vec(alloc_op(), 1..300)
+    ) {
+        // Differential oracle for the first-fit rover: the same op
+        // sequence driven against a rover-guided heap and a
+        // scan-from-zero heap must agree on every observable outcome —
+        // per-op success, map-oracle validity (disjoint in-bounds
+        // blocks), live-byte totals, the per-class live multiset, and
+        // the slab-level trajectory (the rover only reorders bits
+        // *within* a slab; slab fill/empty events are unchanged).
+        let mk = |rover: bool| {
+            let pod = Pod::new(PodConfig {
+                small_max_slabs: 256,
+                ..PodConfig::small_for_tests()
+            }).unwrap();
+            let heap = Cxlalloc::attach(
+                pod.spawn_process(),
+                AttachOptions { rover, ..AttachOptions::default() },
+            ).unwrap();
+            (pod, heap)
+        };
+        let (pod_r, heap_r) = mk(true);
+        let (_pod_z, heap_z) = mk(false);
+        let mut tr = heap_r.register_thread().unwrap();
+        let mut tz = heap_z.register_thread().unwrap();
+        let mut live_r: Vec<(OffsetPtr, usize)> = Vec::new();
+        let mut live_z: Vec<(OffsetPtr, usize)> = Vec::new();
+        let mut shadow_r: HashMap<u64, usize> = HashMap::new();
+
+        for op in ops {
+            match op {
+                AllocOp::Alloc(size) => {
+                    let pr = tr.alloc(size);
+                    let pz = tz.alloc(size);
+                    prop_assert_eq!(pr.is_ok(), pz.is_ok(), "success diverged for size {}", size);
+                    let (Ok(pr), Ok(pz)) = (pr, pz) else { continue };
+                    // Map oracle on the rover heap: in some data
+                    // region, disjoint from every live block.
+                    prop_assert!(pod_r.layout().is_data(pr.offset()));
+                    for (&o, &s) in &shadow_r {
+                        prop_assert!(
+                            pr.offset() + size as u64 <= o || pr.offset() >= o + s as u64,
+                            "rover block [{:#x}+{}) overlaps [{:#x}+{})",
+                            pr.offset(), size, o, s
+                        );
+                    }
+                    shadow_r.insert(pr.offset(), size);
+                    live_r.push((pr, size));
+                    live_z.push((pz, size));
+                }
+                AllocOp::FreeOldest if !live_r.is_empty() => {
+                    let (pr, _) = live_r.remove(0);
+                    let (pz, _) = live_z.remove(0);
+                    shadow_r.remove(&pr.offset());
+                    prop_assert_eq!(tr.dealloc(pr).is_ok(), tz.dealloc(pz).is_ok());
+                }
+                AllocOp::FreeNewest if !live_r.is_empty() => {
+                    let (pr, _) = live_r.pop().unwrap();
+                    let (pz, _) = live_z.pop().unwrap();
+                    shadow_r.remove(&pr.offset());
+                    prop_assert_eq!(tr.dealloc(pr).is_ok(), tz.dealloc(pz).is_ok());
+                }
+                _ => {}
+            }
+        }
+        // Identical live multisets (trivially same sizes — the real
+        // content is that both heaps survived the same trajectory) and
+        // identical slab-level state.
+        let bytes = |l: &Vec<(OffsetPtr, usize)>| l.iter().map(|&(_, s)| s as u64).sum::<u64>();
+        prop_assert_eq!(bytes(&live_r), bytes(&live_z));
+        let slabs_r = heap_r.stats();
+        let slabs_z = heap_z.stats();
+        prop_assert_eq!(slabs_r.small_slabs, slabs_z.small_slabs, "small slab counts diverged");
+        prop_assert_eq!(slabs_r.large_slabs, slabs_z.large_slabs, "large slab counts diverged");
+        for (p, _) in live_r {
+            tr.dealloc(p).unwrap();
+        }
+        for (p, _) in live_z {
+            tz.dealloc(p).unwrap();
+        }
+        prop_assert!(heap_r.check_invariants(tr.core()).is_ok());
+        prop_assert!(heap_z.check_invariants(tz.core()).is_ok());
+    }
+
+    #[test]
     fn size_class_serves_at_least_requested(size in 1usize..=(512 << 10)) {
         use cxl_core::class::{LARGE_CLASSES_TABLE, SMALL_CLASSES_TABLE};
         let table = if size <= 1024 { &SMALL_CLASSES_TABLE } else { &LARGE_CLASSES_TABLE };

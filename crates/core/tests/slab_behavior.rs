@@ -35,12 +35,73 @@ fn blocks_within_a_slab_are_disjoint() {
 
 #[test]
 fn freed_blocks_are_reused() {
+    // The first-fit rover (default) pulls back to the freed bit on a
+    // local free, so the classic lowest-bit reuse behavior survives:
+    // the freed block comes right back.
     let (_pod, heap) = setup();
     let mut t = heap.register_thread().unwrap();
     let a = t.alloc(64).unwrap();
     t.dealloc(a).unwrap();
     let b = t.alloc(64).unwrap();
-    assert_eq!(a, b, "local free list should hand the block right back");
+    assert_eq!(a, b, "freed block must be handed right back");
+}
+
+#[test]
+fn freed_blocks_are_reused_exactly_without_rover() {
+    // The scan-from-zero ablation (`rover: false`) preserves the
+    // classic lowest-bit-first policy: the freed block comes right back.
+    let pod = Pod::new(PodConfig::small_for_tests()).unwrap();
+    let heap = Cxlalloc::attach(
+        pod.spawn_process(),
+        AttachOptions {
+            rover: false,
+            ..AttachOptions::default()
+        },
+    )
+    .unwrap();
+    let mut t = heap.register_thread().unwrap();
+    let a = t.alloc(64).unwrap();
+    t.dealloc(a).unwrap();
+    let b = t.alloc(64).unwrap();
+    assert_eq!(a, b, "scan-from-zero should hand the block right back");
+}
+
+#[test]
+fn stale_or_ahead_rover_hints_are_revalidated() {
+    // The rover is an advisory start position, never trusted: the scan
+    // revalidates every word against the durable bitset and wraps to
+    // zero. Clobber it with every flavor of wrong value — pointing at
+    // allocated blocks, at the end of the bitmap, past the end, and at
+    // absurd magnitudes — and allocation must still hand out a block
+    // that is genuinely free.
+    let (_pod, heap) = setup();
+    let mut t = heap.register_thread().unwrap();
+    // Fill the low 64 bits of the first slab's 512-block bitmap, so
+    // "allocated territory" (bits 0..64) and "free territory" both exist.
+    let mut live: Vec<OffsetPtr> = (0..64).map(|_| t.alloc(64).unwrap()).collect();
+    let seen: HashSet<u64> = live.iter().map(|p| p.offset()).collect();
+    for bogus in [3u32, 63, 500, 511, 512, 513, 4096, u32::MAX] {
+        t.debug_set_rover(live[0], bogus);
+        let p = t.alloc(64).unwrap();
+        assert!(
+            !seen.contains(&p.offset()),
+            "rover hint {bogus} handed out a live block at {p}"
+        );
+        t.dealloc(p).unwrap();
+    }
+    // A hint above a free-but-behind block must still find it: fill the
+    // slab completely, open one low hole, point the rover at the top,
+    // and expect the wrap pass to land on the hole.
+    let refill: Vec<OffsetPtr> = (0..448).map(|_| t.alloc(64).unwrap()).collect();
+    let low = live.remove(0);
+    t.dealloc(low).unwrap();
+    t.debug_set_rover(live[0], 511);
+    let back = t.alloc(64).unwrap();
+    assert_eq!(back, low, "wrap pass must reach the freed-behind block");
+    for p in live.into_iter().chain(refill).chain([back]) {
+        t.dealloc(p).unwrap();
+    }
+    heap.check_invariants(t.core()).unwrap();
 }
 
 #[test]
@@ -66,8 +127,10 @@ fn empty_slabs_overflow_to_global_list_and_are_reused() {
     let (_pod, heap) = setup();
     let mut a = heap.register_thread().unwrap();
     // Fill and free many slabs so `a`'s unsized list overflows to the
-    // global free list...
-    let ptrs: Vec<_> = (0..4096).map(|_| a.alloc(64).unwrap()).collect();
+    // global free list. Nine slabs' worth: empty-slab hysteresis keeps
+    // one emptied slab sized on `a`, the unsized list caps at
+    // `unsized_limit` (4), and the remaining four overflow globally.
+    let ptrs: Vec<_> = (0..4608).map(|_| a.alloc(64).unwrap()).collect();
     let peak = heap.stats().small_slabs;
     for p in ptrs {
         a.dealloc(p).unwrap();

@@ -197,7 +197,10 @@ fn striped_push_global_crash_points_recover() {
         let mut survivor = heap.register_thread().unwrap();
 
         let (tid, crashed) = crash_thread(&heap, CrashPlan { at: point, skip: 0 }, |t| {
-            let ptrs: Vec<OffsetPtr> = (0..512).map(|_| t.alloc(64).unwrap()).collect();
+            // Two slabs' worth: empty-slab hysteresis retains the last
+            // emptied slab per class, so only a *second* emptied slab
+            // reaches the unsized list and overflows to the stripe.
+            let ptrs: Vec<OffsetPtr> = (0..1024).map(|_| t.alloc(64).unwrap()).collect();
             for p in ptrs {
                 t.dealloc(p).unwrap();
             }
@@ -214,15 +217,18 @@ fn striped_push_global_crash_points_recover() {
         heap.check_invariants(survivor.core())
             .unwrap_or_else(|e| panic!("invariants after {point}: {e}"));
 
-        // The pushed (or half-pushed) slab is still reachable: between
-        // the survivor and the adopted slot, a slab's worth of blocks
-        // allocates without growing the heap past the victim's one slab
-        // plus at most one survivor slab.
+        // The pushed (or half-pushed) slab is still reachable once the
+        // log records it: a slab's worth of blocks allocates without
+        // growing the heap past the victim's two slabs. At `after_pop`
+        // nothing is logged and the victim's cached list edits (the
+        // retained slab's relink, the pop) are lost with its cache, so
+        // one extension is the legitimate worst case.
+        let cap = if point == "slab::push_global::after_pop" { 3 } else { 2 };
         let (mut adopted, _) = heap.adopt(tid, survivor.core()).unwrap();
         let held: Vec<OffsetPtr> = (0..512).map(|_| adopted.alloc(64).unwrap()).collect();
         assert!(
-            heap.stats().small_slabs <= 2,
-            "{point}: slab leaked (heap at {})",
+            heap.stats().small_slabs <= cap,
+            "{point}: slab leaked (heap at {}, cap {cap})",
             heap.stats().small_slabs
         );
         for p in held {

@@ -175,8 +175,10 @@ fn cross_core_slab_transfer_sees_fresh_metadata() {
     // garbage and init/invariants would fail.
     let (_pod, heap) = setup(HwccMode::Limited);
     let mut a = heap.register_thread().unwrap();
-    // Overflow a's unsized list so slabs land on the global list.
-    let ptrs: Vec<_> = (0..4096).map(|_| a.alloc(64).unwrap()).collect();
+    // Overflow a's unsized list so slabs land on the global list: nine
+    // slabs' worth leaves four there after hysteresis retains one
+    // emptied slab and the unsized list keeps `unsized_limit` (4).
+    let ptrs: Vec<_> = (0..4608).map(|_| a.alloc(64).unwrap()).collect();
     for p in ptrs {
         a.dealloc(p).unwrap();
     }

@@ -79,6 +79,18 @@ pub trait PodMemory: Send + Sync + std::fmt::Debug {
     }
     /// Stores the u64 at `offset`.
     fn store_u64(&self, core: CoreId, offset: u64, value: u64);
+    /// Stores `words.len()` consecutive u64s starting at `offset`
+    /// (8-byte stride). Semantically identical to a loop of
+    /// [`PodMemory::store_u64`] — same values, same accounting totals —
+    /// but lets bulk writers (slab-init `set_all`) amortize the dispatch
+    /// to one call per span; simulated backends may additionally charge
+    /// the span's latency as one bulk clock advance instead of one
+    /// jittered advance per word.
+    fn store_u64_span(&self, core: CoreId, offset: u64, words: &[u64]) {
+        for (i, &word) in words.iter().enumerate() {
+            self.store_u64(core, offset + 8 * i as u64, word);
+        }
+    }
     /// Atomically compares-and-swaps the u64 at `offset`.
     ///
     /// # Errors
@@ -202,6 +214,15 @@ impl PodMemory for RawMemory {
     #[inline]
     fn store_u64(&self, _core: CoreId, offset: u64, value: u64) {
         self.segment.atomic_u64(offset).store(value, Ordering::Release)
+    }
+
+    #[inline]
+    fn store_u64_span(&self, _core: CoreId, offset: u64, words: &[u64]) {
+        for (i, &word) in words.iter().enumerate() {
+            self.segment
+                .atomic_u64(offset + 8 * i as u64)
+                .store(word, Ordering::Release);
+        }
     }
 
     #[inline]
@@ -603,6 +624,47 @@ impl PodMemory for SimMemory {
                     .emit(core.index(), kind, offset, cost, self.clocks.now(core.index()));
             }
             self.segment.atomic_u64(offset).load(Ordering::Acquire)
+        }
+    }
+
+    fn store_u64_span(&self, core: CoreId, offset: u64, words: &[u64]) {
+        // Fast path mirroring `load_u64_span`: a coherent-mode span
+        // entirely inside the HWcc region (slab-init `set_all` of a
+        // bitset) skips the per-word dispatch — one bulk stats bump and
+        // one clock advance of n × hwcc_load_ns for the whole span.
+        // Totals match a loop of `store_u64` exactly; only the jitter
+        // granularity (one draw per span instead of per word) differs.
+        let n = words.len() as u64;
+        if n == 0 {
+            return;
+        }
+        let last = offset + 8 * (n - 1);
+        if self.mode != HwccMode::None
+            && !self.is_cached_region(offset)
+            && !self.is_cached_region(last)
+        {
+            self.stats.store_n(n);
+            let cost = self
+                .clocks
+                .advance(core.index(), n * self.model.hwcc_load_ns, &self.model);
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    core.index(),
+                    TraceKind::StoreSpan,
+                    n,
+                    cost,
+                    self.clocks.now(core.index()),
+                );
+            }
+            for (i, &word) in words.iter().enumerate() {
+                self.segment
+                    .atomic_u64(offset + 8 * i as u64)
+                    .store(word, Ordering::Release);
+            }
+            return;
+        }
+        for (i, &word) in words.iter().enumerate() {
+            self.store_u64(core, offset + 8 * i as u64, word);
         }
     }
 

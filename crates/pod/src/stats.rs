@@ -145,6 +145,11 @@ impl MemStats {
     pub fn store(&self) {
         bump!(self.stores);
     }
+    /// Records `n` stores delivered by one span store.
+    #[inline]
+    pub fn store_n(&self, n: u64) {
+        self.shard().stores.fetch_add(n, Ordering::Relaxed);
+    }
     /// Records a CAS outcome.
     #[inline]
     pub fn cas(&self, ok: bool) {

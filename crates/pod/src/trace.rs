@@ -128,10 +128,12 @@ pub enum TraceKind {
     /// core's cache — clwb semantics, vs [`TraceKind::Flush`]'s
     /// evicting clflush (`arg` = dirty lines written back).
     WritebackKept = 26,
+    /// Bulk span store (one event for the whole span; `arg` = words).
+    StoreSpan = 27,
 }
 
 /// Number of event kinds (one past the highest discriminant).
-pub const KIND_COUNT: usize = 27;
+pub const KIND_COUNT: usize = 28;
 
 /// All kinds, in discriminant order.
 pub const ALL_KINDS: [TraceKind; KIND_COUNT] = [
@@ -162,6 +164,7 @@ pub const ALL_KINDS: [TraceKind; KIND_COUNT] = [
     TraceKind::CombinerWin,
     TraceKind::CombinerWait,
     TraceKind::WritebackKept,
+    TraceKind::StoreSpan,
 ];
 
 impl TraceKind {
@@ -200,6 +203,7 @@ impl TraceKind {
             TraceKind::CombinerWin => "combiner_win",
             TraceKind::CombinerWait => "combiner_wait",
             TraceKind::WritebackKept => "clwb",
+            TraceKind::StoreSpan => "store_span",
         }
     }
 
@@ -212,7 +216,10 @@ impl TraceKind {
             | TraceKind::LoadHwcc
             | TraceKind::LoadUncached
             | TraceKind::LoadSpan => "load",
-            TraceKind::StoreDirty | TraceKind::StoreHwcc | TraceKind::StoreUncached => "store",
+            TraceKind::StoreDirty
+            | TraceKind::StoreHwcc
+            | TraceKind::StoreUncached
+            | TraceKind::StoreSpan => "store",
             TraceKind::CasAttempt | TraceKind::CasRetry | TraceKind::CasFallback => "cas",
             TraceKind::McasAttempt | TraceKind::McasRetry | TraceKind::McasDelay => "nmp",
             TraceKind::LineFill | TraceKind::Writeback | TraceKind::CacheAbandon => "cache",
