@@ -107,7 +107,30 @@ pub fn cxlalloc_pod_striped(
     stripes: u32,
     mode: Option<HwccMode>,
 ) -> Pod {
-    let config = PodConfig {
+    let config = striped_config(capacity, max_threads, stripes);
+    match mode {
+        None => Pod::new(config).expect("pod"),
+        Some(mode) => Pod::with_simulation(config, mode).expect("pod"),
+    }
+}
+
+/// Like [`cxlalloc_pod_striped`], on a simulated pod whose memory
+/// traffic crosses a contended fabric: every line fill, writeback, and
+/// NMP op is additionally charged queueing + service delay by the
+/// `cxl_pod::fabric` model (the congested host-scaling sweep).
+pub fn cxlalloc_pod_striped_fabric(
+    capacity: u64,
+    max_threads: u32,
+    stripes: u32,
+    mode: HwccMode,
+    fabric: cxl_pod::FabricConfig,
+) -> Pod {
+    let config = striped_config(capacity, max_threads, stripes);
+    Pod::with_simulation_fabric(config, mode, fabric).expect("pod")
+}
+
+fn striped_config(capacity: u64, max_threads: u32, stripes: u32) -> PodConfig {
+    PodConfig {
         max_threads: max_threads.max(8),
         small_max_slabs: ((capacity / 2) / (32 << 10)).clamp(64, 1 << 20) as u32,
         large_max_slabs: ((capacity * 3 / 8) / (512 << 10)).clamp(8, 1 << 16) as u32,
@@ -117,10 +140,6 @@ pub fn cxlalloc_pod_striped(
         hazards_per_thread: 64,
         max_segment_bytes: 256 << 30,
         global_stripes: stripes,
-    };
-    match mode {
-        None => Pod::new(config).expect("pod"),
-        Some(mode) => Pod::with_simulation(config, mode).expect("pod"),
     }
 }
 

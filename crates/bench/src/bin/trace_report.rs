@@ -26,10 +26,10 @@
 //! byte-identical replay (see `OBSERVABILITY.md`).
 
 use baselines::{CxlallocAdapter, PodAlloc, PodAllocThread};
-use cxl_bench::allocators::cxlalloc_pod;
+use cxl_bench::allocators::{cxlalloc_pod, cxlalloc_pod_striped_fabric};
 use cxl_core::AttachOptions;
 use cxl_pod::trace::{chrome_trace_json, TraceKind, Tracer};
-use cxl_pod::{CoreId, HwccMode, PodMemory};
+use cxl_pod::{CoreId, FabricConfig, HwccMode, PodMemory};
 use kvstore::KvStore;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -94,6 +94,149 @@ fn main() {
     if let Some(prefix) = &args.chrome {
         write_chrome(&format!("{prefix}_kvstore.json"), &kv);
     }
+
+    // Fabric attribution (PR 10): the remote-free kernel on a congested
+    // fabric, at the host-scaling sweep's endpoints. The 1-host run
+    // shows the fabric's service floor (queueing ~nil); the 32-host run
+    // shows the saturation knee — queueing delay as a first-class share
+    // of every modeled nanosecond, reconciled exactly like everything
+    // else.
+    for hosts in [1u32, 32] {
+        println!();
+        println!("=== trace_report: congested fabric (remote-free, {hosts} hosts) ===");
+        let section = run_fabric_section(args.ops, hosts);
+        if let Some(prefix) = &args.chrome {
+            write_chrome(&format!("{prefix}_fabric{hosts}.json"), &section);
+        }
+    }
+}
+
+/// The host-scaling remote-free kernel on a pod whose traffic crosses
+/// [`FabricConfig::congested`], followed by the standard reconciliation
+/// and a fabric-attribution split: of each modeled nanosecond, how much
+/// was protocol (latency model), fabric service (pipe occupancy), and
+/// fabric queueing (waiting for contended stations).
+fn run_fabric_section(ops: u64, hosts: u32) -> Section {
+    let pod = cxlalloc_pod_striped_fabric(
+        CAPACITY,
+        hosts.max(8),
+        64,
+        HwccMode::Limited,
+        FabricConfig::congested(),
+    );
+    let cores = pod.config().max_threads;
+    let mem = pod.memory().clone();
+    let tracer = mem.tracer().expect("simulated backends carry a tracer");
+    tracer.arm();
+
+    enter_phase(tracer, cores, "attach");
+    let adapter = CxlallocAdapter::new(
+        pod,
+        1,
+        AttachOptions {
+            unsized_limit: 0,
+            ..AttachOptions::default()
+        },
+    );
+    let mut team: Vec<Box<dyn PodAllocThread>> = (0..hosts)
+        .map(|_| adapter.thread().expect("register fabric host"))
+        .collect();
+
+    const PER_HOST: usize = 128;
+    let rounds = (ops / (hosts as u64 * PER_HOST as u64)).max(2);
+    let mut routed: Vec<Vec<_>> = (0..hosts).map(|_| Vec::new()).collect();
+    // Host-interleaved issue order (one op per host per turn): the
+    // fabric's stations are issue-order FIFO over per-core virtual
+    // clocks, so batching each host's whole round would serialize the
+    // hosts in driver order — a global-lock artifact, not queueing.
+    // Interleaving keeps the clocks in lockstep; waits then measure
+    // genuine backlog (same discipline as the congested bench sweep).
+    let round = |team: &mut Vec<Box<dyn PodAllocThread>>, routed: &mut Vec<Vec<_>>| {
+        for j in 0..PER_HOST {
+            for (i, t) in team.iter_mut().enumerate() {
+                let p = t.alloc(64).expect("fabric alloc");
+                let dst = if hosts == 1 {
+                    0
+                } else {
+                    (i + 1 + j % (hosts as usize - 1)) % hosts as usize
+                };
+                routed[dst].push(p);
+            }
+        }
+        let mut drained = false;
+        while !drained {
+            drained = true;
+            for (t, received) in team.iter_mut().zip(routed.iter_mut()) {
+                if let Some(p) = received.pop() {
+                    t.dealloc(p).expect("fabric free");
+                    drained = false;
+                }
+            }
+        }
+    };
+
+    // One untimed round: from all-zero clocks even interleaved issue
+    // briefly skews, so a warm round lets the stations reach steady
+    // state. The attribution split below reads only the steady phase;
+    // the reconciliation oracles still cover the whole run.
+    enter_phase(tracer, cores, "warmup");
+    round(&mut team, &mut routed);
+    let warm = mem.stats();
+
+    enter_phase(tracer, cores, "remote_free");
+    for _ in 0..rounds {
+        round(&mut team, &mut routed);
+    }
+    for t in &mut team {
+        t.maintain();
+    }
+
+    let section = reconcile(&mem, cores);
+
+    let stats = mem.stats().since(&warm);
+    let pair_ops = rounds * hosts as u64 * PER_HOST as u64;
+    let attribution = tracer.attribution();
+    // Steady state only: the `remote_free` phase's rows (the stats
+    // delta above shares the same boundary).
+    let mut total = 0u64;
+    let mut queue_ns = 0u64;
+    let mut service_ns = 0u64;
+    for row in attribution.rows() {
+        if row.phase != "remote_free" {
+            continue;
+        }
+        total += row.total_ns;
+        match row.kind {
+            TraceKind::FabricQueue => queue_ns += row.total_ns,
+            TraceKind::FabricService => service_ns += row.total_ns,
+            _ => {}
+        }
+    }
+    let per_op = |ns: u64| ns as f64 / pair_ops as f64;
+    println!();
+    let plural = if hosts == 1 { "" } else { "s" };
+    println!("fabric attribution ({hosts} host{plural}, {pair_ops} steady-state alloc+free pairs):");
+    println!("  {:<28} {:>12} {:>8}", "component", "ns/op", "share");
+    for (name, ns) in [
+        ("protocol (latency model)", total - queue_ns - service_ns),
+        ("fabric service", service_ns),
+        ("fabric queueing", queue_ns),
+    ] {
+        println!(
+            "  {:<28} {:>12.1} {:>7.1}%",
+            name,
+            per_op(ns),
+            ns as f64 * 100.0 / total.max(1) as f64
+        );
+    }
+    println!(
+        "  fabric crossings: {} ({:.2}/op), saturated {} ({:.1}%)",
+        stats.fabric_requests,
+        stats.fabric_requests as f64 / pair_ops as f64,
+        stats.fabric_saturated,
+        stats.fabric_saturated as f64 * 100.0 / stats.fabric_requests.max(1) as f64
+    );
+    section
 }
 
 /// Where the remaining `local_alloc_free/small_64B` nanoseconds go
@@ -224,6 +367,44 @@ fn reconcile(mem: &Arc<dyn PodMemory>, cores: u32) -> Section {
     println!(
         "reconciled: event counts match MemStats (fences {}, line_fills {}, writebacks {})",
         stats.fences, stats.line_fills, stats.writebacks
+    );
+
+    // Oracle 3 (PR 10): fabric attribution. The costs of all
+    // fabric-queue + fabric-service events must equal the fabric's own
+    // clock *and* the MemStats fabric counters, with one service event
+    // per charged request. On an uncongested pod every side is exactly
+    // zero — the oracle still holds, trivially.
+    let traced_fabric_ns = attribution
+        .by_kind()
+        .into_iter()
+        .filter(|&(kind, _, _)| {
+            matches!(kind, TraceKind::FabricQueue | TraceKind::FabricService)
+        })
+        .map(|(_, _, total_ns)| total_ns)
+        .sum::<u64>();
+    let sim = mem
+        .as_any()
+        .downcast_ref::<cxl_pod::SimMemory>()
+        .expect("trace_report runs on the simulated substrate");
+    assert_eq!(
+        traced_fabric_ns,
+        sim.fabric().clock_ns(),
+        "fabric event costs must sum to the fabric clock delta"
+    );
+    assert_eq!(
+        traced_fabric_ns,
+        stats.fabric_queue_ns + stats.fabric_service_ns,
+        "fabric event costs must match the MemStats fabric counters"
+    );
+    assert_eq!(
+        attribution.count_of(TraceKind::FabricService),
+        stats.fabric_requests,
+        "one fabric_service event per charged request"
+    );
+    println!(
+        "reconciled: fabric waits {traced_fabric_ns} ns == fabric clock delta \
+         ({} requests, queue {} ns + service {} ns)",
+        stats.fabric_requests, stats.fabric_queue_ns, stats.fabric_service_ns
     );
     println!(
         "stats: loads {} stores {} flushes {} cached_hits {} uncached_ops {} mcas {}+{} cas_retries {}",

@@ -6,7 +6,7 @@
 //! additionally post-processes the [`criterion::BenchRecord`]s into
 //! `BENCH_hotpath.json`.
 
-use crate::allocators::{cxlalloc_pod, cxlalloc_pod_striped};
+use crate::allocators::{cxlalloc_pod, cxlalloc_pod_striped, cxlalloc_pod_striped_fabric};
 use baselines::{CxlallocAdapter, PodAlloc, PodAllocThread};
 use criterion::{Criterion, Throughput};
 use cxl_core::cell::Detect;
@@ -15,7 +15,7 @@ use cxl_core::{AttachOptions, ThreadId};
 use cxl_pod::latency::{Clocks, LatencyModel};
 use cxl_pod::nmp::NmpDevice;
 use cxl_pod::stats::MemStats;
-use cxl_pod::{CoreId, HwccMode, Pod, PodConfig, Segment};
+use cxl_pod::{CoreId, FabricConfig, HwccMode, Pod, PodConfig, Segment};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -631,6 +631,40 @@ fn host_scaling_round(
     }
 }
 
+/// The remote-free kernel with host-interleaved issue order (one op per
+/// host per turn), used for the congested-fabric sweep. The fabric's
+/// stations are issue-order FIFO over per-core virtual clocks, so the
+/// batched kernel above — which runs each host's whole batch before the
+/// next host's — would push a station's busy-clock to the end of host
+/// 0's batch and make host 1's first (virtual-time-earlier) request
+/// wait behind all of it: a global-lock artifact of the sequential
+/// driver, not queueing. Interleaving keeps the per-core clocks in
+/// lockstep, so station waits measure genuine backlog instead.
+fn host_scaling_round_interleaved(
+    team: &mut [cxl_core::ThreadHandle],
+    routed: &mut [Vec<cxl_core::OffsetPtr>],
+    per_host: usize,
+) {
+    let hosts = team.len();
+    for j in 0..per_host {
+        for (i, t) in team.iter_mut().enumerate() {
+            let p = t.alloc(64).unwrap();
+            let dst = if hosts == 1 { 0 } else { (i + 1 + j % (hosts - 1)) % hosts };
+            routed[dst].push(p);
+        }
+    }
+    let mut drained = false;
+    while !drained {
+        drained = true;
+        for (t, received) in team.iter_mut().zip(routed.iter_mut()) {
+            if let Some(p) = received.pop() {
+                t.dealloc(p).unwrap();
+                drained = false;
+            }
+        }
+    }
+}
+
 /// Latest virtual time across every simulated core — the sweep's
 /// makespan clock. The wall clock of a round-robin driver charges a
 /// 357 ns line fill and a 4 ns cache hit the same bookkeeping cost, so
@@ -646,6 +680,21 @@ fn sim_now_ns(mem: &dyn cxl_pod::PodMemory) -> u64 {
     (0..clocks.len()).map(|c| clocks.now(c)).max().unwrap_or(0)
 }
 
+/// Sum of virtual time across every simulated core — the sweep's
+/// aggregate-latency clock. Dividing the makespan by total ops rewards
+/// parallelism (32 hosts split one timeline), so the congested knee —
+/// each host's ops getting *slower* as offered load outruns the device
+/// port — is read from this sum instead: Σ per-core deltas / total ops
+/// is the mean modeled latency one op actually experienced.
+fn sim_sum_ns(mem: &dyn cxl_pod::PodMemory) -> u64 {
+    let sim = mem
+        .as_any()
+        .downcast_ref::<cxl_pod::SimMemory>()
+        .expect("host-scaling sweep runs on the simulated substrate");
+    let clocks = sim.clocks();
+    (0..clocks.len()).map(|c| clocks.now(c)).sum()
+}
+
 /// Attaches the sweep's per-point counters (modeled ns/op, CAS retries
 /// with per-site attribution, line-contention traffic, combining
 /// activity) to the record just produced, normalized per block op /
@@ -654,6 +703,7 @@ fn annotate_host_scaling(
     group: &mut criterion::BenchmarkGroup<'_>,
     delta: &cxl_pod::stats::MemStatsSnapshot,
     sim_ns: u64,
+    sim_sum: u64,
     ops: u64,
 ) {
     let per_kop = |n: u64| n as f64 * 1000.0 / ops.max(1) as f64;
@@ -672,6 +722,24 @@ fn annotate_host_scaling(
         per_kop(delta.line_fills + delta.writebacks),
     );
     group.annotate_last("comb_wins_per_kop", per_kop(delta.comb_wins));
+    // Fabric attribution, attached only when the pod actually crossed a
+    // (non-disabled) fabric so uncongested records keep their pre-PR-10
+    // field set byte-for-byte.
+    if delta.fabric_requests > 0 {
+        group.annotate_last(
+            "sim_latency_ns_per_op",
+            sim_sum as f64 / ops.max(1) as f64,
+        );
+        group.annotate_last(
+            "fabric_queue_ns_per_op",
+            delta.fabric_queue_ns as f64 / ops.max(1) as f64,
+        );
+        group.annotate_last(
+            "fabric_service_ns_per_op",
+            delta.fabric_service_ns as f64 / ops.max(1) as f64,
+        );
+        group.annotate_last("fabric_saturated_per_kop", per_kop(delta.fabric_saturated));
+    }
 }
 
 /// Host-scaling sweep (PR 8): 1–64 simulated hosts over the remote-free
@@ -683,24 +751,64 @@ fn annotate_host_scaling(
 /// real measured work and also shows up in the `MemStats` counters
 /// attached to each record.
 pub fn bench_host_scaling(c: &mut Criterion) {
-    host_scaling_sweep(c, &[1, 2, 4, 8, 16, 32, 64], true);
+    host_scaling_sweep(c, &[1, 2, 4, 8, 16, 32, 64], true, None);
 }
 
 /// CI smoke variant of [`bench_host_scaling`]: just the 1- and 32-host
 /// endpoints of the remote-free sweep — the points the
 /// `bench-snapshot --check` scaling gate reads.
 pub fn bench_host_scaling_smoke(c: &mut Criterion) {
-    host_scaling_sweep(c, &[1, 32], false);
+    host_scaling_sweep(c, &[1, 32], false, None);
 }
 
-fn host_scaling_sweep(c: &mut Criterion, host_counts: &[u32], with_kvstore: bool) {
+/// The host-scaling sweep on a congested fabric (PR 10): identical
+/// kernel and configurations, but every line fill, writeback, and NMP
+/// op additionally crosses the [`FabricConfig::congested`] queueing
+/// model, so per-op latency (`sim_latency_ns_per_op`: per-core clock
+/// deltas summed over total ops) picks up an inflection — the
+/// saturation knee — as hosts outrun the device port, absent from the
+/// uncongested curve. Records also carry `fabric_queue_ns_per_op` /
+/// `fabric_service_ns_per_op` / `fabric_saturated_per_kop` counters.
+pub fn bench_host_scaling_congested(c: &mut Criterion) {
+    host_scaling_sweep(
+        c,
+        &[1, 2, 4, 8, 16, 32, 64],
+        false,
+        Some(FabricConfig::congested()),
+    );
+}
+
+/// CI smoke variant of [`bench_host_scaling_congested`]: the 1- and
+/// 32-host endpoints the congested `bench-snapshot --check` knee gate
+/// reads.
+pub fn bench_host_scaling_congested_smoke(c: &mut Criterion) {
+    host_scaling_sweep(c, &[1, 32], false, Some(FabricConfig::congested()));
+}
+
+fn host_scaling_sweep(
+    c: &mut Criterion,
+    host_counts: &[u32],
+    with_kvstore: bool,
+    fabric: Option<FabricConfig>,
+) {
     use cxl_core::{Cxlalloc, OffsetPtr, ThreadHandle};
     use kvstore::KvStore;
 
-    let mut group = c.benchmark_group("host_scaling");
+    let build_pod = |stripes: u32| match fabric {
+        Some(config) => {
+            cxlalloc_pod_striped_fabric(64 << 20, 80, stripes, HwccMode::Limited, config)
+        }
+        None => cxlalloc_pod_striped(64 << 20, 80, stripes, Some(HwccMode::Limited)),
+    };
+    let group_name = if fabric.is_some() {
+        "host_scaling_congested"
+    } else {
+        "host_scaling"
+    };
+    let mut group = c.benchmark_group(group_name);
     for &hosts in host_counts {
         for (variant, stripes, options) in host_scaling_variants() {
-            let pod = cxlalloc_pod_striped(64 << 20, 80, stripes, Some(HwccMode::Limited));
+            let pod = build_pod(stripes);
             let mem = pod.memory().clone();
             let heap = Cxlalloc::attach(pod.spawn_process(), options).unwrap();
             let mut team: Vec<ThreadHandle> =
@@ -722,11 +830,25 @@ fn host_scaling_sweep(c: &mut Criterion, host_counts: &[u32], with_kvstore: bool
             group.throughput(Throughput::Elements(
                 hosts as u64 * HOST_SCALING_BLOCKS as u64,
             ));
+            // Congested runs use the interleaved kernel (see
+            // `host_scaling_round_interleaved`) plus one untimed round:
+            // from all-zero clocks even interleaved issue briefly skews,
+            // and a warm round lets the stations reach steady state.
+            let round: fn(&mut [cxl_core::ThreadHandle], &mut [Vec<OffsetPtr>], usize) =
+                if fabric.is_some() {
+                    host_scaling_round_interleaved
+                } else {
+                    host_scaling_round
+                };
+            if fabric.is_some() {
+                round(&mut team, &mut routed, HOST_SCALING_BLOCKS);
+            }
             let before = mem.stats();
             let sim_before = sim_now_ns(mem.as_ref());
+            let sum_before = sim_sum_ns(mem.as_ref());
             group.bench_function(format!("remote_free_h{hosts}_{variant}"), |b| {
                 b.iter(|| {
-                    host_scaling_round(&mut team, &mut routed, HOST_SCALING_BLOCKS);
+                    round(&mut team, &mut routed, HOST_SCALING_BLOCKS);
                     rounds += 1;
                 })
             });
@@ -735,6 +857,7 @@ fn host_scaling_sweep(c: &mut Criterion, host_counts: &[u32], with_kvstore: bool
                 &mut group,
                 &delta,
                 sim_now_ns(mem.as_ref()) - sim_before,
+                sim_sum_ns(mem.as_ref()) - sum_before,
                 rounds * hosts as u64 * HOST_SCALING_BLOCKS as u64,
             );
         }
@@ -749,7 +872,7 @@ fn host_scaling_sweep(c: &mut Criterion, host_counts: &[u32], with_kvstore: bool
         const KV_KEYS: u64 = 4096;
         for &hosts in host_counts {
             for (variant, stripes, options) in host_scaling_variants() {
-                let pod = cxlalloc_pod_striped(64 << 20, 80, stripes, Some(HwccMode::Limited));
+                let pod = build_pod(stripes);
                 let mem = pod.memory().clone();
                 let alloc = CxlallocAdapter::new(pod, 1, options);
                 let store = KvStore::new(1 << 12, hosts as usize + 1);
@@ -766,6 +889,7 @@ fn host_scaling_sweep(c: &mut Criterion, host_counts: &[u32], with_kvstore: bool
                 ));
                 let before = mem.stats();
                 let sim_before = sim_now_ns(mem.as_ref());
+                let sum_before = sim_sum_ns(mem.as_ref());
                 group.bench_function(format!("kvstore_h{hosts}_{variant}"), |b| {
                     b.iter(|| {
                         for (i, w) in workers.iter_mut().enumerate() {
@@ -787,6 +911,7 @@ fn host_scaling_sweep(c: &mut Criterion, host_counts: &[u32], with_kvstore: bool
                     &mut group,
                     &delta,
                     sim_now_ns(mem.as_ref()) - sim_before,
+                    sim_sum_ns(mem.as_ref()) - sum_before,
                     rounds * hosts as u64 * HOST_SCALING_KV_OPS as u64,
                 );
             }

@@ -13,7 +13,7 @@
 
 use cxl_core::explore::Explorer;
 use cxl_core::sched::{self, FaultPlan, Schedule, SimConfig, Step};
-use cxl_pod::Pod;
+use cxl_pod::{FabricConfig, Pod};
 use std::fmt::Write as _;
 
 // The currently-pinned values, compiled in from the same file the
@@ -54,6 +54,28 @@ fn trace_fingerprint() -> u64 {
         ..SimConfig::default()
     };
     let pod = Pod::with_simulation(config.pod_config(), config.mode).unwrap();
+    let tracer = pod.memory().tracer().expect("sim pods carry a tracer");
+    tracer.arm();
+    sched::run_on(&pod, &config, &trace_schedule(), &FaultPlan::none()).unwrap();
+    tracer.fingerprint()
+}
+
+/// Same scripted schedule on a congested-fabric pod: schedule
+/// fingerprints cannot see latency, so the *trace stream* (which
+/// carries every charged nanosecond, fabric waits included) is what
+/// pins congested-cost determinism.
+fn trace_fingerprint_congested() -> u64 {
+    let config = SimConfig {
+        hosts: 3,
+        fabric: Some(FabricConfig::congested()),
+        ..SimConfig::default()
+    };
+    let pod = Pod::with_simulation_fabric(
+        config.pod_config(),
+        config.mode,
+        config.fabric.unwrap(),
+    )
+    .unwrap();
     let tracer = pod.memory().tracer().expect("sim pods carry a tracer");
     tracer.arm();
     sched::run_on(&pod, &config, &trace_schedule(), &FaultPlan::none()).unwrap();
@@ -106,6 +128,7 @@ fn main() {
     };
     let batched = recompute(&batched_explorer, golden::BATCHED);
     let trace = trace_fingerprint();
+    let trace_congested = trace_fingerprint_congested();
 
     let mut changed = 0;
     println!("golden fingerprints (old -> new):");
@@ -121,7 +144,16 @@ fn main() {
         );
         changed += 1;
     }
-    let total = classic.len() + liveness.len() + batched.len() + 1;
+    if trace_congested == golden::TRACE_CONGESTED {
+        println!("  trace    congested {trace_congested:#018x}  (unchanged)");
+    } else {
+        println!(
+            "  trace    congested {:#018x} -> {trace_congested:#018x}",
+            golden::TRACE_CONGESTED
+        );
+        changed += 1;
+    }
+    let total = classic.len() + liveness.len() + batched.len() + 2;
     println!("{changed} of {total} pins changed");
 
     if !bless {
@@ -144,8 +176,11 @@ fn main() {
          // A fingerprint mixes every step outcome, allocated offset, live-set\n\
          // length, and recovery outcome of a run — so these constants change\n\
          // only when the allocator's *observable* behaviour changes, never from\n\
-         // pure substrate optimizations (caches, shadows, counters).\n\n\
+         // pure substrate optimizations (caches, shadows, counters).\n//\n\
+         // Each test target include!s this file and uses only some pins, so\n\
+         // every constant carries allow(dead_code).\n\n\
          /// Classic explorer profile (`Explorer::default()`): (seed, fingerprint).\n\
+         #[allow(dead_code)]\n\
          pub const CLASSIC: &[(u64, u64)] = &[\n"
     );
     for (seed, fp) in &classic {
@@ -154,6 +189,7 @@ fn main() {
     let _ = write!(
         out,
         "];\n\n/// Liveness profile (`liveness: true`): (seed, fingerprint).\n\
+         #[allow(dead_code)]\n\
          pub const LIVENESS: &[(u64, u64)] = &[\n"
     );
     for (seed, fp) in &liveness {
@@ -163,6 +199,7 @@ fn main() {
         out,
         "];\n\n/// Liveness profile with batched remote frees, magazines, and fence\n\
          /// coalescing (PR 4): (seed, fingerprint).\n\
+         #[allow(dead_code)]\n\
          pub const BATCHED: &[(u64, u64)] = &[\n"
     );
     for (seed, fp) in &batched {
@@ -172,7 +209,14 @@ fn main() {
         out,
         "];\n\n/// Trace-stream fingerprint of the scripted crash/recovery schedule in\n\
          /// `trace_determinism.rs` (tracer armed, 3 hosts, seed 42).\n\
-         pub const TRACE_SCRIPTED: u64 = {trace:#018x};\n"
+         #[allow(dead_code)]\n\
+         pub const TRACE_SCRIPTED: u64 = {trace:#018x};\n\n\
+         /// Trace-stream fingerprint of the same scripted schedule on a pod with\n\
+         /// the congested fabric preset (`FabricConfig::congested()`): pins the\n\
+         /// cost determinism of the fabric layer, which schedule fingerprints\n\
+         /// (outcomes and offsets only) cannot see.\n\
+         #[allow(dead_code)]\n\
+         pub const TRACE_CONGESTED: u64 = {trace_congested:#018x};\n"
     );
 
     let path = concat!(

@@ -29,7 +29,7 @@ use crate::crash::{self, CrashPlan};
 use crate::error::AllocError;
 use crate::{AttachOptions, Cxlalloc, OffsetPtr, ThreadHandle, ThreadId};
 use cxl_pod::fault::FaultRule;
-use cxl_pod::{CoreId, HwccMode, Pod, PodConfig, SimMemory};
+use cxl_pod::{CoreId, FabricConfig, HwccMode, Pod, PodConfig, SimMemory};
 use rand::{Rng, SeedableRng};
 
 /// One step of a schedule, executed atomically (at operation
@@ -300,6 +300,15 @@ pub struct SimConfig {
     pub magazine_capacity: u32,
     /// Fence coalescing passed to [`AttachOptions`].
     pub coalesce_fences: bool,
+    /// Fabric contention model for the pod ([`cxl_pod::fabric`]):
+    /// `None` (the default) builds the pod with a disabled fabric,
+    /// keeping every classic schedule cost-identical to pre-fabric
+    /// builds. Fabric delays never reach the schedule fingerprint
+    /// (which hashes outcomes and offsets, not latencies), so a
+    /// congested run's *structural* determinism is checked against the
+    /// same pins — its *cost* determinism is pinned separately via the
+    /// congested trace-stream fingerprint.
+    pub fabric: Option<FabricConfig>,
 }
 
 impl Default for SimConfig {
@@ -312,6 +321,7 @@ impl Default for SimConfig {
             remote_free_batch: 1,
             magazine_capacity: 0,
             coalesce_fences: false,
+            fabric: None,
         }
     }
 }
@@ -462,8 +472,11 @@ pub fn run(
     schedule: &Schedule,
     plan: &FaultPlan,
 ) -> Result<RunReport, ScheduleFailure> {
-    let pod = Pod::with_simulation(config.pod_config(), config.mode)
-        .expect("test pod config must be valid");
+    let pod = match config.fabric {
+        Some(fabric) => Pod::with_simulation_fabric(config.pod_config(), config.mode, fabric),
+        None => Pod::with_simulation(config.pod_config(), config.mode),
+    }
+    .expect("test pod config must be valid");
     run_on(&pod, config, schedule, plan)
 }
 

@@ -11,8 +11,12 @@
 // length, and recovery outcome of a run — so these constants change
 // only when the allocator's *observable* behaviour changes, never from
 // pure substrate optimizations (caches, shadows, counters).
+//
+// Each test target include!s this file and uses only some pins, so
+// every constant carries allow(dead_code).
 
 /// Classic explorer profile (`Explorer::default()`): (seed, fingerprint).
+#[allow(dead_code)]
 pub const CLASSIC: &[(u64, u64)] = &[
     (3, 0xe07ff893a929d366),
     (11, 0x36f865dd1093456b),
@@ -22,6 +26,7 @@ pub const CLASSIC: &[(u64, u64)] = &[
 ];
 
 /// Liveness profile (`liveness: true`): (seed, fingerprint).
+#[allow(dead_code)]
 pub const LIVENESS: &[(u64, u64)] = &[
     (5, 0x3e653b5093fbfb23),
     (23, 0xbd3d5b821137b186),
@@ -30,6 +35,7 @@ pub const LIVENESS: &[(u64, u64)] = &[
 
 /// Liveness profile with batched remote frees, magazines, and fence
 /// coalescing (PR 4): (seed, fingerprint).
+#[allow(dead_code)]
 pub const BATCHED: &[(u64, u64)] = &[
     (23, 0x55b495b7daa34c14),
     (47, 0x1234099ff258b1e4),
@@ -37,4 +43,12 @@ pub const BATCHED: &[(u64, u64)] = &[
 
 /// Trace-stream fingerprint of the scripted crash/recovery schedule in
 /// `trace_determinism.rs` (tracer armed, 3 hosts, seed 42).
+#[allow(dead_code)]
 pub const TRACE_SCRIPTED: u64 = 0x51c9a9d296a92ea4;
+
+/// Trace-stream fingerprint of the same scripted schedule on a pod with
+/// the congested fabric preset (`FabricConfig::congested()`): pins the
+/// cost determinism of the fabric layer, which schedule fingerprints
+/// (outcomes and offsets only) cannot see.
+#[allow(dead_code)]
+pub const TRACE_CONGESTED: u64 = 0x32d54e44deec2580;

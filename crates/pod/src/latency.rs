@@ -150,6 +150,25 @@ impl Clocks {
         charged
     }
 
+    /// Advances `core`'s clock by exactly `ns` — no jitter draw, no seed
+    /// mutation. This is the charge primitive of the fabric layer
+    /// ([`crate::fabric`]): queueing delays are already an emergent
+    /// function of arrival order, and drawing jitter here would perturb
+    /// the jitter *sequence* of subsequent protocol charges, breaking
+    /// the invariant that an uncongested fabric is byte-identical to no
+    /// fabric at all.
+    ///
+    /// ```
+    /// use cxl_pod::latency::Clocks;
+    /// let clocks = Clocks::new(1);
+    /// clocks.advance_exact(0, 40);
+    /// clocks.advance_exact(0, 2);
+    /// assert_eq!(clocks.now(0), 42);
+    /// ```
+    pub fn advance_exact(&self, core: usize, ns: u64) {
+        self.cores[core].fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Serializes `core` through a shared resource clock: the operation
     /// starts at `max(core_now, resource_now)`, takes `service_ns`
     /// (jittered), and both clocks move to the completion time. Returns
@@ -253,6 +272,22 @@ mod tests {
             .collect();
         latencies.sort_unstable();
         assert_eq!(latencies, vec![100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn advance_exact_draws_no_jitter() {
+        let jittered = Clocks::new(1);
+        let plain = Clocks::new(1);
+        let model = LatencyModel::paper_calibrated();
+        // Interleave exact charges on one set of clocks only; the jitter
+        // streams of the two must stay in lockstep regardless.
+        for _ in 0..32 {
+            jittered.advance_exact(0, 7);
+            let a = jittered.advance(0, 1000, &model);
+            let b = plain.advance(0, 1000, &model);
+            assert_eq!(a, b, "advance_exact must not touch the jitter seed");
+        }
+        assert_eq!(jittered.now(0), plain.now(0) + 32 * 7);
     }
 
     #[test]

@@ -58,6 +58,7 @@
 pub mod coherence;
 mod config;
 mod error;
+pub mod fabric;
 pub mod fault;
 pub mod latency;
 pub mod lineclock;
@@ -74,6 +75,7 @@ pub use config::{
     SMALL_CLASSES, SMALL_MAX_BLOCK, SMALL_MIN_BLOCK, SMALL_SLAB_SIZE,
 };
 pub use error::{Fault, PodError};
+pub use fabric::FabricConfig;
 pub use layout::{HeapLayout, HugeLayout, Layout, Region, HUGE_DESC_SIZE};
 pub use mem::{HwccMode, PodMemory, RawMemory, SimMemory};
 pub use nmp::{BreakerConfig, DeviceMode};
@@ -153,6 +155,45 @@ impl Pod {
             mode,
             config.max_threads,
             latency::LatencyModel::paper_calibrated(),
+        ));
+        Ok(Self::assemble(config, layout, memory))
+    }
+
+    /// Creates a simulated pod with a fabric contention model: every
+    /// line fill, writeback, uncached access, and NMP round trip is
+    /// charged queueing delay and service time at the configured fabric
+    /// stations on top of its protocol cost (see [`crate::fabric`]).
+    ///
+    /// ```
+    /// use cxl_pod::{FabricConfig, HwccMode, Pod, PodConfig};
+    ///
+    /// let pod = Pod::with_simulation_fabric(
+    ///     PodConfig::small_for_tests(),
+    ///     HwccMode::Limited,
+    ///     FabricConfig::congested(),
+    /// )?;
+    /// # drop(pod);
+    /// # Ok::<(), cxl_pod::PodError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pod::new`].
+    pub fn with_simulation_fabric(
+        config: PodConfig,
+        mode: HwccMode,
+        fabric: FabricConfig,
+    ) -> Result<Self, PodError> {
+        let layout = Layout::compute(&config)?;
+        let segment = Arc::new(Segment::zeroed(layout.total_len)?);
+        let memory: Arc<dyn PodMemory> = Arc::new(SimMemory::with_fabric(
+            segment,
+            layout.clone(),
+            mode,
+            config.max_threads,
+            latency::LatencyModel::paper_calibrated(),
+            0,
+            fabric,
         ));
         Ok(Self::assemble(config, layout, memory))
     }

@@ -15,6 +15,8 @@
 //!   modeled time (Figures 11–12).
 
 use crate::coherence::CacheModel;
+use crate::config::CACHELINE;
+use crate::fabric::{Fabric, FabricConfig};
 use crate::fault::{FaultInjector, FaultKind, FaultSite};
 use crate::latency::{Clocks, LatencyModel};
 use crate::layout::Layout;
@@ -318,6 +320,11 @@ pub struct SimMemory {
     /// under coherent CAS contention. Lock-free: inline atomics in a
     /// sharded open-addressed table (see [`crate::lineclock`]).
     line_clocks: LineClockTable,
+    /// Fabric contention model, shared with the NMP device so host line
+    /// traffic and mCAS round trips queue at the same stations.
+    /// [`Fabric::disabled`] (the default on every constructor except
+    /// [`SimMemory::with_fabric`]) charges nothing.
+    fabric: Arc<Fabric>,
 }
 
 impl SimMemory {
@@ -344,6 +351,54 @@ impl SimMemory {
         model: LatencyModel,
         cache_lines: usize,
     ) -> Self {
+        Self::assemble(
+            segment,
+            layout,
+            mode,
+            cores,
+            model,
+            cache_lines,
+            Arc::new(Fabric::disabled()),
+        )
+    }
+
+    /// Creates a simulated backend with a fabric contention model
+    /// ([`crate::fabric`]): every line fill, writeback, uncached
+    /// access, and NMP round trip is additionally charged queueing
+    /// delay and service time at the configured fabric stations. With
+    /// [`FabricConfig::congested`] this reproduces the
+    /// saturation-knee behavior of a contended pod; the default
+    /// constructors keep a disabled fabric and are cost-identical to
+    /// builds before the fabric existed.
+    pub fn with_fabric(
+        segment: Arc<Segment>,
+        layout: Layout,
+        mode: HwccMode,
+        cores: u32,
+        model: LatencyModel,
+        cache_lines: usize,
+        fabric: FabricConfig,
+    ) -> Self {
+        Self::assemble(
+            segment,
+            layout,
+            mode,
+            cores,
+            model,
+            cache_lines,
+            Arc::new(Fabric::new(fabric)),
+        )
+    }
+
+    fn assemble(
+        segment: Arc<Segment>,
+        layout: Layout,
+        mode: HwccMode,
+        cores: u32,
+        model: LatencyModel,
+        cache_lines: usize,
+        fabric: Arc<Fabric>,
+    ) -> Self {
         let stats = Arc::new(MemStats::new());
         let faults = Arc::new(FaultInjector::new());
         let tracer = Arc::new(Tracer::new(cores as usize));
@@ -354,7 +409,8 @@ impl SimMemory {
                 stats.clone(),
                 faults.clone(),
                 tracer.clone(),
-            ),
+            )
+            .with_fabric(fabric.clone()),
             cache: CacheModel::with_tracer(cores as usize, cache_lines, tracer.clone()),
             clocks: Clocks::new(cores as usize),
             segment,
@@ -365,6 +421,7 @@ impl SimMemory {
             faults,
             tracer,
             line_clocks: LineClockTable::new(),
+            fabric,
         }
     }
 
@@ -386,6 +443,12 @@ impl SimMemory {
     /// The per-core virtual clocks.
     pub fn clocks(&self) -> &Clocks {
         &self.clocks
+    }
+
+    /// The fabric contention model (disabled unless this backend was
+    /// built via [`SimMemory::with_fabric`]).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
     }
 
     /// The fault injector shared by this backend and its NMP device.
@@ -607,6 +670,12 @@ impl PodMemory for SimMemory {
                 self.tracer
                     .emit(core.index(), kind, offset, cost, self.clocks.now(core.index()));
             }
+            if !hit {
+                // A miss pulls one line across the fabric; hits stay on
+                // the core and never touch it.
+                self.fabric
+                    .apply(core.index(), CACHELINE, &self.clocks, &self.stats, &self.tracer);
+            }
             value
         } else {
             // HWcc region: cacheable-and-coherent (Full/Limited) or
@@ -622,6 +691,12 @@ impl PodMemory for SimMemory {
             if self.tracer.enabled() {
                 self.tracer
                     .emit(core.index(), kind, offset, cost, self.clocks.now(core.index()));
+            }
+            if kind == TraceKind::LoadUncached {
+                // Device-biased loads cross the fabric on every access;
+                // HWcc loads are cacheable and stay off it.
+                self.fabric
+                    .apply(core.index(), CACHELINE, &self.clocks, &self.stats, &self.tracer);
             }
             self.segment.atomic_u64(offset).load(Ordering::Acquire)
         }
@@ -696,6 +771,11 @@ impl PodMemory for SimMemory {
             if self.tracer.enabled() {
                 self.tracer
                     .emit(core.index(), kind, offset, cost, self.clocks.now(core.index()));
+            }
+            if kind == TraceKind::StoreUncached {
+                // Device-biased stores cross the fabric on every access.
+                self.fabric
+                    .apply(core.index(), CACHELINE, &self.clocks, &self.stats, &self.tracer);
             }
             self.segment.atomic_u64(offset).store(value, Ordering::Release);
         }
@@ -800,6 +880,16 @@ impl PodMemory for SimMemory {
                 self.clocks.now(core.index()),
             );
         }
+        if written > 0 {
+            // The written-back lines cross the fabric as one payload.
+            self.fabric.apply(
+                core.index(),
+                written as u64 * CACHELINE,
+                &self.clocks,
+                &self.stats,
+                &self.tracer,
+            );
+        }
     }
 
     fn writeback(&self, core: CoreId, offset: u64, len: u64) {
@@ -867,6 +957,15 @@ impl PodMemory for SimMemory {
                 written as u64,
                 cost,
                 self.clocks.now(core.index()),
+            );
+        }
+        if written > 0 {
+            self.fabric.apply(
+                core.index(),
+                written as u64 * CACHELINE,
+                &self.clocks,
+                &self.stats,
+                &self.tracer,
             );
         }
     }
@@ -941,6 +1040,7 @@ impl PodMemory for SimMemory {
     fn reset_clocks(&self) {
         self.clocks.reset();
         self.nmp.reset_clock();
+        self.fabric.reset();
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -36,6 +36,7 @@
 //! one pair through as a half-open probe; a healthy result closes the
 //! breaker and returns the pod to NMP mode.
 
+use crate::fabric::Fabric;
 use crate::fault::{FaultInjector, FaultKind, FaultSite};
 use crate::latency::{Clocks, LatencyModel};
 use crate::segment::Segment;
@@ -161,6 +162,11 @@ pub struct NmpDevice {
     /// Event tracer shared with the owning backend (disarmed when the
     /// device is constructed stand-alone).
     tracer: Arc<Tracer>,
+    /// Fabric contention model shared with the owning backend, so mCAS
+    /// round trips queue at the same ports as host line traffic.
+    /// Disabled (free) unless the backend was built with a
+    /// [`FabricConfig`](crate::fabric::FabricConfig).
+    fabric: Arc<Fabric>,
     breaker: Mutex<Breaker>,
 }
 
@@ -199,8 +205,17 @@ impl NmpDevice {
             stats,
             faults,
             tracer,
+            fabric: Arc::new(Fabric::disabled()),
             breaker: Mutex::new(Breaker::new(BreakerConfig::default())),
         }
+    }
+
+    /// Shares the owning backend's fabric model with this device
+    /// (builder-style, called during [`SimMemory`](crate::SimMemory)
+    /// construction while the device is still owned by value).
+    pub(crate) fn with_fabric(mut self, fabric: Arc<Fabric>) -> Self {
+        self.fabric = fabric;
+        self
     }
 
     /// Replaces the breaker tuning and resets its state to healthy.
@@ -355,6 +370,16 @@ impl NmpDevice {
         clocks: &Clocks,
         model: &LatencyModel,
     ) -> McasResult {
+        // The spwr+sprd pair crosses the fabric (two line-sized
+        // messages) on every round trip, including bounced ones — the
+        // wire is paid whether or not the device accepts the pair.
+        self.fabric.apply(
+            core,
+            2 * crate::config::CACHELINE,
+            clocks,
+            &self.stats,
+            &self.tracer,
+        );
         if self.faults.enabled() {
             match self.faults.check(FaultSite::Mcas, core, target, 8) {
                 Some(FaultKind::McasContention) => {

@@ -45,6 +45,10 @@ struct Shard {
     cas_retries_fallback: AtomicU64,
     comb_wins: AtomicU64,
     comb_waits: AtomicU64,
+    fabric_requests: AtomicU64,
+    fabric_queue_ns: AtomicU64,
+    fabric_service_ns: AtomicU64,
+    fabric_saturated: AtomicU64,
 }
 
 /// Call site of a contention-driven CAS retry, for per-site attribution
@@ -266,6 +270,23 @@ impl MemStats {
             .remote_free_batched
             .fetch_add(k, Ordering::Relaxed);
     }
+    /// Records one fabric crossing: its queue-wait and service
+    /// nanoseconds, and whether it observed utilization past the knee
+    /// (see [`crate::fabric`]). Never called on a disabled fabric, so
+    /// all four `fabric_*` counters stay exactly zero on uncongested
+    /// configurations.
+    #[inline]
+    pub fn fabric(&self, queue_ns: u64, service_ns: u64, saturated: bool) {
+        let shard = self.shard();
+        shard.fabric_requests.fetch_add(1, Ordering::Relaxed);
+        shard.fabric_queue_ns.fetch_add(queue_ns, Ordering::Relaxed);
+        shard
+            .fabric_service_ns
+            .fetch_add(service_ns, Ordering::Relaxed);
+        shard
+            .fabric_saturated
+            .fetch_add(saturated as u64, Ordering::Relaxed);
+    }
 
     /// Snapshot of the current counter values (summed over shards).
     pub fn snapshot(&self) -> MemStatsSnapshot {
@@ -296,6 +317,10 @@ impl MemStats {
             cas_retries_fallback: sum!(self.cas_retries_fallback),
             comb_wins: sum!(self.comb_wins),
             comb_waits: sum!(self.comb_waits),
+            fabric_requests: sum!(self.fabric_requests),
+            fabric_queue_ns: sum!(self.fabric_queue_ns),
+            fabric_service_ns: sum!(self.fabric_service_ns),
+            fabric_saturated: sum!(self.fabric_saturated),
         }
     }
 }
@@ -355,6 +380,18 @@ pub struct MemStatsSnapshot {
     pub comb_wins: u64,
     /// Flat-combining requests handed over to another thread's publish.
     pub comb_waits: u64,
+    /// Fabric crossings charged (line fills, writebacks, uncached ops,
+    /// NMP round trips on a fabric-enabled pod).
+    pub fabric_requests: u64,
+    /// Nanoseconds spent queued at fabric stations (host port, switch,
+    /// device port) plus the M/D/1 arrival-window term.
+    pub fabric_queue_ns: u64,
+    /// Nanoseconds of fabric service time (station occupancy plus
+    /// shared-link payload serialization).
+    pub fabric_service_ns: u64,
+    /// Fabric crossings that observed device utilization at or past the
+    /// configured saturation knee.
+    pub fabric_saturated: u64,
 }
 
 impl MemStatsSnapshot {
@@ -404,6 +441,12 @@ impl MemStatsSnapshot {
                 .saturating_sub(earlier.cas_retries_fallback),
             comb_wins: self.comb_wins.saturating_sub(earlier.comb_wins),
             comb_waits: self.comb_waits.saturating_sub(earlier.comb_waits),
+            fabric_requests: self.fabric_requests.saturating_sub(earlier.fabric_requests),
+            fabric_queue_ns: self.fabric_queue_ns.saturating_sub(earlier.fabric_queue_ns),
+            fabric_service_ns: self
+                .fabric_service_ns
+                .saturating_sub(earlier.fabric_service_ns),
+            fabric_saturated: self.fabric_saturated.saturating_sub(earlier.fabric_saturated),
         }
     }
 }
@@ -492,6 +535,19 @@ mod tests {
                 + snap.cas_retries_fallback
                 <= snap.cas_retries
         );
+    }
+
+    #[test]
+    fn fabric_counters_accumulate() {
+        let stats = MemStats::new();
+        stats.fabric(0, 100, false);
+        stats.fabric(40, 100, true);
+        stats.fabric(360, 104, true);
+        let snap = stats.snapshot();
+        assert_eq!(snap.fabric_requests, 3);
+        assert_eq!(snap.fabric_queue_ns, 400);
+        assert_eq!(snap.fabric_service_ns, 304);
+        assert_eq!(snap.fabric_saturated, 2);
     }
 
     #[test]

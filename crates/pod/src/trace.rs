@@ -130,10 +130,18 @@ pub enum TraceKind {
     WritebackKept = 26,
     /// Bulk span store (one event for the whole span; `arg` = words).
     StoreSpan = 27,
+    /// Fabric queue-wait: time spent queued at fabric stations (host
+    /// port / switch / device port) before service began (`arg` =
+    /// payload bytes). Emitted only when the wait is nonzero.
+    FabricQueue = 28,
+    /// Fabric service: port + switch + device occupancy plus link
+    /// serialization for one crossing (`arg` = payload bytes). Emitted
+    /// once per fabric request, so its count equals `fabric_requests`.
+    FabricService = 29,
 }
 
 /// Number of event kinds (one past the highest discriminant).
-pub const KIND_COUNT: usize = 28;
+pub const KIND_COUNT: usize = 30;
 
 /// All kinds, in discriminant order.
 pub const ALL_KINDS: [TraceKind; KIND_COUNT] = [
@@ -165,6 +173,8 @@ pub const ALL_KINDS: [TraceKind; KIND_COUNT] = [
     TraceKind::CombinerWait,
     TraceKind::WritebackKept,
     TraceKind::StoreSpan,
+    TraceKind::FabricQueue,
+    TraceKind::FabricService,
 ];
 
 impl TraceKind {
@@ -204,6 +214,8 @@ impl TraceKind {
             TraceKind::CombinerWait => "combiner_wait",
             TraceKind::WritebackKept => "clwb",
             TraceKind::StoreSpan => "store_span",
+            TraceKind::FabricQueue => "fabric_queue",
+            TraceKind::FabricService => "fabric_service",
         }
     }
 
@@ -233,6 +245,7 @@ impl TraceKind {
             | TraceKind::LeaseRenew
             | TraceKind::CombinerWin
             | TraceKind::CombinerWait => "alloc",
+            TraceKind::FabricQueue | TraceKind::FabricService => "fabric",
         }
     }
 }
